@@ -1,0 +1,503 @@
+(* Benchmark harness regenerating the paper's evaluation (see DESIGN.md,
+   experiment index):
+
+   - table2:   relative CPU time of the scaling algorithms (Table 2)
+   - table3:   free vs straightforward fixed vs printf + incorrect counts
+               (Table 3)
+   - digits:   shortest-output length distribution ("average 15.2 digits")
+   - showcase: the in-text examples (1e23, # marks)
+   - ablation: estimator accuracy (ours, E7)
+   - sweep:    scaling cost by magnitude, the series behind Table 2 (ours)
+   - reader:   certified fast paths vs exact (reader tiers, Gay fixed
+               format, Grisu3-style shortest form; ours, E9)
+   - bignum:   substrate microbenchmarks (ours, E8)
+   - bechamel: per-conversion microbenchmarks, one Test.make per table
+
+   Run everything:            dune exec bench/main.exe
+   One section:               dune exec bench/main.exe -- table2
+   Bigger corpora:            dune exec bench/main.exe -- --size 250680 *)
+
+module Nat = Bignum.Nat
+module Value = Fp.Value
+
+let b64 = Fp.Format_spec.binary64
+
+let decompose_pos x =
+  match Fp.Ieee.decompose x with
+  | Value.Finite v -> v
+  | _ -> invalid_arg "not finite"
+
+(* CPU-time measurement, as in the paper. *)
+let time_cpu f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, Sys.time () -. t0)
+
+let sink = ref 0
+
+let line = String.make 72 '-'
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: scaling algorithms *)
+
+let table2 ~size () =
+  Printf.printf "%s\nTable 2: relative CPU time of scaling algorithms\n" line;
+  Printf.printf "(scaling step on %d Schryer doubles; base 10)\n\n" size;
+  let values = Array.map decompose_pos (Workloads.Schryer.corpus ~size ()) in
+  let boundaries = Array.map (Dragon.Boundaries.of_finite b64) values in
+  let run_scaling strategy =
+    snd
+      (time_cpu (fun () ->
+           Array.iteri
+             (fun i (v : Value.finite) ->
+               let k, _ =
+                 Dragon.Scaling.scale strategy ~base:10 ~b:2 ~f:v.Value.f
+                   ~e:v.Value.e boundaries.(i)
+               in
+               sink := !sink + k)
+             values))
+  in
+  let run_end_to_end strategy =
+    snd
+      (time_cpu (fun () ->
+           Array.iter
+             (fun v ->
+               let r = Dragon.Free_format.convert ~strategy b64 v in
+               sink := !sink + Array.length r.Dragon.Free_format.digits)
+             values))
+  in
+  (* warm up (also fills the power tables, as the paper's tables are) *)
+  ignore (run_scaling Dragon.Scaling.Fast_estimate);
+  ignore (run_scaling Dragon.Scaling.Iterative);
+  let scaling = List.map (fun s -> (s, run_scaling s)) Dragon.Scaling.all in
+  let full = List.map (fun s -> (s, run_end_to_end s)) Dragon.Scaling.all in
+  let fast_s = List.assoc Dragon.Scaling.Fast_estimate scaling in
+  let fast_f = List.assoc Dragon.Scaling.Fast_estimate full in
+  Printf.printf "  %-16s %12s %10s %14s %12s\n" "Scaling" "scale (s)"
+    "relative" "end-to-end (s)" "relative";
+  List.iter
+    (fun s ->
+      let ts = List.assoc s scaling and tf = List.assoc s full in
+      Printf.printf "  %-16s %12.3f %10.2f %14.3f %12.2f\n"
+        (Dragon.Scaling.strategy_name s)
+        ts (ts /. fast_s) tf (tf /. fast_f))
+    Dragon.Scaling.all;
+  Printf.printf
+    "\n  paper (scaling step): iterative ~two orders of magnitude slower\n\
+    \  than either estimate-based algorithm; estimator = 1.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: free vs straightforward fixed vs printf *)
+
+(* Parse the host printf's "d.dddddddddddddddde+XX" into (digits, k). *)
+let parse_printf17 s =
+  let digits = Array.make 17 0 in
+  let di = ref 0 in
+  let i = ref 0 in
+  let n = String.length s in
+  while !di < 17 && !i < n do
+    (match s.[!i] with
+    | '0' .. '9' as c ->
+      digits.(!di) <- Char.code c - Char.code '0';
+      incr di
+    | _ -> ());
+    if s.[!i] = 'e' then di := 17;
+    incr i
+  done;
+  let epos = String.index s 'e' in
+  let exp = int_of_string (String.sub s (epos + 1) (n - epos - 1)) in
+  (digits, exp + 1)
+
+let table3 ~size () =
+  Printf.printf "%s\nTable 3: free format vs fixed format vs printf\n" line;
+  Printf.printf "(%d Schryer doubles, 17 significant digits for the fixed \
+                 printers)\n\n"
+    size;
+  let corpus = Workloads.Schryer.corpus ~size () in
+  let values = Array.map decompose_pos corpus in
+  let free () =
+    Array.iter
+      (fun v ->
+        let r = Dragon.Free_format.convert b64 v in
+        sink := !sink + String.length (Dragon.Render.free ~base:10 r))
+      values
+  in
+  let fixed () =
+    Array.iter
+      (fun v ->
+        let digits, _ =
+          Baselines.Naive_fixed.convert_digit_loop ~ndigits:17 b64 v
+        in
+        sink := !sink + Array.length digits)
+      values
+  in
+  let printf_host () =
+    Array.iter
+      (fun x -> sink := !sink + String.length (Printf.sprintf "%.16e" x))
+      corpus
+  in
+  let printf_ext64 () =
+    Array.iter
+      (fun x ->
+        let digits, _ = Baselines.Float_fixed.convert ~ndigits:17 x in
+        sink := !sink + Array.length digits)
+      corpus
+  in
+  ignore (time_cpu fixed);
+  let _, t_free = time_cpu free in
+  let _, t_fixed = time_cpu fixed in
+  let _, t_printf = time_cpu printf_host in
+  let _, t_ext = time_cpu printf_ext64 in
+  (* incorrect-rounding counts at 17 digits *)
+  let incorrect_printf = ref 0 and incorrect_ext = ref 0 in
+  Array.iteri
+    (fun i x ->
+      let exact = Baselines.Naive_fixed.convert ~ndigits:17 b64 values.(i) in
+      if parse_printf17 (Printf.sprintf "%.16e" x) <> exact then
+        incr incorrect_printf;
+      if Baselines.Float_fixed.convert ~ndigits:17 x <> exact then
+        incr incorrect_ext)
+    corpus;
+  Printf.printf "  %-34s %12s %10s %10s\n" "Printer" "CPU time (s)" "Relative"
+    "Incorrect";
+  Printf.printf "  %-34s %12.3f %10.2f %10s\n" "free format (this paper)"
+    t_free (t_free /. t_fixed) "-";
+  Printf.printf "  %-34s %12.3f %10.2f %10d\n"
+    "straightforward fixed (exact)" t_fixed 1.0 0;
+  Printf.printf "  %-34s %12.3f %10.2f %10d\n" "host printf %.16e" t_printf
+    (t_printf /. t_fixed) !incorrect_printf;
+  Printf.printf "  %-34s %12.3f %10.2f %10d\n"
+    "printf model (64-bit extended)" t_ext (t_ext /. t_fixed) !incorrect_ext;
+  Printf.printf
+    "\n  paper (geo. means): free/fixed = 1.66, fixed/printf = 1.51,\n\
+    \  incorrect printf counts 0..6280 of 250,680 depending on system\n"
+
+(* ------------------------------------------------------------------ *)
+(* Digit statistics *)
+
+let digit_stats ~size () =
+  Printf.printf "%s\nShortest-output digit statistics\n" line;
+  let corpus = Workloads.Schryer.corpus ~size () in
+  let histogram = Array.make 18 0 in
+  let total = ref 0 in
+  Array.iter
+    (fun x ->
+      let n = Dragon.Free_format.digit_count b64 (decompose_pos x) in
+      histogram.(n) <- histogram.(n) + 1;
+      total := !total + n)
+    corpus;
+  Array.iteri
+    (fun n count ->
+      if count > 0 then Printf.printf "  %2d digits: %8d\n" n count)
+    histogram;
+  Printf.printf "  average %.2f digits over %d values (paper: 15.2)\n"
+    (float_of_int !total /. float_of_int size)
+    size
+
+(* ------------------------------------------------------------------ *)
+(* In-text showcase *)
+
+let showcase () =
+  Printf.printf "%s\nIn-text examples\n" line;
+  Printf.printf "  1e23, reader rounds to even : %s\n" (Dragon.Printer.print 1e23);
+  Printf.printf "  1e23, mode-oblivious        : %s\n"
+    (Baselines.Steele_white.print 1e23);
+  Printf.printf "  100 to 20 places            : %s\n"
+    (Dragon.Printer.print_fixed (Dragon.Fixed_format.Absolute (-20)) 100.);
+  Printf.printf "  1/3 to 10 places            : %s\n"
+    (Dragon.Printer.print_fixed (Dragon.Fixed_format.Absolute (-10)) (1. /. 3.));
+  Printf.printf "  min denormal, 10 digits     : %s\n"
+    (Dragon.Printer.print_fixed (Dragon.Fixed_format.Relative 10) 5e-324)
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: estimator accuracy and scaling-only cost *)
+
+let ablation ~size () =
+  Printf.printf "%s\nAblation: estimate accuracy (estimate - k)\n" line;
+  let corpus = Array.map decompose_pos (Workloads.Schryer.corpus ~size ()) in
+  List.iter
+    (fun strategy ->
+      match strategy with
+      | Dragon.Scaling.Iterative -> ()
+      | _ ->
+        let exact = ref 0 and low1 = ref 0 and other = ref 0 in
+        Array.iter
+          (fun (v : Value.finite) ->
+            let k =
+              (Dragon.Free_format.convert b64 v).Dragon.Free_format.k
+            in
+            match
+              Dragon.Scaling.estimate strategy ~base:10 ~b:2 ~f:v.Value.f
+                ~e:v.Value.e
+            with
+            | Some est when est = k -> incr exact
+            | Some est when est = k - 1 -> incr low1
+            | _ -> incr other)
+          corpus;
+        Printf.printf "  %-15s exact: %7d   one low: %7d   other: %d\n"
+          (Dragon.Scaling.strategy_name strategy)
+          !exact !low1 !other)
+    Dragon.Scaling.all;
+  Printf.printf
+    "\n  (the fixup makes 'one low' free; 'other' must always be 0)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Cost vs magnitude: the series behind Table 2 *)
+
+let sweep () =
+  Printf.printf
+    "%s\nScaling cost by decimal magnitude (us/conversion, end to end)\n" line;
+  Printf.printf "  %-12s %12s %12s %14s\n" "|log10 v| ~" "iterative"
+    "fast-estimate" "ratio";
+  List.iter
+    (fun mag ->
+      let x = 1.5 *. (10. ** float_of_int mag) in
+      let v = decompose_pos x in
+      let iterations = 400 in
+      let run strategy =
+        snd
+          (time_cpu (fun () ->
+               for _ = 1 to iterations do
+                 ignore
+                   (Sys.opaque_identity
+                      (Dragon.Free_format.convert ~strategy b64 v))
+               done))
+        /. float_of_int iterations *. 1e6
+      in
+      let t_iter = run Dragon.Scaling.Iterative in
+      let t_fast = run Dragon.Scaling.Fast_estimate in
+      Printf.printf "  %-12d %12.2f %12.2f %14.1f\n" (abs mag) t_iter t_fast
+        (t_iter /. t_fast))
+    [ 0; 20; 50; 100; 200; 300; -20; -50; -100; -200; -300 ];
+  Printf.printf
+    "\n  (iterative scaling degrades linearly in |log v|; the estimator\n\
+    \   is flat — the mechanism behind Table 2)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Reader tiers and the Gay fixed-format fast path (ablations, ours) *)
+
+let reader_bench ~size () =
+  Printf.printf "%s\nReader: certified fast path vs exact (Clinger-style)\n"
+    line;
+  let corpus = Workloads.Schryer.corpus ~size () in
+  (* shortest strings: the adversarial inputs closest to boundaries *)
+  let strings = Array.map Dragon.Printer.print corpus in
+  let _, t_exact =
+    time_cpu (fun () ->
+        Array.iter
+          (fun s ->
+            match Reader.read_float s with
+            | Ok x -> sink := !sink + int_of_float x land 1
+            | Error _ -> ())
+          strings)
+  in
+  let before = Reader.Fast.stats () in
+  let _, t_fast =
+    time_cpu (fun () ->
+        Array.iter
+          (fun s ->
+            match Reader.Fast.read s with
+            | Ok x -> sink := !sink + int_of_float x land 1
+            | Error _ -> ())
+          strings)
+  in
+  let after = Reader.Fast.stats () in
+  Printf.printf "  exact bignum reader: %8.3f s\n" t_exact;
+  Printf.printf "  tiered fast reader:  %8.3f s  (%.1fx)\n" t_fast
+    (t_exact /. t_fast);
+  Printf.printf
+    "  tiers on this corpus: %d hardware-exact, %d extended-certified, %d \
+     bignum fallback\n"
+    (after.Reader.Fast.exact - before.Reader.Fast.exact)
+    (after.Reader.Fast.extended - before.Reader.Fast.extended)
+    (after.Reader.Fast.fallback - before.Reader.Fast.fallback);
+  (* Gay's fixed-format fast path *)
+  let values = Array.map decompose_pos corpus in
+  let _, t_naive =
+    time_cpu (fun () ->
+        Array.iter
+          (fun v ->
+            sink :=
+              !sink
+              + Array.length
+                  (fst (Baselines.Naive_fixed.convert ~ndigits:15 b64 v)))
+          values)
+  in
+  let h0 = Baselines.Gay_heuristic.fast_path_hits () in
+  let f0 = Baselines.Gay_heuristic.fallbacks () in
+  let _, t_gay =
+    time_cpu (fun () ->
+        Array.iter
+          (fun v ->
+            sink :=
+              !sink
+              + Array.length
+                  (fst (Baselines.Gay_heuristic.convert ~ndigits:15 b64 v)))
+          values)
+  in
+  Printf.printf
+    "\n  Gay heuristic, fixed format at 15 digits (correct by construction):\n";
+  Printf.printf "  exact conversion:    %8.3f s\n" t_naive;
+  Printf.printf "  certified fast path: %8.3f s  (%.1fx; %d hits, %d fallbacks)\n"
+    t_gay (t_naive /. t_gay)
+    (Baselines.Gay_heuristic.fast_path_hits () - h0)
+    (Baselines.Gay_heuristic.fallbacks () - f0);
+  (* Grisu3-style shortest-form fast path *)
+  let _, t_dragon =
+    time_cpu (fun () ->
+        Array.iter
+          (fun v ->
+            sink :=
+              !sink
+              + Array.length
+                  (Dragon.Free_format.convert b64 v).Dragon.Free_format.digits)
+          values)
+  in
+  let fast0, fb0 = Baselines.Fast_shortest.stats () in
+  let _, t_short =
+    time_cpu (fun () ->
+        Array.iter
+          (fun v ->
+            sink :=
+              !sink
+              + Array.length
+                  (Baselines.Fast_shortest.convert v).Dragon.Free_format.digits)
+          values)
+  in
+  let fast1, fb1 = Baselines.Fast_shortest.stats () in
+  Printf.printf
+    "\n  Shortest form, Grisu3-style candidates + exact verification\n\
+    \  (digit-identical to the paper's printer):\n";
+  Printf.printf "  Burger-Dybvig free format: %8.3f s\n" t_dragon;
+  Printf.printf "  certified fast shortest:   %8.3f s  (%.1fx; %d fast, %d \
+                 fallbacks)\n"
+    t_short (t_dragon /. t_short) (fast1 - fast0) (fb1 - fb0)
+
+(* ------------------------------------------------------------------ *)
+(* Bignum substrate microbenchmarks *)
+
+let bignum_bench () =
+  Printf.printf "%s\nBignum substrate: multiplication crossover\n" line;
+  let mk limbs seed =
+    let st = Random.State.make [| seed |] in
+    let rec build n acc =
+      if n = 0 then acc
+      else
+        build (n - 1)
+          (Nat.add (Nat.shift_left acc 30)
+             (Nat.of_int (Random.State.int st ((1 lsl 30) - 1))))
+    in
+    build limbs Nat.one
+  in
+  List.iter
+    (fun limbs ->
+      let a = mk limbs 1 and b = mk limbs 2 in
+      let iterations = max 1 (20_000 / limbs) in
+      let t_school =
+        snd
+          (time_cpu (fun () ->
+               for _ = 1 to iterations do
+                 ignore (Sys.opaque_identity (Nat.mul_schoolbook a b))
+               done))
+      in
+      let t_kara =
+        snd
+          (time_cpu (fun () ->
+               for _ = 1 to iterations do
+                 ignore (Sys.opaque_identity (Nat.mul_karatsuba a b))
+               done))
+      in
+      Printf.printf
+        "  %4d limbs (%5d bits): schoolbook %8.2f us   karatsuba %8.2f us\n"
+        limbs (limbs * 30)
+        (t_school /. float_of_int iterations *. 1e6)
+        (t_kara /. float_of_int iterations *. 1e6))
+    [ 4; 8; 16; 32; 64; 128; 256 ];
+  Printf.printf "  (threshold used by Nat.mul: %d limbs)\n"
+    Nat.karatsuba_threshold
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks: one Test.make per table *)
+
+let bechamel_benches () =
+  Printf.printf "%s\nBechamel microbenchmarks (ns per conversion, OLS)\n" line;
+  let open Bechamel in
+  let corpus = Array.map decompose_pos (Workloads.Schryer.corpus ~size:512 ()) in
+  let cursor = ref 0 in
+  let next () =
+    cursor := (!cursor + 1) land 511;
+    corpus.(!cursor)
+  in
+  let table2_tests =
+    List.map
+      (fun strategy ->
+        Test.make
+          ~name:
+            (Printf.sprintf "table2/%s" (Dragon.Scaling.strategy_name strategy))
+          (Staged.stage (fun () ->
+               Dragon.Free_format.convert ~strategy b64 (next ()))))
+      [ Dragon.Scaling.Fast_estimate; Dragon.Scaling.Float_log;
+        Dragon.Scaling.Gay_taylor; Dragon.Scaling.Iterative ]
+  in
+  let table3_tests =
+    [
+      Test.make ~name:"table3/free-format"
+        (Staged.stage (fun () -> Dragon.Free_format.convert b64 (next ())));
+      Test.make ~name:"table3/naive-fixed-17"
+        (Staged.stage (fun () ->
+             Baselines.Naive_fixed.convert ~ndigits:17 b64 (next ())));
+      Test.make ~name:"table3/host-printf"
+        (Staged.stage (fun () ->
+             Printf.sprintf "%.16e" (Fp.Ieee.compose (Value.Finite (next ())))));
+      Test.make ~name:"table3/printf-model-ext64"
+        (Staged.stage (fun () ->
+             Baselines.Float_fixed.convert ~ndigits:17
+               (Fp.Ieee.compose (Value.Finite (next ())))));
+    ]
+  in
+  let tests =
+    Test.make_grouped ~name:"bdprint" (table2_tests @ table3_tests)
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
+  let results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| "run" |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some (t :: _) -> Printf.printf "  %-38s %12.1f ns\n" name t
+      | _ -> Printf.printf "  %-38s %12s\n" name "n/a")
+    (List.sort compare rows)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let size = ref 0 in
+  let sections = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--size" :: n :: rest ->
+      size := int_of_string n;
+      parse rest
+    | s :: rest ->
+      if s <> Sys.argv.(0) then sections := s :: !sections;
+      parse rest
+  in
+  parse (List.tl args);
+  let has s = !sections = [] || List.mem s !sections in
+  let pick default = if !size > 0 then !size else default in
+  if has "table2" then table2 ~size:(pick 8_000) ();
+  if has "table3" then table3 ~size:(pick 40_000) ();
+  if has "digits" then digit_stats ~size:(pick 100_000) ();
+  if has "showcase" then showcase ();
+  if has "ablation" then ablation ~size:(pick 50_000) ();
+  if has "sweep" then sweep ();
+  if has "reader" then reader_bench ~size:(pick 30_000) ();
+  if has "bignum" then bignum_bench ();
+  if has "bechamel" then bechamel_benches ();
+  ignore !sink

@@ -1,0 +1,195 @@
+(* bdprint: command-line floating-point conversion using the Burger-Dybvig
+   algorithms.  Input strings are read with the exact reader into the
+   chosen format, then printed free- or fixed-format. *)
+
+open Cmdliner
+
+let mode_conv =
+  let parse = function
+    | "even" | "nearest-even" -> Ok Fp.Rounding.To_nearest_even
+    | "away" | "nearest-away" -> Ok Fp.Rounding.To_nearest_away
+    | "nearest-zero" -> Ok Fp.Rounding.To_nearest_toward_zero
+    | "zero" | "trunc" -> Ok Fp.Rounding.Toward_zero
+    | "up" | "ceiling" -> Ok Fp.Rounding.Toward_positive
+    | "down" | "floor" -> Ok Fp.Rounding.Toward_negative
+    | s -> Error (`Msg (Printf.sprintf "unknown rounding mode %S" s))
+  in
+  Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (Fp.Rounding.to_string m))
+
+let format_conv =
+  let parse = function
+    | "binary16" | "half" -> Ok Fp.Format_spec.binary16
+    | "binary32" | "single" | "float" -> Ok Fp.Format_spec.binary32
+    | "binary64" | "double" -> Ok Fp.Format_spec.binary64
+    | s -> Error (`Msg (Printf.sprintf "unknown format %S" s))
+  in
+  Arg.conv (parse, fun ppf f -> Fp.Format_spec.pp ppf f)
+
+let strategy_conv =
+  let parse = function
+    | "fast" -> Ok Dragon.Scaling.Fast_estimate
+    | "float-log" -> Ok Dragon.Scaling.Float_log
+    | "gay" -> Ok Dragon.Scaling.Gay_taylor
+    | "iterative" -> Ok Dragon.Scaling.Iterative
+    | s -> Error (`Msg (Printf.sprintf "unknown strategy %S" s))
+  in
+  Arg.conv
+    (parse, fun ppf s -> Format.pp_print_string ppf (Dragon.Scaling.strategy_name s))
+
+let notation_conv =
+  let parse = function
+    | "auto" -> Ok Dragon.Render.Auto
+    | "sci" | "scientific" -> Ok Dragon.Render.Scientific
+    | "pos" | "positional" -> Ok Dragon.Render.Positional
+    | s -> Error (`Msg (Printf.sprintf "unknown notation %S" s))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf n ->
+        Format.pp_print_string ppf
+          (match n with
+          | Dragon.Render.Auto -> "auto"
+          | Dragon.Render.Scientific -> "scientific"
+          | Dragon.Render.Positional -> "positional") )
+
+let numbers =
+  Arg.(non_empty & pos_all string [] & info [] ~docv:"NUMBER" ~doc:"Decimal numbers to convert.")
+
+let base =
+  Arg.(value & opt int 10 & info [ "b"; "base" ] ~docv:"BASE" ~doc:"Output base (2-36).")
+
+let mode =
+  Arg.(
+    value
+    & opt mode_conv Fp.Rounding.To_nearest_even
+    & info [ "m"; "mode" ]
+        ~doc:
+          "Reader rounding mode the output must survive: even, away, \
+           nearest-zero, zero, up, down.")
+
+let fmt =
+  Arg.(
+    value
+    & opt format_conv Fp.Format_spec.binary64
+    & info [ "f"; "format" ] ~doc:"Target format: binary16, binary32, binary64.")
+
+let strategy =
+  Arg.(
+    value
+    & opt strategy_conv Dragon.Scaling.Fast_estimate
+    & info [ "s"; "strategy" ]
+        ~doc:"Scaling strategy: fast, float-log, gay, iterative.")
+
+let notation =
+  Arg.(
+    value
+    & opt notation_conv Dragon.Render.Auto
+    & info [ "n"; "notation" ] ~doc:"Rendering: auto, scientific, positional.")
+
+let digits =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "d"; "digits" ] ~docv:"N" ~doc:"Fixed format with $(docv) significant digits.")
+
+let places =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "p"; "places" ] ~docv:"N"
+        ~doc:"Fixed format with $(docv) digits after the radix point.")
+
+let hex_out =
+  Arg.(
+    value & flag
+    & info [ "x"; "hex" ]
+        ~doc:
+          "Print in C17 hexadecimal-significand notation (exact; binary64 \
+           only).")
+
+let is_hex_literal s =
+  let s =
+    if String.length s > 0 && (s.[0] = '-' || s.[0] = '+') then
+      String.sub s 1 (String.length s - 1)
+    else s
+  in
+  String.length s >= 2 && s.[0] = '0' && (s.[1] = 'x' || s.[1] = 'X')
+
+let run base mode fmt strategy notation digits places hex_out numbers =
+  if base < 2 || base > 36 then `Error (false, "base must be in 2..36")
+  else begin
+    let request =
+      match (digits, places) with
+      | Some _, Some _ -> Error "use only one of --digits and --places"
+      | Some d, None -> Ok (Some (Dragon.Fixed_format.Relative d))
+      | None, Some p -> Ok (Some (Dragon.Fixed_format.Absolute (-p)))
+      | None, None -> Ok None
+    in
+    match request with
+    | Error e -> `Error (false, e)
+    | Ok request ->
+      let ok = ref true in
+      List.iter
+        (fun input ->
+          let converted =
+            let parsed =
+              if is_hex_literal input then Reader.Hex.read ~mode fmt input
+              else Reader.read ~mode fmt input
+            in
+            match parsed with
+            | Error _ as e -> e
+            | Ok value -> (
+              (* surface misuse (e.g. --digits 0) as a clean error *)
+              try
+                Ok
+                  (match (request, value) with
+                  | _ when hex_out ->
+                    Dragon.Printer.print_hex (Fp.Ieee.compose value)
+                  | None, _ ->
+                    Dragon.Printer.print_value ~base ~mode ~strategy ~notation
+                      fmt value
+                  | Some _, Fp.Value.Zero neg -> Dragon.Render.zero ~neg ()
+                  | Some _, Fp.Value.Inf neg -> Dragon.Render.infinity ~neg ()
+                  | Some _, Fp.Value.Nan -> Dragon.Render.nan
+                  | Some req, Fp.Value.Finite v ->
+                    Dragon.Render.fixed ~notation ~neg:v.Fp.Value.neg ~base
+                      (Dragon.Fixed_format.convert ~base ~mode fmt v req))
+              with Invalid_argument msg -> Error msg)
+          in
+          match converted with
+          | Error e ->
+            ok := false;
+            Printf.eprintf "error: %s\n" e
+          | Ok out -> Printf.printf "%s\n" out)
+        numbers;
+      if !ok then `Ok () else `Error (false, "some inputs failed")
+  end
+
+let cmd =
+  let doc = "print floating-point numbers quickly and accurately" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Converts decimal inputs into a binary floating-point format with \
+         correct rounding, then prints them back using the Burger-Dybvig \
+         (PLDI 1996) free-format or fixed-format algorithm.  Free format \
+         emits the shortest string that reads back to the same value; fixed \
+         format emits correctly rounded digits with '#' marking positions \
+         beyond the value's precision.";
+      `S Manpage.s_examples;
+      `Pre
+        "  bdprint 0.1 1e23\n\
+        \  bdprint --digits 10 --format binary32 0.333333333\n\
+        \  bdprint --base 16 --notation scientific 255.9375\n\
+        \  bdprint --places 20 100";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "bdprint" ~version:"1.0.0" ~doc ~man)
+    Term.(
+      ret
+        (const run $ base $ mode $ fmt $ strategy $ notation $ digits $ places
+       $ hex_out $ numbers))
+
+let () = exit (Cmd.eval cmd)

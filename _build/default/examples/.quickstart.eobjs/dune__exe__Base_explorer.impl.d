@@ -1,0 +1,1 @@
+examples/base_explorer.ml: Bignum Dragon Fp List Printf Reader

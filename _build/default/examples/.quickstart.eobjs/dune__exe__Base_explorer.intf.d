@@ -1,0 +1,1 @@
+examples/base_explorer.mli:

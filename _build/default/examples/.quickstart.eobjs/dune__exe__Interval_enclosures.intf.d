@@ -1,0 +1,1 @@
+examples/interval_enclosures.mli:

@@ -1,0 +1,1 @@
+examples/printf_pitfalls.ml: Array Baselines Dragon Float List Printf Workloads

@@ -1,0 +1,1 @@
+examples/printf_pitfalls.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dragon Fp Int64 List Printf Reader

@@ -1,0 +1,1 @@
+examples/roundtrip_audit.ml: Array Dragon Float Fp List Printf Sys Workloads

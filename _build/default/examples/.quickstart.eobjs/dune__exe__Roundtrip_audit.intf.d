@@ -1,0 +1,1 @@
+examples/roundtrip_audit.mli:

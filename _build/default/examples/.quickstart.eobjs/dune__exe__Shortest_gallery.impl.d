@@ -1,0 +1,1 @@
+examples/shortest_gallery.ml: Array Baselines Dragon Float Fp Printf String Workloads

@@ -1,0 +1,43 @@
+(* The conversion algorithm is generic in the output base (2..36): print
+   a few doubles in many bases and verify each string denotes a value that
+   reads back to the same double.
+
+   Run with:  dune exec examples/base_explorer.exe *)
+
+module Value = Fp.Value
+module Ratio = Bignum.Ratio
+
+let () =
+  let show x =
+    Printf.printf "--- %s ---\n" (Dragon.Printer.print x);
+    List.iter
+      (fun base ->
+        let s = Dragon.Printer.print ~base x in
+        (* the printed text itself reads back to the same double *)
+        let v =
+          match Fp.Ieee.decompose x with
+          | Value.Finite v -> v
+          | _ -> assert false
+        in
+        let back =
+          match Reader.read_in_base ~base Fp.Format_spec.binary64 s with
+          | Ok back -> back
+          | Error e -> failwith e
+        in
+        Printf.printf "  base %2d: %-28s %s\n" base s
+          (if Value.equal back (Value.Finite v) then "(round-trips)"
+           else "ROUND-TRIP FAILURE")
+      )
+      [ 2; 3; 5; 8; 10; 12; 16; 20; 36 ]
+  in
+  List.iter show [ 0.1; 1. /. 3.; 255.9375; 6.02214076e23 ];
+
+  print_endline "";
+  print_endline "=== Shortest-output length depends on the base ===";
+  let x = 0.1 in
+  let v = match Fp.Ieee.decompose x with Value.Finite v -> v | _ -> assert false in
+  List.iter
+    (fun base ->
+      let n = Dragon.Free_format.digit_count ~base Fp.Format_spec.binary64 v in
+      Printf.printf "  base %2d needs %2d digits for 0.1\n" base n)
+    [ 2; 4; 8; 10; 16; 32 ]

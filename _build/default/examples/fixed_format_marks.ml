@@ -1,0 +1,65 @@
+(* Fixed-format printing and significance marks, across formats.
+
+   Shows the paper's Section 4 behaviour on values whose precision runs
+   out before the requested position: denormals, single precision, and
+   long outputs.
+
+   Run with:  dune exec examples/fixed_format_marks.exe *)
+
+module Value = Fp.Value
+
+let print_fixed_in fmt value request =
+  match value with
+  | Value.Finite v ->
+    Dragon.Render.fixed ~neg:v.Value.neg ~base:10
+      (Dragon.Fixed_format.convert fmt v request)
+  | v -> Value.to_string v
+
+let read_into fmt s =
+  match Reader.read fmt s with
+  | Ok v -> v
+  | Error e -> failwith e
+
+let () =
+  print_endline "=== Denormal doubles: precision fades near 2^-1074 ===";
+  List.iter
+    (fun s ->
+      let v = read_into Fp.Format_spec.binary64 s in
+      Printf.printf "  %-12s to 15 digits: %s\n" s
+        (print_fixed_in Fp.Format_spec.binary64 v
+           (Dragon.Fixed_format.Relative 15)))
+    [ "1e-300"; "1e-310"; "1e-318"; "1e-321"; "5e-324" ];
+
+  print_endline "";
+  print_endline "=== Single precision runs out after ~7 digits ===";
+  List.iter
+    (fun s ->
+      let v = read_into Fp.Format_spec.binary32 s in
+      Printf.printf "  %-10s as binary32, 12 digits: %s\n" s
+        (print_fixed_in Fp.Format_spec.binary32 v
+           (Dragon.Fixed_format.Relative 12)))
+    [ "0.333333333"; "0.1"; "3.14159265"; "65504" ];
+
+  print_endline "";
+  print_endline "=== Absolute positions: stop at a decimal place ===";
+  let x = 98765.432112345 in
+  List.iter
+    (fun j ->
+      Printf.printf "  %g at 10^%-3d: %s\n" x j
+        (Dragon.Printer.print_fixed (Dragon.Fixed_format.Absolute j) x))
+    [ 3; 1; 0; -3; -6; -9; -15 ];
+
+  print_endline "";
+  print_endline "=== Half precision: only ~3-4 decimal digits exist ===";
+  List.iter
+    (fun s ->
+      let v = read_into Fp.Format_spec.binary16 s in
+      Printf.printf "  %-8s as binary16, 8 digits: %s  (value %s)\n" s
+        (print_fixed_in Fp.Format_spec.binary16 v
+           (Dragon.Fixed_format.Relative 8))
+        (match v with
+        | Value.Finite f ->
+          Dragon.Render.free ~base:10
+            (Dragon.Free_format.convert Fp.Format_spec.binary16 f)
+        | other -> Value.to_string other))
+    [ "0.1"; "1000.5"; "65504"; "6.1e-5" ]

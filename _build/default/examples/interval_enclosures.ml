@@ -1,0 +1,71 @@
+(* Rigorous decimal enclosures: combine directed-rounding software
+   arithmetic with directed-rounding-aware printing.
+
+   Computing with Toward_negative / Toward_positive gives binary bounds
+   L <= true value <= U; printing L with a reader mode of Toward_positive
+   yields a short decimal that is still <= L (it reads back as L from
+   below), and symmetrically for U — so the printed interval encloses the
+   true value with shortest-form endpoints.
+
+   Run with:  dune exec examples/interval_enclosures.exe *)
+
+module SF = Fp.Softfloat
+module Value = Fp.Value
+
+let b64 = Fp.Format_spec.binary64
+
+let print_lower v = Dragon.Printer.print_value ~mode:Fp.Rounding.Toward_positive b64 v
+let print_upper v = Dragon.Printer.print_value ~mode:Fp.Rounding.Toward_negative b64 v
+
+let enclose name lo hi =
+  Printf.printf "  %-14s in [%s, %s]\n" name (print_lower lo) (print_upper hi)
+
+let () =
+  print_endline "=== Enclosures of irrational values (binary64 bounds) ===";
+  let two = SF.of_int b64 2 in
+  enclose "sqrt 2"
+    (SF.sqrt ~mode:Fp.Rounding.Toward_negative b64 two)
+    (SF.sqrt ~mode:Fp.Rounding.Toward_positive b64 two);
+  let one = SF.of_int b64 1 in
+  let third name n =
+    let den = SF.of_int b64 n in
+    enclose name
+      (SF.div ~mode:Fp.Rounding.Toward_negative b64 one den)
+      (SF.div ~mode:Fp.Rounding.Toward_positive b64 one den)
+  in
+  third "1/3" 3;
+  third "1/7" 7;
+
+  print_endline "";
+  print_endline "=== Interval sum: 1/3 + 1/7 + 1/11 + ... + 1/97 ===";
+  let primes = [ 3; 7; 11; 13; 17; 19; 23; 29; 31; 37; 41; 43; 47; 53; 59;
+                 61; 67; 71; 73; 79; 83; 89; 97 ] in
+  let lo, hi =
+    List.fold_left
+      (fun (lo, hi) p ->
+        let den = SF.of_int b64 p in
+        ( SF.add ~mode:Fp.Rounding.Toward_negative b64 lo
+            (SF.div ~mode:Fp.Rounding.Toward_negative b64 one den),
+          SF.add ~mode:Fp.Rounding.Toward_positive b64 hi
+            (SF.div ~mode:Fp.Rounding.Toward_positive b64 one den) ))
+      (SF.of_int b64 0, SF.of_int b64 0)
+      primes
+  in
+  enclose "sum" lo hi;
+
+  print_endline "";
+  print_endline "=== The same value, enclosed at different precisions ===";
+  List.iter
+    (fun (name, fmt) ->
+      let two = SF.of_int fmt 2 in
+      let lo = SF.sqrt ~mode:Fp.Rounding.Toward_negative fmt two in
+      let hi = SF.sqrt ~mode:Fp.Rounding.Toward_positive fmt two in
+      Printf.printf "  %-10s sqrt 2 in [%s, %s]\n" name
+        (Dragon.Printer.print_value ~mode:Fp.Rounding.Toward_positive fmt lo)
+        (Dragon.Printer.print_value ~mode:Fp.Rounding.Toward_negative fmt hi))
+    [
+      ("binary16", Fp.Format_spec.binary16);
+      ("binary32", Fp.Format_spec.binary32);
+      ("binary64", Fp.Format_spec.binary64);
+      ("binary128", Fp.Format_spec.binary128);
+    ]

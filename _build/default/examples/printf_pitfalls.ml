@@ -1,0 +1,47 @@
+(* What Table 3's "incorrect printf" column looks like up close: find
+   corpus values that a 64-bit-extended printf pipeline misrounds at 17
+   digits, and contrast the shortest form with the verbose fixed forms.
+
+   Run with:  dune exec examples/printf_pitfalls.exe *)
+
+let () =
+  print_endline
+    "=== Values a 64-bit-extended printf model misrounds at 17 digits ===";
+  let corpus = Workloads.Schryer.corpus ~size:120_000 () in
+  let shown = ref 0 in
+  Array.iter
+    (fun x ->
+      if !shown < 8 && not (Baselines.Float_fixed.correctly_rounded ~ndigits:17 x)
+      then begin
+        incr shown;
+        Printf.printf "  %s\n" (Dragon.Printer.print_hex x);
+        Printf.printf "    exact:  %s\n"
+          (Baselines.Naive_fixed.print ~ndigits:17 x);
+        Printf.printf "    model:  %s\n"
+          (Baselines.Float_fixed.print ~ndigits:17 x)
+      end)
+    corpus;
+  if !shown = 0 then print_endline "  (none in this prefix)";
+
+  print_endline "";
+  print_endline "=== Shortest form vs fixed 17 digits vs exact expansion ===";
+  List.iter
+    (fun x ->
+      Printf.printf "  value (hex):    %s\n" (Dragon.Printer.print_hex x);
+      Printf.printf "  shortest:       %s\n" (Dragon.Printer.print x);
+      Printf.printf "  fixed 17:       %s\n"
+        (Baselines.Naive_fixed.print ~ndigits:17 (Float.abs x));
+      Printf.printf "  exact value:    %s\n\n" (Dragon.Printer.print_exact x))
+    [ 0.1; 0.1 +. 0.2; 1e23 ];
+
+  print_endline "=== Why 17 digits: 15 are too few, and 17 never lie ===";
+  let x = 0.1 +. 0.2 in
+  Printf.printf "  x = 0.1 + 0.2\n";
+  List.iter
+    (fun p ->
+      let s = Printf.sprintf "%.*g" p x in
+      Printf.printf "  %%.%dg -> %-22s reads back %s\n" p s
+        (if float_of_string s = x then "exactly" else "WRONG (loses the bit)"))
+    [ 15; 16; 17 ];
+  Printf.printf "  shortest  -> %-22s (always exact, never longer than needed)\n"
+    (Dragon.Printer.print x)

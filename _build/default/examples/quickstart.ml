@@ -1,0 +1,52 @@
+(* Quickstart: the one-page tour of the library.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  print_endline "=== Free format: shortest string that reads back exactly ===";
+  let samples =
+    [ 0.1; 0.3; 1. /. 3.; 0.1 +. 0.2; 1e23; 2. ** 60.; 5e-324; -123.456 ]
+  in
+  List.iter
+    (fun x ->
+      Printf.printf "  %-26s ->  %s\n" (Printf.sprintf "%.17g" x)
+        (Dragon.Printer.print x))
+    samples;
+
+  print_endline "";
+  print_endline "=== The same values always read back to the same bits ===";
+  List.iter
+    (fun x ->
+      let s = Dragon.Printer.print x in
+      match Reader.read_float s with
+      | Ok y ->
+        Printf.printf "  %-24s reads back %s\n" s
+          (if Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y) then
+             "bit-exactly"
+           else "WRONG")
+      | Error e -> Printf.printf "  %-24s PARSE ERROR %s\n" s e)
+    samples;
+
+  print_endline "";
+  print_endline "=== Fixed format: correct rounding to a requested position ===";
+  let pi = 4. *. atan 1. in
+  List.iter
+    (fun places ->
+      Printf.printf "  pi to %2d places: %s\n" places
+        (Dragon.Printer.print_fixed (Dragon.Fixed_format.Absolute (-places)) pi))
+    [ 2; 6; 12 ];
+  Printf.printf "  pi to 4 significant digits: %s\n"
+    (Dragon.Printer.print_fixed (Dragon.Fixed_format.Relative 4) pi);
+
+  print_endline "";
+  print_endline "=== # marks show where the float stops carrying information ===";
+  Printf.printf "  100.0 to 20 places:      %s\n"
+    (Dragon.Printer.print_fixed (Dragon.Fixed_format.Absolute (-20)) 100.);
+  Printf.printf "  min denormal, 12 digits: %s\n"
+    (Dragon.Printer.print_fixed (Dragon.Fixed_format.Relative 12) 5e-324);
+
+  print_endline "";
+  print_endline "=== Reader rounding modes matter: the paper's 1e23 example ===";
+  Printf.printf "  reader rounds to even:  %s\n" (Dragon.Printer.print 1e23);
+  Printf.printf "  reader rounds ties away: %s\n"
+    (Dragon.Printer.print ~mode:Fp.Rounding.To_nearest_away 1e23)

@@ -1,0 +1,50 @@
+(* Audit the central guarantee on a large corpus: for every value and
+   every reader rounding mode, printing then reading returns the same
+   float, and no shorter string does.
+
+   Run with:  dune exec examples/roundtrip_audit.exe -- [count] *)
+
+module Value = Fp.Value
+
+let () =
+  let count =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 20_000
+  in
+  let corpora =
+    [
+      ("schryer", Workloads.Schryer.corpus ~size:count ());
+      ("random normals", Workloads.Corpus.random_positive_normals ~seed:11 count);
+      ("random denormals", Workloads.Corpus.random_denormals ~seed:12 (count / 10));
+      ("hard cases", Workloads.Corpus.hard_cases);
+    ]
+  in
+  let failures = ref 0 in
+  let audited = ref 0 in
+  List.iter
+    (fun (name, corpus) ->
+      Array.iter
+        (fun x ->
+          let x = Float.abs x in
+          match Fp.Ieee.decompose x with
+          | Value.Finite v ->
+            List.iter
+              (fun mode ->
+                incr audited;
+                let r = Dragon.Free_format.convert ~mode Fp.Format_spec.binary64 v in
+                match
+                  Dragon.Reference.check_output ~mode Fp.Format_spec.binary64 v r
+                with
+                | Ok () -> ()
+                | Error e ->
+                  incr failures;
+                  Printf.printf "  FAIL %s %h (%s): %s\n" name x
+                    (Fp.Rounding.to_string mode) e)
+              Fp.Rounding.all
+          | _ -> ())
+        corpus;
+      Printf.printf "%-18s audited\n%!" name)
+    corpora;
+  Printf.printf
+    "\n%d conversions audited across %d rounding modes: %d failures\n" !audited
+    (List.length Fp.Rounding.all) !failures;
+  if !failures > 0 then exit 1

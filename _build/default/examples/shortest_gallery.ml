@@ -1,0 +1,43 @@
+(* A gallery comparing the shortest correctly rounded output with the
+   C-style 17-digit fixed format, plus the digit-length distribution over
+   the Schryer corpus (the paper's "average of 15.2 digits").
+
+   Run with:  dune exec examples/shortest_gallery.exe *)
+
+module Value = Fp.Value
+
+let () =
+  print_endline
+    "value (17 fixed digits)                shortest form        saved";
+  print_endline
+    "----------------------------------------------------------------";
+  Array.iter
+    (fun x ->
+      let fixed17 = Baselines.Naive_fixed.print ~ndigits:17 (Float.abs x) in
+      let short = Dragon.Printer.print (Float.abs x) in
+      Printf.printf "%-38s %-22s %d chars\n" fixed17 short
+        (String.length fixed17 - String.length short))
+    Workloads.Corpus.hard_cases;
+
+  print_endline "";
+  print_endline "=== Shortest-output digit counts over the Schryer corpus ===";
+  let corpus = Workloads.Schryer.corpus ~size:100_000 () in
+  let histogram = Array.make 18 0 in
+  let total = ref 0 in
+  Array.iter
+    (fun x ->
+      match Fp.Ieee.decompose x with
+      | Value.Finite v ->
+        let n = Dragon.Free_format.digit_count Fp.Format_spec.binary64 v in
+        histogram.(n) <- histogram.(n) + 1;
+        total := !total + n
+      | _ -> ())
+    corpus;
+  Array.iteri
+    (fun n count ->
+      if count > 0 then
+        Printf.printf "  %2d digits: %6d  %s\n" n count
+          (String.make (count * 60 / Array.length corpus) '#'))
+    histogram;
+  Printf.printf "  average: %.2f digits (the paper reports 15.2)\n"
+    (float_of_int !total /. float_of_int (Array.length corpus))

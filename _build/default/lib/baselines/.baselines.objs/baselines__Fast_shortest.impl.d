@@ -1,0 +1,1 @@
+lib/baselines/fast_shortest.ml: Array Bignum Dragon Ext64 Float Fp Int64

@@ -1,0 +1,1 @@
+lib/baselines/fast_shortest.mli: Dragon Fp

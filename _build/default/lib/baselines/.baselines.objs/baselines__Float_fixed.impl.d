@@ -1,0 +1,1 @@
+lib/baselines/float_fixed.ml: Array Dragon Ext64 Float Fp Int64 Naive_fixed

@@ -1,0 +1,1 @@
+lib/baselines/float_fixed.mli:

@@ -1,0 +1,1 @@
+lib/baselines/gay_heuristic.ml: Array Ext64 Float Fp Int64 Naive_fixed

@@ -1,0 +1,1 @@
+lib/baselines/gay_heuristic.mli: Fp

@@ -1,0 +1,1 @@
+lib/baselines/naive_fixed.mli: Fp

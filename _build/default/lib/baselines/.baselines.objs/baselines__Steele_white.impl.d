@@ -1,0 +1,1 @@
+lib/baselines/steele_white.ml: Dragon Fp

@@ -1,0 +1,181 @@
+module Nat = Bignum.Nat
+module Value = Fp.Value
+
+let b64 = Fp.Format_spec.binary64
+
+let n_fast = ref 0
+let n_fallback = ref 0
+
+let stats () = (!n_fast, !n_fallback)
+
+let fallback v =
+  incr n_fallback;
+  Dragon.Free_format.convert b64 v
+
+(* Compare c * 10^j against w * 2^t exactly (c, w positive ints).  The
+   power table is shared with the printer, so after warm-up this is a
+   couple of short multiplications. *)
+let cmp_scaled c j w t =
+  let lhs = Nat.of_int c and rhs = Nat.of_int w in
+  let lhs = if j > 0 then Nat.mul lhs (Dragon.Scaling.power ~base:10 j) else lhs in
+  let rhs = if j < 0 then Nat.mul rhs (Dragon.Scaling.power ~base:10 (-j)) else rhs in
+  let lhs = if t < 0 then Nat.shift_left lhs (-t) else lhs in
+  let rhs = if t > 0 then Nat.shift_left rhs t else rhs in
+  Nat.compare lhs rhs
+
+(* Certified floor(x * 10^s) in extended precision: accept only when the
+   fractional part is provably away from 0 and 1. *)
+let certified_scaled_floor x s =
+  if s < -350 || s > 350 then None
+  else begin
+    let y = Ext64.mul (Ext64.of_float x) (Ext64.pow10_correct s) in
+    let drop = -y.Ext64.e in
+    if drop <= 0 || drop >= 64 then None
+    else begin
+      let kept = Int64.shift_right_logical y.Ext64.m drop in
+      let frac_bits = Int64.shift_left y.Ext64.m (64 - drop) in
+      (* with the correctly rounded table the scaled product is within
+         ~1 ulp of 2^-64 relative, i.e. within 2^(57-64) = 1/128 of a
+         unit for the <= 58-bit integers in play; certify the floor only
+         when the fraction is at least twice that from a boundary *)
+      let top10 = Int64.to_int (Int64.shift_right_logical frac_bits 54) in
+      if top10 < 17 || top10 > 1006 then None
+      else Some (Int64.to_int kept)
+    end
+  end
+
+let digits_of_int m n =
+  let digits = Array.make n 0 in
+  let rest = ref m in
+  for i = n - 1 downto 0 do
+    digits.(i) <- !rest mod 10;
+    rest := !rest / 10
+  done;
+  digits
+
+let pow10_int =
+  Array.init 18 (fun i -> int_of_float (10. ** float_of_int i))
+
+(* Exact floor(f * 2^e * 10^s): one bignum division; the rare-case backup
+   when the extended-precision floor cannot be certified.  Still far
+   cheaper than the full digit loop. *)
+let exact_scaled_floor f e s =
+  let num = Nat.of_int f in
+  let num = if e > 0 then Nat.shift_left num e else num in
+  let num = if s > 0 then Nat.mul num (Dragon.Scaling.power ~base:10 s) else num in
+  let den = if s < 0 then Dragon.Scaling.power ~base:10 (-s) else Nat.one in
+  let den = if e < 0 then Nat.shift_left den (-e) else den in
+  let q, _ = Nat.divmod num den in
+  Nat.to_int_opt q
+
+let convert (v : Value.finite) =
+  match Nat.to_int_opt v.Value.f with
+  | None -> fallback v
+  | Some f ->
+    let e = v.Value.e in
+    let x = Fp.Ieee.compose (Value.Finite { v with neg = false }) in
+    (* rounding range over 2^(e-2):  low = (4f - 1|2) * 2^(e-2),
+       high = (4f + 2) * 2^(e-2); both endpoints admissible iff f even *)
+    let narrow = Fp.Gaps.gap_low_is_narrow b64 v in
+    let low_w = (4 * f) - if narrow then 1 else 2 in
+    let high_w = (4 * f) + 2 in
+    let t = e - 2 in
+    let ok = f land 1 = 0 in
+    (* decimal position of the first digit, within one *)
+    let k0 =
+      ref
+        (int_of_float
+           (Float.ceil
+              ((float_of_int e +. float_of_int (Nat.bit_length v.Value.f - 1))
+               *. 0.30102999566398119
+              -. 1e-10)))
+    in
+    (* pin the decimal position exactly with one probe at n = 1 *)
+    let fix_k0 () =
+      let rec adjust attempts =
+        if attempts = 0 then false
+        else begin
+          match
+            (match certified_scaled_floor x (1 - !k0) with
+            | Some m -> Some m
+            | None -> exact_scaled_floor f e (1 - !k0))
+          with
+          | None -> false
+          | Some m ->
+            if m >= 10 then begin
+              incr k0;
+              adjust (attempts - 1)
+            end
+            else if m < 1 then begin
+              decr k0;
+              adjust (attempts - 1)
+            end
+            else true
+        end
+      in
+      adjust 4
+    in
+    if not (fix_k0 ()) then fallback v
+    else begin
+      (* one probe: candidate floor and the paper's two termination
+         conditions at length n *)
+      let probe n =
+        match
+          (match certified_scaled_floor x (n - !k0) with
+          | Some m -> Some m
+          | None -> exact_scaled_floor f e (n - !k0))
+        with
+        | None -> None
+        | Some m ->
+          let j = !k0 - n in
+          let c1 = cmp_scaled m j low_w t in
+          let tc1 = if ok then c1 >= 0 else c1 > 0 in
+          let c2 = cmp_scaled (m + 1) j high_w t in
+          let tc2 = if ok then c2 <= 0 else c2 < 0 in
+          Some (m, tc1, tc2)
+      in
+      (* Both termination conditions are monotone in n (the distance from
+         the truncation to v only shrinks as digits are added, and the
+         distance from the increment is preserved), so the paper's
+         minimal stopping length is found by binary search. *)
+      let failed = ref false in
+      let lo = ref 1 and hi = ref 17 in
+      while !lo < !hi && not !failed do
+        let mid = (!lo + !hi) / 2 in
+        match probe mid with
+        | None -> failed := true
+        | Some (_, tc1, tc2) -> if tc1 || tc2 then hi := mid else lo := mid + 1
+      done;
+      if !failed then fallback v
+      else begin
+        match probe !lo with
+        | None -> fallback v
+        | Some (_, false, false) -> fallback v (* 17 digits always stop *)
+        | Some (m, tc1, tc2) ->
+          let n = !lo in
+          let m =
+            match (tc1, tc2) with
+            | true, false -> m
+            | false, true -> m + 1
+            | _ ->
+              (* closer of the two; ties round up.  v vs m + 1/2 at scale
+                 10^j:  8f * 2^(e-2)  vs  (2m+1) * 10^j *)
+              let c = cmp_scaled ((2 * m) + 1) (!k0 - n) (8 * f) t in
+              if c <= 0 then m + 1 else m
+          in
+          incr n_fast;
+          if m = pow10_int.(n) then
+            (* increment cascaded to the next power of ten *)
+            { Dragon.Free_format.digits = [| 1 |]; k = !k0 + 1 }
+          else { Dragon.Free_format.digits = digits_of_int m n; k = !k0 }
+      end
+    end
+
+let print x =
+  match Fp.Ieee.decompose x with
+  | Value.Zero neg -> Dragon.Render.zero ~neg ()
+  | Value.Inf neg -> Dragon.Render.infinity ~neg ()
+  | Value.Nan -> Dragon.Render.nan
+  | Value.Finite v ->
+    Dragon.Render.free ~neg:v.Value.neg ~base:10
+      (convert { v with neg = false })

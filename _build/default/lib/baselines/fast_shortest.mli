@@ -1,0 +1,26 @@
+(** A fast shortest-form printer in the architecture of the paper's
+    successors (Grisu3 and friends): generate candidate digits with cheap
+    64-bit-extended arithmetic, {e verify} them against the exact rounding
+    range with a handful of integer comparisons, and fall back to the full
+    Burger–Dybvig printer when the fast arithmetic cannot certify its
+    floor.
+
+    The output is {e always} identical to
+    [Dragon.Free_format.convert ~mode:To_nearest_even ~tie:Closer_up]:
+    candidate length and digit choice replay the paper's termination
+    conditions exactly — the only difference is that the common case runs
+    on machine words plus a few short bignum multiplies instead of
+    full-width bignum division per digit.
+
+    Binary64, round-to-nearest-even readers, ties up (the paper's default
+    configuration). *)
+
+val convert : Fp.Value.finite -> Dragon.Free_format.t
+(** Shortest correctly rounded decimal digits of a positive finite
+    double. *)
+
+val print : float -> string
+(** End-to-end, for benchmarks ([Render.free] on {!convert}). *)
+
+val stats : unit -> int * int
+(** [(fast, fallback)] conversion counters. *)

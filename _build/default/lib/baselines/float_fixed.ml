@@ -1,0 +1,58 @@
+module Value = Fp.Value
+
+(* Scale x to an ndigits-digit integer in simulated extended precision,
+   then read the digits off that integer.  The 64-bit mantissa carries
+   about 19.2 decimal digits, so with a few rounded multiplications in the
+   scaling the 17th digit is wrong for a small fraction of inputs — the
+   behaviour Table 3 counts. *)
+let convert ?(base = 10) ~ndigits x =
+  if base <> 10 then invalid_arg "Float_fixed.convert: decimal only";
+  if ndigits < 1 || ndigits > 18 then
+    invalid_arg "Float_fixed.convert: ndigits out of range";
+  if not (Float.is_finite x) || x <= 0. then
+    invalid_arg "Float_fixed.convert: need a positive finite double";
+  let k0 = int_of_float (Float.floor (Float.log10 x)) + 1 in
+  let scaled k =
+    (* round(x * 10^(ndigits - k)) in extended precision *)
+    Ext64.to_int64_round (Ext64.mul (Ext64.of_float x) (Ext64.pow10 (ndigits - k)))
+  in
+  let limit = Int64.of_float (10. ** float_of_int ndigits) in
+  let lower = Int64.div limit 10L in
+  let n = ref (scaled k0) in
+  let k = ref k0 in
+  while Int64.compare !n limit >= 0 do
+    incr k;
+    n := scaled !k
+  done;
+  while Int64.compare !n lower < 0 do
+    decr k;
+    n := scaled !k
+  done;
+  let digits = Array.make ndigits 0 in
+  let v = ref !n in
+  for i = ndigits - 1 downto 0 do
+    digits.(i) <- Int64.to_int (Int64.rem !v 10L);
+    v := Int64.div !v 10L
+  done;
+  (digits, !k)
+
+let print ?(base = 10) ~ndigits x =
+  match Fp.Ieee.decompose x with
+  | Value.Zero neg -> Dragon.Render.zero ~neg ()
+  | Value.Inf neg -> Dragon.Render.infinity ~neg ()
+  | Value.Nan -> Dragon.Render.nan
+  | Value.Finite v ->
+    let digits, k = convert ~base ~ndigits (Float.abs x) in
+    Dragon.Render.free ~notation:Dragon.Render.Scientific ~neg:v.Value.neg
+      ~base
+      { Dragon.Free_format.digits; k }
+
+let correctly_rounded ?(base = 10) ~ndigits x =
+  match Fp.Ieee.decompose (Float.abs x) with
+  | Value.Finite v ->
+    let exact_digits, exact_k =
+      Naive_fixed.convert ~base ~ndigits Fp.Format_spec.binary64 v
+    in
+    let digits, k = convert ~base ~ndigits (Float.abs x) in
+    k = exact_k && digits = exact_digits
+  | _ -> invalid_arg "Float_fixed.correctly_rounded: not finite"

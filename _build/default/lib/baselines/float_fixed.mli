@@ -1,0 +1,20 @@
+(** A fixed-format printer that rounds with {e floating-point} arithmetic —
+    the way the inaccurate [printf] implementations counted in Table 3,
+    column 3 behave.
+
+    The value is brought into [[1, base)] by multiplying/dividing with
+    powers of the base computed in double precision, then digits are
+    peeled off one at a time; every step can introduce rounding error, so
+    the final digits are wrong for a measurable fraction of inputs (the
+    paper saw up to 6280 of 250,680 on one system).  [incorrect] counts
+    those against the exact oracle. *)
+
+val convert : ?base:int -> ndigits:int -> float -> int array * int
+(** [(digits, k)]: the (approximately rounded) fixed-format digits of a
+    positive finite double. *)
+
+val print : ?base:int -> ndigits:int -> float -> string
+
+val correctly_rounded : ?base:int -> ndigits:int -> float -> bool
+(** Compare against {!Naive_fixed} (exact): [false] when this printer's
+    digits differ from the correctly rounded ones. *)

@@ -1,0 +1,81 @@
+module Value = Fp.Value
+
+let hits = ref 0
+let misses = ref 0
+
+let fast_path_hits () = !hits
+let fallbacks () = !misses
+
+(* Accumulated relative error of the fast path: the correctly rounded
+   power table contributes 1/2 ulp, the scaling multiplication another
+   1/2, leaving generous headroom under 4 ulps of 2^-64 relative.  The
+   absolute error bound at the integer scale follows by multiplying with
+   the scaled magnitude. *)
+let rel_error_ulps = 4.
+
+(* Fractional part of an extended value in [0, 1), as a float. *)
+let fraction (t : Ext64.t) =
+  let drop = -t.Ext64.e in
+  if drop <= 0 || drop > 64 then None
+  else begin
+    let dropped =
+      if drop = 64 then t.Ext64.m else Int64.shift_left t.Ext64.m (64 - drop)
+    in
+    Some (Int64.to_float (Int64.shift_right_logical dropped 11) /. 9007199254740992.)
+  end
+
+let convert ~ndigits fmt (v : Value.finite) =
+  if not (Fp.Format_spec.equal fmt Fp.Format_spec.binary64) then
+    invalid_arg "Gay_heuristic.convert: binary64 only";
+  if ndigits < 1 || ndigits > 17 then
+    invalid_arg "Gay_heuristic.convert: ndigits out of range";
+  let x = Fp.Ieee.compose (Value.Finite { v with neg = false }) in
+  let k0 = int_of_float (Float.floor (Float.log10 x)) + 1 in
+  let limit = Int64.of_float (10. ** float_of_int ndigits) in
+  let lower = Int64.div limit 10L in
+  let abs_error =
+    (10. ** float_of_int ndigits) *. rel_error_ulps /. 18446744073709551616.
+  in
+  let attempt k =
+    let scaled = Ext64.mul (Ext64.of_float x) (Ext64.pow10_correct (ndigits - k)) in
+    let n = Ext64.to_int64_round scaled in
+    if Int64.compare n lower < 0 || Int64.compare n limit >= 0 then None
+    else begin
+      match fraction scaled with
+      | None -> None
+      | Some f ->
+        (* certified iff the true value provably does not cross the .5
+           rounding boundary, and the integer-magnitude classification
+           (which fixes k) cannot flip either *)
+        if
+          Float.abs (f -. 0.5) > abs_error
+          && (Int64.compare n lower > 0 || f > abs_error)
+          && (Int64.compare n (Int64.pred limit) < 0 || f < 1. -. abs_error)
+        then Some n
+        else None
+    end
+  in
+  let certified =
+    match attempt k0 with
+    | Some n -> Some (n, k0)
+    | None -> (
+      match attempt (k0 + 1) with
+      | Some n -> Some (n, k0 + 1)
+      | None -> (
+        match attempt (k0 - 1) with
+        | Some n -> Some (n, k0 - 1)
+        | None -> None))
+  in
+  match certified with
+  | Some (n, k) ->
+    incr hits;
+    let digits = Array.make ndigits 0 in
+    let rest = ref n in
+    for i = ndigits - 1 downto 0 do
+      digits.(i) <- Int64.to_int (Int64.rem !rest 10L);
+      rest := Int64.div !rest 10L
+    done;
+    (digits, k)
+  | None ->
+    incr misses;
+    Naive_fixed.convert ~ndigits fmt { v with neg = false }

@@ -1,0 +1,24 @@
+(** Gay's fast-path heuristic for fixed-format output (paper, Section 5).
+
+    Gay observed that "floating-point arithmetic is sufficiently accurate
+    in most cases when the requested number of digits is small" [Gay 90]:
+    do the conversion in cheap hardware-style arithmetic, {e certify} the
+    result by checking that the scaled value lands far enough from a
+    rounding boundary, and fall back to exact integer arithmetic only in
+    the rare uncertified cases.
+
+    Here the cheap path is {!Ext64} (64-bit-mantissa extended precision)
+    and the fallback is {!Naive_fixed}.  The certificate is conservative:
+    the scaled value's distance to the nearest half-integer must exceed a
+    bound on the accumulated rounding error, so the result is {e always}
+    correctly rounded — unlike {!Float_fixed}, which skips the check. *)
+
+val convert :
+  ndigits:int -> Fp.Format_spec.t -> Fp.Value.finite -> int array * int
+(** Correctly rounded [ndigits]-digit decimal conversion of a positive
+    binary64 value; certified fast path with exact fallback.  Decimal
+    output only, [1 <= ndigits <= 17]. *)
+
+val fast_path_hits : unit -> int
+val fallbacks : unit -> int
+(** Counters for the ablation bench (reset never; monotonic). *)

@@ -1,0 +1,132 @@
+module Nat = Bignum.Nat
+module Value = Fp.Value
+
+(* round(v * base^(n-k)) computed exactly for v = f * b^e. *)
+let scaled_round ~base ~b ~f ~e shift =
+  let num =
+    let n = if e > 0 then Nat.mul f (Nat.pow_int b e) else f in
+    if shift > 0 then Nat.mul n (Nat.pow_int base shift) else n
+  in
+  let den =
+    let d = if e < 0 then Nat.pow_int b (-e) else Nat.one in
+    if shift < 0 then Nat.mul d (Nat.pow_int base (-shift)) else d
+  in
+  let q, r = Nat.divmod num den in
+  let c = Nat.compare (Nat.shift_left r 1) den in
+  if c > 0 || (c = 0 && not (Nat.is_even q)) then Nat.succ q else q
+
+let convert ?(base = 10) ~ndigits fmt (v : Value.finite) =
+  if ndigits < 1 then invalid_arg "Naive_fixed.convert: ndigits < 1";
+  if Nat.is_zero v.Value.f then invalid_arg "Naive_fixed.convert: zero";
+  let b = fmt.Fp.Format_spec.b in
+  (* first-digit position estimate, then exact correction below *)
+  let log2_b = if b = 2 then 1. else log (float_of_int b) /. log 2. in
+  let k =
+    ref
+      (int_of_float
+         (Float.ceil
+            (((float_of_int v.Value.e *. log2_b)
+             +. float_of_int (Nat.bit_length v.Value.f - 1))
+             /. (log (float_of_int base) /. log 2.)
+            -. 1e-10)))
+  in
+  let limit = Nat.pow_int base ndigits in
+  let lower = Nat.pow_int base (ndigits - 1) in
+  let q = ref (scaled_round ~base ~b ~f:v.Value.f ~e:v.Value.e (ndigits - !k)) in
+  while Nat.compare !q limit >= 0 do
+    (* estimate was low (or the rounding cascaded): drop a digit *)
+    incr k;
+    q :=
+      (if Nat.equal !q limit then lower
+       else scaled_round ~base ~b ~f:v.Value.f ~e:v.Value.e (ndigits - !k))
+  done;
+  while Nat.compare !q lower < 0 do
+    decr k;
+    q := scaled_round ~base ~b ~f:v.Value.f ~e:v.Value.e (ndigits - !k)
+  done;
+  let digits = Nat.to_base_digits ~base !q in
+  assert (Array.length digits = ndigits);
+  (digits, !k)
+
+(* The paper's "straightforward fixed-format algorithm": express v = r/s
+   scaled so the first digit is r/s's integer part, then peel ndigits
+   digits one quotient-remainder step at a time and round half-even on the
+   final remainder. *)
+let convert_digit_loop ?(base = 10) ~ndigits fmt (v : Value.finite) =
+  if ndigits < 1 then invalid_arg "Naive_fixed.convert_digit_loop: ndigits";
+  let b = fmt.Fp.Format_spec.b in
+  (* r/s = v, unscaled *)
+  let r0, s0 =
+    if v.Value.e >= 0 then (Nat.mul v.Value.f (Nat.pow_int b v.Value.e), Nat.one)
+    else (v.Value.f, Nat.pow_int b (-v.Value.e))
+  in
+  (* k via the fast estimator, corrected exactly *)
+  let log2_b = if b = 2 then 1. else log (float_of_int b) /. log 2. in
+  let est =
+    int_of_float
+      (Float.ceil
+         (((float_of_int v.Value.e *. log2_b)
+          +. float_of_int (Nat.bit_length v.Value.f - 1))
+          /. (log (float_of_int base) /. log 2.)
+         -. 1e-10))
+  in
+  let scale k =
+    if k >= 0 then (r0, Nat.mul s0 (Dragon.Scaling.power ~base k))
+    else (Nat.mul r0 (Dragon.Scaling.power ~base (-k)), s0)
+  in
+  let k = ref est in
+  let r = ref r0 and s = ref s0 in
+  let rescale () =
+    let r', s' = scale !k in
+    r := r';
+    s := s'
+  in
+  rescale ();
+  while Nat.compare !r !s >= 0 do
+    incr k;
+    rescale ()
+  done;
+  while Nat.compare (Nat.mul_int !r base) !s < 0 do
+    decr k;
+    rescale ()
+  done;
+  let digits = Array.make ndigits 0 in
+  for i = 0 to ndigits - 1 do
+    let q, rest = Nat.divmod (Nat.mul_int !r base) !s in
+    digits.(i) <- Nat.to_int_exn q;
+    r := rest
+  done;
+  (* round half-even on the remainder, propagating any carry *)
+  let c = Nat.compare (Nat.shift_left !r 1) !s in
+  let round_up = c > 0 || (c = 0 && digits.(ndigits - 1) land 1 = 1) in
+  if round_up then begin
+    let i = ref (ndigits - 1) in
+    let carry = ref true in
+    while !carry && !i >= 0 do
+      if digits.(!i) = base - 1 then begin
+        digits.(!i) <- 0;
+        decr i
+      end
+      else begin
+        digits.(!i) <- digits.(!i) + 1;
+        carry := false
+      end
+    done;
+    if !carry then begin
+      Array.blit digits 0 digits 1 (ndigits - 1);
+      digits.(0) <- 1;
+      incr k
+    end
+  end;
+  (digits, !k)
+
+let print ?(base = 10) ~ndigits x =
+  match Fp.Ieee.decompose x with
+  | Value.Zero neg -> Dragon.Render.zero ~neg ()
+  | Value.Inf neg -> Dragon.Render.infinity ~neg ()
+  | Value.Nan -> Dragon.Render.nan
+  | Value.Finite v ->
+    let digits, k = convert ~base ~ndigits Fp.Format_spec.binary64 v in
+    Dragon.Render.free ~notation:Dragon.Render.Scientific ~neg:v.Value.neg
+      ~base
+      { Dragon.Free_format.digits; k }

@@ -1,0 +1,28 @@
+(** The "straightforward fixed-format algorithm" of Table 3.
+
+    Prints a positive double to [n] significant digits by exact integer
+    arithmetic: scale [f × 2^e] by the right power of ten, divide once,
+    and round half-even on the remainder.  Correct by construction but
+    blind to significance — it happily prints garbage digits beyond the
+    float's information content (e.g. [1/3] in binary32 to 17 digits gives
+    [0.33333334326744080], where the paper's algorithm writes [#] marks).
+
+    This is the baseline the paper times free format against (Table 3,
+    column 1) and the stand-in for a correctly rounded [printf]. *)
+
+val convert :
+  ?base:int -> ndigits:int -> Fp.Format_spec.t -> Fp.Value.finite -> int array * int
+(** [(digits, k)] with exactly [ndigits] digits; the value printed is
+    [0.d1 ... dn × base^k], rounded half-even.  Computed with a single
+    big division — used as the exactness oracle in tests. *)
+
+val convert_digit_loop :
+  ?base:int -> ndigits:int -> Fp.Format_spec.t -> Fp.Value.finite -> int array * int
+(** Same result, computed the way the paper's "straightforward" baseline
+    works: scale once, then peel one digit per quotient-remainder step and
+    round on the final remainder (with carry propagation).  This is the
+    structure Table 3 times free format against — identical per-digit
+    cost, no significance logic. *)
+
+val print : ?base:int -> ndigits:int -> float -> string
+(** Scientific-notation rendering, e.g. [1.2340000000000000e2]. *)

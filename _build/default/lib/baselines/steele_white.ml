@@ -1,0 +1,24 @@
+module Value = Fp.Value
+
+let convert ?(base = 10) fmt (v : Value.finite) =
+  let bnd = Dragon.Boundaries.of_finite fmt v in
+  (* No input-rounding awareness: the range is strictly open. *)
+  let bnd = { bnd with Dragon.Boundaries.low_ok = false; high_ok = false } in
+  let k, state =
+    Dragon.Scaling.scale Dragon.Scaling.Iterative ~base
+      ~b:fmt.Fp.Format_spec.b ~f:v.Value.f ~e:v.Value.e bnd
+  in
+  {
+    Dragon.Free_format.digits =
+      Dragon.Generate.free ~base ~tie:Dragon.Generate.Closer_up state;
+    k;
+  }
+
+let print ?(base = 10) x =
+  match Fp.Ieee.decompose x with
+  | Value.Zero neg -> Dragon.Render.zero ~neg ()
+  | Value.Inf neg -> Dragon.Render.infinity ~neg ()
+  | Value.Nan -> Dragon.Render.nan
+  | Value.Finite v ->
+    let result = convert ~base Fp.Format_spec.binary64 v in
+    Dragon.Render.free ~neg:v.Value.neg ~base result

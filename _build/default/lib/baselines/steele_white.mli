@@ -1,0 +1,20 @@
+(** The Steele & White free-format printer [5] — the paper's baseline.
+
+    Differences from {!Dragon.Free_format} mirror the comparison in the
+    paper's Section 5:
+
+    - scaling is the iterative [O(|log v|)] search (their Dragon4 /
+      FP3 procedure), not an estimator — the source of the ~two orders of
+      magnitude in Table 2;
+    - the reader's rounding mode is not taken into account: both endpoints
+      of the rounding range are treated as excluded, so e.g. [1e23] prints
+      as [9.999999999999999e22].
+
+    Digit generation itself is shared with the production path; the
+    algorithms coincide once scaling and endpoint handling are fixed. *)
+
+val convert :
+  ?base:int -> Fp.Format_spec.t -> Fp.Value.finite -> Dragon.Free_format.t
+
+val print : ?base:int -> float -> string
+(** End-to-end printer for doubles, for benchmarks and comparison. *)

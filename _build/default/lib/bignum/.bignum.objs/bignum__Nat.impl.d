@@ -1,0 +1,1 @@
+lib/bignum/nat.ml: Array Char Format Int Int64 List String Sys

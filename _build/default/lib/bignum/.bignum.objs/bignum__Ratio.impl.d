@@ -1,0 +1,1 @@
+lib/bignum/ratio.ml: Bigint Format Nat Stdlib

@@ -1,0 +1,107 @@
+(* Sign-magnitude integers; zero always has sign [Pos]. *)
+
+type t = { neg : bool; mag : Nat.t }
+
+let make neg mag = { neg = neg && not (Nat.is_zero mag); mag }
+
+let zero = make false Nat.zero
+let one = make false Nat.one
+let minus_one = make true Nat.one
+
+let of_nat mag = make false mag
+
+let of_int n =
+  if n >= 0 then make false (Nat.of_int n) else make true (Nat.of_int (-n))
+
+let to_nat_exn a =
+  if a.neg then invalid_arg "Bigint.to_nat_exn: negative" else a.mag
+
+let to_int_opt a =
+  match Nat.to_int_opt a.mag with
+  | Some i -> Some (if a.neg then -i else i)
+  | None -> None
+
+let to_float a =
+  let f = Nat.to_float a.mag in
+  if a.neg then -.f else f
+
+let sign a = if Nat.is_zero a.mag then 0 else if a.neg then -1 else 1
+let is_zero a = Nat.is_zero a.mag
+let is_even a = Nat.is_even a.mag
+
+let compare a b =
+  match (a.neg, b.neg) with
+  | false, true -> if is_zero a && is_zero b then 0 else 1
+  | true, false -> if is_zero a && is_zero b then 0 else -1
+  | false, false -> Nat.compare a.mag b.mag
+  | true, true -> Nat.compare b.mag a.mag
+
+let equal a b = compare a b = 0
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let neg a = make (not a.neg) a.mag
+let abs a = make false a.mag
+
+let add a b =
+  if a.neg = b.neg then make a.neg (Nat.add a.mag b.mag)
+  else begin
+    let c = Nat.compare a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then make a.neg (Nat.sub a.mag b.mag)
+    else make b.neg (Nat.sub b.mag a.mag)
+  end
+
+let sub a b = add a (neg b)
+
+let mul a b = make (a.neg <> b.neg) (Nat.mul a.mag b.mag)
+
+let mul_int a n =
+  if n >= 0 then make a.neg (Nat.mul_int a.mag n)
+  else make (not a.neg) (Nat.mul_int a.mag (-n))
+
+(* Euclidean division: remainder in [0, |b|). *)
+let ediv_rem a b =
+  if is_zero b then raise Division_by_zero;
+  let q, r = Nat.divmod a.mag b.mag in
+  if not a.neg then (make b.neg q, of_nat r)
+  else if Nat.is_zero r then (make (not b.neg) q, zero)
+  else
+    (* a < 0: round the quotient away so the remainder turns positive. *)
+    (make (not b.neg) (Nat.succ q), of_nat (Nat.sub b.mag r))
+
+let fdiv a b =
+  let q, r = ediv_rem a b in
+  (* Euclidean and floor division agree unless the divisor is negative and
+     the remainder non-zero. *)
+  if sign b >= 0 || is_zero r then q else sub q one
+
+let pow b k = make (b.neg && k land 1 = 1) (Nat.pow b.mag k)
+
+let shift_left a k = make a.neg (Nat.shift_left a.mag k)
+
+let gcd a b = of_nat (Nat.gcd a.mag b.mag)
+
+let of_string s =
+  if String.length s > 0 && s.[0] = '-' then
+    make true (Nat.of_string (String.sub s 1 (String.length s - 1)))
+  else if String.length s > 0 && s.[0] = '+' then
+    make false (Nat.of_string (String.sub s 1 (String.length s - 1)))
+  else make false (Nat.of_string s)
+
+let to_string a =
+  if a.neg then "-" ^ Nat.to_string a.mag else Nat.to_string a.mag
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)
+
+module O = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( ~- ) = neg
+  let ( = ) = equal
+  let ( < ) a b = compare a b < 0
+  let ( <= ) a b = compare a b <= 0
+  let ( > ) a b = compare a b > 0
+  let ( >= ) a b = compare a b >= 0
+end

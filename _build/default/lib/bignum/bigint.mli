@@ -1,0 +1,77 @@
+(** Arbitrary-precision signed integers built on {!Nat}.
+
+    The representation keeps a sign and a magnitude; zero is always
+    positive.  The printer's hot path works on naturals directly, but the
+    reference implementation of the paper's basic algorithm (exact
+    rationals) and the reader need signed values. *)
+
+type t
+
+(** {1 Constants and conversions} *)
+
+val zero : t
+val one : t
+val minus_one : t
+
+val of_int : int -> t
+val of_nat : Nat.t -> t
+
+val to_nat_exn : t -> Nat.t
+(** Magnitude of a non-negative value.
+    @raise Invalid_argument on negatives. *)
+
+val to_int_opt : t -> int option
+val to_float : t -> float
+
+(** {1 Predicates and comparison} *)
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val is_zero : t -> bool
+val is_even : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val mul_int : t -> int -> t
+
+val ediv_rem : t -> t -> t * t
+(** Euclidean division: [(q, r)] with [a = q*b + r] and [0 <= r < |b|].
+    @raise Division_by_zero on zero divisor. *)
+
+val fdiv : t -> t -> t
+(** Floor division (towards negative infinity). *)
+
+val pow : t -> int -> t
+val shift_left : t -> int -> t
+val gcd : t -> t -> t
+
+(** {1 Strings} *)
+
+val of_string : string -> t
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** {1 Infix operators}
+
+    Opened locally as [Bigint.O] where formulas get dense. *)
+module O : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( ~- ) : t -> t
+  val ( = ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+end

@@ -1,0 +1,95 @@
+(* Rationals as reduced numerator/denominator pairs with [den > 0]. *)
+
+type t = { num : Bigint.t; den : Bigint.t }
+
+let make num den =
+  if Bigint.is_zero den then raise Division_by_zero;
+  let num, den = if Bigint.sign den < 0 then (Bigint.neg num, Bigint.neg den) else (num, den) in
+  if Bigint.is_zero num then { num = Bigint.zero; den = Bigint.one }
+  else begin
+    let g = Bigint.gcd num den in
+    if Bigint.equal g Bigint.one then { num; den }
+    else { num = fst (Bigint.ediv_rem num g); den = fst (Bigint.ediv_rem den g) }
+  end
+
+let make_unreduced num den =
+  if Bigint.is_zero den then raise Division_by_zero;
+  if Bigint.sign den < 0 then { num = Bigint.neg num; den = Bigint.neg den }
+  else { num; den }
+
+let of_bigint n = { num = n; den = Bigint.one }
+let of_int n = of_bigint (Bigint.of_int n)
+let of_ints n d = make (Bigint.of_int n) (Bigint.of_int d)
+
+let num r = r.num
+let den r = r.den
+
+let zero = of_int 0
+let one = of_int 1
+let half = of_ints 1 2
+
+let add a b =
+  make
+    (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den))
+    (Bigint.mul a.den b.den)
+
+let neg a = { a with num = Bigint.neg a.num }
+let sub a b = add a (neg b)
+let mul a b = make (Bigint.mul a.num b.num) (Bigint.mul a.den b.den)
+let div a b = make (Bigint.mul a.num b.den) (Bigint.mul a.den b.num)
+let abs a = { a with num = Bigint.abs a.num }
+let inv a = make a.den a.num
+let mul_bigint a n = make (Bigint.mul a.num n) a.den
+
+let rec pow r k =
+  if k < 0 then pow (inv r) (-k)
+  else { num = Bigint.pow r.num k; den = Bigint.pow r.den k }
+
+let sign r = Bigint.sign r.num
+
+let compare a b =
+  Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+
+let equal a b = compare a b = 0
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let floor r = Bigint.fdiv r.num r.den
+
+let ceil r = Bigint.neg (Bigint.fdiv (Bigint.neg r.num) r.den)
+
+let fractional r = sub r (of_bigint (floor r))
+
+let to_float r =
+  (* Scale so both parts fit a double before dividing; good enough for the
+     estimator tests that consume this. *)
+  let shift =
+    Stdlib.max 0
+      (Stdlib.max
+         (Nat.bit_length (Bigint.to_nat_exn (Bigint.abs r.num)))
+         (Nat.bit_length (Bigint.to_nat_exn (Bigint.abs r.den)))
+       - 900)
+  in
+  let scale n =
+    Bigint.to_float (fst (Bigint.ediv_rem n (Bigint.shift_left Bigint.one shift)))
+  in
+  if shift = 0 then Bigint.to_float r.num /. Bigint.to_float r.den
+  else scale r.num /. scale r.den
+
+let to_string r =
+  if Bigint.equal r.den Bigint.one then Bigint.to_string r.num
+  else Bigint.to_string r.num ^ "/" ^ Bigint.to_string r.den
+
+let pp fmt r = Format.pp_print_string fmt (to_string r)
+
+module O = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( = ) = equal
+  let ( < ) a b = compare a b < 0
+  let ( <= ) a b = compare a b <= 0
+  let ( > ) a b = compare a b > 0
+  let ( >= ) a b = compare a b >= 0
+end

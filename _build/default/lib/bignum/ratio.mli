@@ -1,0 +1,83 @@
+(** Exact rational arithmetic.
+
+    Used by {!Dragon.Reference}, the executable specification of the
+    paper's basic algorithm (Section 2), and by test oracles.  Values are
+    kept with a positive denominator; reduction to lowest terms happens on
+    construction, mirroring what Scheme's exact rationals do in the paper's
+    original code. *)
+
+type t
+
+val make : Bigint.t -> Bigint.t -> t
+(** [make num den] is [num/den] reduced to lowest terms.
+    @raise Division_by_zero if [den] is zero. *)
+
+val make_unreduced : Bigint.t -> Bigint.t -> t
+(** Like {!make} but skips the gcd reduction (the sign is still
+    normalised into the numerator).  Every operation of this module is
+    correct on unreduced values — comparison cross-multiplies, floor
+    divides — so hot exact loops that control their own denominators can
+    avoid quadratic gcd costs.  Printed forms may not be in lowest
+    terms. *)
+
+val of_bigint : Bigint.t -> t
+val of_int : int -> t
+val of_ints : int -> int -> t
+
+val num : t -> Bigint.t
+(** Numerator (carries the sign). *)
+
+val den : t -> Bigint.t
+(** Denominator, always positive. *)
+
+val zero : t
+val one : t
+val half : t
+
+(** {1 Arithmetic} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val abs : t -> t
+val inv : t -> t
+val mul_bigint : t -> Bigint.t -> t
+
+val pow : t -> int -> t
+(** [pow r k] for any integer [k] (negative exponents invert). *)
+
+(** {1 Comparisons} *)
+
+val sign : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** {1 Integer parts} *)
+
+val floor : t -> Bigint.t
+val ceil : t -> Bigint.t
+
+val fractional : t -> t
+(** [fractional r] is [r - floor r], in [0, 1). *)
+
+val to_float : t -> float
+(** Approximate conversion, used only by estimators and debugging. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+module O : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( = ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+end

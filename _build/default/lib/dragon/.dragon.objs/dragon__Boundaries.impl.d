@@ -1,0 +1,1 @@
+lib/dragon/boundaries.ml: Bignum Fp

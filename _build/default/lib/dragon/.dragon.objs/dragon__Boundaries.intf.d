@@ -1,0 +1,1 @@
+lib/dragon/boundaries.mli: Bignum Fp

@@ -1,0 +1,1 @@
+lib/dragon/cformat.ml: Array Bignum Char Float Fp Oracle Printf String

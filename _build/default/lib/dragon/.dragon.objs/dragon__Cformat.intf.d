@@ -1,0 +1,1 @@
+lib/dragon/cformat.mli:

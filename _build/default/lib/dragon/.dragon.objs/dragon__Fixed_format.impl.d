@@ -1,0 +1,1 @@
+lib/dragon/fixed_format.ml: Array Bignum Boundaries Format Fp Generate Scaling String

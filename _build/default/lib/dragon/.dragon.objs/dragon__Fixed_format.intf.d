@@ -1,0 +1,1 @@
+lib/dragon/fixed_format.mli: Bignum Format Fp Generate

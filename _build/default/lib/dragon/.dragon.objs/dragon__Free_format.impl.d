@@ -1,0 +1,1 @@
+lib/dragon/free_format.ml: Array Bignum Boundaries Format Fp Generate Scaling String

@@ -1,0 +1,1 @@
+lib/dragon/free_format.mli: Bignum Format Fp Generate Scaling

@@ -1,0 +1,1 @@
+lib/dragon/generate.ml: Array Bignum Boundaries List

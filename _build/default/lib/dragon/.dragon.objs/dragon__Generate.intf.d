@@ -1,0 +1,1 @@
+lib/dragon/generate.mli: Bignum Boundaries

@@ -1,0 +1,1 @@
+lib/dragon/printer.ml: Array Bignum Buffer Fixed_format Fp Free_format Oracle Printf Render String

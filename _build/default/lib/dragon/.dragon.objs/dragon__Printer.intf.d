@@ -1,0 +1,1 @@
+lib/dragon/printer.mli: Fixed_format Fp Generate Render Scaling

@@ -1,0 +1,1 @@
+lib/dragon/reference.ml: Array Bignum Fixed_format Float Fp Free_format Generate List Option

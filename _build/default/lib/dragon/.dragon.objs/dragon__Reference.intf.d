@@ -1,0 +1,1 @@
+lib/dragon/reference.mli: Fixed_format Fp Free_format Generate

@@ -1,0 +1,1 @@
+lib/dragon/render.ml: Array Buffer Fixed_format Free_format List String

@@ -1,0 +1,1 @@
+lib/dragon/render.mli: Fixed_format Free_format

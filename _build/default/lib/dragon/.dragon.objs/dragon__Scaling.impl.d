@@ -1,0 +1,1 @@
+lib/dragon/scaling.ml: Array Bignum Boundaries Float Hashtbl

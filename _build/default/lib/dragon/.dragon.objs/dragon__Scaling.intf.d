@@ -1,0 +1,1 @@
+lib/dragon/scaling.mli: Bignum Boundaries

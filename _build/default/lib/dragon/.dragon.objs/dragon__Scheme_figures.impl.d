@@ -1,0 +1,1 @@
+lib/dragon/scheme_figures.ml: Array Bignum Float Fp Free_format Scaling Stdlib

@@ -1,0 +1,1 @@
+lib/dragon/scheme_figures.mli: Fp Free_format

@@ -1,0 +1,105 @@
+module Nat = Bignum.Nat
+module Bigint = Bignum.Bigint
+module Ratio = Bignum.Ratio
+module Format_spec = Fp.Format_spec
+module Value = Fp.Value
+module Rounding = Fp.Rounding
+
+type t = {
+  r : Nat.t;
+  s : Nat.t;
+  m_plus : Nat.t;
+  m_minus : Nat.t;
+  low_ok : bool;
+  high_ok : bool;
+}
+
+(* Table 1.  The low gap is narrower (by a factor of b) exactly when the
+   mantissa sits at the bottom of a binade above the denormal range. *)
+let table1 (fmt : Format_spec.t) (v : Value.finite) =
+  let b = fmt.b in
+  let narrow = Fp.Gaps.gap_low_is_narrow fmt v in
+  if v.e >= 0 then begin
+    let be = Nat.pow_int b v.e in
+    if not narrow then
+      { r = Nat.shift_left (Nat.mul v.f be) 1;
+        s = Nat.two;
+        m_plus = be;
+        m_minus = be;
+        low_ok = false;
+        high_ok = false }
+    else begin
+      let be1 = Nat.mul_int be b in
+      { r = Nat.shift_left (Nat.mul v.f be1) 1;
+        s = Nat.of_int (2 * b);
+        m_plus = be1;
+        m_minus = be;
+        low_ok = false;
+        high_ok = false }
+    end
+  end
+  else if not narrow then
+    { r = Nat.shift_left v.f 1;
+      s = Nat.shift_left (Nat.pow_int b (-v.e)) 1;
+      m_plus = Nat.one;
+      m_minus = Nat.one;
+      low_ok = false;
+      high_ok = false }
+  else
+    { r = Nat.shift_left (Nat.mul_int v.f b) 1;
+      s = Nat.shift_left (Nat.pow_int b (1 - v.e)) 1;
+      m_plus = Nat.of_int b;
+      m_minus = Nat.one;
+      low_ok = false;
+      high_ok = false }
+
+let of_finite ?(mode = Rounding.To_nearest_even) fmt (v : Value.finite) =
+  if Nat.is_zero v.f then invalid_arg "Boundaries.of_finite: zero mantissa";
+  let t = table1 fmt v in
+  if Rounding.is_nearest mode then begin
+    let low_ok, high_ok =
+      Rounding.boundary_ok mode ~mantissa_even:(Nat.is_even v.f)
+    in
+    { t with low_ok; high_ok }
+  end
+  else begin
+    (* A directed reader maps a whole gap onto v.  Work out, for the
+       magnitude being printed, whether the kept gap is the one above or
+       below v: toward-zero always keeps the gap above the magnitude;
+       floor/ceiling depend on the sign. *)
+    let keeps_gap_above =
+      match mode with
+      | Rounding.Toward_zero -> true
+      | Rounding.Toward_negative -> not v.neg
+      | Rounding.Toward_positive -> v.neg
+      | _ -> assert false
+    in
+    if keeps_gap_above then
+      (* range [v, v + gap): low is v itself and is included *)
+      { t with
+        m_minus = Nat.zero;
+        m_plus = Nat.shift_left t.m_plus 1;
+        low_ok = true;
+        high_ok = false }
+    else
+      (* range (v - gap, v]: high is v itself and is included *)
+      { t with
+        m_plus = Nat.zero;
+        m_minus = Nat.shift_left t.m_minus 1;
+        low_ok = false;
+        high_ok = true }
+  end
+
+let scale_all t c =
+  if Nat.is_zero c then invalid_arg "Boundaries.scale_all: zero factor";
+  let f x = Nat.mul x c in
+  { t with r = f t.r; s = f t.s; m_plus = f t.m_plus; m_minus = f t.m_minus }
+
+let ratio num den =
+  Ratio.make (Bigint.of_nat num) (Bigint.of_nat den)
+
+let value t = ratio t.r t.s
+
+let low_high t =
+  ( Ratio.sub (ratio t.r t.s) (ratio t.m_minus t.s),
+    Ratio.add (ratio t.r t.s) (ratio t.m_plus t.s) )

@@ -1,0 +1,47 @@
+(** Initialisation of the scaled integer state (paper, Table 1).
+
+    The integer-arithmetic algorithm of Section 3.1 represents the value
+    and its rounding range with four high-precision integers over a common
+    denominator:
+
+    - [v = r / s],
+    - [(v⁺ - v) / 2 = m_plus / s],
+    - [(v - v⁻) / 2 = m_minus / s].
+
+    The factor 2 needed by the midpoints is folded into [s], so all four
+    quantities stay integral.  [low_ok]/[high_ok] say whether an output
+    landing exactly on [low = (v⁻+v)/2] or [high = (v+v⁺)/2] still reads
+    back as [v] — that is how the paper accommodates the reader's rounding
+    mode.
+
+    Directed reader modes (an extension over the paper, admitted by the
+    same machinery) replace the midpoint range by a whole gap: e.g. a
+    toward-zero reader maps every value in [[v, v⁺)] to [v], which is
+    expressed here as [m_minus = 0] with [low_ok = true] and a doubled
+    [m_plus] with [high_ok = false]. *)
+
+type t = {
+  r : Bignum.Nat.t;
+  s : Bignum.Nat.t;
+  m_plus : Bignum.Nat.t;
+  m_minus : Bignum.Nat.t;
+  low_ok : bool;
+  high_ok : bool;
+}
+
+val of_finite :
+  ?mode:Fp.Rounding.mode -> Fp.Format_spec.t -> Fp.Value.finite -> t
+(** Table 1 for the magnitude of a finite non-zero value, with the
+    endpoint rules derived from [mode] (default round-to-nearest-even).
+    Directed modes are interpreted on the signed value, so the sign of the
+    input flips which gap is kept. *)
+
+val scale_all : t -> Bignum.Nat.t -> t
+(** Multiply [r], [s], [m_plus] and [m_minus] by a common factor — the
+    value is unchanged; used by fixed format to clear [B^j] denominators. *)
+
+val low_high : t -> Bignum.Ratio.t * Bignum.Ratio.t
+(** The rounding range as exact rationals, for tests. *)
+
+val value : t -> Bignum.Ratio.t
+(** [r/s], for tests. *)

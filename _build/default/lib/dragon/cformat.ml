@@ -1,0 +1,117 @@
+module Nat = Bignum.Nat
+module Value = Fp.Value
+
+let b64 = Fp.Format_spec.binary64
+
+let digit_string digits =
+  String.init (Array.length digits) (fun i ->
+      Char.chr (Char.code '0' + digits.(i)))
+
+(* Significant digits and decimal position of |x|, correctly rounded
+   half-even — the exact computation behind all three formats. *)
+let significant x ndigits =
+  match Fp.Ieee.decompose (Float.abs x) with
+  | Value.Finite v ->
+    let digits, k =
+      Oracle.Exact_decimal.round_significant ~tie:Oracle.Exact_decimal.Half_even
+        ~base:10 ~ndigits (Value.to_ratio b64 v)
+    in
+    Some (digits, k)
+  | _ -> None
+
+let special x =
+  if Float.is_nan x then Some "nan"
+  else if x = Float.infinity then Some "inf"
+  else if x = Float.neg_infinity then Some "-inf"
+  else None
+
+let sign_prefix x =
+  if Float.sign_bit x then "-" else ""
+
+let e ~precision x =
+  if precision < 0 then invalid_arg "Cformat.e: negative precision";
+  match special x with
+  | Some s -> s
+  | None ->
+    let body, exp10 =
+      if x = 0. then (String.make (precision + 1) '0', 0)
+      else begin
+        match significant x (precision + 1) with
+        | Some (digits, k) -> (digit_string digits, k - 1)
+        | None -> assert false
+      end
+    in
+    let mantissa =
+      if precision = 0 then String.sub body 0 1
+      else Printf.sprintf "%c.%s" body.[0] (String.sub body 1 precision)
+    in
+    Printf.sprintf "%s%se%+03d" (sign_prefix x) mantissa exp10
+
+let f ~precision x =
+  if precision < 0 then invalid_arg "Cformat.f: negative precision";
+  match special x with
+  | Some s -> s
+  | None ->
+    let m =
+      if x = 0. then Nat.zero
+      else begin
+        match Fp.Ieee.decompose (Float.abs x) with
+        | Value.Finite v ->
+          Oracle.Exact_decimal.round_at_position
+            ~tie:Oracle.Exact_decimal.Half_even ~base:10 ~pos:(-precision)
+            (Value.to_ratio b64 v)
+        | _ -> assert false
+      end
+    in
+    let s = Nat.to_string m in
+    let s =
+      if String.length s <= precision then
+        String.make (precision + 1 - String.length s) '0' ^ s
+      else s
+    in
+    let cut = String.length s - precision in
+    let integer = String.sub s 0 cut in
+    let fraction = String.sub s cut precision in
+    Printf.sprintf "%s%s%s%s" (sign_prefix x) integer
+      (if precision = 0 then "" else ".")
+      fraction
+
+let g ~precision x =
+  if precision < 0 then invalid_arg "Cformat.g: negative precision";
+  match special x with
+  | Some s -> s
+  | None ->
+    let p = max 1 precision in
+    let strip s =
+      (* remove trailing zeros of the fraction and a dangling point *)
+      if not (String.contains s '.') then s
+      else begin
+        let n = ref (String.length s) in
+        while s.[!n - 1] = '0' do
+          decr n
+        done;
+        if s.[!n - 1] = '.' then decr n;
+        String.sub s 0 !n
+      end
+    in
+    if x = 0. then sign_prefix x ^ "0"
+    else begin
+      match significant x p with
+      | None -> assert false
+      | Some (digits, k) ->
+        let exp10 = k - 1 in
+        if exp10 < -4 || exp10 >= p then begin
+          (* scientific, with the fraction stripped *)
+          let body = digit_string digits in
+          let mantissa =
+            if p = 1 then String.sub body 0 1
+            else strip (Printf.sprintf "%c.%s" body.[0] (String.sub body 1 (p - 1)))
+          in
+          Printf.sprintf "%s%se%+03d" (sign_prefix x) mantissa exp10
+        end
+        else begin
+          (* positional with p - 1 - exp10 fraction digits, then strip *)
+          let s = f ~precision:(p - 1 - exp10) (Float.abs x) in
+          sign_prefix x ^ strip s
+        end
+    end

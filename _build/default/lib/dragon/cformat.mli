@@ -1,0 +1,26 @@
+(** C-style formatting ([%e], [%f], [%g]) on top of the exact conversion
+    machinery.
+
+    These produce byte-identical output to a {e correctly rounded} C
+    library's [printf] (glibc qualifies; the paper's Table 3 shows several
+    1996 systems did not).  They exist both as a practical drop-in and as
+    a harness: the test suite compares them against the host [printf] on
+    thousands of cases, which cross-validates the oracle's rounding in yet
+    another way.
+
+    All three round half-to-even, like IEEE hardware in the default mode.
+    Infinities and NaNs print as ["inf"]/["-inf"]/["nan"]. *)
+
+val e : precision:int -> float -> string
+(** [%.<precision>e]: one digit, point, [precision] digits, [e±dd]
+    (exponent at least two digits).  [precision = 0] omits the point. *)
+
+val f : precision:int -> float -> string
+(** [%.<precision>f]: positional with exactly [precision] fraction
+    digits. *)
+
+val g : precision:int -> float -> string
+(** [%.<precision>g]: C's rules — significant-digit count
+    [max 1 precision], positional when the decimal exponent [X] satisfies
+    [-4 <= X < precision], scientific otherwise; trailing zeros and a
+    dangling point are removed. *)

@@ -1,0 +1,124 @@
+module Nat = Bignum.Nat
+module Bigint = Bignum.Bigint
+module Ratio = Bignum.Ratio
+module Format_spec = Fp.Format_spec
+module Value = Fp.Value
+
+type request = Absolute of int | Relative of int
+
+type digit = Digit of int | Hash
+
+type t = { digits : digit array; k : int }
+
+let significant_digits t =
+  Array.fold_left
+    (fun acc d -> match d with Digit _ -> acc + 1 | Hash -> acc)
+    0 t.digits
+
+let to_ratio ~base t =
+  let n = Array.length t.digits in
+  let ints = Array.map (function Digit d -> d | Hash -> 0) t.digits in
+  Ratio.mul
+    (Ratio.of_bigint (Bigint.of_nat (Nat.of_base_digits ~base ints)))
+    (Ratio.pow (Ratio.of_int base) (t.k - n))
+
+let equal a b = a.k = b.k && a.digits = b.digits
+
+let pp fmt t =
+  Format.fprintf fmt "0.%se%d"
+    (String.concat ""
+       (Array.to_list
+          (Array.map
+             (function Digit d -> string_of_int d | Hash -> "#")
+             t.digits)))
+    t.k
+
+(* Correctly rounded output at absolute position [j]. *)
+let absolute ~base ~mode ~tie (fmt : Format_spec.t) (v : Value.finite) j =
+  let bnd0 = Boundaries.of_finite ~mode fmt v in
+  (* Express the half quantum base^j / 2 over the common denominator.
+     Table 1 makes s even, so s/2 is exact; for j < 0 first rescale
+     everything by base^-j so the power stays integral. *)
+  let s_half = Nat.shift_right bnd0.s 1 in
+  let bnd0, m_half =
+    if j >= 0 then (bnd0, Nat.mul s_half (Nat.pow_int base j))
+    else (Boundaries.scale_all bnd0 (Nat.pow_int base (-j)), s_half)
+  in
+  if Nat.compare bnd0.r m_half <= 0 then begin
+    (* v <= base^j / 2: the whole value sits at or below half a quantum,
+       so the output is a single digit at position j — 0 or 1 unit. *)
+    let c = Nat.compare bnd0.r m_half in
+    let up =
+      if c < 0 then false
+      else begin
+        match tie with
+        | Generate.Closer_up -> true
+        | Generate.Closer_down | Generate.Closer_even -> false
+        (* the even candidate of {0, base^j} is 0 *)
+      end
+    in
+    { digits = [| Digit (if up then 1 else 0) |]; k = j + 1 }
+  end
+  else begin
+    (* Widen each side of the range to the half quantum where it exceeds
+       the float midpoint; a side that got widened may be met exactly
+       (correct rounding admits an error of exactly half a quantum). *)
+    let expand m ok =
+      if Nat.compare m_half m >= 0 then (m_half, true) else (m, ok)
+    in
+    let m_plus, high_ok = expand bnd0.m_plus bnd0.high_ok in
+    let m_minus, low_ok = expand bnd0.m_minus bnd0.low_ok in
+    let bnd = { bnd0 with m_plus; m_minus; low_ok; high_ok } in
+    let k, state = Scaling.scale_on_high ~base bnd in
+    let stop = Generate.free_stopped ~base ~tie state in
+    let n = Array.length stop.digits in
+    let total = k - j in
+    assert (n <= total);
+    let digits = Array.make total Hash in
+    Array.iteri (fun i d -> digits.(i) <- Digit d) stop.digits;
+    (* Classify the tail positions n+1 .. total (paper: zeros while still
+       significant, then # marks).  Position m is insignificant when
+       bumping the digit before it keeps the number within the range:
+       V + base^(k-m+1) <= high, which over the common denominator reads
+       inc*s*base^t + s <= (r_n + m+_n) * base^t with t = m - n - 1. *)
+    let inc = if stop.incremented then Nat.one else Nat.zero in
+    let bound = Nat.add stop.rest stop.m_plus_n in
+    let insignificant t_pow =
+      let lhs =
+        Nat.add (Nat.mul (Nat.mul inc state.s) t_pow) state.s
+      in
+      let rhs = Nat.mul bound t_pow in
+      let c = Nat.compare lhs rhs in
+      if high_ok then c <= 0 else c < 0
+    in
+    let t_pow = ref Nat.one in
+    let stop_zeros = ref false in
+    for m = n to total - 1 do
+      if not !stop_zeros then
+        if insignificant !t_pow then stop_zeros := true
+        else begin
+          digits.(m) <- Digit 0;
+          t_pow := Nat.mul_int !t_pow base
+        end
+    done;
+    { digits; k }
+  end
+
+let rec relative ~base ~mode ~tie fmt (v : Value.finite) i ~attempts ~guess =
+  let result = absolute ~base ~mode ~tie fmt v (guess - i) in
+  if result.k = guess || attempts = 0 then result
+  else relative ~base ~mode ~tie fmt v i ~attempts:(attempts - 1) ~guess:result.k
+
+let convert ?(base = 10) ?(mode = Fp.Rounding.To_nearest_even)
+    ?(tie = Generate.Closer_up) fmt (v : Value.finite) request =
+  if base < 2 || base > 36 then invalid_arg "Fixed_format.convert: base";
+  match request with
+  | Absolute j -> absolute ~base ~mode ~tie fmt v j
+  | Relative i ->
+    if i < 1 then invalid_arg "Fixed_format.convert: relative digits < 1";
+    (* The position of the first digit can shift when the quantum expansion
+       rounds the value up to the next power of the base (paper, end of
+       Section 4), so estimate from the unexpanded range and refine. *)
+    let bnd = Boundaries.of_finite ~mode fmt v in
+    let k0, _ = Scaling.scale_on_high ~base bnd in
+    relative ~base ~mode ~tie fmt v i ~attempts:2 ~guess:k0

@@ -1,0 +1,32 @@
+module Nat = Bignum.Nat
+module Bigint = Bignum.Bigint
+module Ratio = Bignum.Ratio
+
+type t = { digits : int array; k : int }
+
+let convert ?(base = 10) ?(mode = Fp.Rounding.To_nearest_even)
+    ?(strategy = Scaling.Fast_estimate) ?(tie = Generate.Closer_up) fmt v =
+  if base < 2 || base > 36 then invalid_arg "Free_format.convert: base";
+  let bnd = Boundaries.of_finite ~mode fmt v in
+  let k, state =
+    Scaling.scale strategy ~base ~b:fmt.Fp.Format_spec.b ~f:v.Fp.Value.f
+      ~e:v.Fp.Value.e bnd
+  in
+  { digits = Generate.free ~base ~tie state; k }
+
+let digit_count ?base ?mode ?strategy fmt v =
+  Array.length (convert ?base ?mode ?strategy fmt v).digits
+
+let to_ratio ~base t =
+  let n = Array.length t.digits in
+  Ratio.mul
+    (Ratio.of_bigint (Bigint.of_nat (Nat.of_base_digits ~base t.digits)))
+    (Ratio.pow (Ratio.of_int base) (t.k - n))
+
+let equal a b = a.k = b.k && a.digits = b.digits
+
+let pp fmt t =
+  Format.fprintf fmt "0.%se%d"
+    (String.concat ""
+       (Array.to_list (Array.map string_of_int t.digits)))
+    t.k

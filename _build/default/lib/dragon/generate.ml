@@ -1,0 +1,64 @@
+module Nat = Bignum.Nat
+
+type tie = Closer_up | Closer_down | Closer_even
+
+type stopped = {
+  digits : int array;
+  incremented : bool;
+  rest : Nat.t;
+  m_plus_n : Nat.t;
+}
+
+(* One pass of the Figure-3 loop.  [r], [m_plus], [m_minus] arrive
+   pre-multiplied by the base; each iteration emits floor(r/s) and carries
+   the remainder, multiplied by the base, into the next step. *)
+let run ~base ~tie (bnd : Boundaries.t) =
+  let cmp_low = if bnd.low_ok then fun c -> c <= 0 else fun c -> c < 0 in
+  let cmp_high = if bnd.high_ok then fun c -> c >= 0 else fun c -> c > 0 in
+  let s = bnd.s in
+  let acc = ref [] in
+  let r = ref bnd.r and m_plus = ref bnd.m_plus and m_minus = ref bnd.m_minus in
+  let result = ref None in
+  while !result = None do
+    let d, rest = Nat.divmod !r s in
+    let d = Nat.to_int_exn d in
+    let tc1 = cmp_low (Nat.compare rest !m_minus) in
+    let tc2 = cmp_high (Nat.compare (Nat.add rest !m_plus) s) in
+    match (tc1, tc2) with
+    | false, false ->
+      acc := d :: !acc;
+      r := Nat.mul_int rest base;
+      m_plus := Nat.mul_int !m_plus base;
+      m_minus := Nat.mul_int !m_minus base
+    | true, false -> result := Some (d, false, rest)
+    | false, true -> result := Some (d + 1, true, rest)
+    | true, true ->
+      (* both candidates read back as v: pick the closer, i.e. compare the
+         remainder against half of s *)
+      let c = Nat.compare (Nat.shift_left rest 1) s in
+      let up =
+        if c < 0 then false
+        else if c > 0 then true
+        else begin
+          match tie with
+          | Closer_up -> true
+          | Closer_down -> false
+          | Closer_even -> d land 1 = 1
+        end
+      in
+      result := Some ((if up then d + 1 else d), up, rest)
+  done;
+  match !result with
+  | None -> assert false
+  | Some (last, incremented, rest) ->
+    let digits = Array.of_list (List.rev (last :: !acc)) in
+    (* Theorem 1: incrementing never cascades. *)
+    assert (Array.for_all (fun d -> 0 <= d && d < base) digits);
+    { digits; incremented; rest; m_plus_n = !m_plus }
+
+let free ~base ~tie bnd = (run ~base ~tie bnd).digits
+
+let free_stopped ~base ~tie bnd = run ~base ~tie bnd
+
+let free_count_only ~base bnd =
+  Array.length (free ~base ~tie:Closer_up bnd)

@@ -1,0 +1,36 @@
+(** The digit-generation loop (paper, Figures 1 and 3).
+
+    Digits come out most-significant first and never need a carry
+    propagated back (Theorem 1): when the loop decides to round the last
+    digit up, [d + 1] is guaranteed to stay below the base.
+
+    The loop expects the {e pre-multiplied} convention of Figure 3: on
+    entry [r], [m_plus] and [m_minus] have already absorbed one factor of
+    the output base, so the first digit is [r / s] directly.  {!Scaling}
+    establishes that convention (its [fixup] gets the off-by-one estimate
+    case for free by skipping exactly this pre-multiplication). *)
+
+type tie = Closer_up | Closer_down | Closer_even
+(** Strategy when the candidate outputs [d] and [d+1] are equidistant from
+    the value; the paper's code rounds up. *)
+
+val free : base:int -> tie:tie -> Boundaries.t -> int array
+(** Run the loop to the shortest accepted output.  Termination condition
+    (1) — the output would round up to [v] — keeps digit [d]; condition
+    (2) — the incremented output would round down to [v] — yields [d+1];
+    when both hold the closer one wins. *)
+
+val free_count_only : base:int -> Boundaries.t -> int
+(** Number of digits the loop would produce (used by statistics). *)
+
+type stopped = {
+  digits : int array;  (** accepted digits, last one already adjusted *)
+  incremented : bool;  (** whether the last digit was rounded up *)
+  rest : Bignum.Nat.t;  (** remainder [r_n] in Figure-1 units *)
+  m_plus_n : Bignum.Nat.t;  (** [m⁺_n] in the same units *)
+}
+
+val free_stopped : base:int -> tie:tie -> Boundaries.t -> stopped
+(** Like {!free} but exposing the final loop state, which fixed format
+    needs to classify trailing positions as significant zeros or [#]
+    marks. *)

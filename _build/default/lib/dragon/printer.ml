@@ -1,0 +1,74 @@
+module Value = Fp.Value
+module Format_spec = Fp.Format_spec
+
+let print_value ?(base = 10) ?mode ?strategy ?tie ?notation fmt value =
+  match value with
+  | Value.Zero neg -> Render.zero ~neg ()
+  | Value.Inf neg -> Render.infinity ~neg ()
+  | Value.Nan -> Render.nan
+  | Value.Finite v ->
+    let result = Free_format.convert ~base ?mode ?strategy ?tie fmt v in
+    Render.free ?notation ~neg:v.neg ~base result
+
+let print ?base ?mode ?strategy ?tie ?notation x =
+  print_value ?base ?mode ?strategy ?tie ?notation Format_spec.binary64
+    (Fp.Ieee.decompose x)
+
+let print_fixed ?(base = 10) ?mode ?tie ?notation request x =
+  match Fp.Ieee.decompose x with
+  | Value.Zero neg -> Render.zero ~neg ()
+  | Value.Inf neg -> Render.infinity ~neg ()
+  | Value.Nan -> Render.nan
+  | Value.Finite v ->
+    let result =
+      Fixed_format.convert ~base ?mode ?tie Format_spec.binary64 v request
+    in
+    Render.fixed ?notation ~neg:v.neg ~base result
+
+let shortest x = print x
+
+let print_hex x =
+  match Fp.Ieee.decompose x with
+  | Value.Zero neg -> if neg then "-0x0p+0" else "0x0p+0"
+  | Value.Inf neg -> Render.infinity ~neg ()
+  | Value.Nan -> Render.nan
+  | Value.Finite v ->
+    (* canonical binary64: p-exponent e+52, integer part the hidden bit,
+       13 hex digits of fraction with trailing zeros stripped *)
+    let f = Bignum.Nat.to_int_exn v.Value.f in
+    let int_part = f lsr 52 in
+    let frac = f land ((1 lsl 52) - 1) in
+    let buf = Buffer.create 24 in
+    if v.Value.neg then Buffer.add_char buf '-';
+    Buffer.add_string buf (Printf.sprintf "0x%d" int_part);
+    if frac <> 0 then begin
+      Buffer.add_char buf '.';
+      let nibbles = ref [] in
+      let rest = ref frac in
+      for _ = 1 to 13 do
+        nibbles := !rest land 0xF :: !nibbles;
+        rest := !rest lsr 4
+      done;
+      let digits = Array.of_list !nibbles in
+      let last = ref 12 in
+      while digits.(!last) = 0 do
+        decr last
+      done;
+      for i = 0 to !last do
+        Buffer.add_char buf "0123456789abcdef".[digits.(i)]
+      done
+    end;
+    Buffer.add_string buf (Printf.sprintf "p%+d" (v.Value.e + 52));
+    Buffer.contents buf
+
+let print_exact ?(base = 10) ?notation x =
+  match Fp.Ieee.decompose x with
+  | Value.Zero neg -> Render.zero ~neg ()
+  | Value.Inf neg -> Render.infinity ~neg ()
+  | Value.Nan -> Render.nan
+  | Value.Finite v ->
+    let digits, k =
+      Oracle.Exact_decimal.exact_digits ~base Format_spec.binary64
+        { v with neg = false }
+    in
+    Render.free ?notation ~neg:v.neg ~base { Free_format.digits; k }

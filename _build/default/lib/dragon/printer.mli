@@ -1,0 +1,56 @@
+(** Convenience API over OCaml floats (IEEE binary64).
+
+    [print] is the paper's free-format algorithm end to end: the result is
+    the shortest decimal (or other-base) string that reads back as the
+    same double under the given reader rounding mode.  [print_fixed] is
+    the fixed-format algorithm with [#] marks.  Zeros, infinities and NaNs
+    render as ["0"], ["-0"], ["inf"], ["-inf"], ["nan"]. *)
+
+val print :
+  ?base:int ->
+  ?mode:Fp.Rounding.mode ->
+  ?strategy:Scaling.strategy ->
+  ?tie:Generate.tie ->
+  ?notation:Render.notation ->
+  float ->
+  string
+(** Free format.  Defaults: base 10, reader rounds to nearest even, fast
+    estimator, output ties round up, automatic notation. *)
+
+val print_fixed :
+  ?base:int ->
+  ?mode:Fp.Rounding.mode ->
+  ?tie:Generate.tie ->
+  ?notation:Render.notation ->
+  Fixed_format.request ->
+  float ->
+  string
+(** Fixed format to an absolute position or a number of significant
+    digits. *)
+
+val shortest : float -> string
+(** [print] with all defaults — the drop-in [float -> string]. *)
+
+val print_exact : ?base:int -> ?notation:Render.notation -> float -> string
+(** The {e complete} exact decimal (or other even-base) expansion of the
+    double — every binary float has a finite one.  [0.1] prints as its
+    true 55-digit value; the smallest denormal has 751 digits.  Useful
+    for seeing exactly which real number a float is. *)
+
+val print_hex : float -> string
+(** C17 hexadecimal-significand notation ([0x1.999999999999ap-4] for
+    [0.1]), the always-exact power-of-two special case of base
+    conversion; matches the host's [%h] including denormals
+    ([0x0.0000000000001p-1022]). *)
+
+val print_value :
+  ?base:int ->
+  ?mode:Fp.Rounding.mode ->
+  ?strategy:Scaling.strategy ->
+  ?tie:Generate.tie ->
+  ?notation:Render.notation ->
+  Fp.Format_spec.t ->
+  Fp.Value.t ->
+  string
+(** Free format for a decomposed value in any format (used by the examples
+    that print binary16/binary32 and custom softfloat formats). *)

@@ -1,0 +1,265 @@
+module Nat = Bignum.Nat
+module Bigint = Bignum.Bigint
+module Ratio = Bignum.Ratio
+module Format_spec = Fp.Format_spec
+module Value = Fp.Value
+module Rounding = Fp.Rounding
+
+(* The rounding range of the magnitude as exact rationals, with endpoint
+   admissibility per reader mode.  Mirrors Boundaries.of_finite. *)
+let range ?(mode = Rounding.To_nearest_even) (fmt : Format_spec.t)
+    (v : Value.finite) =
+  let value = Value.to_ratio fmt { v with neg = false } in
+  let gap_above = Ratio.pow (Ratio.of_int fmt.b) v.e in
+  let gap_below =
+    Ratio.pow (Ratio.of_int fmt.b)
+      (if Fp.Gaps.gap_low_is_narrow fmt v then v.e - 1 else v.e)
+  in
+  if Rounding.is_nearest mode then begin
+    let low, high = Fp.Gaps.rounding_range fmt { v with neg = false } in
+    let low_ok, high_ok =
+      Rounding.boundary_ok mode ~mantissa_even:(Nat.is_even v.f)
+    in
+    (value, low, high, low_ok, high_ok)
+  end
+  else begin
+    let keeps_gap_above =
+      match mode with
+      | Rounding.Toward_zero -> true
+      | Rounding.Toward_negative -> not v.neg
+      | Rounding.Toward_positive -> v.neg
+      | _ -> assert false
+    in
+    if keeps_gap_above then
+      (value, value, Ratio.add value gap_above, true, false)
+    else (value, Ratio.sub value gap_below, value, false, true)
+  end
+
+let within ~low ~high ~low_ok ~high_ok x =
+  let cl = Ratio.compare low x and ch = Ratio.compare x high in
+  (if low_ok then cl <= 0 else cl < 0)
+  && if high_ok then ch <= 0 else ch < 0
+
+(* Step 2: smallest k such that high <= B^k (< when the endpoint itself is
+   an admissible output).  The search is exact; the float logarithm only
+   seeds it so wide formats (|k| in the thousands) stay tractable. *)
+let find_k ~base ~high ~high_ok =
+  let pow k = Ratio.pow (Ratio.of_int base) k in
+  let reaches k =
+    let c = Ratio.compare high (pow k) in
+    if high_ok then c < 0 else c <= 0
+  in
+  let num = Bigint.to_nat_exn (Ratio.num high) in
+  let den = Bigint.to_nat_exn (Ratio.den high) in
+  let log2_high =
+    let m1, n1 = Nat.frexp num and m2, n2 = Nat.frexp den in
+    (log m1 -. log m2) /. log 2. +. float_of_int (n1 - n2)
+  in
+  let k = ref (int_of_float (Float.ceil (log2_high /. (log (float_of_int base) /. log 2.))) ) in
+  while not (reaches !k) do
+    incr k
+  done;
+  while reaches (!k - 1) do
+    decr k
+  done;
+  !k
+
+(* The digit loop of Section 2.2, shared by free and fixed format, using
+   the paper's concise termination conditions (corollary to Lemma 2):
+
+     (1) q_n * B^(k-n) <  v - low        (<= when low is admissible)
+     (2) (1 - q_n) * B^(k-n) < high - v  (<= when high is admissible)
+
+   q_n is the scaled fractional remainder, kept as an integer numerator
+   over the fixed denominator den(v) * B^|k|, so the exact loop needs no
+   gcd reductions.  Returns the accepted digits and the exact output
+   value (which fixed format's tail classification needs). *)
+let digit_loop ~base ~tie ~value ~low ~high ~low_ok ~high_ok ~k =
+  let bigB = Bigint.of_int base in
+  let scale_pow n = Bigint.of_nat (Nat.pow_int base n) in
+  (* q0 = v / B^k over an explicit common denominator *)
+  let q_num =
+    ref
+      (if k >= 0 then Ratio.num value
+       else Bigint.mul (Ratio.num value) (scale_pow (-k)))
+  in
+  let q_den =
+    if k >= 0 then Bigint.mul (Ratio.den value) (scale_pow k)
+    else Ratio.den value
+  in
+  (* rhs_low_n = (v - low) * B^(n-k) and rhs_high_n = (high - v) * B^(n-k),
+     advanced by a factor of B each step *)
+  let init_rhs r =
+    if k >= 0 then
+      Ratio.make_unreduced (Ratio.num r) (Bigint.mul (Ratio.den r) (scale_pow k))
+    else
+      Ratio.make_unreduced
+        (Bigint.mul (Ratio.num r) (scale_pow (-k)))
+        (Ratio.den r)
+  in
+  let rhs_low = ref (init_rhs (Ratio.sub value low)) in
+  let rhs_high = ref (init_rhs (Ratio.sub high value)) in
+  let digits = ref [] in
+  let result = ref None in
+  let n = ref 0 in
+  while !result = None do
+    incr n;
+    let d, rest = Bigint.ediv_rem (Bigint.mul !q_num bigB) q_den in
+    let d = Option.get (Bigint.to_int_opt d) in
+    q_num := rest;
+    rhs_low := Ratio.mul_bigint !rhs_low bigB;
+    rhs_high := Ratio.mul_bigint !rhs_high bigB;
+    let q = Ratio.make_unreduced !q_num q_den in
+    let one_minus_q = Ratio.make_unreduced (Bigint.sub q_den !q_num) q_den in
+    let tc1 =
+      let c = Ratio.compare q !rhs_low in
+      if low_ok then c <= 0 else c < 0
+    in
+    let tc2 =
+      let c = Ratio.compare one_minus_q !rhs_high in
+      if high_ok then c <= 0 else c < 0
+    in
+    match (tc1, tc2) with
+    | false, false -> digits := d :: !digits
+    | true, false -> result := Some (d, false)
+    | false, true -> result := Some (d + 1, true)
+    | true, true ->
+      (* choose the closer output: q_n against 1/2 *)
+      let c = Bigint.compare (Bigint.mul_int !q_num 2) q_den in
+      let up =
+        if c < 0 then false
+        else if c > 0 then true
+        else begin
+          match tie with
+          | Generate.Closer_up -> true
+          | Generate.Closer_down -> false
+          | Generate.Closer_even -> d land 1 = 1
+        end
+      in
+      result := Some ((if up then d + 1 else d), up)
+  done;
+  let last, incremented = Option.get !result in
+  let digits = Array.of_list (List.rev (last :: !digits)) in
+  let out =
+    let ulp = Ratio.pow (Ratio.of_int base) (k - !n) in
+    let down =
+      Ratio.sub value (Ratio.mul (Ratio.make_unreduced !q_num q_den) ulp)
+    in
+    if incremented then Ratio.add down ulp else down
+  in
+  (digits, out)
+
+let free ?(base = 10) ?mode ?(tie = Generate.Closer_up) fmt v =
+  let value, low, high, low_ok, high_ok = range ?mode fmt v in
+  let k = find_k ~base ~high ~high_ok in
+  let digits, _ = digit_loop ~base ~tie ~value ~low ~high ~low_ok ~high_ok ~k in
+  { Free_format.digits; k }
+
+(* ------------------------------------------------------------------ *)
+(* Fixed format over rationals (Section 4). *)
+
+
+let fixed ?(base = 10) ?mode ?(tie = Generate.Closer_up) fmt v request =
+  let value, low0, high0, low_ok0, high_ok0 = range ?mode fmt v in
+  let b = Ratio.of_int base in
+  let absolute j =
+    let qhalf = Ratio.mul Ratio.half (Ratio.pow b j) in
+    let c = Ratio.compare value qhalf in
+    if c <= 0 then begin
+      (* at or below half a quantum: 0 or one unit at position j *)
+      let up =
+        c = 0
+        && (match tie with
+           | Generate.Closer_up -> true
+           | Generate.Closer_down | Generate.Closer_even -> false)
+      in
+      { Fixed_format.digits = [| Fixed_format.Digit (if up then 1 else 0) |];
+        k = j + 1 }
+    end
+    else begin
+      let vl = Ratio.sub value qhalf and vh = Ratio.add value qhalf in
+      let low, low_ok =
+        if Ratio.compare vl low0 <= 0 then (vl, true) else (low0, low_ok0)
+      in
+      let high, high_ok =
+        if Ratio.compare vh high0 >= 0 then (vh, true) else (high0, high_ok0)
+      in
+      let k = find_k ~base ~high ~high_ok in
+      let gen, out = digit_loop ~base ~tie ~value ~low ~high ~low_ok ~high_ok ~k in
+      let n = Array.length gen in
+      let total = k - j in
+      assert (n <= total);
+      let digits = Array.make total Fixed_format.Hash in
+      Array.iteri (fun i d -> digits.(i) <- Fixed_format.Digit d) gen;
+      (* position m (1-based) is insignificant iff out + B^(k-m+1) fits
+         under high *)
+      let insignificant m =
+        let c = Ratio.compare (Ratio.add out (Ratio.pow b (k - m + 1))) high in
+        if high_ok then c <= 0 else c < 0
+      in
+      let stop_zeros = ref false in
+      for m = n + 1 to total do
+        if not !stop_zeros then
+          if insignificant m then stop_zeros := true
+          else digits.(m - 1) <- Fixed_format.Digit 0
+      done;
+      { Fixed_format.digits; k }
+    end
+  in
+  match request with
+  | Fixed_format.Absolute j -> absolute j
+  | Fixed_format.Relative i ->
+    if i < 1 then invalid_arg "Reference.fixed: relative digits < 1";
+    let k0 = find_k ~base ~high:high0 ~high_ok:high_ok0 in
+    let rec refine guess attempts =
+      let result = absolute (guess - i) in
+      if result.Fixed_format.k = guess || attempts = 0 then result
+      else refine result.Fixed_format.k (attempts - 1)
+    in
+    refine k0 2
+
+let check_output ?(base = 10) ?mode fmt v (t : Free_format.t) =
+  let value, low, high, low_ok, high_ok = range ?mode fmt v in
+  let n = Array.length t.digits in
+  let out = Free_format.to_ratio ~base t in
+  let ulp = Ratio.pow (Ratio.of_int base) (t.k - n) in
+  if n = 0 then Error "empty digit string"
+  else if t.digits.(0) = 0 then Error "leading zero digit"
+  else if Array.exists (fun d -> d < 0 || d >= base) t.digits then
+    Error "digit out of range"
+  else if not (within ~low ~high ~low_ok ~high_ok out) then
+    Error "output does not read back as v (outside rounding range)"
+  else if Ratio.compare (Ratio.abs (Ratio.sub out value)) ulp > 0 then
+    Error "output more than one ulp from v"
+  else if
+    (* correct rounding: the candidate on the other side of v must not be
+       both admissible and strictly closer.  (For nearest-style ranges this
+       reduces to the half-ulp bound of Theorem 4; directed ranges are
+       one-sided, so the error there may legitimately approach a full
+       ulp.) *)
+    (let other =
+       if Ratio.compare out value <= 0 then Ratio.add out ulp
+       else Ratio.sub out ulp
+     in
+     within ~low ~high ~low_ok ~high_ok other
+     && Ratio.compare
+          (Ratio.abs (Ratio.sub other value))
+          (Ratio.abs (Ratio.sub out value))
+        < 0)
+  then Error "last digit not correctly rounded"
+  else begin
+    (* minimality: neither (n-1)-digit neighbour of v may be in range *)
+    if n = 1 then Ok ()
+    else begin
+      let coarse_ulp = Ratio.pow (Ratio.of_int base) (t.k - n + 1) in
+      let lowc =
+        Ratio.mul (Ratio.of_bigint (Ratio.floor (Ratio.div value coarse_ulp))) coarse_ulp
+      in
+      let highc = Ratio.add lowc coarse_ulp in
+      if within ~low ~high ~low_ok ~high_ok lowc then
+        Error "not minimal: truncation to n-1 digits already reads back"
+      else if within ~low ~high ~low_ok ~high_ok highc then
+        Error "not minimal: n-1 digit round-up already reads back"
+      else Ok ()
+    end
+  end

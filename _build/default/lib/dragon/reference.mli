@@ -1,0 +1,45 @@
+(** Executable specification of the basic algorithm (paper, Section 2).
+
+    A direct transliteration of the paper's procedure over exact rational
+    arithmetic: compute [v⁻]/[v⁺], form the open rounding range, scale by
+    searching for [k], and generate digits while testing the two
+    termination conditions on exact rationals.  Slow by design; the
+    integer-arithmetic production path ({!Free_format}) is property-tested
+    to agree with this digit-for-digit, mirroring the paper's Section 3.1
+    equivalence argument. *)
+
+val free :
+  ?base:int ->
+  ?mode:Fp.Rounding.mode ->
+  ?tie:Generate.tie ->
+  Fp.Format_spec.t ->
+  Fp.Value.finite ->
+  Free_format.t
+(** Shortest correctly rounded output, computed the slow obvious way. *)
+
+val fixed :
+  ?base:int ->
+  ?mode:Fp.Rounding.mode ->
+  ?tie:Generate.tie ->
+  Fp.Format_spec.t ->
+  Fp.Value.finite ->
+  Fixed_format.request ->
+  Fixed_format.t
+(** Fixed-format output (Section 4) computed over exact rationals: widen
+    the rounding range by the half quantum where it dominates, run the
+    basic digit loop, then classify trailing positions as significant
+    zeros or [#] marks by the insignificance rule.  The integer-arithmetic
+    {!Fixed_format.convert} is property-tested against this. *)
+
+val check_output :
+  ?base:int ->
+  ?mode:Fp.Rounding.mode ->
+  Fp.Format_spec.t ->
+  Fp.Value.finite ->
+  Free_format.t ->
+  (unit, string) result
+(** Verify the three output conditions of Section 2.2 for a candidate
+    conversion: (1) the value lies inside the rounding range (information
+    preservation), (2) the last digit is correctly rounded, and (3) no
+    shorter digit string lies inside the range (minimality).  Used to
+    audit both our printers and external ones. *)

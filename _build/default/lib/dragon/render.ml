@@ -1,0 +1,75 @@
+type notation = Auto | Scientific | Positional
+
+let digit_char d =
+  if d < 0 || d > 35 then invalid_arg "Render.digit_char";
+  "0123456789abcdefghijklmnopqrstuvwxyz".[d]
+
+(* Positional layout is pleasant only for moderate scale factors; outside
+   this window fall back to scientific (the bounds echo what typical
+   runtime systems, including Chez Scheme, choose). *)
+let use_positional k n = k > -6 && k - n <= 21 && k <= 21
+
+(* 'e' is a digit from base 15 on; '^' is never a digit. *)
+let exponent_marker base = if base <= 14 then 'e' else '^'
+
+let layout ~notation ~neg ~k ~base chars =
+  let n = List.length chars in
+  let buf = Buffer.create (n + 8) in
+  if neg then Buffer.add_char buf '-';
+  let positional =
+    match notation with
+    | Positional -> true
+    | Scientific -> false
+    | Auto -> use_positional k n
+  in
+  if positional then begin
+    if k <= 0 then begin
+      Buffer.add_string buf "0.";
+      for _ = 1 to -k do
+        Buffer.add_char buf '0'
+      done;
+      List.iter (Buffer.add_char buf) chars
+    end
+    else begin
+      List.iteri
+        (fun i c ->
+          if i = k then Buffer.add_char buf '.';
+          Buffer.add_char buf c)
+        chars;
+      (* pad up to the radix point when all digits sit above it *)
+      for _ = n to k - 1 do
+        Buffer.add_char buf '0'
+      done;
+      if k >= n then Buffer.add_string buf ".0"
+    end
+  end
+  else begin
+    (match chars with
+    | [] -> Buffer.add_char buf '0'
+    | first :: rest ->
+      Buffer.add_char buf first;
+      if rest <> [] then begin
+        Buffer.add_char buf '.';
+        List.iter (Buffer.add_char buf) rest
+      end);
+    Buffer.add_char buf (exponent_marker base);
+    Buffer.add_string buf (string_of_int (k - 1))
+  end;
+  Buffer.contents buf
+
+let free ?(notation = Auto) ?(neg = false) ~base (t : Free_format.t) =
+  let chars = Array.to_list (Array.map digit_char t.digits) in
+  layout ~notation ~neg ~k:t.k ~base chars
+
+let fixed ?(notation = Auto) ?(neg = false) ~base (t : Fixed_format.t) =
+  let chars =
+    Array.to_list
+      (Array.map
+         (function Fixed_format.Digit d -> digit_char d | Fixed_format.Hash -> '#')
+         t.digits)
+  in
+  layout ~notation ~neg ~k:t.k ~base chars
+
+let zero ?(neg = false) () = if neg then "-0" else "0"
+let infinity ?(neg = false) () = if neg then "-inf" else "inf"
+let nan = "nan"

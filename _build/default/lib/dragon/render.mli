@@ -1,0 +1,28 @@
+(** Turning digit strings into text.
+
+    The conversion results say "the value is [0.d1 d2 ... × base^k]"; this
+    module lays that out either positionally ([123.45], [0.00123]) or in
+    scientific notation ([1.2345e2]), in any base up to 36 (digits beyond
+    9 print as lowercase letters).  [#] marks from fixed format are
+    preserved as written. *)
+
+type notation =
+  | Auto  (** positional for moderate exponents, scientific otherwise *)
+  | Scientific
+  | Positional
+
+val digit_char : int -> char
+(** 0-9 then a-z.
+    @raise Invalid_argument outside [0, 35]. *)
+
+val exponent_marker : int -> char
+(** ['e'] up to base 14; ['^'] beyond, where [e] is itself a digit. *)
+
+val free : ?notation:notation -> ?neg:bool -> base:int -> Free_format.t -> string
+
+val fixed :
+  ?notation:notation -> ?neg:bool -> base:int -> Fixed_format.t -> string
+
+val zero : ?neg:bool -> unit -> string
+val infinity : ?neg:bool -> unit -> string
+val nan : string

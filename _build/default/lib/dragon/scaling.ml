@@ -1,0 +1,169 @@
+module Nat = Bignum.Nat
+
+type strategy = Iterative | Float_log | Fast_estimate | Gay_taylor
+
+let all = [ Iterative; Float_log; Fast_estimate; Gay_taylor ]
+
+let strategy_name = function
+  | Iterative -> "iterative"
+  | Float_log -> "float-log"
+  | Fast_estimate -> "fast-estimate"
+  | Gay_taylor -> "gay-taylor"
+
+(* Memoized powers of the output base, the paper's [esptt] table (Figure
+   2 keeps 10^k for k <= 325).  Keyed by base; each table grows on
+   demand. *)
+let power_tables : (int, Nat.t array ref) Hashtbl.t = Hashtbl.create 8
+
+let power ~base k =
+  if k < 0 then invalid_arg "Scaling.power: negative exponent";
+  if base = 2 then Nat.shift_left Nat.one k
+  else if k > 1100 then Nat.pow_int base k
+  else begin
+    let table =
+      match Hashtbl.find_opt power_tables base with
+      | Some t -> t
+      | None ->
+        let t = ref [| Nat.one |] in
+        Hashtbl.add power_tables base t;
+        t
+    in
+    let filled = Array.length !table in
+    if k >= filled then begin
+      let grown = Array.make (k + 33) Nat.one in
+      Array.blit !table 0 grown 0 filled;
+      for i = filled to Array.length grown - 1 do
+        grown.(i) <- Nat.mul_int grown.(i - 1) base
+      done;
+      table := grown
+    end;
+    !table.(k)
+  end
+
+(* Is B^k still too small, i.e. does high = (r + m+)/s reach past it?
+   With an inclusive high endpoint the output may equal high, so high
+   must stay strictly below B^k and the test uses >=. *)
+let too_low (bnd : Boundaries.t) =
+  let c = Nat.compare (Nat.add bnd.r bnd.m_plus) bnd.s in
+  if bnd.high_ok then c >= 0 else c > 0
+
+(* Pre-multiply r and the gap widths by B: the Figure-3 loop convention. *)
+let premultiply ~base (bnd : Boundaries.t) =
+  {
+    bnd with
+    r = Nat.mul_int bnd.r base;
+    m_plus = Nat.mul_int bnd.m_plus base;
+    m_minus = Nat.mul_int bnd.m_minus base;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Steele & White's iterative search (Figure 1's [scale]). *)
+
+let scale_iterative ~base (bnd : Boundaries.t) =
+  let k = ref 0 in
+  let bnd = ref bnd in
+  while too_low !bnd do
+    bnd := { !bnd with s = Nat.mul_int !bnd.s base };
+    incr k
+  done;
+  (* k is too high while even B * high fails to reach B^k *)
+  let too_high b =
+    let c =
+      Nat.compare (Nat.mul_int (Nat.add b.Boundaries.r b.Boundaries.m_plus) base) b.Boundaries.s
+    in
+    if b.Boundaries.high_ok then c < 0 else c <= 0
+  in
+  while too_high !bnd do
+    bnd := premultiply ~base !bnd;
+    decr k
+  done;
+  (!k, premultiply ~base !bnd)
+
+(* ------------------------------------------------------------------ *)
+(* Estimators *)
+
+(* All estimators bound ceil(log_B v) from below within one, so the fixup
+   in [scale_estimated] only ever needs to move up by one — which costs
+   nothing, because moving up by one is the same as skipping the loop's
+   pre-multiplication of r, m+ and m-. *)
+
+let log2 x = log x /. log 2.
+
+(* Figure 3: two floating-point operations from the exponent and the
+   mantissa bit length.  For b = 2 this is ceil((e + len(f) - 1) * log_B 2
+   - epsilon); for other input bases the exact bit length of f plays the
+   same role through log2(v) = e*log2(b) + log2(f). *)
+let fast_estimate ~base ~b ~f ~e =
+  let inv_log2_of_base = 1. /. log2 (float_of_int base) in
+  let log2_b = if b = 2 then 1. else log2 (float_of_int b) in
+  let log2_v_floor = (float_of_int e *. log2_b) +. float_of_int (Nat.bit_length f - 1) in
+  int_of_float (Float.ceil ((log2_v_floor *. inv_log2_of_base) -. 1e-10))
+
+(* Figure 2: the floating-point logarithm of v itself.  v can exceed the
+   double range for wide formats, so the logarithm is assembled from
+   frexp of the mantissa instead of computed on a converted double. *)
+let float_log_estimate ~base ~b ~f ~e =
+  let m, nbits = Nat.frexp f in
+  let log2_f = log2 m +. float_of_int nbits in
+  let log2_b = if b = 2 then 1. else log2 (float_of_int b) in
+  let log_b_v = ((float_of_int e *. log2_b) +. log2_f) /. log2 (float_of_int base) in
+  int_of_float (Float.ceil (log_b_v -. 1e-10))
+
+(* Gay's first-degree estimator [2], secant variant.  With f = x * 2^t,
+   1/2 <= x < 1, approximate ln x by the chord of ln through 1/2 and 1:
+   ln x ~ ln2 * (2x - 2).  The chord lies below the concave logarithm, so
+   the estimate never overshoots; the worst undershoot (at x = 0.72) is
+   about 0.06 nats, far less than one digit. *)
+let gay_taylor_estimate ~base ~b ~f ~e =
+  let x, t = Nat.frexp f in
+  let ln2 = log 2. in
+  let log2_b = if b = 2 then 1. else log2 (float_of_int b) in
+  let ln_v =
+    ((float_of_int e *. log2_b) +. float_of_int t) *. ln2
+    +. (ln2 *. ((2. *. x) -. 2.))
+  in
+  int_of_float (Float.ceil ((ln_v /. log (float_of_int base)) -. 1e-10))
+
+let estimate strategy ~base ~b ~f ~e =
+  match strategy with
+  | Iterative -> None
+  | Float_log -> Some (float_log_estimate ~base ~b ~f ~e)
+  | Fast_estimate -> Some (fast_estimate ~base ~b ~f ~e)
+  | Gay_taylor -> Some (gay_taylor_estimate ~base ~b ~f ~e)
+
+(* Apply the estimate, then fix up (Figure 3's [fixup]).  Bumping k by one
+   means dividing the scaled value by B, which is the same as skipping the
+   loop's pre-multiplication of r, m+ and m-: every termination test is
+   homogeneous in (r, m+, m-, s), so the un-premultiplied state against the
+   same s behaves exactly like the premultiplied state against s*B.  That
+   is why an estimate of k - 1 costs nothing. *)
+let scale_estimated ~base est (bnd : Boundaries.t) =
+  let bnd =
+    if est >= 0 then { bnd with s = Nat.mul bnd.s (power ~base est) }
+    else begin
+      let factor = power ~base (-est) in
+      {
+        bnd with
+        r = Nat.mul bnd.r factor;
+        m_plus = Nat.mul bnd.m_plus factor;
+        m_minus = Nat.mul bnd.m_minus factor;
+      }
+    end
+  in
+  if too_low bnd then (est + 1, bnd) else (est, premultiply ~base bnd)
+
+let scale strategy ~base ~b ~f ~e bnd =
+  match estimate strategy ~base ~b ~f ~e with
+  | None -> scale_iterative ~base bnd
+  | Some est -> scale_estimated ~base est bnd
+
+let scale_on_high ~base (bnd : Boundaries.t) =
+  let num = Nat.add bnd.r bnd.m_plus in
+  let m1, n1 = Nat.frexp num in
+  let m2, n2 = Nat.frexp bnd.s in
+  let log2_high = log2 m1 -. log2 m2 +. float_of_int (n1 - n2) in
+  let est =
+    int_of_float
+      (Float.ceil ((log2_high /. log2 (float_of_int base)) -. 1e-10))
+  in
+  scale_estimated ~base est bnd

@@ -1,0 +1,57 @@
+(** Computing the scaling factor [k] (paper, Section 3.2).
+
+    [k] is the smallest integer with [high <= B^k] (strictly [<] when the
+    high endpoint itself may be output), so the digits print as
+    [0.d1 d2 ... × B^k].  Four strategies are provided:
+
+    - {!Iterative}: Steele & White's search, [O(|log v|)] high-precision
+      multiplications — the baseline of Table 2, row 1.
+    - {!Float_log}: estimate [⌈log_B v⌉] with the floating-point logarithm
+      of the value (Figure 2), then fix up; Table 2, row 2.
+    - {!Fast_estimate}: the paper's contribution (Figure 3) — estimate
+      from the exponent and mantissa length alone,
+      [⌈(e + ⌊log2 f⌋) · log_B 2 − ε⌉], two floating-point operations.
+      The estimate is provably [k] or [k−1], and {!scale} absorbs the
+      [k−1] case at zero extra cost by skipping the loop's
+      pre-multiplication of [r].
+    - {!Gay_taylor}: Gay's independently developed estimator [Gay 90],
+      here realised with a secant (never-overshooting) first-degree
+      approximation of the logarithm of the fraction.
+
+    All strategies produce identical digits; only the cost differs. *)
+
+type strategy = Iterative | Float_log | Fast_estimate | Gay_taylor
+
+val all : strategy list
+val strategy_name : strategy -> string
+
+val power : base:int -> int -> Bignum.Nat.t
+(** [power ~base k] is [base^k] via a memoized table (the paper's [esptt]
+    table of Figure 2); powers of two are plain shifts. *)
+
+val estimate :
+  strategy -> base:int -> b:int -> f:Bignum.Nat.t -> e:int -> int option
+(** The raw estimate of [⌈log_B v⌉] for [v = f × b^e], before fixup;
+    [None] for {!Iterative}, which has no estimation step.  Exposed for
+    the estimator-accuracy ablation (bench E7). *)
+
+val scale :
+  strategy ->
+  base:int ->
+  b:int ->
+  f:Bignum.Nat.t ->
+  e:int ->
+  Boundaries.t ->
+  int * Boundaries.t
+(** [(k, state)] with [state] ready for {!Generate.free} (pre-multiplied
+    convention).  [b], [f], [e] describe the value being printed and feed
+    the estimators; the boundaries carry the (possibly mode- or
+    fixed-format-adjusted) rounding range. *)
+
+val scale_on_high : base:int -> Boundaries.t -> int * Boundaries.t
+(** Estimator-seeded scaling driven by the upper endpoint [high = (r+m⁺)/s]
+    instead of by [v].  Fixed format needs this: its quantum expansion can
+    push [high] arbitrarily far above [v] (e.g. printing 0.6 to zero
+    decimal places), which breaks the within-one guarantee of the
+    value-based estimators.  The estimate here is within one of the true
+    [k] for every input, with the same free fixup. *)

@@ -1,0 +1,145 @@
+(* Function-for-function ports of the paper's Scheme listings.  Variable
+   names and call shapes follow the figures; [Nat] stands in for Scheme's
+   bignums.  Recursion is kept where the Scheme recurses. *)
+
+module Nat = Bignum.Nat
+
+type figure = Figure1 | Figure2 | Figure3
+
+let ( * ) = Nat.mul
+let ( + ) = Nat.add
+
+let ge a b = Nat.compare a b >= 0
+let gt a b = Nat.compare a b > 0
+let le a b = Nat.compare a b <= 0
+let lt a b = Nat.compare a b < 0
+
+(* Figure 1's [generate]: multiply r by B first, then split off a digit. *)
+let rec generate_fig1 r s m_plus m_minus b low_ok high_ok =
+  let d, r = Nat.divmod (Nat.mul_int r b) s in
+  let m_plus = Nat.mul_int m_plus b and m_minus = Nat.mul_int m_minus b in
+  let d = Nat.to_int_exn d in
+  let tc1 = (if low_ok then le else lt) r m_minus in
+  let tc2 = (if high_ok then ge else gt) (r + m_plus) s in
+  if not tc1 then
+    if not tc2 then d :: generate_fig1 r s m_plus m_minus b low_ok high_ok
+    else [ Stdlib.( + ) d 1 ]
+  else if not tc2 then [ d ]
+  else if lt (Nat.shift_left r 1) s then [ d ]
+  else [ Stdlib.( + ) d 1 ]
+
+(* Figure 3's [generate]: r arrives pre-multiplied. *)
+let rec generate_fig3 r s m_plus m_minus b low_ok high_ok =
+  let d, r = Nat.divmod r s in
+  let d = Nat.to_int_exn d in
+  let tc1 = (if low_ok then le else lt) r m_minus in
+  let tc2 = (if high_ok then ge else gt) (r + m_plus) s in
+  if not tc1 then
+    if not tc2 then
+      d
+      :: generate_fig3 (Nat.mul_int r b) s (Nat.mul_int m_plus b)
+           (Nat.mul_int m_minus b) b low_ok high_ok
+    else [ Stdlib.( + ) d 1 ]
+  else if not tc2 then [ d ]
+  else if lt (Nat.shift_left r 1) s then [ d ]
+  else [ Stdlib.( + ) d 1 ]
+
+(* Figure 1's iterative [scale]. *)
+let rec scale_fig1 r s m_plus m_minus k b low_ok high_ok =
+  if (if high_ok then ge else gt) (r + m_plus) s then
+    (* k is too low *)
+    scale_fig1 r (Nat.mul_int s b) m_plus m_minus (Stdlib.( + ) k 1) b low_ok
+      high_ok
+  else if
+    (if high_ok then lt else le) (Nat.mul_int (r + m_plus) b) s
+  then
+    (* k is too high *)
+    scale_fig1 (Nat.mul_int r b) s (Nat.mul_int m_plus b)
+      (Nat.mul_int m_minus b)
+      (Stdlib.( - ) k 1)
+      b low_ok high_ok
+  else (k, generate_fig1 r s m_plus m_minus b low_ok high_ok)
+
+(* Figures 2 and 3 share [fixup]; the figures differ in the estimate. *)
+let fixup r s m_plus m_minus k b low_ok high_ok =
+  if (if high_ok then ge else gt) (r + m_plus) s then
+    (* too low? *)
+    ( Stdlib.( + ) k 1,
+      generate_fig3 r s m_plus m_minus b low_ok high_ok )
+  else
+    ( k,
+      generate_fig3 (Nat.mul_int r b) s (Nat.mul_int m_plus b)
+        (Nat.mul_int m_minus b) b low_ok high_ok )
+
+let scale_estimated est r s m_plus m_minus b low_ok high_ok =
+  if Stdlib.( >= ) est 0 then
+    fixup r (s * Scaling.power ~base:b est) m_plus m_minus est b low_ok
+      high_ok
+  else begin
+    let scale = Scaling.power ~base:b (-est) in
+    fixup (r * scale) s (m_plus * scale) (m_minus * scale) est b low_ok
+      high_ok
+  end
+
+(* Figure 2's estimate: the floating-point logarithm of v. *)
+let estimate_fig2 ~base ~b ~f ~e =
+  let m, nbits = Nat.frexp f in
+  let log_b x = log x /. log (float_of_int base) in
+  let log_v =
+    ((float_of_int e *. log (float_of_int b)) /. log (float_of_int base))
+    +. log_b m
+    +. (float_of_int nbits *. log_b 2.)
+  in
+  Stdlib.int_of_float (Float.ceil (log_v -. 1e-10))
+
+(* Figure 3's estimate: exponent and mantissa length, two flops. *)
+let estimate_fig3 ~base ~b ~f ~e =
+  let invlog2of = log 2. /. log (float_of_int base) in
+  let log2_b = if Stdlib.( = ) b 2 then 1. else log (float_of_int b) /. log 2. in
+  Stdlib.int_of_float
+    (Float.ceil
+       (((float_of_int e *. log2_b) +. float_of_int (Stdlib.( - ) (Nat.bit_length f) 1))
+        *. invlog2of
+       -. 1e-10))
+
+(* The paper's [flonum->digits] driver (IEEE unbiased rounding: both
+   endpoints admissible exactly when the mantissa is even). *)
+let flonum_to_digits figure ~base (fmt : Fp.Format_spec.t)
+    (v : Fp.Value.finite) =
+  let b = fmt.b and p = fmt.p and min_e = fmt.emin in
+  let f = v.f and e = v.e in
+  if Nat.is_zero f then invalid_arg "Scheme_figures: zero";
+  let round_ok = Nat.is_even f in
+  let scale r s m_plus m_minus =
+    match figure with
+    | Figure1 -> scale_fig1 r s m_plus m_minus 0 base round_ok round_ok
+    | Figure2 ->
+      scale_estimated (estimate_fig2 ~base ~b ~f ~e) r s m_plus m_minus base
+        round_ok round_ok
+    | Figure3 ->
+      scale_estimated (estimate_fig3 ~base ~b ~f ~e) r s m_plus m_minus base
+        round_ok round_ok
+  in
+  let bp1 = Nat.pow_int b (Stdlib.( - ) p 1) in
+  let k, digits =
+    if Stdlib.( >= ) e 0 then
+      if not (Nat.equal f bp1) then begin
+        let be = Nat.pow_int b e in
+        scale (Nat.shift_left (f * be) 1) Nat.two be be
+      end
+      else begin
+        let be = Nat.pow_int b e in
+        let be1 = Nat.mul_int be b in
+        scale (Nat.shift_left (f * be1) 1) (Nat.of_int (Stdlib.( * ) b 2)) be1 be
+      end
+    else if Stdlib.( = ) e min_e || not (Nat.equal f bp1) then
+      scale (Nat.shift_left f 1)
+        (Nat.shift_left (Nat.pow_int b (-e)) 1)
+        Nat.one Nat.one
+    else
+      scale
+        (Nat.shift_left (Nat.mul_int f b) 1)
+        (Nat.shift_left (Nat.pow_int b (Stdlib.( - ) 1 e)) 1)
+        (Nat.of_int b) Nat.one
+  in
+  { Free_format.digits = Array.of_list digits; k }

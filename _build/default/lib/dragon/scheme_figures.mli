@@ -1,0 +1,21 @@
+(** Direct transliterations of the paper's published Scheme code.
+
+    The paper prints three Scheme listings: Figure 1 (the integer
+    algorithm with Steele & White's iterative [scale]), Figure 2 (scaling
+    with the floating-point logarithm and a one-shot [fixup]) and Figure 3
+    (the fast estimator with the pre-multiplying [generate]).  This module
+    ports them function-for-function — same structure, same recursion,
+    same [low-ok?]/[high-ok?] plumbing, IEEE unbiased rounding, ties
+    rounding up — as a fidelity check: each figure is property-tested to
+    agree digit-for-digit with the production {!Free_format} path.
+
+    [flonum_to_digits] corresponds to the paper's [flonum->digits]
+    driver. *)
+
+type figure = Figure1 | Figure2 | Figure3
+
+val flonum_to_digits :
+  figure -> base:int -> Fp.Format_spec.t -> Fp.Value.finite -> Free_format.t
+(** Free-format digits of a positive finite value, computed by the chosen
+    figure's code path.  All three produce identical results; they differ
+    only in how they find the scale factor. *)

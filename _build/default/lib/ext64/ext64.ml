@@ -1,0 +1,178 @@
+type t = { m : int64; e : int }
+
+(* Full 64x64 -> 128 unsigned multiply on int64 bit patterns. *)
+let umul128 a b =
+  let mask32 = 0xFFFFFFFFL in
+  let ah = Int64.shift_right_logical a 32 and al = Int64.logand a mask32 in
+  let bh = Int64.shift_right_logical b 32 and bl = Int64.logand b mask32 in
+  let hh = Int64.mul ah bh in
+  let hl = Int64.mul ah bl in
+  let lh = Int64.mul al bh in
+  let ll = Int64.mul al bl in
+  let mid =
+    Int64.add
+      (Int64.add (Int64.shift_right_logical ll 32) (Int64.logand hl mask32))
+      (Int64.logand lh mask32)
+  in
+  let low = Int64.logor (Int64.shift_left mid 32) (Int64.logand ll mask32) in
+  let high =
+    Int64.add
+      (Int64.add hh (Int64.shift_right_logical hl 32))
+      (Int64.add (Int64.shift_right_logical lh 32)
+         (Int64.shift_right_logical mid 32))
+  in
+  (high, low)
+
+let top_bit_set m = Int64.compare m 0L < 0 (* bit 63 as sign bit *)
+
+let rec normalize m e =
+  if Int64.equal m 0L then invalid_arg "Ext64: zero"
+  else if top_bit_set m then { m; e }
+  else normalize (Int64.shift_left m 1) (e - 1)
+
+let of_int n =
+  if n <= 0 then invalid_arg "Ext64.of_int: need positive";
+  normalize (Int64.of_int n) 0
+
+let of_float x =
+  if not (Float.is_finite x) || x <= 0. then
+    invalid_arg "Ext64.of_float: need positive finite";
+  let frac, ex = Float.frexp x in
+  (* frac in [0.5, 1): 53 significant bits, exact at 2^53 *)
+  let m53 = Int64.of_float (Float.ldexp frac 53) in
+  normalize m53 (ex - 53)
+
+let mul a b =
+  let high, low = umul128 a.m b.m in
+  let e = a.e + b.e + 64 in
+  (* product of two normalized mantissas is in [2^126, 2^128): at most one
+     normalizing shift *)
+  let high, low, e =
+    if top_bit_set high then (high, low, e)
+    else
+      ( Int64.logor (Int64.shift_left high 1)
+          (Int64.shift_right_logical low 63),
+        Int64.shift_left low 1,
+        e - 1 )
+  in
+  (* round to nearest-even on the dropped 64 bits *)
+  let round_up =
+    top_bit_set low
+    && (not (Int64.equal (Int64.shift_left low 1) 0L)
+       || Int64.equal (Int64.logand high 1L) 1L)
+  in
+  if round_up then begin
+    let high' = Int64.add high 1L in
+    if Int64.equal high' 0L then { m = Int64.min_int; e = e + 1 }
+    else { m = high'; e }
+  end
+  else { m = high; e }
+
+(* Correctly rounded 64-bit mantissa of 10^n (n may be negative),
+   computed with exact integer arithmetic. *)
+let exact_pow10 =
+  let module Nat = Bignum.Nat in
+  let int64_of_nat n = Option.get (Nat.to_int64_unsigned_opt n) in
+  let seed n =
+    (* correctly rounded 64-bit mantissa of 10^n (n may be negative) *)
+    if n >= 0 then begin
+      let v = Nat.pow_int 10 n in
+      let bits = Nat.bit_length v in
+      if bits <= 64 then
+        normalize (Int64.shift_left (int64_of_nat v) (64 - bits)) (bits - 64)
+      else begin
+        let shifted = Nat.shift_right v (bits - 65) in
+        (* 65 bits: round on the last *)
+        let m65 = shifted in
+        let half = Nat.test_bit m65 0 in
+        let m64 = Nat.shift_right m65 1 in
+        let m64 = if half then Nat.succ m64 else m64 in
+        let m64, e =
+          if Nat.bit_length m64 = 65 then (Nat.shift_right m64 1, bits - 63)
+          else (m64, bits - 64)
+        in
+        { m = int64_of_nat m64; e }
+      end
+    end
+    else begin
+      (* 10^n = 2^(e) * (2^127-ish / 10^-n): divide with rounding *)
+      let den = Nat.pow_int 10 (-n) in
+      let dbits = Nat.bit_length den in
+      (* choose shift so the quotient has 65 bits *)
+      let shift = dbits + 64 in
+      let num = Nat.shift_left Nat.one shift in
+      let q, _ = Nat.divmod num den in
+      let qbits = Nat.bit_length q in
+      let q, shift =
+        if qbits > 65 then (Nat.shift_right q (qbits - 65), shift - (qbits - 65))
+        else (q, shift)
+      in
+      let half = Nat.test_bit q 0 in
+      let m64 = Nat.shift_right q 1 in
+      let m64 = if half then Nat.succ m64 else m64 in
+      let m64, shift =
+        if Nat.bit_length m64 = 65 then (Nat.shift_right m64 1, shift - 1)
+        else (m64, shift)
+      in
+      { m = int64_of_nat m64; e = 1 - shift }
+    end
+  in
+  seed
+
+(* seeds for the chunk-composed model table *)
+let pos_seeds = Array.init 9 (fun i -> exact_pow10 (1 lsl i))
+let neg_seeds = Array.init 9 (fun i -> exact_pow10 (-(1 lsl i)))
+
+let pow10 n =
+  if n = 0 then of_int 1
+  else if abs n > 350 then invalid_arg "Ext64.pow10: out of range"
+  else begin
+    let seeds = if n > 0 then pos_seeds else neg_seeds in
+    let n = abs n in
+    let acc = ref None in
+    for i = 0 to 8 do
+      if n land (1 lsl i) <> 0 then
+        acc :=
+          (match !acc with
+          | None -> Some seeds.(i)
+          | Some a -> Some (mul a seeds.(i)))
+    done;
+    Option.get !acc
+  end
+
+(* Correctly rounded powers, memoized over the full range. *)
+let correct_table : t option array = Array.make 701 None
+
+let pow10_correct n =
+  if abs n > 350 then invalid_arg "Ext64.pow10_correct: out of range";
+  let i = n + 350 in
+  match correct_table.(i) with
+  | Some t -> t
+  | None ->
+    let t = if n = 0 then of_int 1 else exact_pow10 n in
+    correct_table.(i) <- Some t;
+    t
+
+let to_int64_round t =
+  (* value = m * 2^e with m in [2^63, 2^64) *)
+  if t.e >= -1 then invalid_arg "Ext64.to_int64_round: too large";
+  let drop = -t.e in
+  if drop > 64 then 0L
+  else if drop = 64 then if top_bit_set t.m then 1L else 0L
+  else begin
+    let kept = Int64.shift_right_logical t.m drop in
+    let dropped = Int64.shift_left t.m (64 - drop) in
+    let round_up =
+      top_bit_set dropped
+      && (not (Int64.equal (Int64.shift_left dropped 1) 0L)
+         || Int64.equal (Int64.logand kept 1L) 1L)
+    in
+    if round_up then Int64.add kept 1L else kept
+  end
+
+let to_float t =
+  (* the mantissa is unsigned; split off the low bit so the conversion of
+     the high 63 bits stays in Int64's positive range *)
+  let high = Int64.to_float (Int64.shift_right_logical t.m 1) in
+  let low = Int64.to_float (Int64.logand t.m 1L) in
+  Float.ldexp ((high *. 2.) +. low) t.e

@@ -1,0 +1,1 @@
+lib/fp/format_spec.ml: Bignum Format

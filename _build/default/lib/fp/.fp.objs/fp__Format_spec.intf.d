@@ -1,0 +1,1 @@
+lib/fp/format_spec.mli: Bignum Format

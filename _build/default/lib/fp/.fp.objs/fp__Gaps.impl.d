@@ -1,0 +1,1 @@
+lib/fp/gaps.ml: Bignum Format_spec Value

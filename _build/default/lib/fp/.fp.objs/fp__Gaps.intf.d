@@ -1,0 +1,1 @@
+lib/fp/gaps.mli: Bignum Format_spec Value

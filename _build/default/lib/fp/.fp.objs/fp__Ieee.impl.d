@@ -1,0 +1,1 @@
+lib/fp/ieee.ml: Bignum Float Format_spec Int64 Value

@@ -1,0 +1,1 @@
+lib/fp/ieee.mli: Format_spec Value

@@ -1,0 +1,1 @@
+lib/fp/rounding.mli: Format

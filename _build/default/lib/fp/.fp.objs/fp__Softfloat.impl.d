@@ -1,0 +1,1 @@
+lib/fp/softfloat.ml: Bignum Bool Float Format_spec Gaps Rounding Value

@@ -1,0 +1,1 @@
+lib/fp/softfloat.mli: Bignum Format_spec Rounding Value

@@ -1,0 +1,1 @@
+lib/fp/value.ml: Bignum Format Format_spec Printf

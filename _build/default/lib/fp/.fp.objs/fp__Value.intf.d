@@ -1,0 +1,1 @@
+lib/fp/value.mli: Bignum Format Format_spec

@@ -1,0 +1,53 @@
+(** Floating-point format descriptors.
+
+    A format is the paper's [(b, p)] pair plus exponent bounds: finite
+    values are [±f × b^e] with [0 <= f < b^p] and [emin <= e <= emax],
+    where [f] is the mantissa {e as an integer} (the paper's convention
+    throughout Section 2).  [e = emin] admits denormalized mantissas
+    [f < b^(p-1)]; larger exponents require normalized ones. *)
+
+type t = private {
+  b : int;  (** input base, almost always 2 *)
+  p : int;  (** mantissa size in base-[b] digits *)
+  emin : int;  (** minimum exponent of the integer mantissa *)
+  emax : int;  (** maximum exponent of the integer mantissa *)
+  name : string;
+}
+
+val make : ?name:string -> b:int -> p:int -> emin:int -> emax:int -> unit -> t
+(** @raise Invalid_argument on a nonsensical combination. *)
+
+val binary16 : t
+(** IEEE half precision: p = 11, e in [-24, 5]. *)
+
+val bfloat16 : t
+(** Google brain float: p = 8, e in [-133, 120] — binary32's exponent
+    range with a 7-bit stored mantissa. *)
+
+val binary32 : t
+(** IEEE single precision: p = 24, e in [-149, 104]. *)
+
+val binary64 : t
+(** IEEE double precision: p = 53, e in [-1074, 971]. *)
+
+val binary80 : t
+(** x87 double-extended (64-bit mantissa, no hidden bit): p = 64,
+    e in [-16445, 16320]. *)
+
+val binary128 : t
+(** IEEE quad precision: p = 113, e in [-16494, 16271]. *)
+
+val decimal64_like : t
+(** A base-10 format shaped like IEEE decimal64 (p = 16 digits,
+    e in [-398, 369]).  The printing algorithm is generic in the input
+    base, so decimal floats print (trivially, but through the same code
+    path) too; cross-base output exercises the general machinery. *)
+
+val mantissa_limit : t -> Bignum.Nat.t
+(** [b^p], the exclusive upper bound of mantissas. *)
+
+val min_normal_mantissa : t -> Bignum.Nat.t
+(** [b^(p-1)], the smallest normalized mantissa. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+module Nat = Bignum.Nat
+module Ratio = Bignum.Ratio
+
+let check_positive_canonical (fmt : Format_spec.t) (v : Value.finite) =
+  if v.neg then invalid_arg "Gaps: negative value (print the magnitude)";
+  if Nat.is_zero v.f then invalid_arg "Gaps: zero mantissa";
+  if
+    Nat.compare v.f (Format_spec.mantissa_limit fmt) >= 0
+    || v.e < fmt.emin || v.e > fmt.emax
+    || (v.e > fmt.emin
+        && Nat.compare v.f (Format_spec.min_normal_mantissa fmt) < 0)
+  then invalid_arg "Gaps: value not canonical in format"
+
+let succ (fmt : Format_spec.t) (v : Value.finite) =
+  check_positive_canonical fmt v;
+  let f = Nat.succ v.f in
+  if Nat.compare f (Format_spec.mantissa_limit fmt) < 0 then
+    Value.Finite { v with f }
+  else if v.e + 1 <= fmt.emax then
+    Value.Finite { v with f = Format_spec.min_normal_mantissa fmt; e = v.e + 1 }
+  else Value.Inf false
+
+let gap_low_is_narrow (fmt : Format_spec.t) (v : Value.finite) =
+  v.e > fmt.emin && Nat.equal v.f (Format_spec.min_normal_mantissa fmt)
+
+let pred (fmt : Format_spec.t) (v : Value.finite) =
+  check_positive_canonical fmt v;
+  if gap_low_is_narrow fmt v then
+    Value.Finite
+      { v with f = Nat.pred (Format_spec.mantissa_limit fmt); e = v.e - 1 }
+  else begin
+    let f = Nat.pred v.f in
+    if Nat.is_zero f then Value.Zero false else Value.Finite { v with f }
+  end
+
+(* Half-gap midpoints.  Per Table 1 the upper half-gap is always b^e/2,
+   and the lower one is b^(e-1)/2 exactly when the gap below is narrow. *)
+let rounding_range (fmt : Format_spec.t) (v : Value.finite) =
+  check_positive_canonical fmt v;
+  let value = Value.to_ratio fmt v in
+  let half_pow k =
+    Ratio.div
+      (Ratio.pow (Ratio.of_int fmt.b) k)
+      (Ratio.of_int 2)
+  in
+  let high = Ratio.add value (half_pow v.e) in
+  let low =
+    Ratio.sub value (half_pow (if gap_low_is_narrow fmt v then v.e - 1 else v.e))
+  in
+  (low, high)

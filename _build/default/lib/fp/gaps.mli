@@ -1,0 +1,27 @@
+(** Floating-point neighbours and rounding ranges (paper, Section 2.1-2.2).
+
+    Given a positive [v = f × b^e], the algorithm needs its successor [v⁺]
+    and predecessor [v⁻] to delimit the set of reals that round to [v].
+    The gaps are uneven: when [f = b^(p-1)] and [e > emin], the gap below
+    [v] is [b] times narrower than the gap above (the paper's special case
+    in step 1 of the procedure). *)
+
+val succ : Format_spec.t -> Value.finite -> Value.t
+(** Successor of a positive canonical value; [Inf false] past the largest
+    finite value. *)
+
+val pred : Format_spec.t -> Value.finite -> Value.t
+(** Predecessor of a positive canonical value; [Zero false] below the
+    smallest denormal. *)
+
+val gap_low_is_narrow : Format_spec.t -> Value.finite -> bool
+(** True exactly when [f = b^(p-1)] and [e > emin]: the predecessor gap is
+    [b] times narrower than the successor gap. *)
+
+val rounding_range :
+  Format_spec.t -> Value.finite -> Bignum.Ratio.t * Bignum.Ratio.t
+(** [(low, high)] midpoints of a positive value's rounding range:
+    [low = (v⁻ + v)/2] and [high = (v + v⁺)/2].  At the extremes the
+    missing neighbour is replaced by the half-gap extrapolation the paper
+    uses ([v⁺ = v + b^e] beyond the top of the range, and [v⁻ = v - b^emin]
+    below the bottom). *)

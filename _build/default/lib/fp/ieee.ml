@@ -1,0 +1,102 @@
+module Nat = Bignum.Nat
+
+type spec = {
+  exp_bits : int;
+  mant_bits : int;
+  bias : int;
+  format : Format_spec.t;
+}
+
+let make_spec ?name ~exp_bits ~mant_bits () =
+  if exp_bits < 2 || mant_bits < 1 then
+    invalid_arg "Ieee.make_spec: field widths too small";
+  if 1 + exp_bits + mant_bits > 64 then
+    invalid_arg "Ieee.make_spec: encodings wider than 64 bits not supported";
+  let bias = (1 lsl (exp_bits - 1)) - 1 in
+  let emin = 1 - bias - mant_bits in
+  let emax = ((1 lsl exp_bits) - 2) - bias - mant_bits in
+  {
+    exp_bits;
+    mant_bits;
+    bias;
+    format = Format_spec.make ?name ~b:2 ~p:(mant_bits + 1) ~emin ~emax ();
+  }
+
+let spec_binary16 = make_spec ~name:"binary16" ~exp_bits:5 ~mant_bits:10 ()
+let spec_bfloat16 = make_spec ~name:"bfloat16" ~exp_bits:8 ~mant_bits:7 ()
+let spec_binary32 = make_spec ~name:"binary32" ~exp_bits:8 ~mant_bits:23 ()
+let spec_binary64 = make_spec ~name:"binary64" ~exp_bits:11 ~mant_bits:52 ()
+
+let width spec = 1 + spec.exp_bits + spec.mant_bits
+
+let field_mask n = Int64.sub (Int64.shift_left 1L n) 1L
+
+let decompose_bits spec bits =
+  let w = width spec in
+  let bits = if w = 64 then bits else Int64.logand bits (field_mask w) in
+  let m = Int64.to_int (Int64.logand bits (field_mask spec.mant_bits)) in
+  let e_field =
+    Int64.to_int
+      (Int64.logand
+         (Int64.shift_right_logical bits spec.mant_bits)
+         (field_mask spec.exp_bits))
+  in
+  let neg =
+    Int64.equal
+      (Int64.logand
+         (Int64.shift_right_logical bits (spec.exp_bits + spec.mant_bits))
+         1L)
+      1L
+  in
+  let e_max_field = (1 lsl spec.exp_bits) - 1 in
+  if e_field = 0 then
+    if m = 0 then Value.Zero neg
+    else Value.finite ~neg ~f:(Nat.of_int m) ~e:spec.format.emin ()
+  else if e_field = e_max_field then if m = 0 then Value.Inf neg else Value.Nan
+  else
+    Value.finite ~neg
+      ~f:(Nat.of_int (m lor (1 lsl spec.mant_bits)))
+      ~e:(e_field - spec.bias - spec.mant_bits)
+      ()
+
+let compose_bits spec value =
+  let sign_bit neg =
+    if neg then Int64.shift_left 1L (spec.exp_bits + spec.mant_bits) else 0L
+  in
+  let with_exp_field e_field rest =
+    Int64.logor (Int64.shift_left (Int64.of_int e_field) spec.mant_bits) rest
+  in
+  let e_max_field = (1 lsl spec.exp_bits) - 1 in
+  match value with
+  | Value.Zero neg -> sign_bit neg
+  | Value.Inf neg -> Int64.logor (sign_bit neg) (with_exp_field e_max_field 0L)
+  | Value.Nan ->
+    with_exp_field e_max_field (Int64.shift_left 1L (spec.mant_bits - 1))
+  | Value.Finite fin ->
+    let fin = Value.normalize spec.format fin in
+    let f = Nat.to_int_exn fin.f in
+    let hidden = 1 lsl spec.mant_bits in
+    if fin.e = spec.format.emin && f < hidden then
+      (* denormal: biased exponent field 0 *)
+      Int64.logor (sign_bit fin.neg) (Int64.of_int f)
+    else begin
+      let e_field = fin.e + spec.bias + spec.mant_bits in
+      assert (1 <= e_field && e_field < e_max_field);
+      Int64.logor (sign_bit fin.neg)
+        (with_exp_field e_field (Int64.of_int (f - hidden)))
+    end
+
+let decompose x = decompose_bits spec_binary64 (Int64.bits_of_float x)
+let compose v = Int64.float_of_bits (compose_bits spec_binary64 v)
+
+let succ_float x =
+  if Float.is_nan x then x
+  else if x = Float.infinity then x
+  else if x = 0. then Int64.float_of_bits 1L (* smallest positive denormal *)
+  else begin
+    let bits = Int64.bits_of_float x in
+    if x > 0. then Int64.float_of_bits (Int64.add bits 1L)
+    else Int64.float_of_bits (Int64.sub bits 1L)
+  end
+
+let pred_float x = -.succ_float (-.x)

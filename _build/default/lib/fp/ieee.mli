@@ -1,0 +1,43 @@
+(** IEEE 754 interchange encodings: bit patterns ↔ decomposed values.
+
+    This is the paper's Section 2.1 made executable: a [w]-bit datum with a
+    sign bit, a biased exponent and a mantissa field with a hidden bit.
+    The generic [spec] covers binary16/32/64 (and any custom hidden-bit
+    format); OCaml [float]s get dedicated helpers through their binary64
+    bits. *)
+
+type spec = private {
+  exp_bits : int;
+  mant_bits : int;  (** stored mantissa field width; p = mant_bits + 1 *)
+  bias : int;
+  format : Format_spec.t;
+}
+
+val spec_binary16 : spec
+val spec_bfloat16 : spec
+val spec_binary32 : spec
+val spec_binary64 : spec
+
+val make_spec : ?name:string -> exp_bits:int -> mant_bits:int -> unit -> spec
+(** A custom hidden-bit binary format, bias [2^(exp_bits-1) - 1]. *)
+
+val width : spec -> int
+(** Total encoding width in bits (1 + exp_bits + mant_bits). *)
+
+val decompose_bits : spec -> int64 -> Value.t
+(** Interpret the low [width spec] bits as an IEEE datum. *)
+
+val compose_bits : spec -> Value.t -> int64
+(** Exact encoding of a representable value.
+    @raise Invalid_argument if the value is not representable (no rounding
+    is performed here; use {!Reader} to round). *)
+
+(** {1 OCaml floats (binary64)} *)
+
+val decompose : float -> Value.t
+val compose : Value.t -> float
+
+val succ_float : float -> float
+(** Next representable double up (bit-level; handles denormals). *)
+
+val pred_float : float -> float

@@ -1,0 +1,45 @@
+type mode =
+  | To_nearest_even
+  | To_nearest_away
+  | To_nearest_toward_zero
+  | Toward_zero
+  | Toward_negative
+  | Toward_positive
+
+let all =
+  [
+    To_nearest_even;
+    To_nearest_away;
+    To_nearest_toward_zero;
+    Toward_zero;
+    Toward_negative;
+    Toward_positive;
+  ]
+
+let is_nearest = function
+  | To_nearest_even | To_nearest_away | To_nearest_toward_zero -> true
+  | Toward_zero | Toward_negative | Toward_positive -> false
+
+(* For a positive v with rounding range (low, high) between midpoints:
+   - ties-to-even: both midpoints read back as v exactly when v's mantissa
+     is even (the paper's 1e23 example);
+   - ties-away: the low midpoint rounds up (away from zero) to v, the high
+     midpoint rounds up past v;
+   - ties-toward-zero: symmetric to the above. *)
+let boundary_ok mode ~mantissa_even =
+  match mode with
+  | To_nearest_even -> (mantissa_even, mantissa_even)
+  | To_nearest_away -> (true, false)
+  | To_nearest_toward_zero -> (false, true)
+  | Toward_zero | Toward_negative | Toward_positive ->
+    invalid_arg "Rounding.boundary_ok: directed mode has no midpoints"
+
+let to_string = function
+  | To_nearest_even -> "to-nearest-even"
+  | To_nearest_away -> "to-nearest-away"
+  | To_nearest_toward_zero -> "to-nearest-toward-zero"
+  | Toward_zero -> "toward-zero"
+  | Toward_negative -> "toward-negative"
+  | Toward_positive -> "toward-positive"
+
+let pp fmt m = Format.pp_print_string fmt (to_string m)

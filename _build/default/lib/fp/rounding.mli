@@ -1,0 +1,30 @@
+(** Rounding rules of the floating-point {e reader}.
+
+    The printer's job (paper, Section 1) is to emit a string that converts
+    back to the same float {e under whatever rounding mode the reader
+    uses}.  The paper models nearest-style readers through the two booleans
+    [low_ok]/[high_ok] saying whether the boundary values of [v]'s rounding
+    range themselves convert to [v]; directed readers are an extension we
+    support by widening the range to a whole gap (see {!Dragon.Boundaries}). *)
+
+type mode =
+  | To_nearest_even
+      (** IEEE 754 default: ties go to the even mantissa. *)
+  | To_nearest_away  (** Ties go away from zero. *)
+  | To_nearest_toward_zero  (** Ties go toward zero. *)
+  | Toward_zero  (** Truncation: positive [v] owns [[v, v+)]. *)
+  | Toward_negative  (** Floor: positive [v] owns [[v, v+)]. *)
+  | Toward_positive  (** Ceiling: positive [v] owns [(v-, v]]. *)
+
+val all : mode list
+
+val is_nearest : mode -> bool
+
+val boundary_ok : mode -> mantissa_even:bool -> bool * bool
+(** [boundary_ok mode ~mantissa_even] is [(low_ok, high_ok)] for a
+    nearest-style [mode]: whether the lower/upper midpoint of a positive
+    [v]'s rounding range reads back as [v].
+    @raise Invalid_argument on directed modes, which have no midpoints. *)
+
+val to_string : mode -> string
+val pp : Format.formatter -> mode -> unit

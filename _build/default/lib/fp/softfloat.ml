@@ -1,0 +1,384 @@
+module Nat = Bignum.Nat
+module Bigint = Bignum.Bigint
+module Ratio = Bignum.Ratio
+
+type t = Value.t
+
+(* ------------------------------------------------------------------ *)
+(* Correct rounding of an exact magnitude u/v into a format.
+
+   This is the one place in the repository where "round a positive real
+   into (b, p, emin, emax)" is implemented; the reader delegates here. *)
+
+type direction = Down | Up | Nearest of [ `Even | `Away | `Zero ]
+
+let direction_of_mode mode ~neg =
+  match (mode, neg) with
+  | Rounding.To_nearest_even, _ -> Nearest `Even
+  | Rounding.To_nearest_away, _ -> Nearest `Away
+  | Rounding.To_nearest_toward_zero, _ -> Nearest `Zero
+  | Rounding.Toward_zero, _ -> Down
+  | Rounding.Toward_negative, false | Rounding.Toward_positive, true -> Down
+  | Rounding.Toward_negative, true | Rounding.Toward_positive, false -> Up
+
+let round_magnitude (fmt : Format_spec.t) dir u v =
+  let limit = Format_spec.mantissa_limit fmt in
+  let lower = Format_spec.min_normal_mantissa fmt in
+  let quotient e =
+    let num, den =
+      if e >= 0 then (u, Nat.mul v (Nat.pow_int fmt.b e))
+      else (Nat.mul u (Nat.pow_int fmt.b (-e)), v)
+    in
+    let q, r = Nat.divmod num den in
+    (q, r, den)
+  in
+  (* Initial estimate of the exponent from bit lengths; the adjustment
+     loop below fixes any estimation error, so it only needs to be
+     close. *)
+  let log2_b = log (float_of_int fmt.b) /. log 2. in
+  let e0 =
+    int_of_float
+      (Float.of_int (Nat.bit_length u - Nat.bit_length v) /. log2_b)
+    - fmt.p
+  in
+  let e = ref (min (max e0 fmt.emin) fmt.emax) in
+  let state = ref (quotient !e) in
+  let overflow = ref false in
+  let continue = ref true in
+  while !continue do
+    let q, _, _ = !state in
+    if Nat.compare q limit >= 0 then
+      if !e >= fmt.emax then begin
+        overflow := true;
+        continue := false
+      end
+      else begin
+        incr e;
+        state := quotient !e
+      end
+    else if Nat.compare q lower < 0 && !e > fmt.emin then begin
+      decr e;
+      state := quotient !e
+    end
+    else continue := false
+  done;
+  if !overflow then
+    (* larger than the largest finite value at full precision *)
+    match dir with
+    | Down -> Value.Finite { neg = false; f = Nat.pred limit; e = fmt.emax }
+    | Up | Nearest _ -> Value.Inf false
+  else begin
+    let q, r, den = !state in
+    let round_up =
+      if Nat.is_zero r then false
+      else begin
+        match dir with
+        | Down -> false
+        | Up -> true
+        | Nearest tie -> (
+          let c = Nat.compare (Nat.shift_left r 1) den in
+          if c > 0 then true
+          else if c < 0 then false
+          else
+            match tie with
+            | `Even -> not (Nat.is_even q)
+            | `Away -> true
+            | `Zero -> false)
+      end
+    in
+    let q = if round_up then Nat.succ q else q in
+    if Nat.is_zero q then Value.Zero false
+    else if Nat.compare q limit >= 0 then
+      (* the round-up cascaded past the top of the binade *)
+      if !e >= fmt.emax then
+        match dir with
+        | Down -> assert false (* Down never rounds up *)
+        | Up | Nearest _ -> Value.Inf false
+      else Value.Finite { neg = false; f = lower; e = !e + 1 }
+    else Value.Finite { neg = false; f = q; e = !e }
+  end
+
+let apply_sign neg (v : Value.t) =
+  if not neg then v
+  else
+    match v with
+    | Value.Zero _ -> Value.Zero true
+    | Value.Inf _ -> Value.Inf true
+    | Value.Nan -> Value.Nan
+    | Value.Finite f -> Value.Finite { f with neg = true }
+
+(* The sign of a zero result produced by rounding a zero-valued exact
+   expression (e.g. x - x): IEEE says +0 except toward negative. *)
+let zero_for mode = Value.Zero (mode = Rounding.Toward_negative)
+
+let round_fraction ?(mode = Rounding.To_nearest_even) fmt ~neg u v =
+  if Nat.is_zero u then zero_for mode
+  else begin
+    let dir = direction_of_mode mode ~neg in
+    apply_sign neg (round_magnitude fmt dir u v)
+  end
+
+let of_ratio ?(mode = Rounding.To_nearest_even) fmt r =
+  let neg = Ratio.sign r < 0 in
+  let abs = Ratio.abs r in
+  round_fraction ~mode fmt ~neg
+    (Bigint.to_nat_exn (Ratio.num abs))
+    (Bigint.to_nat_exn (Ratio.den abs))
+
+let of_int ?mode fmt n =
+  of_ratio ?mode fmt (Ratio.of_int n)
+
+(* ------------------------------------------------------------------ *)
+(* IEEE special-value plumbing *)
+
+let neg = function
+  | Value.Zero s -> Value.Zero (not s)
+  | Value.Inf s -> Value.Inf (not s)
+  | Value.Nan -> Value.Nan
+  | Value.Finite f -> Value.Finite { f with neg = not f.neg }
+
+let abs = function
+  | Value.Zero _ -> Value.Zero false
+  | Value.Inf _ -> Value.Inf false
+  | Value.Nan -> Value.Nan
+  | Value.Finite f -> Value.Finite { f with neg = false }
+
+let exact fmt (v : Value.finite) = Value.to_ratio fmt v
+
+let add ?(mode = Rounding.To_nearest_even) fmt a b =
+  match (a, b) with
+  | Value.Nan, _ | _, Value.Nan -> Value.Nan
+  | Value.Inf sa, Value.Inf sb -> if sa = sb then Value.Inf sa else Value.Nan
+  | Value.Inf s, _ | _, Value.Inf s -> Value.Inf s
+  | Value.Zero sa, Value.Zero sb ->
+    (* +0 + -0 = +0 except toward negative, where it is -0 *)
+    if sa = sb then Value.Zero sa else zero_for mode
+  | Value.Zero _, other | other, Value.Zero _ ->
+    (* rounding may still be needed: the operand might not fit fmt *)
+    (match other with
+    | Value.Finite f -> of_ratio ~mode fmt (exact fmt f)
+    | _ -> other)
+  | Value.Finite fa, Value.Finite fb ->
+    let sum = Ratio.add (exact fmt fa) (exact fmt fb) in
+    if Ratio.sign sum = 0 then zero_for mode else of_ratio ~mode fmt sum
+
+let sub ?mode fmt a b = add ?mode fmt a (neg b)
+
+let mul ?(mode = Rounding.To_nearest_even) fmt a b =
+  let sign_of = function
+    | Value.Zero s | Value.Inf s -> s
+    | Value.Finite f -> f.Value.neg
+    | Value.Nan -> false
+  in
+  match (a, b) with
+  | Value.Nan, _ | _, Value.Nan -> Value.Nan
+  | Value.Inf _, Value.Zero _ | Value.Zero _, Value.Inf _ -> Value.Nan
+  | Value.Inf sa, other | other, Value.Inf sa ->
+    Value.Inf (sa <> sign_of other)
+  | Value.Zero sa, other | other, Value.Zero sa ->
+    Value.Zero (sa <> sign_of other)
+  | Value.Finite fa, Value.Finite fb ->
+    of_ratio ~mode fmt (Ratio.mul (exact fmt fa) (exact fmt fb))
+
+let div ?(mode = Rounding.To_nearest_even) fmt a b =
+  let sign_of = function
+    | Value.Zero s | Value.Inf s -> s
+    | Value.Finite f -> f.Value.neg
+    | Value.Nan -> false
+  in
+  match (a, b) with
+  | Value.Nan, _ | _, Value.Nan -> Value.Nan
+  | Value.Inf _, Value.Inf _ -> Value.Nan
+  | Value.Zero _, Value.Zero _ -> Value.Nan
+  | Value.Inf sa, other -> Value.Inf (sa <> sign_of other)
+  | other, Value.Inf sb -> Value.Zero (sign_of other <> sb)
+  | Value.Zero sa, other -> Value.Zero (sa <> sign_of other)
+  | other, Value.Zero sb -> Value.Inf (sign_of other <> sb)
+  | Value.Finite fa, Value.Finite fb ->
+    of_ratio ~mode fmt (Ratio.div (exact fmt fa) (exact fmt fb))
+
+let fma ?(mode = Rounding.To_nearest_even) fmt a b c =
+  match (a, b, c) with
+  | Value.Nan, _, _ | _, Value.Nan, _ | _, _, Value.Nan -> Value.Nan
+  | _ -> (
+    (* infinities and zeros in the product follow mul's rules; fold the
+       exact product with the addend in one rounding *)
+    match (a, b) with
+    | Value.Finite fa, Value.Finite fb -> (
+      match c with
+      | Value.Finite fc ->
+        let r =
+          Ratio.add (Ratio.mul (exact fmt fa) (exact fmt fb)) (exact fmt fc)
+        in
+        if Ratio.sign r = 0 then
+          (* exact cancellation: sign per IEEE is that of the exact zero
+             sum, i.e. +0 except toward negative *)
+          zero_for mode
+        else of_ratio ~mode fmt r
+      | Value.Zero _ ->
+        of_ratio ~mode fmt (Ratio.mul (exact fmt fa) (exact fmt fb))
+      | other -> other)
+    | _ -> add ~mode fmt (mul ~mode fmt a b) c)
+
+let sqrt ?(mode = Rounding.To_nearest_even) fmt v =
+  match v with
+  | Value.Nan -> Value.Nan
+  | Value.Zero s -> Value.Zero s (* IEEE: sqrt(-0) = -0 *)
+  | Value.Inf false -> Value.Inf false
+  | Value.Inf true -> Value.Nan
+  | Value.Finite f when f.Value.neg -> Value.Nan
+  | Value.Finite f ->
+    (* sqrt(u/v) = sqrt(u*v)/v: one integer square root, and the exact
+       remainder drives the rounding decision through the generic
+       machinery: sqrt(N) with N = n2^2 + r lies strictly between n2 and
+       n2+1 when r > 0, and comparisons against mantissa candidates m
+       reduce to integer comparisons of N against m^2-scaled bounds.  We
+       get correct rounding more simply by scaling: compute
+       floor(sqrt(N * b^(2*extra))) so the integer square root carries
+       p + guard digits, then round that fixed-point value exactly. *)
+    let u, v_den =
+      if f.Value.e >= 0 then
+        (Nat.mul f.Value.f (Nat.pow_int fmt.Format_spec.b f.Value.e), Nat.one)
+      else (f.Value.f, Nat.pow_int fmt.Format_spec.b (-f.Value.e))
+    in
+    (* sqrt(u/v) = sqrt(u*v)/v exactly *)
+    let n = Nat.mul u v_den in
+    let s, r = Nat.isqrt n in
+    if Nat.is_zero r then
+      (* Perfect square: s / v_den is the exact result.  (And if n is not
+         a perfect square, sqrt(u/v_den) is irrational: a rational square
+         root p/q in lowest terms forces u*v_den = (p*v_den/q)^2.) *)
+      round_fraction ~mode fmt ~neg:false s v_den
+    else begin
+      (* t = sqrt(u/v_den) is irrational.  Bracket it tightly:
+         A = s'/den < t < (s'+1)/den with den = v_den * b^guard.  The
+         guard width makes the bracket far narrower than the spacing of
+         representable values (and midpoints) at t's magnitude, so the
+         open interval contains at most one rounding boundary; one exact
+         comparison of squares then settles on which side of it t lies. *)
+      let guard = (2 * fmt.p) + 4 in
+      let scale = Nat.pow_int fmt.b guard in
+      let s', _ = Nat.isqrt (Nat.mul n (Nat.mul scale scale)) in
+      let den = Nat.mul v_den scale in
+      (* t > rho for a positive rational rho=pn/pd iff u*pd^2 > pn^2*v_den *)
+      let t_above rho =
+        let pn = Bigint.to_nat_exn (Ratio.num rho) in
+        let pd = Bigint.to_nat_exn (Ratio.den rho) in
+        Nat.compare (Nat.mul u (Nat.mul pd pd)) (Nat.mul (Nat.mul pn pn) v_den)
+        > 0
+      in
+      (* largest representable strictly below t *)
+      let below = round_magnitude fmt Down s' den in
+      let down_t =
+        match below with
+        | Value.Finite w -> (
+          match Gaps.succ fmt w with
+          | Value.Finite nxt when t_above (Value.to_ratio fmt nxt) ->
+            Value.Finite nxt
+          | _ -> below)
+        | other -> other
+      in
+      let up_of = function
+        | Value.Zero _ ->
+          Value.Finite { Value.neg = false; f = Nat.one; e = fmt.emin }
+        | Value.Finite w -> Gaps.succ fmt w
+        | other -> other
+      in
+      let dir = direction_of_mode mode ~neg:false in
+      match dir with
+      | Down -> down_t
+      | Up -> up_of down_t
+      | Nearest _ -> (
+        let up_t = up_of down_t in
+        match (down_t, up_t) with
+        | _, Value.Inf _ -> (
+          (* above the largest finite value: t vs the overflow midpoint *)
+          match down_t with
+          | Value.Finite w ->
+            let half_gap =
+              Ratio.mul Ratio.half (Ratio.pow (Ratio.of_int fmt.b) w.Value.e)
+            in
+            if t_above (Ratio.add (Value.to_ratio fmt w) half_gap) then
+              Value.Inf false
+            else down_t
+          | _ -> Value.Inf false)
+        | Value.Zero _, Value.Finite nxt ->
+          let mid = Ratio.mul Ratio.half (Value.to_ratio fmt nxt) in
+          if t_above mid then up_t else zero_for mode
+        | Value.Finite w, Value.Finite nxt ->
+          let mid =
+            Ratio.mul Ratio.half
+              (Ratio.add (Value.to_ratio fmt w) (Value.to_ratio fmt nxt))
+          in
+          (* ties are impossible: t is irrational *)
+          if t_above mid then up_t else down_t
+        | _ -> down_t)
+    end
+
+(* fmod never rounds: |remainder| < |b| and the result is representable
+   whenever a and b are (it needs at most as many significant digits). *)
+let fmod fmt a b =
+  match (a, b) with
+  | Value.Nan, _ | _, Value.Nan -> Value.Nan
+  | Value.Inf _, _ | _, Value.Zero _ -> Value.Nan
+  | Value.Zero s, _ -> Value.Zero s
+  | _, Value.Inf _ -> a
+  | Value.Finite fa, Value.Finite fb ->
+    let ra = exact fmt { fa with neg = false } in
+    let rb = exact fmt { fb with neg = false } in
+    let q = Ratio.floor (Ratio.div ra rb) in
+    let rem = Ratio.sub ra (Ratio.mul (Ratio.of_bigint q) rb) in
+    if Ratio.sign rem = 0 then Value.Zero fa.neg
+    else
+      apply_sign fa.neg
+        (* exact: the rounding step cannot fire, but of_ratio also
+           normalises into the format for us *)
+        (of_ratio fmt rem)
+
+let min_max_by keep fmt a b =
+  match (a, b) with
+  | Value.Nan, other | other, Value.Nan -> other
+  | _ -> (
+    let c =
+      match (a, b) with
+      | Value.Zero sa, Value.Zero sb ->
+        Some (Bool.compare sb sa) (* -0 < +0 for min/max purposes *)
+      | Value.Inf sa, Value.Inf sb -> Some (Bool.compare sb sa)
+      | Value.Inf s, _ -> Some (if s then -1 else 1)
+      | _, Value.Inf s -> Some (if s then 1 else -1)
+      | _ ->
+        let key = function
+          | Value.Zero _ -> Ratio.zero
+          | Value.Finite f -> Value.to_ratio fmt f
+          | _ -> assert false
+        in
+        Some (Ratio.compare (key a) (key b))
+    in
+    match c with
+    | Some c -> if keep c then a else b
+    | None -> a)
+
+let min_num fmt a b = min_max_by (fun c -> c <= 0) fmt a b
+let max_num fmt a b = min_max_by (fun c -> c >= 0) fmt a b
+
+let convert ?mode ~from fmt v =
+  match v with
+  | Value.Zero _ | Value.Inf _ | Value.Nan -> v
+  | Value.Finite f ->
+    let r = Value.to_ratio from f in
+    of_ratio ?mode fmt r
+
+let compare_total fmt a b =
+  let key = function
+    | Value.Zero _ -> Ratio.zero
+    | Value.Finite f -> Value.to_ratio fmt f
+    | Value.Inf _ | Value.Nan -> assert false
+  in
+  match (a, b) with
+  | Value.Nan, _ | _, Value.Nan -> None
+  | Value.Inf sa, Value.Inf sb -> Some (Bool.compare sb sa)
+  | Value.Inf s, _ -> Some (if s then -1 else 1)
+  | _, Value.Inf s -> Some (if s then 1 else -1)
+  | _ -> Some (Ratio.compare (key a) (key b))
+
+let equal = Value.equal

@@ -1,0 +1,65 @@
+(** Correctly rounded software floating-point arithmetic, in any
+    {!Format_spec} and any {!Rounding} mode.
+
+    The paper's algorithms print values of arbitrary formats; this module
+    lets the rest of the repository {e compute} in those formats too —
+    binary128 examples, binary16 sweeps, decimal-enclosure demos.  All
+    operations follow IEEE 754 semantics for special values (signed
+    zeros, infinities, NaN propagation, overflow and gradual underflow),
+    and every finite result is correctly rounded: the exact rational
+    result is formed with bignum arithmetic and rounded once.
+
+    This is an oracle-grade implementation (clarity over speed). *)
+
+type t = Value.t
+
+val of_int : ?mode:Rounding.mode -> Format_spec.t -> int -> t
+val of_ratio : ?mode:Rounding.mode -> Format_spec.t -> Bignum.Ratio.t -> t
+
+val round_fraction :
+  ?mode:Rounding.mode ->
+  Format_spec.t ->
+  neg:bool ->
+  Bignum.Nat.t ->
+  Bignum.Nat.t ->
+  t
+(** [round_fraction fmt ~neg u v] rounds [±u/v] ([v > 0]) into the format:
+    the single place where "round a real into (b, p, emin, emax)" lives.
+    {!Reader} delegates here.  Overflow saturates or goes infinite per
+    mode; underflow passes through the denormals to a signed zero. *)
+
+val neg : t -> t
+val abs : t -> t
+
+val add : ?mode:Rounding.mode -> Format_spec.t -> t -> t -> t
+val sub : ?mode:Rounding.mode -> Format_spec.t -> t -> t -> t
+val mul : ?mode:Rounding.mode -> Format_spec.t -> t -> t -> t
+val div : ?mode:Rounding.mode -> Format_spec.t -> t -> t -> t
+
+val fma : ?mode:Rounding.mode -> Format_spec.t -> t -> t -> t -> t
+(** [fma fmt a b c] is [a*b + c] with a single rounding. *)
+
+val sqrt : ?mode:Rounding.mode -> Format_spec.t -> t -> t
+
+val fmod : Format_spec.t -> t -> t -> t
+(** C's [fmod] / OCaml's [Float.rem]: [a - b * trunc(a/b)], exact (never
+    rounds), with the sign of [a].  [fmod x inf = x]; [fmod x 0] and
+    [fmod inf x] are NaN. *)
+
+val min_num : Format_spec.t -> t -> t -> t
+val max_num : Format_spec.t -> t -> t -> t
+(** IEEE 754 minNum/maxNum: a quiet NaN loses against a number; [-0] is
+    treated as less than [+0]. *)
+
+val convert :
+  ?mode:Rounding.mode -> from:Format_spec.t -> Format_spec.t -> t -> t
+(** Correctly rounded conversion between formats (e.g. binary64 →
+    bfloat16): one rounding of the exact value, with overflow and gradual
+    underflow per mode. *)
+
+val compare_total : Format_spec.t -> t -> t -> int option
+(** Numeric comparison; [None] when either operand is NaN. *)
+
+val equal : t -> t -> bool
+(** Structural equality (distinguishes [-0] from [0]; [Nan] = [Nan]);
+    re-exported from {!Value}. *)

@@ -1,0 +1,81 @@
+module Nat = Bignum.Nat
+module Bigint = Bignum.Bigint
+module Ratio = Bignum.Ratio
+
+type finite = { neg : bool; f : Nat.t; e : int }
+
+type t = Zero of bool | Finite of finite | Inf of bool | Nan
+
+let finite ?(neg = false) ~f ~e () =
+  if Nat.is_zero f then Zero neg else Finite { neg; f; e }
+
+let finite_int ?neg ~f ~e () = finite ?neg ~f:(Nat.of_int f) ~e ()
+
+let normalize (fmt : Format_spec.t) v =
+  let limit = Format_spec.mantissa_limit fmt in
+  let lower = Format_spec.min_normal_mantissa fmt in
+  let f = ref v.f and e = ref v.e in
+  while Nat.compare !f limit >= 0 do
+    let q, r = Nat.divmod_int !f fmt.b in
+    if r <> 0 then invalid_arg "Value.normalize: mantissa does not fit";
+    f := q;
+    incr e
+  done;
+  while Nat.compare !f lower < 0 && !e > fmt.emin do
+    f := Nat.mul_int !f fmt.b;
+    decr e
+  done;
+  if !e < fmt.emin || !e > fmt.emax then
+    invalid_arg "Value.normalize: exponent out of range";
+  if !e > fmt.emin && Nat.compare !f lower < 0 then
+    invalid_arg "Value.normalize: denormal mantissa above emin";
+  { v with f = !f; e = !e }
+
+let is_normalized (fmt : Format_spec.t) v =
+  Nat.compare v.f (Format_spec.min_normal_mantissa fmt) >= 0
+  && Nat.compare v.f (Format_spec.mantissa_limit fmt) < 0
+
+let is_denormalized (fmt : Format_spec.t) v =
+  v.e = fmt.emin && not (is_normalized fmt v)
+
+let compare_finite (fmt : Format_spec.t) a b =
+  match (a.neg, b.neg) with
+  | false, true -> 1
+  | true, false -> -1
+  | _ ->
+    let mag =
+      if a.e >= b.e then
+        Nat.compare (Nat.mul a.f (Nat.pow_int fmt.b (a.e - b.e))) b.f
+      else Nat.compare a.f (Nat.mul b.f (Nat.pow_int fmt.b (b.e - a.e)))
+    in
+    if a.neg then -mag else mag
+
+let to_ratio (fmt : Format_spec.t) v =
+  let mag =
+    if v.e >= 0 then
+      Ratio.of_bigint (Bigint.of_nat (Nat.mul v.f (Nat.pow_int fmt.b v.e)))
+    else
+      Ratio.make
+        (Bigint.of_nat v.f)
+        (Bigint.of_nat (Nat.pow_int fmt.b (-v.e)))
+  in
+  if v.neg then Ratio.neg mag else mag
+
+let equal a b =
+  match (a, b) with
+  | Zero sa, Zero sb -> sa = sb
+  | Inf sa, Inf sb -> sa = sb
+  | Nan, Nan -> true
+  | Finite a, Finite b -> a.neg = b.neg && Nat.equal a.f b.f && a.e = b.e
+  | _ -> false
+
+let to_string = function
+  | Zero false -> "0"
+  | Zero true -> "-0"
+  | Inf false -> "+inf"
+  | Inf true -> "-inf"
+  | Nan -> "nan"
+  | Finite { neg; f; e } ->
+    Printf.sprintf "%s%s*b^%d" (if neg then "-" else "") (Nat.to_string f) e
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)

@@ -1,0 +1,39 @@
+(** Floating-point values decomposed into sign, integer mantissa and
+    exponent — the form the printing algorithm consumes. *)
+
+type finite = {
+  neg : bool;
+  f : Bignum.Nat.t;  (** integer mantissa, strictly positive *)
+  e : int;  (** value is [±f × b^e] *)
+}
+
+type t =
+  | Zero of bool  (** signed zero; [true] is negative *)
+  | Finite of finite
+  | Inf of bool
+  | Nan
+
+val finite : ?neg:bool -> f:Bignum.Nat.t -> e:int -> unit -> t
+(** Builds [Finite] (or [Zero] if [f] is zero). *)
+
+val finite_int : ?neg:bool -> f:int -> e:int -> unit -> t
+
+val normalize : Format_spec.t -> finite -> finite
+(** Canonical form within a format: shift the mantissa up until it is
+    normalized ([f >= b^(p-1)]) or the exponent bottoms out at [emin].
+    @raise Invalid_argument if the value cannot fit the format. *)
+
+val is_normalized : Format_spec.t -> finite -> bool
+val is_denormalized : Format_spec.t -> finite -> bool
+
+val compare_finite : Format_spec.t -> finite -> finite -> int
+(** Numeric comparison (handles differing exponents and signs). *)
+
+val to_ratio : Format_spec.t -> finite -> Bignum.Ratio.t
+(** Exact value [±f × b^e] as a rational. *)
+
+val equal : t -> t -> bool
+(** Structural equality; [Nan] equals [Nan], zeros compare with sign. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

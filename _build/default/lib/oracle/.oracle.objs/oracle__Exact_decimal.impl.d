@@ -1,0 +1,1 @@
+lib/oracle/exact_decimal.ml: Array Bignum Float Fp

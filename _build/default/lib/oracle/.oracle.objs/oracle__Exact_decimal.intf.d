@@ -1,0 +1,1 @@
+lib/oracle/exact_decimal.mli: Bignum Fp

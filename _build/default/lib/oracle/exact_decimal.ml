@@ -1,0 +1,104 @@
+module Nat = Bignum.Nat
+module Bigint = Bignum.Bigint
+module Ratio = Bignum.Ratio
+module Format_spec = Fp.Format_spec
+module Value = Fp.Value
+
+type tie = Half_even | Half_up | Half_down
+
+let digits_to_nat ~base digits = Nat.of_base_digits ~base digits
+
+let strip digits =
+  let len = Array.length digits in
+  let first = ref 0 in
+  while !first < len - 1 && digits.(!first) = 0 do
+    incr first
+  done;
+  let last = ref (len - 1) in
+  while !last > !first && digits.(!last) = 0 do
+    decr last
+  done;
+  Array.sub digits !first (!last - !first + 1)
+
+let exact_digits ~base (fmt : Format_spec.t) (v : Value.finite) =
+  if v.neg then invalid_arg "Exact_decimal.exact_digits: negative value";
+  if fmt.b <> 2 then
+    invalid_arg "Exact_decimal.exact_digits: only binary formats";
+  if base land 1 = 1 || base < 2 || base > 36 then
+    invalid_arg "Exact_decimal.exact_digits: base must be even, in [2,36]";
+  (* With base = 2c:  f × 2^e = (f × c^-e) × base^e  for e < 0. *)
+  let n, exp10 =
+    if v.e >= 0 then (Nat.mul v.f (Nat.pow_int 2 v.e), 0)
+    else (Nat.mul v.f (Nat.pow (Nat.of_int (base / 2)) (-v.e)), v.e)
+  in
+  let digits = Nat.to_base_digits ~base n in
+  let k = Array.length digits + exp10 in
+  (strip digits, k)
+
+(* Smallest k with r < base^k, for positive r: float estimate then exact
+   adjustment (the same never-overshoot trick as the printer, but here we
+   simply fix up in both directions because this is the slow oracle). *)
+let scale_exponent ~base r =
+  let num = Bigint.to_nat_exn (Ratio.num r) in
+  let den = Bigint.to_nat_exn (Ratio.den r) in
+  let log2_base = log (float_of_int base) /. log 2. in
+  let approx_log2 =
+    float_of_int (Nat.bit_length num - Nat.bit_length den)
+  in
+  let k = ref (int_of_float (Float.ceil ((approx_log2 /. log2_base) -. 2.))) in
+  let pow_k k =
+    if k >= 0 then Ratio.of_bigint (Bigint.of_nat (Nat.pow_int base k))
+    else Ratio.inv (Ratio.of_bigint (Bigint.of_nat (Nat.pow_int base (-k))))
+  in
+  while Ratio.compare r (pow_k !k) >= 0 do
+    incr k
+  done;
+  while Ratio.compare r (pow_k (!k - 1)) < 0 do
+    decr k
+  done;
+  !k
+
+let round_ratio ~tie r =
+  (* Nearest integer to the non-negative rational r. *)
+  let fl = Ratio.floor r in
+  let frac = Ratio.sub r (Ratio.of_bigint fl) in
+  let c = Ratio.compare frac Ratio.half in
+  let up =
+    if c > 0 then true
+    else if c < 0 then false
+    else begin
+      match tie with
+      | Half_up -> true
+      | Half_down -> false
+      | Half_even -> not (Bigint.is_even fl)
+    end
+  in
+  Bigint.to_nat_exn (if up then Bigint.add fl Bigint.one else fl)
+
+let round_at_position ?(tie = Half_even) ~base ~pos r =
+  if Ratio.sign r < 0 then
+    invalid_arg "Exact_decimal.round_at_position: negative value";
+  let scale =
+    if pos >= 0 then
+      Ratio.inv (Ratio.of_bigint (Bigint.of_nat (Nat.pow_int base pos)))
+    else Ratio.of_bigint (Bigint.of_nat (Nat.pow_int base (-pos)))
+  in
+  round_ratio ~tie (Ratio.mul r scale)
+
+let round_significant ?(tie = Half_even) ~base ~ndigits r =
+  if Ratio.sign r <= 0 then
+    invalid_arg "Exact_decimal.round_significant: value must be positive";
+  if ndigits < 1 then invalid_arg "Exact_decimal.round_significant: ndigits";
+  let k = scale_exponent ~base r in
+  (* r in [base^(k-1), base^k); rounding at position k - ndigits yields a
+     mantissa in [base^(ndigits-1), base^ndigits], the top end when the
+     round-up cascades (e.g. 0.999→1.0), which bumps k. *)
+  let m = round_at_position ~tie ~base ~pos:(k - ndigits) r in
+  let limit = Nat.pow_int base ndigits in
+  let m, k = if Nat.compare m limit >= 0 then (fst (Nat.divmod_int m base), k + 1) else (m, k) in
+  let digits = Nat.to_base_digits ~base m in
+  let padding = ndigits - Array.length digits in
+  let digits =
+    if padding > 0 then Array.append (Array.make padding 0) digits else digits
+  in
+  (digits, k)

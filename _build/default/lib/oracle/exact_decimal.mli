@@ -1,0 +1,35 @@
+(** Exact-arithmetic reference for correct rounding.
+
+    Every finite binary float has a {e finite} decimal expansion
+    ([2^-e] divides [10^-e]), so correctly rounded output of any length can
+    be computed exactly and independently of the printing algorithm under
+    test.  This module is the test oracle for {!Dragon.Fixed_format} and
+    for the incorrect-rounding counts of Table 3; it deliberately shares no
+    code with the printer.
+
+    Digit arrays are most-significant first.  The pair [(digits, k)]
+    denotes [0.d1 d2 ... × base^k], the paper's output convention. *)
+
+type tie = Half_even | Half_up | Half_down
+
+val exact_digits :
+  base:int -> Fp.Format_spec.t -> Fp.Value.finite -> int array * int
+(** Full exact expansion of a positive binary ([b = 2]) value in an {e
+    even} output base.  The digit array has no leading or trailing zeros.
+    @raise Invalid_argument for odd bases or non-binary formats, where the
+    expansion may not terminate. *)
+
+val round_significant :
+  ?tie:tie -> base:int -> ndigits:int -> Bignum.Ratio.t -> int array * int
+(** [round_significant ~base ~ndigits r] rounds a positive rational to
+    exactly [ndigits] significant base-[base] digits.  Works for any
+    rational, any base in [2, 36].
+    @raise Invalid_argument on non-positive input or [ndigits < 1]. *)
+
+val round_at_position :
+  ?tie:tie -> base:int -> pos:int -> Bignum.Ratio.t -> Bignum.Nat.t
+(** [round_at_position ~base ~pos r] rounds a non-negative rational to the
+    nearest multiple of [base^pos]; the result [n] denotes [n × base^pos]. *)
+
+val digits_to_nat : base:int -> int array -> Bignum.Nat.t
+(** Reassemble a digit array (helper shared by tests). *)

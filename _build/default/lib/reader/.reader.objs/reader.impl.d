@@ -1,0 +1,1 @@
+lib/reader/reader.ml: Exact Fast_reader Hex_reader

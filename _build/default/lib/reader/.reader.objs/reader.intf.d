@@ -1,0 +1,1 @@
+lib/reader/reader.mli: Exact Fast_reader Hex_reader

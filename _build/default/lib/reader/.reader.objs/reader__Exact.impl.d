@@ -1,0 +1,1 @@
+lib/reader/exact.ml: Array Bignum Buffer Char Fp List Printf String

@@ -1,0 +1,1 @@
+lib/reader/exact.mli: Bignum Fp

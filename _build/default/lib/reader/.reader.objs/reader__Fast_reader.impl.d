@@ -1,0 +1,1 @@
+lib/reader/fast_reader.ml: Array Bignum Exact Ext64 Float Fp Int64

@@ -1,0 +1,1 @@
+lib/reader/fast_reader.mli: Exact

@@ -1,0 +1,1 @@
+lib/reader/hex_reader.ml: Bignum Char Fp Printf String

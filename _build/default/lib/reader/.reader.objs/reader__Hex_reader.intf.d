@@ -1,0 +1,1 @@
+lib/reader/hex_reader.mli: Fp

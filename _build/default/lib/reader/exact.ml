@@ -1,0 +1,232 @@
+module Nat = Bignum.Nat
+module Bigint = Bignum.Bigint
+module Ratio = Bignum.Ratio
+module Format_spec = Fp.Format_spec
+module Value = Fp.Value
+module Rounding = Fp.Rounding
+
+type decimal = { neg : bool; digits : Nat.t; exp10 : int }
+
+type parsed = Number of decimal | Infinity of bool | Not_a_number
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+let parse s =
+  let len = String.length s in
+  let pos = ref 0 in
+  let error what = Error (Printf.sprintf "%s at index %d in %S" what !pos s) in
+  if len = 0 then Error "empty string"
+  else begin
+    let neg =
+      match s.[0] with
+      | '-' ->
+        incr pos;
+        true
+      | '+' ->
+        incr pos;
+        false
+      | _ -> false
+    in
+    let rest = String.lowercase_ascii (String.sub s !pos (len - !pos)) in
+    match rest with
+    | "inf" | "infinity" -> Ok (Infinity neg)
+    | "nan" -> Ok Not_a_number
+    | _ ->
+      let digits = Buffer.create 32 in
+      let frac_len = ref 0 in
+      let seen_digit = ref false in
+      let take_digits ~counting =
+        let continue = ref true in
+        while !continue && !pos < len do
+          match s.[!pos] with
+          | '0' .. '9' as c ->
+            Buffer.add_char digits c;
+            seen_digit := true;
+            if counting then incr frac_len;
+            incr pos
+          | '_' -> incr pos
+          | _ -> continue := false
+        done
+      in
+      take_digits ~counting:false;
+      if !pos < len && s.[!pos] = '.' then begin
+        incr pos;
+        take_digits ~counting:true
+      end;
+      if not !seen_digit then error "expected digits"
+      else begin
+        let exp =
+          if !pos < len && (s.[!pos] = 'e' || s.[!pos] = 'E') then begin
+            incr pos;
+            let esign =
+              if !pos < len && s.[!pos] = '-' then (
+                incr pos;
+                -1)
+              else if !pos < len && s.[!pos] = '+' then (
+                incr pos;
+                1)
+              else 1
+            in
+            let start = !pos in
+            let v = ref 0 in
+            while !pos < len && s.[!pos] >= '0' && s.[!pos] <= '9' do
+              v := (!v * 10) + (Char.code s.[!pos] - Char.code '0');
+              incr pos
+            done;
+            if !pos = start then None else Some (esign * !v)
+          end
+          else Some 0
+        in
+        match exp with
+        | None -> error "expected exponent digits"
+        | Some exp ->
+          if !pos <> len then error "trailing characters"
+          else
+            Ok
+              (Number
+                 {
+                   neg;
+                   digits = Nat.of_string ("0" ^ Buffer.contents digits);
+                   exp10 = exp - !frac_len;
+                 })
+      end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Correctly rounded conversion *)
+
+(* Rounding an exact magnitude into the format lives in Fp.Softfloat
+   (round_fraction); the reader only assembles u/v from text. *)
+
+let read_ratio ?(mode = Rounding.To_nearest_even) fmt r =
+  if Ratio.sign r = 0 then Value.Zero false
+  else begin
+    let abs = Ratio.abs r in
+    Fp.Softfloat.round_fraction ~mode fmt ~neg:(Ratio.sign r < 0)
+      (Bigint.to_nat_exn (Ratio.num abs))
+      (Bigint.to_nat_exn (Ratio.den abs))
+  end
+
+let read_decimal ?(mode = Rounding.To_nearest_even) fmt (d : decimal) =
+  if Nat.is_zero d.digits then Value.Zero d.neg
+  else begin
+    let u, v =
+      if d.exp10 >= 0 then (Nat.mul d.digits (Nat.pow_int 10 d.exp10), Nat.one)
+      else (d.digits, Nat.pow_int 10 (-d.exp10))
+    in
+    Fp.Softfloat.round_fraction ~mode fmt ~neg:d.neg u v
+  end
+
+let read_in_base ?mode ~base fmt s =
+  if base < 2 || base > 36 then invalid_arg "Reader.read_in_base: base";
+  let len = String.length s in
+  let err what = Error (Printf.sprintf "%s in %S" what s) in
+  if len = 0 then err "empty string"
+  else begin
+    let pos = ref 0 in
+    let neg =
+      match s.[0] with
+      | '-' ->
+        incr pos;
+        true
+      | '+' ->
+        incr pos;
+        false
+      | _ -> false
+    in
+    let digit_value c =
+      let v =
+        match c with
+        | '0' .. '9' -> Char.code c - Char.code '0'
+        | 'a' .. 'z' -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'Z' -> Char.code c - Char.code 'A' + 10
+        | '#' -> 0 (* insignificant positions read as zero *)
+        | _ -> -1
+      in
+      if v >= 0 && v < base then Some v else None
+    in
+    let exp_marker c = c = '^' || (base <= 14 && (c = 'e' || c = 'E')) in
+    let digits = ref [] in
+    let ndigits = ref 0 in
+    let frac_len = ref 0 in
+    let in_frac = ref false in
+    let parse_error = ref None in
+    let stop = ref false in
+    while (not !stop) && !pos < len && !parse_error = None do
+      let c = s.[!pos] in
+      if exp_marker c then stop := true
+      else begin
+        (match c with
+        | '.' ->
+          if !in_frac then parse_error := Some "second radix point"
+          else in_frac := true
+        | '_' -> ()
+        | c -> (
+          match digit_value c with
+          | Some d ->
+            digits := d :: !digits;
+            incr ndigits;
+            if !in_frac then incr frac_len
+          | None -> parse_error := Some "unexpected character"));
+        incr pos
+      end
+    done;
+    match !parse_error with
+    | Some e -> err e
+    | None ->
+      if !ndigits = 0 then err "no digits"
+      else begin
+        let exp =
+          if !stop then begin
+            (* exponent part: decimal integer *)
+            incr pos;
+            let esign =
+              if !pos < len && s.[!pos] = '-' then (
+                incr pos;
+                -1)
+              else if !pos < len && s.[!pos] = '+' then (
+                incr pos;
+                1)
+              else 1
+            in
+            let start = !pos in
+            let v = ref 0 in
+            while !pos < len && s.[!pos] >= '0' && s.[!pos] <= '9' do
+              v := (!v * 10) + (Char.code s.[!pos] - Char.code '0');
+              incr pos
+            done;
+            if !pos = start || !pos <> len then None else Some (esign * !v)
+          end
+          else if !pos <> len then None
+          else Some 0
+        in
+        match exp with
+        | None -> err "malformed exponent"
+        | Some exp ->
+          let mantissa =
+            Nat.of_base_digits ~base (Array.of_list (List.rev !digits))
+          in
+          if Nat.is_zero mantissa then Ok (Value.Zero neg)
+          else begin
+            let scale = exp - !frac_len in
+            let u, v =
+              if scale >= 0 then (Nat.mul mantissa (Nat.pow_int base scale), Nat.one)
+              else (mantissa, Nat.pow_int base (-scale))
+            in
+            Ok (Fp.Softfloat.round_fraction ?mode fmt ~neg u v)
+          end
+      end
+  end
+
+let read ?mode fmt s =
+  match parse s with
+  | Error _ as e -> e
+  | Ok (Infinity neg) -> Ok (Value.Inf neg)
+  | Ok Not_a_number -> Ok Value.Nan
+  | Ok (Number d) -> Ok (read_decimal ?mode fmt d)
+
+let read_float ?mode s =
+  match read ?mode Format_spec.binary64 s with
+  | Error _ as e -> e
+  | Ok v -> Ok (Fp.Ieee.compose v)

@@ -1,0 +1,58 @@
+(** Accurate floating-point input (Clinger [1], Algorithm M style).
+
+    The paper's free-format guarantee is stated relative to "an accurate
+    floating-point input routine": the printed string must convert back to
+    the very same float, whatever rounding rule the reader applies.  This
+    module is that routine, built on exact integer arithmetic so there is
+    no double-rounding anywhere: given a decimal string and a target
+    format, it returns the {e correctly rounded} value under any of the six
+    rounding modes in {!Fp.Rounding}.
+
+    It doubles as the verification half of every round-trip test in this
+    repository. *)
+
+type decimal = {
+  neg : bool;
+  digits : Bignum.Nat.t;  (** the digit string read as an integer *)
+  exp10 : int;  (** value is [±digits × 10^exp10] *)
+}
+
+type parsed = Number of decimal | Infinity of bool | Not_a_number
+
+val parse : string -> (parsed, string) result
+(** Accepts [[+-]? digits [. digits]? ([eE] [+-]? digits)?], plus ["inf"],
+    ["infinity"] and ["nan"] (case-insensitive), with [_] digit separators.
+    The error case carries a human-readable reason. *)
+
+val read_decimal :
+  ?mode:Fp.Rounding.mode -> Fp.Format_spec.t -> decimal -> Fp.Value.t
+(** Correctly rounded conversion of an exact decimal into the format.
+    Overflow follows IEEE semantics per mode (directed modes toward zero
+    saturate at the largest finite value); underflow reaches denormals and
+    then signed zero.  Default mode is round-to-nearest-even. *)
+
+val read :
+  ?mode:Fp.Rounding.mode -> Fp.Format_spec.t -> string -> (Fp.Value.t, string) result
+(** [parse] followed by {!read_decimal}. *)
+
+val read_float : ?mode:Fp.Rounding.mode -> string -> (float, string) result
+(** Convenience wrapper targeting binary64 and returning an OCaml float. *)
+
+val read_ratio :
+  ?mode:Fp.Rounding.mode -> Fp.Format_spec.t -> Bignum.Ratio.t -> Fp.Value.t
+(** Correctly rounded conversion of an arbitrary (possibly negative)
+    rational — the general core the decimal entry points wrap. *)
+
+val read_in_base :
+  ?mode:Fp.Rounding.mode ->
+  base:int ->
+  Fp.Format_spec.t ->
+  string ->
+  (Fp.Value.t, string) result
+(** Read a string written in an arbitrary base (2-36), as produced by
+    {!Dragon.Render}: digits [0-9a-z] (case-insensitive), an optional
+    radix point, and an optional exponent part introduced by ['e'] (bases
+    up to 14) or ['^'] (all bases), whose value is a {e decimal} integer
+    scaling by powers of [base].  [#] characters are accepted and read as
+    zero digits, so fixed-format output with significance marks reads
+    back directly. *)

@@ -1,0 +1,97 @@
+module Nat = Bignum.Nat
+
+type stats = { exact : int; extended : int; fallback : int }
+
+let n_exact = ref 0
+let n_extended = ref 0
+let n_fallback = ref 0
+
+let stats () =
+  { exact = !n_exact; extended = !n_extended; fallback = !n_fallback }
+
+(* Powers of ten exactly representable in binary64: 10^22 = 2^22 * 5^22
+   and 5^22 < 2^53. *)
+let exact_pow10 =
+  Array.init 23 (fun i -> 10. ** float_of_int i)
+
+let two53 = 9007199254740992 (* 2^53 *)
+
+let fallback (d : Exact.decimal) =
+  incr n_fallback;
+  Fp.Ieee.compose (Exact.read_decimal Fp.Format_spec.binary64 d)
+
+(* Tier 2: extended-precision scaling with certification.  [m] is the
+   leading (up to 18) decimal digits as an int, [scale] the power of ten
+   to apply, [truncated] whether digits were dropped. *)
+let extended_tier (d : Exact.decimal) m scale truncated =
+  if scale < -350 || scale > 350 then fallback d
+  else begin
+    let y = Ext64.mul (Ext64.of_int m) (Ext64.pow10_correct scale) in
+    (* value = y.m * 2^(y.e); the most significant bit sits at 2^(y.e+63).
+       Stay clear of denormals and overflow, where 53-bit rounding is not
+       the whole story. *)
+    if y.Ext64.e + 63 < -1021 || y.Ext64.e + 64 > 1023 then fallback d
+    else begin
+      let kept = Int64.shift_right_logical y.Ext64.m 11 in
+      let dropped = Int64.to_int (Int64.logand y.Ext64.m 0x7FFL) in
+      (* error budget in units of the dropped field's lsb (2^-63 relative):
+         ~1 ulp of 2^-64 from the correctly rounded table and the rounded
+         multiplication, plus the digit truncation (bounded by 10^-17
+         relative for an 18-digit mantissa). *)
+      let budget = if truncated then 200 else 6 in
+      if abs (dropped - 1024) <= budget then fallback d
+      else begin
+        incr n_extended;
+        let up = dropped > 1024 in
+        let mant = Int64.add kept (if up then 1L else 0L) in
+        let x = Float.ldexp (Int64.to_float mant) (y.Ext64.e + 11) in
+        if d.Exact.neg then -.x else x
+      end
+    end
+  end
+
+let read_decimal (d : Exact.decimal) =
+  if Nat.is_zero d.Exact.digits then if d.Exact.neg then -0. else 0.
+  else begin
+    match Nat.to_int_opt d.Exact.digits with
+    | Some m when m <= two53 && abs d.Exact.exp10 <= 22 ->
+      (* Tier 1 (Clinger): both operands exact, one IEEE operation *)
+      incr n_exact;
+      let x =
+        if d.Exact.exp10 >= 0 then
+          float_of_int m *. exact_pow10.(d.Exact.exp10)
+        else float_of_int m /. exact_pow10.(-d.Exact.exp10)
+      in
+      if d.Exact.neg then -.x else x
+    | Some m when m < 1_000_000_000_000_000_000 ->
+      extended_tier d m d.Exact.exp10 false
+    | _ ->
+      (* truncate to the leading 18 digits *)
+      let digits = Nat.to_base_digits ~base:10 d.Exact.digits in
+      let len = Array.length digits in
+      if len <= 18 then
+        (* small digit count but large magnitude: to_int must succeed *)
+        extended_tier d (Nat.to_int_exn d.Exact.digits) d.Exact.exp10 false
+      else begin
+        let m = ref 0 in
+        for i = 0 to 17 do
+          m := (!m * 10) + digits.(i)
+        done;
+        let truncated =
+          let rest = ref false in
+          for i = 18 to len - 1 do
+            if digits.(i) <> 0 then rest := true
+          done;
+          !rest
+        in
+        extended_tier d !m (d.Exact.exp10 + len - 18) truncated
+      end
+  end
+
+let read s =
+  match Exact.parse s with
+  | Error _ as e -> e
+  | Ok (Exact.Infinity neg) ->
+    Ok (if neg then Float.neg_infinity else Float.infinity)
+  | Ok Exact.Not_a_number -> Ok Float.nan
+  | Ok (Exact.Number d) -> Ok (read_decimal d)

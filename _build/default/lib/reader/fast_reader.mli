@@ -1,0 +1,31 @@
+(** Certified fast decimal-to-binary64 conversion (Clinger [1] style).
+
+    Clinger's reading paper — the input-side companion of Burger & Dybvig
+    — observes that most conversions don't need bignums: either the value
+    is exactly computable in hardware floats ([d × 10^k] with both parts
+    exactly representable), or an extended-precision estimate lands far
+    enough from the rounding boundary to be {e certified} correct.  Only
+    the residue of hard cases needs exact integer arithmetic.
+
+    The three tiers here:
+
+    + {b exact}: [|k| <= 22] and the mantissa fits 2^53 — one hardware
+      multiply or divide is correctly rounded by IEEE semantics;
+    + {b extended}: scale in {!Ext64} (64-bit mantissa), round to 53 bits
+      and accept when the dropped tail is provably far from the halfway
+      point;
+    + {b fallback}: {!Exact.read_decimal}, the exact bignum path.
+
+    Results are {e always} correctly rounded to nearest-even: the fast
+    tiers only answer when they can prove they agree with the fallback. *)
+
+val read : string -> (float, string) result
+(** Parse and convert to binary64, round-to-nearest-even. *)
+
+val read_decimal : Exact.decimal -> float
+(** The tiered conversion on an already-parsed decimal. *)
+
+type stats = { exact : int; extended : int; fallback : int }
+
+val stats : unit -> stats
+(** Monotonic tier counters, for the ablation bench. *)

@@ -1,0 +1,104 @@
+module Nat = Bignum.Nat
+
+let read ?mode fmt s =
+  let len = String.length s in
+  let err what = Error (Printf.sprintf "%s in %S" what s) in
+  let pos = ref 0 in
+  let neg =
+    if len > 0 && (s.[0] = '-' || s.[0] = '+') then begin
+      incr pos;
+      s.[0] = '-'
+    end
+    else false
+  in
+  if
+    !pos + 2 > len
+    || s.[!pos] <> '0'
+    || (s.[!pos + 1] <> 'x' && s.[!pos + 1] <> 'X')
+  then err "expected 0x prefix"
+  else begin
+    pos := !pos + 2;
+    let digit c =
+      match c with
+      | '0' .. '9' -> Some (Char.code c - Char.code '0')
+      | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+      | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+      | _ -> None
+    in
+    let mantissa = ref Nat.zero in
+    let ndigits = ref 0 in
+    let frac_digits = ref 0 in
+    let in_frac = ref false in
+    let scanning = ref true in
+    let bad = ref false in
+    while !scanning && !pos < len do
+      let c = s.[!pos] in
+      if c = '.' then
+        if !in_frac then begin
+          bad := true;
+          scanning := false
+        end
+        else begin
+          in_frac := true;
+          incr pos
+        end
+      else if c = 'p' || c = 'P' then scanning := false
+      else begin
+        match digit c with
+        | Some d ->
+          mantissa := Nat.add_int (Nat.shift_left !mantissa 4) d;
+          incr ndigits;
+          if !in_frac then incr frac_digits;
+          incr pos
+        | None ->
+          bad := true;
+          scanning := false
+      end
+    done;
+    if !bad then err "unexpected character"
+    else if !ndigits = 0 then err "no hex digits"
+    else begin
+      (* binary exponent part: mandatory per C17, optional here (p0) *)
+      let exp =
+        if !pos >= len then Some 0
+        else if s.[!pos] = 'p' || s.[!pos] = 'P' then begin
+          incr pos;
+          let esign =
+            if !pos < len && s.[!pos] = '-' then (
+              incr pos;
+              -1)
+            else if !pos < len && s.[!pos] = '+' then (
+              incr pos;
+              1)
+            else 1
+          in
+          let start = !pos in
+          let v = ref 0 in
+          while !pos < len && s.[!pos] >= '0' && s.[!pos] <= '9' do
+            v := (!v * 10) + (Char.code s.[!pos] - Char.code '0');
+            incr pos
+          done;
+          if !pos = start || !pos <> len then None else Some (esign * !v)
+        end
+        else None
+      in
+      match exp with
+      | None -> err "malformed binary exponent"
+      | Some p ->
+        if Nat.is_zero !mantissa then Ok (Fp.Value.Zero neg)
+        else begin
+          (* value = mantissa * 2^(p - 4*frac_digits) *)
+          let e2 = p - (4 * !frac_digits) in
+          let u, v =
+            if e2 >= 0 then (Nat.shift_left !mantissa e2, Nat.one)
+            else (!mantissa, Nat.shift_left Nat.one (-e2))
+          in
+          Ok (Fp.Softfloat.round_fraction ?mode fmt ~neg u v)
+        end
+    end
+  end
+
+let read_float ?mode s =
+  match read ?mode Fp.Format_spec.binary64 s with
+  | Error _ as e -> e
+  | Ok v -> Ok (Fp.Ieee.compose v)

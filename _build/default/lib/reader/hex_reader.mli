@@ -1,0 +1,18 @@
+(** Reading C17 hexadecimal floating-point literals
+    ([[+-]?0x h.hhh p±ddd]) with correct rounding into any binary format.
+
+    Hexadecimal literals describe the value exactly ([h × 2^p] with a
+    power-of-two scale), so for the format they were printed from the
+    conversion is lossless; reading into a narrower format (binary32,
+    binary16) performs a single correct rounding in the requested mode —
+    which makes this a convenient exact input channel for tests and
+    examples. *)
+
+val read :
+  ?mode:Fp.Rounding.mode ->
+  Fp.Format_spec.t ->
+  string ->
+  (Fp.Value.t, string) result
+
+val read_float : ?mode:Fp.Rounding.mode -> string -> (float, string) result
+(** Into binary64, as an OCaml float. *)

@@ -1,0 +1,6 @@
+(* Facade of the reader library: the exact bignum reader at the top level
+   (historic API), the certified fast path under [Fast]. *)
+
+include Exact
+module Fast = Fast_reader
+module Hex = Hex_reader

@@ -1,0 +1,11 @@
+(** Accurate floating-point input.
+
+    The top-level API is the exact bignum reader (see {!Exact}); the
+    Clinger-style certified fast path lives under {!Fast}. *)
+
+include module type of struct
+  include Exact
+end
+
+module Fast : module type of Fast_reader
+module Hex : module type of Hex_reader

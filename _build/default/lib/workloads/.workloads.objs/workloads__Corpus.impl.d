@@ -1,0 +1,1 @@
+lib/workloads/corpus.ml: Array Bignum Char Float Fp Int64 List Oracle Printf Random String

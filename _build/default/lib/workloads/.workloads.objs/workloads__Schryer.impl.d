@@ -1,0 +1,1 @@
+lib/workloads/schryer.ml: Array Float Int List Seq

@@ -1,0 +1,110 @@
+let random_positive_normals ~seed n =
+  let st = Random.State.make [| seed |] in
+  Array.init n (fun _ ->
+      (* biased exponent 1..2046, random 52-bit mantissa field *)
+      let be = 1 + Random.State.int st 2046 in
+      let m = Random.State.int64 st (Int64.shift_left 1L 52) in
+      Int64.float_of_bits
+        (Int64.logor (Int64.shift_left (Int64.of_int be) 52) m))
+
+let random_finite ~seed n =
+  let st = Random.State.make [| seed |] in
+  Array.init n (fun _ ->
+      let rec pick () =
+        let bits = Random.State.int64 st Int64.max_int in
+        let sign = if Random.State.bool st then Int64.min_int else 0L in
+        let x = Int64.float_of_bits (Int64.logor bits sign) in
+        if Float.is_finite x then x else pick ()
+      in
+      pick ())
+
+let random_denormals ~seed n =
+  let st = Random.State.make [| seed |] in
+  Array.init n (fun _ ->
+      let m = Int64.add 1L (Random.State.int64 st (Int64.sub (Int64.shift_left 1L 52) 1L)) in
+      Int64.float_of_bits m)
+
+(* Decimal strings next to exact float-pair midpoints.  The midpoint of
+   consecutive doubles f*2^e and (f+1)*2^e is (2f+1)*2^(e-1), whose exact
+   decimal expansion is finite; truncating it (and nudging the last kept
+   digit) yields inputs whose correct rounding is decided by digits
+   arbitrarily far down the string. *)
+let torture_reader_inputs ~seed n =
+  let st = Random.State.make [| seed |] in
+  let render digits k =
+    let body =
+      String.init (Array.length digits) (fun i ->
+          Char.chr (Char.code '0' + digits.(i)))
+    in
+    Printf.sprintf "0.%se%d" body k
+  in
+  let one_value () =
+    let be = 1 + Random.State.int st 2046 in
+    let m = Random.State.int64 st (Int64.shift_left 1L 52) in
+    let x =
+      Int64.float_of_bits
+        (Int64.logor (Int64.shift_left (Int64.of_int be) 52) m)
+    in
+    match Fp.Ieee.decompose x with
+    | Fp.Value.Finite v ->
+      let midpoint =
+        {
+          Fp.Value.neg = false;
+          f = Bignum.Nat.succ (Bignum.Nat.shift_left v.Fp.Value.f 1);
+          e = v.Fp.Value.e - 1;
+        }
+      in
+      let digits, k =
+        Oracle.Exact_decimal.exact_digits ~base:10 Fp.Format_spec.binary64
+          midpoint
+      in
+      let cut = min (Array.length digits) (17 + Random.State.int st 9) in
+      let prefix = Array.sub digits 0 cut in
+      let variants = ref [ render digits k ] in
+      if Array.length digits > cut then begin
+        variants := render prefix k :: !variants;
+        if prefix.(cut - 1) < 9 then begin
+          let up = Array.copy prefix in
+          up.(cut - 1) <- up.(cut - 1) + 1;
+          variants := render up k :: !variants
+        end
+      end;
+      !variants
+    | _ -> []
+  in
+  let acc = ref [] in
+  while List.length !acc < n do
+    acc := List.rev_append (one_value ()) !acc
+  done;
+  Array.of_list (List.filteri (fun i _ -> i < n) !acc)
+
+let hard_cases =
+  [|
+    0.1;
+    0.2;
+    0.3;
+    1. /. 3.;
+    2. /. 3.;
+    1e23 (* exact midpoint between two doubles *);
+    9.109e-31 (* electron mass: long shortest form *);
+    5e-324 (* min denormal *);
+    2.2250738585072011e-308 (* the famous slow-strtod value *);
+    2.2250738585072014e-308 (* min normal *);
+    1.7976931348623157e308 (* max finite *);
+    4.450147717014403e-308 (* double of min normal *);
+    9007199254740992. (* 2^53 *);
+    9007199254740994.;
+    1.;
+    1. +. epsilon_float;
+    2. ** 60.;
+    2. ** (-60.);
+    8.98846567431158e307 (* 2^1023 *);
+    5.562684646268003e-309 (* mid-denormal territory *);
+    3.141592653589793;
+    2.718281828459045;
+    6.02214076e23;
+    1.6e-35;
+    123456789.123456789;
+    0.30000000000000004 (* 0.1 + 0.2 *);
+    7.038531e-26 (* binary32 hard case, as a double *);
+  |]

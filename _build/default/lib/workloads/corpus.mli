@@ -1,0 +1,24 @@
+(** Additional test corpora: reproducible random doubles and a gallery of
+    historically hard conversion cases. *)
+
+val random_positive_normals : seed:int -> int -> float array
+(** Uniform over normal bit patterns (sign cleared), reproducible. *)
+
+val random_finite : seed:int -> int -> float array
+(** Uniform over all finite bit patterns, including denormals, both
+    signs. *)
+
+val random_denormals : seed:int -> int -> float array
+(** Positive denormals only. *)
+
+val hard_cases : float array
+(** Values that are classically awkward for binary-decimal conversion:
+    midpoint-straddling powers of ten, denormal extremes, binade
+    boundaries, and famous strtod/dtoa stress values. *)
+
+val torture_reader_inputs : seed:int -> int -> string array
+(** Decimal strings engineered to sit as close as possible to rounding
+    boundaries of binary64: truncations of exact float-pair midpoints and
+    their last-digit neighbours.  These inputs force the maximum number
+    of fallbacks in tiered readers and are the worst case for any
+    fixed-precision conversion pipeline. *)

@@ -1,0 +1,62 @@
+let default_size = 250_680
+
+let hidden = 1 lsl 52
+
+(* 53-bit mantissa patterns (hidden bit always set):
+   - runs of leading ones:   111..10..0   (53 forms)
+   - runs of trailing ones:  10..011..1   (52 forms)
+   - one inner bit:          10..010..0   (52 forms)
+   - alternating bits:       1010.. and 10101..                (2 forms) *)
+let patterns () =
+  let acc = ref [] in
+  for r = 1 to 53 do
+    (* r leading ones *)
+    acc := ((1 lsl r) - 1) lsl (53 - r) :: !acc
+  done;
+  for t = 1 to 52 do
+    (* hidden bit plus t trailing ones *)
+    acc := (hidden lor ((1 lsl t) - 1)) :: !acc
+  done;
+  for i = 0 to 51 do
+    (* hidden bit plus a single bit at position i *)
+    acc := (hidden lor (1 lsl i)) :: !acc
+  done;
+  let alternating seed =
+    let v = ref 0 in
+    for i = 0 to 52 do
+      if (i + seed) land 1 = 0 then v := !v lor (1 lsl (52 - i))
+    done;
+    !v
+  in
+  acc := alternating 0 :: alternating 1 lor hidden :: !acc;
+  (* a few forms coincide (e.g. one trailing one = lowest single bit);
+     keep each distinct mantissa once *)
+  Array.of_list (List.sort_uniq Int.compare !acc)
+
+let corpus_seq () =
+  let pats = patterns () in
+  let npat = Array.length pats in
+  (* Value exponents of normal doubles: -1022 .. 1023 (2046 binades).
+     Walk them through a full-cycle stride permutation so that any
+     truncated prefix of the stream already spans the whole exponent
+     range — the shape of the scaling experiment (Table 2) depends on
+     large-magnitude exponents being present. *)
+  let nbinades = 2046 in
+  let stride = 1571 (* coprime to 2046 *) in
+  let exponent i = -1022 + (i * stride mod nbinades) in
+  let total = npat * nbinades in
+  let rec from i () =
+    if i >= total then Seq.Nil
+    else begin
+      let binade = exponent (i / npat) in
+      let f = pats.(i mod npat) in
+      let x = ldexp (float_of_int f) (binade - 52) in
+      if x < 2.2250738585072014e-308 || not (Float.is_finite x) then
+        from (i + 1) ()
+      else Seq.Cons (x, from (i + 1))
+    end
+  in
+  from 0
+
+let corpus ?(size = default_size) () =
+  Array.of_seq (Seq.take size (corpus_seq ()))

@@ -1,0 +1,27 @@
+(** Reconstruction of the Schryer floating-point test corpus.
+
+    The paper times its printers on "a set of 250,680 positive normalized
+    IEEE double-precision floating-point numbers ... generated according
+    to the forms Schryer developed for testing floating-point units" [4].
+    Schryer's monograph is not available here, so this module rebuilds a
+    corpus with the same intent and size: mantissa bit patterns known to
+    stress binary-decimal conversion — runs of leading ones, runs of
+    trailing ones, single inner bits, alternating patterns — swept across
+    every normal binade.  The default corpus takes the first 250,680
+    values of that deterministic stream, matching the paper's count; see
+    DESIGN.md for the substitution note. *)
+
+val patterns : unit -> int array
+(** The distinct mantissa patterns (53-bit integers with the hidden bit
+    set), sorted ascending. *)
+
+val corpus_seq : unit -> float Seq.t
+(** Deterministic stream ordered by binade then pattern, covering value
+    exponents from -1022 upward. *)
+
+val corpus : ?size:int -> unit -> float array
+(** The first [size] (default 250,680) values of {!corpus_seq}; every
+    element is positive, finite and normalized. *)
+
+val default_size : int
+(** 250,680 — the corpus size reported in the paper. *)

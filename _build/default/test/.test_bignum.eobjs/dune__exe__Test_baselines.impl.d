@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Bignum Dragon Float Format_spec Fp Ieee Int64 List Oracle Printf QCheck QCheck_alcotest Reader Rounding Value Workloads

@@ -1,0 +1,1 @@
+test/test_bignum.ml: Alcotest Bignum Float Int Int64 List Printf QCheck QCheck_alcotest String

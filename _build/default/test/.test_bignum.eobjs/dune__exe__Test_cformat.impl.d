@@ -1,0 +1,1 @@
+test/test_cformat.ml: Alcotest Dragon Float Int64 Printf QCheck QCheck_alcotest String

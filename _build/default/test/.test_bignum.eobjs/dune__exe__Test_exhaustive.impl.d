@@ -1,0 +1,1 @@
+test/test_exhaustive.ml: Alcotest Array Bignum Dragon Fixed_format Format_spec Fp Free_format Ieee Int64 List Printf Reader Reference Render Rounding Scaling Value

@@ -1,0 +1,1 @@
+test/test_ext64.ml: Alcotest Array Baselines Bignum Dragon Ext64 Fast_shortest Float Fp Gay_heuristic Int64 List Naive_fixed Printf QCheck QCheck_alcotest Workloads

@@ -1,0 +1,1 @@
+test/test_fp.ml: Alcotest Bignum Float Format_spec Fp Gaps Ieee Int64 List QCheck QCheck_alcotest Rounding Value

@@ -1,0 +1,1 @@
+test/test_oracle.ml: Alcotest Array Bignum Exact_decimal Float Fp Int64 Oracle Printf QCheck QCheck_alcotest String

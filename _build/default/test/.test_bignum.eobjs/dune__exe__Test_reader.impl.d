@@ -1,0 +1,1 @@
+test/test_reader.ml: Alcotest Array Bignum Dragon Float Format_spec Fp Ieee Int64 List Oracle Printf QCheck QCheck_alcotest Reader Rounding String Value

@@ -1,0 +1,1 @@
+test/test_softfloat.ml: Alcotest Bignum Dragon Float Format_spec Fp Ieee Int64 List Printf QCheck QCheck_alcotest Reader Rounding Softfloat Value

@@ -1,0 +1,422 @@
+(* Tests for the arbitrary-precision substrate: units on hand-picked values
+   and qcheck properties for the algebraic laws the printer relies on. *)
+
+module Nat = Bignum.Nat
+module Bigint = Bignum.Bigint
+module Ratio = Bignum.Ratio
+
+let nat = Alcotest.testable Nat.pp Nat.equal
+let bigint = Alcotest.testable Bigint.pp Bigint.equal
+
+let n_of_string = Nat.of_string
+let z_of_string = Bigint.of_string
+
+(* ------------------------------------------------------------------ *)
+(* Generators *)
+
+(* A natural of roughly [limbs] 30-bit limbs, built limb by limb so all
+   sizes appear, including zero. *)
+let gen_nat_sized limbs =
+  let open QCheck.Gen in
+  list_size (int_bound limbs) (int_bound ((1 lsl 30) - 1)) >|= fun ds ->
+  List.fold_left
+    (fun acc d -> Nat.add (Nat.shift_left acc 30) (Nat.of_int d))
+    Nat.zero ds
+
+let arb_nat =
+  QCheck.make ~print:Nat.to_string (gen_nat_sized 20)
+
+let arb_nat_big =
+  QCheck.make ~print:Nat.to_string (gen_nat_sized 80)
+
+let arb_pos_nat =
+  QCheck.make ~print:Nat.to_string
+    QCheck.Gen.(gen_nat_sized 20 >|= Nat.succ)
+
+let gen_bigint =
+  QCheck.Gen.(
+    pair bool (gen_nat_sized 12) >|= fun (neg, mag) ->
+    let v = Bigint.of_nat mag in
+    if neg then Bigint.neg v else v)
+
+let arb_bigint = QCheck.make ~print:Bigint.to_string gen_bigint
+
+let arb_small_int = QCheck.int_range (-1_000_000) 1_000_000
+
+let qtest ?(count = 300) name arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+
+(* ------------------------------------------------------------------ *)
+(* Nat units *)
+
+let test_nat_basics () =
+  Alcotest.(check bool) "zero is zero" true (Nat.is_zero Nat.zero);
+  Alcotest.(check nat) "0+0" Nat.zero (Nat.add Nat.zero Nat.zero);
+  Alcotest.(check nat) "1+1" Nat.two (Nat.add Nat.one Nat.one);
+  Alcotest.(check (option int)) "to_int 42" (Some 42)
+    (Nat.to_int_opt (Nat.of_int 42));
+  Alcotest.(check (option int))
+    "to_int max_int" (Some max_int)
+    (Nat.to_int_opt (Nat.of_int max_int));
+  (* regression: a 63-bit value must not wrap into the sign bit *)
+  Alcotest.(check (option int)) "to_int of 63-bit value" None
+    (Nat.to_int_opt (n_of_string "7081250850576618860"));
+  Alcotest.(check (option int)) "to_int of 2^62" None
+    (Nat.to_int_opt (Nat.pow_int 2 62));
+  Alcotest.(check bool) "even 0" true (Nat.is_even Nat.zero);
+  Alcotest.(check bool) "even 7" false (Nat.is_even (Nat.of_int 7));
+  Alcotest.(check bool) "even 10^30" true
+    (Nat.is_even (n_of_string "1000000000000000000000000000000"))
+
+let test_nat_string_round_trip () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (Nat.to_string (n_of_string s)))
+    [ "0"; "1"; "10"; "999999999"; "1000000000"; "1073741824";
+      "123456789012345678901234567890";
+      "340282366920938463463374607431768211456" (* 2^128 *) ]
+
+let test_nat_string_prefixes () =
+  Alcotest.(check nat) "hex" (Nat.of_int 255) (n_of_string "0xff");
+  Alcotest.(check nat) "oct" (Nat.of_int 8) (n_of_string "0o10");
+  Alcotest.(check nat) "bin" (Nat.of_int 5) (n_of_string "0b101");
+  Alcotest.(check nat) "underscores" (Nat.of_int 1_000_000)
+    (n_of_string "1_000_000");
+  Alcotest.check_raises "empty" (Invalid_argument "Nat.of_string: empty")
+    (fun () -> ignore (n_of_string ""))
+
+let test_nat_sub () =
+  Alcotest.(check nat) "10-3" (Nat.of_int 7)
+    (Nat.sub (Nat.of_int 10) (Nat.of_int 3));
+  Alcotest.(check nat) "borrow chain"
+    (n_of_string "999999999999999999")
+    (Nat.sub (n_of_string "1000000000000000000") Nat.one);
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Nat.sub: negative result") (fun () ->
+      ignore (Nat.sub Nat.one Nat.two))
+
+let test_nat_pow () =
+  Alcotest.(check nat) "2^10" (Nat.of_int 1024) (Nat.pow_int 2 10);
+  Alcotest.(check nat) "10^0" Nat.one (Nat.pow_int 10 0);
+  Alcotest.(check string) "10^50"
+    ("1" ^ String.make 50 '0')
+    (Nat.to_string (Nat.pow_int 10 50));
+  (* The power table the paper mentions: 10^325 must be exact. *)
+  Alcotest.(check int) "10^325 digit count" 326
+    (String.length (Nat.to_string (Nat.pow_int 10 325)))
+
+let test_nat_divmod_hand () =
+  let check_div a b q r =
+    let qa, ra = Nat.divmod (n_of_string a) (n_of_string b) in
+    Alcotest.(check nat) (a ^ " / " ^ b) (n_of_string q) qa;
+    Alcotest.(check nat) (a ^ " mod " ^ b) (n_of_string r) ra
+  in
+  check_div "0" "7" "0" "0";
+  check_div "7" "7" "1" "0";
+  check_div "6" "7" "0" "6";
+  check_div "100" "7" "14" "2";
+  check_div "340282366920938463463374607431768211456" "18446744073709551616"
+    "18446744073709551616" "0";
+  (* Exercises the Knuth-D qhat correction path: divisor just above a power
+     of the limb base and dividend chosen adversarially. *)
+  check_div "1208925819614629174706176" "1099511627777"
+    "1099511627775" "1";
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Nat.divmod Nat.one Nat.zero))
+
+let test_nat_shift () =
+  Alcotest.(check nat) "1 << 100 >> 100" Nat.one
+    (Nat.shift_right (Nat.shift_left Nat.one 100) 100);
+  Alcotest.(check nat) "shl 0" (Nat.of_int 5)
+    (Nat.shift_left (Nat.of_int 5) 0);
+  Alcotest.(check nat) "shr to zero" Nat.zero
+    (Nat.shift_right (Nat.of_int 5) 3);
+  Alcotest.(check nat) "shr partial" (Nat.of_int 2)
+    (Nat.shift_right (Nat.of_int 5) 1)
+
+let test_nat_bits () =
+  Alcotest.(check int) "bitlen 0" 0 (Nat.bit_length Nat.zero);
+  Alcotest.(check int) "bitlen 1" 1 (Nat.bit_length Nat.one);
+  Alcotest.(check int) "bitlen 2^52" 53
+    (Nat.bit_length (Nat.shift_left Nat.one 52));
+  Alcotest.(check bool) "testbit" true
+    (Nat.test_bit (Nat.shift_left Nat.one 91) 91);
+  Alcotest.(check bool) "testbit off" false
+    (Nat.test_bit (Nat.shift_left Nat.one 91) 90)
+
+let test_nat_base_strings () =
+  Alcotest.(check string) "255 hex" "ff" (Nat.to_string_base ~base:16 (Nat.of_int 255));
+  Alcotest.(check string) "35 in base 36" "z" (Nat.to_string_base ~base:36 (Nat.of_int 35));
+  Alcotest.(check string) "zero" "0" (Nat.to_string_base ~base:2 Nat.zero);
+  Alcotest.(check nat) "uppercase accepted" (Nat.of_int 255)
+    (Nat.of_string_base ~base:16 "FF");
+  Alcotest.(check nat) "separators" (Nat.of_int 255)
+    (Nat.of_string_base ~base:16 "f_f");
+  Alcotest.check_raises "digit out of range"
+    (Invalid_argument "Nat.of_string_base: digit out of range") (fun () ->
+      ignore (Nat.of_string_base ~base:8 "9"))
+
+let test_nat_base_digits () =
+  Alcotest.(check nat) "base 16 round trip"
+    (n_of_string "0xdeadbeefcafebabe")
+    (Nat.of_base_digits ~base:16
+       (Nat.to_base_digits ~base:16 (n_of_string "0xdeadbeefcafebabe")));
+  let digits = Nat.to_base_digits ~base:2 (Nat.of_int 10) in
+  Alcotest.(check (array int)) "binary of 10" [| 1; 0; 1; 0 |] digits;
+  Alcotest.(check (array int)) "zero digits" [| 0 |]
+    (Nat.to_base_digits ~base:7 Nat.zero)
+
+let test_nat_frexp () =
+  let m, e = Nat.frexp (Nat.of_int 1) in
+  Alcotest.(check (float 0.)) "frexp 1 mantissa" 0.5 m;
+  Alcotest.(check int) "frexp 1 exp" 1 e;
+  let m, e = Nat.frexp (Nat.shift_left Nat.one 100) in
+  Alcotest.(check (float 0.)) "frexp 2^100 mantissa" 0.5 m;
+  Alcotest.(check int) "frexp 2^100 exp" 101 e
+
+(* ------------------------------------------------------------------ *)
+(* Nat properties *)
+
+let nat_props =
+  [
+    qtest "invariant holds after ops" QCheck.(pair arb_nat arb_nat)
+      (fun (a, b) ->
+        Nat.check_invariant (Nat.add a b)
+        && Nat.check_invariant (Nat.mul a b)
+        && Nat.check_invariant (Nat.shift_left a 17)
+        && Nat.check_invariant (Nat.shift_right a 17));
+    qtest "add commutative" QCheck.(pair arb_nat arb_nat) (fun (a, b) ->
+        Nat.equal (Nat.add a b) (Nat.add b a));
+    qtest "add associative" QCheck.(triple arb_nat arb_nat arb_nat)
+      (fun (a, b, c) ->
+        Nat.equal (Nat.add (Nat.add a b) c) (Nat.add a (Nat.add b c)));
+    qtest "sub undoes add" QCheck.(pair arb_nat arb_nat) (fun (a, b) ->
+        Nat.equal (Nat.sub (Nat.add a b) b) a);
+    qtest "mul commutative" QCheck.(pair arb_nat arb_nat) (fun (a, b) ->
+        Nat.equal (Nat.mul a b) (Nat.mul b a));
+    qtest "mul distributes" QCheck.(triple arb_nat arb_nat arb_nat)
+      (fun (a, b, c) ->
+        Nat.equal
+          (Nat.mul a (Nat.add b c))
+          (Nat.add (Nat.mul a b) (Nat.mul a c)));
+    qtest ~count:120 "karatsuba = schoolbook"
+      QCheck.(pair arb_nat_big arb_nat_big)
+      (fun (a, b) ->
+        Nat.equal (Nat.mul_karatsuba a b) (Nat.mul_schoolbook a b));
+    qtest "divmod identity" QCheck.(pair arb_nat arb_pos_nat) (fun (a, b) ->
+        let q, r = Nat.divmod a b in
+        Nat.equal a (Nat.add (Nat.mul q b) r) && Nat.compare r b < 0);
+    qtest ~count:150 "divmod reconstructs planted q,r"
+      QCheck.(triple arb_nat arb_pos_nat arb_nat)
+      (fun (q, b, r0) ->
+        let r = snd (Nat.divmod r0 b) in
+        let a = Nat.add (Nat.mul q b) r in
+        let q', r' = Nat.divmod a b in
+        Nat.equal q q' && Nat.equal r r');
+    qtest "divmod_int agrees with divmod"
+      QCheck.(pair arb_nat (QCheck.int_range 1 ((1 lsl 30) - 1)))
+      (fun (a, b) ->
+        let q1, r1 = Nat.divmod_int a b in
+        let q2, r2 = Nat.divmod a (Nat.of_int b) in
+        Nat.equal q1 q2 && Nat.equal (Nat.of_int r1) r2);
+    qtest "string round trip" arb_nat (fun a ->
+        Nat.equal a (Nat.of_string (Nat.to_string a)));
+    qtest "base digits round trip"
+      QCheck.(pair arb_nat (QCheck.int_range 2 36))
+      (fun (a, b) ->
+        Nat.equal a (Nat.of_base_digits ~base:b (Nat.to_base_digits ~base:b a)));
+    qtest "base string round trip"
+      QCheck.(pair arb_nat (QCheck.int_range 2 36))
+      (fun (a, b) ->
+        Nat.equal a (Nat.of_string_base ~base:b (Nat.to_string_base ~base:b a)));
+    qtest "shift round trip" QCheck.(pair arb_nat (QCheck.int_range 0 200))
+      (fun (a, k) -> Nat.equal a (Nat.shift_right (Nat.shift_left a k) k));
+    qtest "shift_left is mul by 2^k"
+      QCheck.(pair arb_nat (QCheck.int_range 0 200))
+      (fun (a, k) ->
+        Nat.equal (Nat.shift_left a k) (Nat.mul a (Nat.pow_int 2 k)));
+    qtest "bit_length bounds" arb_pos_nat (fun a ->
+        let l = Nat.bit_length a in
+        Nat.compare a (Nat.pow_int 2 l) < 0
+        && Nat.compare a (Nat.pow_int 2 (l - 1)) >= 0);
+    qtest "compare antisymmetric" QCheck.(pair arb_nat arb_nat) (fun (a, b) ->
+        Nat.compare a b = -Nat.compare b a);
+    qtest "gcd divides" QCheck.(pair arb_pos_nat arb_pos_nat) (fun (a, b) ->
+        let g = Nat.gcd a b in
+        Nat.is_zero (snd (Nat.divmod a g)) && Nat.is_zero (snd (Nat.divmod b g)));
+    qtest "pow splits on exponents"
+      QCheck.(triple arb_pos_nat (QCheck.int_range 0 8) (QCheck.int_range 0 8))
+      (fun (b, i, j) ->
+        Nat.equal (Nat.pow b (i + j)) (Nat.mul (Nat.pow b i) (Nat.pow b j)));
+    qtest "int ops agree with native"
+      QCheck.(pair (QCheck.int_range 0 1_000_000) (QCheck.int_range 0 1_000_000))
+      (fun (a, b) ->
+        Nat.to_int_opt (Nat.add (Nat.of_int a) (Nat.of_int b)) = Some (a + b)
+        && Nat.to_int_opt (Nat.mul (Nat.of_int a) (Nat.of_int b)) = Some (a * b));
+    qtest "frexp brackets value" arb_pos_nat (fun a ->
+        let m, e = Nat.frexp a in
+        m >= 0.5 && m < 1. && e = Nat.bit_length a);
+    qtest "int64 unsigned round trip" QCheck.int64 (fun bits ->
+        match Nat.to_int64_unsigned_opt (Nat.of_int64_unsigned bits) with
+        | Some back -> Int64.equal back bits
+        | None -> false);
+    qtest "to_int64 rejects wide values" arb_pos_nat (fun a ->
+        let wide = Nat.shift_left (Nat.succ a) 64 in
+        Nat.to_int64_unsigned_opt wide = None);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Bigint *)
+
+let test_bigint_basics () =
+  Alcotest.(check bigint) "neg neg" (Bigint.of_int 5)
+    (Bigint.neg (Bigint.neg (Bigint.of_int 5)));
+  Alcotest.(check int) "sign -3" (-1) (Bigint.sign (Bigint.of_int (-3)));
+  Alcotest.(check int) "sign 0" 0 (Bigint.sign Bigint.zero);
+  Alcotest.(check string) "-2^70"
+    "-1180591620717411303424"
+    (Bigint.to_string (z_of_string "-1180591620717411303424"));
+  Alcotest.(check bigint) "minus zero is zero" Bigint.zero
+    (Bigint.neg Bigint.zero)
+
+let test_bigint_ediv () =
+  let check a b q r =
+    let qa, ra = Bigint.ediv_rem (Bigint.of_int a) (Bigint.of_int b) in
+    Alcotest.(check bigint)
+      (Printf.sprintf "%d ediv %d q" a b)
+      (Bigint.of_int q) qa;
+    Alcotest.(check bigint)
+      (Printf.sprintf "%d ediv %d r" a b)
+      (Bigint.of_int r) ra
+  in
+  check 7 2 3 1;
+  check (-7) 2 (-4) 1;
+  check 7 (-2) (-3) 1;
+  check (-7) (-2) 4 1;
+  check (-6) 2 (-3) 0;
+  check 0 5 0 0
+
+let bigint_props =
+  [
+    qtest "matches native int arithmetic"
+      QCheck.(pair arb_small_int arb_small_int)
+      (fun (a, b) ->
+        let za = Bigint.of_int a and zb = Bigint.of_int b in
+        Bigint.to_int_opt (Bigint.add za zb) = Some (a + b)
+        && Bigint.to_int_opt (Bigint.sub za zb) = Some (a - b)
+        && Bigint.to_int_opt (Bigint.mul za zb) = Some (a * b)
+        && Bigint.compare za zb = Int.compare a b);
+    qtest "ediv_rem identity and range"
+      QCheck.(pair arb_bigint arb_bigint)
+      (fun (a, b) ->
+        QCheck.assume (not (Bigint.is_zero b));
+        let q, r = Bigint.ediv_rem a b in
+        Bigint.equal a (Bigint.add (Bigint.mul q b) r)
+        && Bigint.sign r >= 0
+        && Bigint.compare r (Bigint.abs b) < 0);
+    qtest "fdiv is floor"
+      QCheck.(pair arb_small_int arb_small_int)
+      (fun (a, b) ->
+        QCheck.assume (b <> 0);
+        let q = Bigint.fdiv (Bigint.of_int a) (Bigint.of_int b) in
+        Bigint.to_int_opt q
+        = Some (int_of_float (Float.floor (float_of_int a /. float_of_int b))));
+    qtest "string round trip" arb_bigint (fun a ->
+        Bigint.equal a (Bigint.of_string (Bigint.to_string a)));
+    qtest "abs/min/max" QCheck.(pair arb_bigint arb_bigint) (fun (a, b) ->
+        Bigint.sign (Bigint.abs a) >= 0
+        && Bigint.compare (Bigint.min a b) (Bigint.max a b) <= 0);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Ratio *)
+
+let arb_ratio =
+  QCheck.make
+    ~print:Ratio.to_string
+    QCheck.Gen.(
+      pair gen_bigint (gen_nat_sized 6) >|= fun (n, d) ->
+      Ratio.make n (Bigint.of_nat (Nat.succ d)))
+
+let test_ratio_basics () =
+  let r = Ratio.of_ints 6 4 in
+  Alcotest.(check string) "reduced" "3/2" (Ratio.to_string r);
+  Alcotest.(check string) "integer shows plain" "7"
+    (Ratio.to_string (Ratio.of_int 7));
+  Alcotest.(check string) "negative denominator normalised" "-1/2"
+    (Ratio.to_string (Ratio.make (Bigint.of_int 2) (Bigint.of_int (-4))));
+  Alcotest.(check bool) "1/3 < 1/2" true
+    Ratio.O.(Ratio.of_ints 1 3 < Ratio.half)
+
+let test_ratio_floor_ceil () =
+  let check n d fl ce =
+    let r = Ratio.of_ints n d in
+    Alcotest.(check bigint)
+      (Printf.sprintf "floor %d/%d" n d)
+      (Bigint.of_int fl) (Ratio.floor r);
+    Alcotest.(check bigint)
+      (Printf.sprintf "ceil %d/%d" n d)
+      (Bigint.of_int ce) (Ratio.ceil r)
+  in
+  check 7 2 3 4;
+  check (-7) 2 (-4) (-3);
+  check 6 3 2 2;
+  check (-6) 3 (-2) (-2);
+  check 0 5 0 0
+
+let ratio_props =
+  [
+    qtest "add/sub inverse" QCheck.(pair arb_ratio arb_ratio) (fun (a, b) ->
+        Ratio.equal a (Ratio.sub (Ratio.add a b) b));
+    qtest "mul/div inverse" QCheck.(pair arb_ratio arb_ratio) (fun (a, b) ->
+        QCheck.assume (Ratio.sign b <> 0);
+        Ratio.equal a (Ratio.div (Ratio.mul a b) b));
+    qtest "distributivity" QCheck.(triple arb_ratio arb_ratio arb_ratio)
+      (fun (a, b, c) ->
+        Ratio.equal
+          (Ratio.mul a (Ratio.add b c))
+          (Ratio.add (Ratio.mul a b) (Ratio.mul a c)));
+    qtest "fractional in [0,1)" arb_ratio (fun a ->
+        let f = Ratio.fractional a in
+        Ratio.sign f >= 0 && Ratio.compare f Ratio.one < 0);
+    qtest "floor <= x < floor+1" arb_ratio (fun a ->
+        let fl = Ratio.of_bigint (Ratio.floor a) in
+        Ratio.compare fl a <= 0
+        && Ratio.compare a (Ratio.add fl Ratio.one) < 0);
+    qtest "pow negative inverts" QCheck.(pair arb_ratio (QCheck.int_range 1 5))
+      (fun (a, k) ->
+        QCheck.assume (Ratio.sign a <> 0);
+        Ratio.equal (Ratio.pow a (-k)) (Ratio.inv (Ratio.pow a k)));
+  ]
+
+let () =
+  Alcotest.run "bignum"
+    [
+      ( "nat-units",
+        [
+          Alcotest.test_case "basics" `Quick test_nat_basics;
+          Alcotest.test_case "string round trip" `Quick
+            test_nat_string_round_trip;
+          Alcotest.test_case "string prefixes" `Quick test_nat_string_prefixes;
+          Alcotest.test_case "sub" `Quick test_nat_sub;
+          Alcotest.test_case "pow" `Quick test_nat_pow;
+          Alcotest.test_case "divmod hand cases" `Quick test_nat_divmod_hand;
+          Alcotest.test_case "shifts" `Quick test_nat_shift;
+          Alcotest.test_case "bits" `Quick test_nat_bits;
+          Alcotest.test_case "base digits" `Quick test_nat_base_digits;
+          Alcotest.test_case "base strings" `Quick test_nat_base_strings;
+          Alcotest.test_case "frexp" `Quick test_nat_frexp;
+        ] );
+      ("nat-props", nat_props);
+      ( "bigint-units",
+        [
+          Alcotest.test_case "basics" `Quick test_bigint_basics;
+          Alcotest.test_case "euclidean division" `Quick test_bigint_ediv;
+        ] );
+      ("bigint-props", bigint_props);
+      ( "ratio-units",
+        [
+          Alcotest.test_case "basics" `Quick test_ratio_basics;
+          Alcotest.test_case "floor/ceil" `Quick test_ratio_floor_ceil;
+        ] );
+      ("ratio-props", ratio_props);
+    ]

@@ -1,0 +1,101 @@
+(* C-format emulation: byte-identical to the host's (correctly rounded)
+   printf across formats, precisions and value ranges. *)
+
+let qtest ?(count = 400) name arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+
+let arb_double =
+  QCheck.make ~print:(Printf.sprintf "%h")
+    QCheck.Gen.(
+      map
+        (fun bits ->
+          let x = Int64.float_of_bits bits in
+          if Float.is_nan x then 1.5 else x)
+        ui64)
+
+let test_e_known () =
+  let check precision x expected =
+    Alcotest.(check string)
+      (Printf.sprintf "%%.%de %h" precision x)
+      expected
+      (Dragon.Cformat.e ~precision x)
+  in
+  check 6 0.1 "1.000000e-01";
+  check 2 12345. "1.23e+04";
+  check 0 12345. "1e+04";
+  check 0 1e23 "1e+23";
+  check 16 1e23 "9.9999999999999992e+22";
+  check 3 (-0.0005) "-5.000e-04";
+  check 2 0. "0.00e+00";
+  check 4 5e-324 "4.9407e-324";
+  check 2 Float.infinity "inf";
+  check 2 Float.nan "nan"
+
+let test_f_known () =
+  let check precision x expected =
+    Alcotest.(check string)
+      (Printf.sprintf "%%.%df %h" precision x)
+      expected
+      (Dragon.Cformat.f ~precision x)
+  in
+  check 2 3.14159 "3.14";
+  check 0 2.5 "2" (* ties to even, like hardware *);
+  check 0 3.5 "4";
+  check 6 0.1 "0.100000";
+  check 10 0.1 "0.1000000000";
+  check 20 0.1 "0.10000000000000000555";
+  check 3 (-0.0001) "-0.000";
+  check 0 0. "0";
+  check 2 1234567.891 "1234567.89"
+
+let test_g_known () =
+  let check precision x expected =
+    Alcotest.(check string)
+      (Printf.sprintf "%%.%dg %h" precision x)
+      expected
+      (Dragon.Cformat.g ~precision x)
+  in
+  check 6 0.1 "0.1";
+  check 6 100000. "100000";
+  check 6 1000000. "1e+06";
+  check 6 0.0001 "0.0001";
+  check 6 0.00001 "1e-05";
+  check 3 1234. "1.23e+03";
+  check 0 1234. "1e+03";
+  check 15 0.30000000000000004 "0.3";
+  check 17 0.30000000000000004 "0.30000000000000004";
+  check 6 0. "0"
+
+let props =
+  [
+    qtest "e matches host printf"
+      QCheck.(pair arb_double (QCheck.int_range 0 17))
+      (fun (x, precision) ->
+        String.equal
+          (Dragon.Cformat.e ~precision x)
+          (Printf.sprintf "%.*e" precision x));
+    qtest "f matches host printf"
+      QCheck.(pair arb_double (QCheck.int_range 0 20))
+      (fun (x, precision) ->
+        String.equal
+          (Dragon.Cformat.f ~precision x)
+          (Printf.sprintf "%.*f" precision x));
+    qtest "g matches host printf"
+      QCheck.(pair arb_double (QCheck.int_range 0 17))
+      (fun (x, precision) ->
+        String.equal
+          (Dragon.Cformat.g ~precision x)
+          (Printf.sprintf "%.*g" precision x));
+  ]
+
+let () =
+  Alcotest.run "cformat"
+    [
+      ( "known",
+        [
+          Alcotest.test_case "%e" `Quick test_e_known;
+          Alcotest.test_case "%f" `Quick test_f_known;
+          Alcotest.test_case "%g" `Quick test_g_known;
+        ] );
+      ("vs-host", props);
+    ]

@@ -1,0 +1,70 @@
+(* End-to-end tests of the bdprint command-line tool: run the built
+   executable and check its stdout. *)
+
+let bdprint args =
+  (* this test binary lives in _build/default/test; the CLI next door *)
+  let exe =
+    Filename.concat
+      (Filename.dirname (Filename.dirname Sys.executable_name))
+      "bin/bdprint.exe"
+  in
+  let tmp = Filename.temp_file "bdprint" ".out" in
+  let cmd = Printf.sprintf "%s %s > %s 2>/dev/null" exe args tmp in
+  let status = Sys.command cmd in
+  let ic = open_in tmp in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove tmp;
+  (status, List.rev !lines)
+
+let check_output name args expected =
+  let status, lines = bdprint args in
+  Alcotest.(check int) (name ^ " exit") 0 status;
+  Alcotest.(check (list string)) name expected lines
+
+let test_free () =
+  check_output "shortest" "0.1 1e23" [ "0.1"; "1e23" ];
+  check_output "negative and specials" "-- -1.5 inf nan" [ "-1.5"; "inf"; "nan" ];
+  (* reading and printing share the mode, so any input echoes in shortest
+     form under that mode; the asymmetric paper example (read even, print
+     away) needs the library API rather than the CLI *)
+  check_output "mode away round-trips" "--mode away 1e23" [ "1e23" ];
+  check_output "mode zero round-trips" "--mode zero 0.3" [ "0.3" ]
+
+let test_fixed () =
+  check_output "relative digits binary32" "--digits 10 --format binary32 0.333333333"
+    [ "0.33333334##" ];
+  check_output "places with hash" "--places 20 100"
+    [ "100.000000000000000#####" ];
+  check_output "pi to 4 places" "--places 4 3.14159265358979" [ "3.1416" ]
+
+let test_bases_and_hex () =
+  check_output "base 16" "--base 16 255.9375" [ "ff.f" ];
+  check_output "base 2" "--base 2 0.625" [ "0.101" ];
+  check_output "hex input" "0x1.8p+1" [ "3.0" ];
+  check_output "hex output" "--hex 0.1" [ "0x1.999999999999ap-4" ]
+
+let test_errors () =
+  let status, _ = bdprint "not-a-number" in
+  Alcotest.(check bool) "bad input fails" true (status <> 0);
+  let status, _ = bdprint "--digits 0 1.0" in
+  Alcotest.(check bool) "digits 0 fails cleanly" true (status <> 0);
+  let status, _ = bdprint "--digits 3 --places 2 1.0" in
+  Alcotest.(check bool) "conflicting flags fail" true (status <> 0)
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "bdprint",
+        [
+          Alcotest.test_case "free format" `Quick test_free;
+          Alcotest.test_case "fixed format" `Quick test_fixed;
+          Alcotest.test_case "bases and hex" `Quick test_bases_and_hex;
+          Alcotest.test_case "errors" `Quick test_errors;
+        ] );
+    ]

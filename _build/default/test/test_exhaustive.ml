@@ -1,0 +1,150 @@
+(* Exhaustive verification over ALL positive finite binary16 values
+   (31,743 of them): the paper's three output conditions in every reader
+   rounding mode, reader round-trips, digit-length bounds, and spot-width
+   fixed-format agreement with the rational reference.
+
+   Half precision is small enough to close the loop completely - no
+   sampling, every value. *)
+
+module Nat = Bignum.Nat
+open Fp
+open Dragon
+
+let b16 = Format_spec.binary16
+
+let all_positive_finite_b16 () =
+  let acc = ref [] in
+  for bits = 0x7BFF downto 1 do
+    match Ieee.decompose_bits Ieee.spec_binary16 (Int64.of_int bits) with
+    | Value.Finite v -> acc := v :: !acc
+    | _ -> ()
+  done;
+  !acc
+
+let test_free_all_modes () =
+  let values = all_positive_finite_b16 () in
+  Alcotest.(check int) "population" 31743 (List.length values);
+  let failures = ref 0 in
+  let max_digits = ref 0 in
+  List.iter
+    (fun v ->
+      List.iter
+        (fun mode ->
+          let r = Free_format.convert ~mode b16 v in
+          max_digits := max !max_digits (Array.length r.Free_format.digits);
+          (match Reference.check_output ~mode b16 v r with
+          | Ok () -> ()
+          | Error e ->
+            incr failures;
+            if !failures < 5 then
+              Printf.printf "FAIL %s %s: %s\n"
+                (Value.to_string (Value.Finite v))
+                (Rounding.to_string mode) e);
+          let back =
+            Reader.read_ratio ~mode b16 (Free_format.to_ratio ~base:10 r)
+          in
+          if not (Value.equal back (Value.Finite v)) then incr failures)
+        Rounding.all)
+    values;
+  Alcotest.(check int) "no failures over 190,458 conversions" 0 !failures;
+  (* binary16 never needs more than 5 significant decimal digits *)
+  Alcotest.(check int) "max shortest length" 5 !max_digits
+
+let test_free_strategies_agree () =
+  let values = all_positive_finite_b16 () in
+  let disagreements = ref 0 in
+  List.iter
+    (fun v ->
+      let reference = Free_format.convert b16 v in
+      List.iter
+        (fun strategy ->
+          if
+            not
+              (Free_format.equal reference
+                 (Free_format.convert ~strategy b16 v))
+          then incr disagreements)
+        Scaling.all)
+    values;
+  Alcotest.(check int) "strategies identical everywhere" 0 !disagreements
+
+let test_fixed_sampled () =
+  (* fixed format against the rational reference on a stride (the full
+     cross product with the rational path would be slow) *)
+  let values = all_positive_finite_b16 () in
+  let failures = ref 0 in
+  List.iteri
+    (fun i v ->
+      if i mod 17 = 0 then
+        List.iter
+          (fun req ->
+            if
+              not
+                (Fixed_format.equal
+                   (Fixed_format.convert b16 v req)
+                   (Reference.fixed b16 v req))
+            then incr failures)
+          [ Fixed_format.Relative 3; Fixed_format.Relative 8;
+            Fixed_format.Absolute 0; Fixed_format.Absolute (-6) ])
+    values;
+  Alcotest.(check int) "fixed = reference on stride" 0 !failures
+
+let test_reader_exhaustive_shortest () =
+  (* every binary16 shortest string, parsed back through the text path *)
+  let values = all_positive_finite_b16 () in
+  let failures = ref 0 in
+  List.iter
+    (fun v ->
+      let s = Render.free ~base:10 (Free_format.convert b16 v) in
+      match Reader.read b16 s with
+      | Ok back when Value.equal back (Value.Finite v) -> ()
+      | _ -> incr failures)
+    values;
+  Alcotest.(check int) "all shortest strings read back" 0 !failures
+
+(* The same closure for bfloat16: different shape entirely (binary32's
+   exponent range, only 8 bits of precision). *)
+let test_bfloat16_sweep () =
+  let fmt = Format_spec.bfloat16 in
+  let values = ref [] in
+  for bits = 0x7F7F downto 1 do
+    match Ieee.decompose_bits Ieee.spec_bfloat16 (Int64.of_int bits) with
+    | Value.Finite v -> values := v :: !values
+    | _ -> ()
+  done;
+  Alcotest.(check int) "population" 32639 (List.length !values);
+  let failures = ref 0 in
+  let max_digits = ref 0 in
+  List.iter
+    (fun v ->
+      let r = Free_format.convert fmt v in
+      max_digits := max !max_digits (Array.length r.Free_format.digits);
+      (match Reference.check_output fmt v r with
+      | Ok () -> ()
+      | Error _ -> incr failures);
+      if
+        not
+          (Value.equal
+             (Reader.read_ratio fmt (Free_format.to_ratio ~base:10 r))
+             (Value.Finite v))
+      then incr failures)
+    !values;
+  Alcotest.(check int) "no failures" 0 !failures;
+  (* 8 bits of precision need at most 4 decimal digits *)
+  Alcotest.(check int) "max shortest length" 4 !max_digits
+
+let () =
+  Alcotest.run "exhaustive-binary16"
+    [
+      ( "binary16",
+        [
+          Alcotest.test_case "free format, all values x all modes" `Slow
+            test_free_all_modes;
+          Alcotest.test_case "all scaling strategies, all values" `Slow
+            test_free_strategies_agree;
+          Alcotest.test_case "fixed format vs reference, stride" `Slow
+            test_fixed_sampled;
+          Alcotest.test_case "shortest strings read back, all values" `Slow
+            test_reader_exhaustive_shortest;
+          Alcotest.test_case "bfloat16 full sweep" `Slow test_bfloat16_sweep;
+        ] );
+    ]

@@ -1,0 +1,298 @@
+(* Tests for the floating-point representation substrate. *)
+
+module Nat = Bignum.Nat
+module Ratio = Bignum.Ratio
+open Fp
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let fin ?(neg = false) f e = { Value.neg; f = Nat.of_int f; e }
+let pow2 k = Nat.pow_int 2 k
+
+let qtest ?(count = 300) name arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+
+(* ------------------------------------------------------------------ *)
+(* Decomposition of known binary64 values *)
+
+let test_decompose_known () =
+  Alcotest.(check value) "1.0" (Value.Finite (fin 1 0 |> fun v -> { v with f = pow2 52; e = -52 }))
+    (Ieee.decompose 1.0);
+  Alcotest.(check value) "0.5"
+    (Value.Finite { neg = false; f = pow2 52; e = -53 })
+    (Ieee.decompose 0.5);
+  Alcotest.(check value) "0.1"
+    (Value.Finite
+       { neg = false; f = Nat.of_string "7205759403792794"; e = -56 })
+    (Ieee.decompose 0.1);
+  Alcotest.(check value) "max_float"
+    (Value.Finite
+       { neg = false; f = Nat.pred (pow2 53); e = 971 })
+    (Ieee.decompose Float.max_float);
+  Alcotest.(check value) "min denormal"
+    (Value.Finite { neg = false; f = Nat.one; e = -1074 })
+    (Ieee.decompose (Int64.float_of_bits 1L));
+  Alcotest.(check value) "-2.5"
+    (Value.Finite { neg = true; f = Nat.of_int 5; e = -1 } |> fun v ->
+     match v with
+     | Value.Finite fv -> Value.Finite (Value.normalize Format_spec.binary64 fv)
+     | _ -> v)
+    (Ieee.decompose (-2.5));
+  Alcotest.(check value) "+0" (Value.Zero false) (Ieee.decompose 0.);
+  Alcotest.(check value) "-0" (Value.Zero true) (Ieee.decompose (-0.));
+  Alcotest.(check value) "inf" (Value.Inf false) (Ieee.decompose Float.infinity);
+  Alcotest.(check value) "-inf" (Value.Inf true)
+    (Ieee.decompose Float.neg_infinity);
+  Alcotest.(check value) "nan" Value.Nan (Ieee.decompose Float.nan)
+
+let test_decompose_binary16 () =
+  let d bits = Ieee.decompose_bits Ieee.spec_binary16 (Int64.of_int bits) in
+  Alcotest.(check value) "1.0h"
+    (Value.Finite { neg = false; f = pow2 10; e = -10 })
+    (d 0x3C00);
+  Alcotest.(check value) "max half 65504"
+    (Value.Finite { neg = false; f = Nat.of_int 2047; e = 5 })
+    (d 0x7BFF);
+  Alcotest.(check value) "min denormal half"
+    (Value.Finite { neg = false; f = Nat.one; e = -24 })
+    (d 0x0001);
+  Alcotest.(check value) "inf half" (Value.Inf false) (d 0x7C00);
+  Alcotest.(check value) "nan half" Value.Nan (d 0x7E01);
+  Alcotest.(check value) "-2.0h"
+    (Value.Finite { neg = true; f = pow2 10; e = -9 })
+    (d 0xC000)
+
+let test_compose_round_trip_known () =
+  List.iter
+    (fun x ->
+      Alcotest.(check (float 0.)) (string_of_float x) x
+        (Ieee.compose (Ieee.decompose x)))
+    [ 1.0; -1.0; 0.1; 1e300; 1e-300; Float.max_float; Float.min_float;
+      4.94e-324; 3.14159; -0.0; Float.infinity ]
+
+(* ------------------------------------------------------------------ *)
+(* Successor / predecessor *)
+
+let test_succ_pred_floats () =
+  Alcotest.(check (float 0.)) "succ 1.0" (1.0 +. epsilon_float)
+    (Ieee.succ_float 1.0);
+  Alcotest.(check (float 0.)) "pred 1.0" (1.0 -. (epsilon_float /. 2.))
+    (Ieee.pred_float 1.0);
+  Alcotest.(check (float 0.)) "succ 0" (Int64.float_of_bits 1L)
+    (Ieee.succ_float 0.);
+  Alcotest.(check (float 0.)) "succ max is inf" Float.infinity
+    (Ieee.succ_float Float.max_float);
+  Alcotest.(check (float 0.)) "pred min denormal" 0.
+    (Ieee.pred_float (Int64.float_of_bits 1L))
+
+let test_gaps_boundary () =
+  let fmt = Format_spec.binary64 in
+  let one = { Value.neg = false; f = pow2 52; e = -52 } in
+  Alcotest.(check bool) "gap below 1.0 narrow" true
+    (Gaps.gap_low_is_narrow fmt one);
+  (match Gaps.pred fmt one with
+  | Value.Finite p ->
+    Alcotest.(check bool) "pred of 1.0 mantissa full" true
+      (Nat.equal p.f (Nat.pred (pow2 53)));
+    Alcotest.(check int) "pred of 1.0 exponent" (-53) p.e
+  | _ -> Alcotest.fail "pred of 1.0 not finite");
+  (match Gaps.succ fmt { Value.neg = false; f = Nat.pred (pow2 53); e = -53 } with
+  | Value.Finite s ->
+    Alcotest.(check bool) "succ wraps to next binade" true
+      (Nat.equal s.f (pow2 52) && s.e = -52)
+  | _ -> Alcotest.fail "succ not finite");
+  Alcotest.(check value) "succ max_float = inf" (Value.Inf false)
+    (Gaps.succ fmt { Value.neg = false; f = Nat.pred (pow2 53); e = 971 });
+  Alcotest.(check value) "pred min denormal = 0" (Value.Zero false)
+    (Gaps.pred fmt { Value.neg = false; f = Nat.one; e = -1074 })
+
+let test_rounding_range_one () =
+  let fmt = Format_spec.binary64 in
+  let one = { Value.neg = false; f = pow2 52; e = -52 } in
+  let low, high = Gaps.rounding_range fmt one in
+  let r_of_parts n k = Ratio.make (Bignum.Bigint.of_int n) (Bignum.Bigint.of_nat (pow2 k)) in
+  Alcotest.(check bool) "low = 1 - 2^-54" true
+    (Ratio.equal low (Ratio.sub Ratio.one (r_of_parts 1 54)));
+  Alcotest.(check bool) "high = 1 + 2^-53" true
+    (Ratio.equal high (Ratio.add Ratio.one (r_of_parts 1 53)))
+
+(* ------------------------------------------------------------------ *)
+(* Value helpers *)
+
+let test_normalize () =
+  let fmt = Format_spec.binary64 in
+  let v = Value.normalize fmt { Value.neg = false; f = Nat.of_int 5; e = -1 } in
+  Alcotest.(check bool) "2.5 normalizes to 5*2^50 scale" true
+    (Nat.equal v.f (Nat.mul (Nat.of_int 5) (pow2 50)) && v.e = -51);
+  let d = Value.normalize fmt { Value.neg = false; f = Nat.of_int 3; e = -1074 } in
+  Alcotest.(check bool) "denormal stays put" true
+    (Nat.equal d.f (Nat.of_int 3) && d.e = -1074);
+  Alcotest.(check bool) "denormal detection" true (Value.is_denormalized fmt d);
+  Alcotest.check_raises "overflow rejected"
+    (Invalid_argument "Value.normalize: exponent out of range") (fun () ->
+      ignore (Value.normalize fmt { Value.neg = false; f = Nat.one; e = 2000 }))
+
+let test_compare_to_ratio () =
+  let fmt = Format_spec.binary64 in
+  let a = { Value.neg = false; f = Nat.of_int 3; e = 0 } in
+  let b = { Value.neg = false; f = Nat.of_int 3; e = 1 } in
+  Alcotest.(check int) "3 < 6" (-1) (Value.compare_finite fmt a b);
+  Alcotest.(check int) "-3 > -6" 1
+    (Value.compare_finite fmt { a with neg = true } { b with neg = true });
+  Alcotest.(check int) "neg < pos" (-1)
+    (Value.compare_finite fmt { a with neg = true } a);
+  Alcotest.(check bool) "to_ratio 3*2^-2" true
+    (Ratio.equal
+       (Value.to_ratio fmt { Value.neg = false; f = Nat.of_int 3; e = -2 })
+       (Ratio.of_ints 3 4))
+
+let test_rounding_modes () =
+  Alcotest.(check (pair bool bool)) "even, to-even" (true, true)
+    (Rounding.boundary_ok Rounding.To_nearest_even ~mantissa_even:true);
+  Alcotest.(check (pair bool bool)) "odd, to-even" (false, false)
+    (Rounding.boundary_ok Rounding.To_nearest_even ~mantissa_even:false);
+  Alcotest.(check (pair bool bool)) "ties away" (true, false)
+    (Rounding.boundary_ok Rounding.To_nearest_away ~mantissa_even:false);
+  Alcotest.(check (pair bool bool)) "ties toward zero" (false, true)
+    (Rounding.boundary_ok Rounding.To_nearest_toward_zero ~mantissa_even:true);
+  Alcotest.check_raises "directed has no midpoints"
+    (Invalid_argument "Rounding.boundary_ok: directed mode has no midpoints")
+    (fun () ->
+      ignore (Rounding.boundary_ok Rounding.Toward_zero ~mantissa_even:true))
+
+let test_validation () =
+  Alcotest.check_raises "base < 2"
+    (Invalid_argument "Format_spec.make: base must be >= 2") (fun () ->
+      ignore (Format_spec.make ~b:1 ~p:3 ~emin:0 ~emax:1 ()));
+  Alcotest.check_raises "p < 1"
+    (Invalid_argument "Format_spec.make: precision must be >= 1") (fun () ->
+      ignore (Format_spec.make ~b:2 ~p:0 ~emin:0 ~emax:1 ()));
+  Alcotest.check_raises "emin > emax"
+    (Invalid_argument "Format_spec.make: emin > emax") (fun () ->
+      ignore (Format_spec.make ~b:2 ~p:3 ~emin:2 ~emax:1 ()));
+  Alcotest.check_raises "spec too wide"
+    (Invalid_argument "Ieee.make_spec: encodings wider than 64 bits not supported")
+    (fun () -> ignore (Ieee.make_spec ~exp_bits:15 ~mant_bits:60 ()));
+  Alcotest.check_raises "fields too small"
+    (Invalid_argument "Ieee.make_spec: field widths too small") (fun () ->
+      ignore (Ieee.make_spec ~exp_bits:1 ~mant_bits:10 ()))
+
+let test_value_to_string () =
+  Alcotest.(check string) "zero" "0" (Value.to_string (Value.Zero false));
+  Alcotest.(check string) "neg zero" "-0" (Value.to_string (Value.Zero true));
+  Alcotest.(check string) "inf" "+inf" (Value.to_string (Value.Inf false));
+  Alcotest.(check string) "nan" "nan" (Value.to_string Value.Nan);
+  Alcotest.(check string) "finite" "-5*b^-1"
+    (Value.to_string (Value.finite_int ~neg:true ~f:5 ~e:(-1) ()));
+  Alcotest.(check bool) "finite_int of zero mantissa collapses" true
+    (Value.equal (Value.finite_int ~f:0 ~e:3 ()) (Value.Zero false))
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let arb_bits = QCheck.int64
+
+let arb_finite_pos_float =
+  QCheck.make ~print:string_of_float
+    QCheck.Gen.(
+      map
+        (fun bits ->
+          let x = Int64.float_of_bits bits in
+          let x = Float.abs x in
+          if Float.is_nan x || x = Float.infinity || x = 0. then 1.5 else x)
+        ui64)
+
+let props =
+  [
+    qtest "bits round trip through decompose" arb_bits (fun bits ->
+        let v = Ieee.decompose_bits Ieee.spec_binary64 bits in
+        match v with
+        | Value.Nan -> true (* many NaN payloads collapse; skip *)
+        | _ -> Int64.equal (Ieee.compose_bits Ieee.spec_binary64 v) bits);
+    qtest "succ_float agrees with Gaps.succ" arb_finite_pos_float (fun x ->
+        QCheck.assume (x <> Float.max_float);
+        match Ieee.decompose x with
+        | Value.Finite v ->
+          Value.equal
+            (Gaps.succ Format_spec.binary64 v)
+            (Ieee.decompose (Ieee.succ_float x))
+        | _ -> false);
+    qtest "pred_float agrees with Gaps.pred" arb_finite_pos_float (fun x ->
+        match Ieee.decompose x with
+        | Value.Finite v ->
+          Value.equal
+            (Gaps.pred Format_spec.binary64 v)
+            (Ieee.decompose (Ieee.pred_float x))
+        | _ -> false);
+    qtest "succ then pred is identity" arb_finite_pos_float (fun x ->
+        QCheck.assume (x <> Float.max_float);
+        match Ieee.decompose x with
+        | Value.Finite v -> (
+          match Gaps.succ Format_spec.binary64 v with
+          | Value.Finite s -> Value.equal (Gaps.pred Format_spec.binary64 s) (Value.Finite v)
+          | _ -> false)
+        | _ -> false);
+    qtest "rounding range brackets v" arb_finite_pos_float (fun x ->
+        match Ieee.decompose x with
+        | Value.Finite v ->
+          let fmt = Format_spec.binary64 in
+          let low, high = Gaps.rounding_range fmt v in
+          let rv = Value.to_ratio fmt v in
+          Ratio.compare low rv < 0 && Ratio.compare rv high < 0
+        | _ -> false);
+    qtest "range midpoints are neighbour averages" arb_finite_pos_float
+      (fun x ->
+        QCheck.assume (x <> Float.max_float);
+        match Ieee.decompose x with
+        | Value.Finite v -> (
+          let fmt = Format_spec.binary64 in
+          let low, high = Gaps.rounding_range fmt v in
+          let rv = Value.to_ratio fmt v in
+          let avg a b = Ratio.div (Ratio.add a b) (Ratio.of_int 2) in
+          let high_ok =
+            match Gaps.succ fmt v with
+            | Value.Finite s -> Ratio.equal high (avg rv (Value.to_ratio fmt s))
+            | _ -> true
+          in
+          match Gaps.pred fmt v with
+          | Value.Finite p -> high_ok && Ratio.equal low (avg rv (Value.to_ratio fmt p))
+          | Value.Zero _ -> high_ok && Ratio.equal low (avg rv Ratio.zero)
+          | _ -> false)
+        | _ -> false);
+    qtest "binary32 bits round trip"
+      (QCheck.int_range 0 ((1 lsl 31) - 1))
+      (fun bits ->
+        let bits = Int64.of_int bits in
+        match Ieee.decompose_bits Ieee.spec_binary32 bits with
+        | Value.Nan -> true
+        | v -> Int64.equal (Ieee.compose_bits Ieee.spec_binary32 v) bits);
+  ]
+
+let () =
+  Alcotest.run "fp"
+    [
+      ( "ieee",
+        [
+          Alcotest.test_case "decompose known doubles" `Quick
+            test_decompose_known;
+          Alcotest.test_case "decompose binary16" `Quick test_decompose_binary16;
+          Alcotest.test_case "compose round trips" `Quick
+            test_compose_round_trip_known;
+          Alcotest.test_case "succ/pred floats" `Quick test_succ_pred_floats;
+        ] );
+      ( "gaps",
+        [
+          Alcotest.test_case "binade boundary" `Quick test_gaps_boundary;
+          Alcotest.test_case "rounding range of 1.0" `Quick
+            test_rounding_range_one;
+        ] );
+      ( "value",
+        [
+          Alcotest.test_case "normalize" `Quick test_normalize;
+          Alcotest.test_case "compare and to_ratio" `Quick test_compare_to_ratio;
+          Alcotest.test_case "rounding modes" `Quick test_rounding_modes;
+          Alcotest.test_case "validation errors" `Quick test_validation;
+          Alcotest.test_case "value to_string" `Quick test_value_to_string;
+        ] );
+      ("props", props);
+    ]

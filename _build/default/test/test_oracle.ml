@@ -1,0 +1,231 @@
+(* Tests for the exact-decimal oracle. *)
+
+module Nat = Bignum.Nat
+module Bigint = Bignum.Bigint
+module Ratio = Bignum.Ratio
+open Oracle
+
+let digits_string d = String.concat "" (Array.to_list (Array.map string_of_int d))
+
+let qtest ?(count = 300) name arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+
+let decompose_pos x =
+  match Fp.Ieee.decompose x with
+  | Fp.Value.Finite v when not v.neg -> v
+  | _ -> Alcotest.failf "not a positive finite double: %g" x
+
+let test_exact_digits_known () =
+  let check x expected_digits expected_k =
+    let digits, k =
+      Exact_decimal.exact_digits ~base:10 Fp.Format_spec.binary64
+        (decompose_pos x)
+    in
+    Alcotest.(check string)
+      (Printf.sprintf "digits of %.17g" x)
+      expected_digits (digits_string digits);
+    Alcotest.(check int) (Printf.sprintf "k of %.17g" x) expected_k k
+  in
+  check 1.0 "1" 1;
+  check 3.0 "3" 1;
+  check 0.5 "5" 0;
+  check 0.125 "125" 0;
+  check 100.0 "1" 3;
+  (* The canonical example: the double nearest 0.1 is exactly this 55-digit
+     decimal. *)
+  check 0.1 "1000000000000000055511151231257827021181583404541015625" 0;
+  (* Smallest positive denormal: 2^-1074, a 751-digit expansion starting
+     with 494065... at 10^-323. *)
+  let digits, k =
+    Exact_decimal.exact_digits ~base:10 Fp.Format_spec.binary64
+      (decompose_pos (Int64.float_of_bits 1L))
+  in
+  Alcotest.(check int) "denormal k" (-323) k;
+  Alcotest.(check int) "denormal digit count" 751 (Array.length digits);
+  Alcotest.(check string) "denormal leading digits" "494065645841246544"
+    (String.sub (digits_string digits) 0 18)
+
+let test_exact_digits_base2 () =
+  let digits, k =
+    Exact_decimal.exact_digits ~base:2 Fp.Format_spec.binary64
+      (decompose_pos 0.625)
+  in
+  Alcotest.(check string) "0.625 in binary" "101" (digits_string digits);
+  Alcotest.(check int) "0.625 binary k" 0 k
+
+let test_exact_digits_rejects () =
+  Alcotest.check_raises "odd base"
+    (Invalid_argument "Exact_decimal.exact_digits: base must be even, in [2,36]")
+    (fun () ->
+      ignore
+        (Exact_decimal.exact_digits ~base:3 Fp.Format_spec.binary64
+           (decompose_pos 1.0)))
+
+let test_round_significant_known () =
+  let check r nd expected_digits expected_k =
+    let digits, k = Exact_decimal.round_significant ~base:10 ~ndigits:nd r in
+    Alcotest.(check string)
+      (Printf.sprintf "%s to %d digits" (Ratio.to_string r) nd)
+      expected_digits (digits_string digits);
+    Alcotest.(check int)
+      (Printf.sprintf "%s to %d digits (k)" (Ratio.to_string r) nd)
+      expected_k k
+  in
+  check (Ratio.of_ints 1 3) 7 "3333333" 0;
+  check (Ratio.of_ints 2 3) 7 "6666667" 0;
+  check (Ratio.of_ints 1 3) 10 "3333333333" 0;
+  check (Ratio.of_int 12345) 3 "123" 5;
+  check (Ratio.of_int 12355) 3 "124" 5;
+  (* round-half-even both ways *)
+  check (Ratio.of_int 125) 2 "12" 3;
+  check (Ratio.of_int 135) 2 "14" 3;
+  (* carry cascade promotes the exponent *)
+  check (Ratio.of_ints 9999 10000) 2 "10" 1;
+  check (Ratio.of_ints 99999 10) 4 "1000" 5;
+  (* exact values pad with trailing zeros *)
+  check (Ratio.of_int 5) 4 "5000" 1;
+  check (Ratio.of_ints 1 1000) 3 "100" (-2)
+
+let test_round_significant_other_bases () =
+  let digits, k =
+    Exact_decimal.round_significant ~base:2 ~ndigits:5 (Ratio.of_ints 1 3)
+  in
+  (* 1/3 = 0.0101010101...b; 5 significant bits from the leading 1:
+     0.010101 rounds to 0.010101 -> digits 10101, k = -1 *)
+  Alcotest.(check string) "1/3 base 2" "10101" (digits_string digits);
+  Alcotest.(check int) "1/3 base 2 k" (-1) k;
+  let digits, k =
+    Exact_decimal.round_significant ~base:16 ~ndigits:3 (Ratio.of_int 4095)
+  in
+  Alcotest.(check (array int)) "4095 base 16" [| 15; 15; 15 |] digits;
+  Alcotest.(check int) "4095 base 16 k" 3 k;
+  (* 4095.5 to 3 hex digits ties to even 0x1000, promoting k *)
+  let digits, k =
+    Exact_decimal.round_significant ~base:16 ~ndigits:3 (Ratio.of_ints 8191 2)
+  in
+  Alcotest.(check (array int)) "8191/2 base 16" [| 1; 0; 0 |] digits;
+  Alcotest.(check int) "8191/2 base 16 k" 4 k
+
+let test_round_at_position () =
+  let check ?tie r pos expected =
+    Alcotest.(check string)
+      (Printf.sprintf "%s at 10^%d" (Ratio.to_string r) pos)
+      expected
+      (Nat.to_string (Exact_decimal.round_at_position ?tie ~base:10 ~pos r))
+  in
+  check (Ratio.of_ints 25 2) 0 "12";
+  (* 12.5 -> even *)
+  check (Ratio.of_ints 27 2) 0 "14";
+  (* 13.5 -> even *)
+  check ~tie:Exact_decimal.Half_up (Ratio.of_ints 25 2) 0 "13";
+  check ~tie:Exact_decimal.Half_down (Ratio.of_ints 25 2) 0 "12";
+  check (Ratio.of_int 12345) 2 "123";
+  check (Ratio.of_ints 1 1000) (-2) "0";
+  check (Ratio.of_ints 1 100) (-2) "1"
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let arb_pos_ratio =
+  QCheck.make ~print:Ratio.to_string
+    QCheck.Gen.(
+      map2
+        (fun n d -> Ratio.of_ints (n + 1) (d + 1))
+        (int_bound 1_000_000) (int_bound 1_000_000))
+
+let arb_pos_double =
+  QCheck.make ~print:string_of_float
+    QCheck.Gen.(
+      map
+        (fun bits ->
+          let x = Float.abs (Int64.float_of_bits bits) in
+          if Float.is_nan x || x = Float.infinity || x = 0. then 1.5 else x)
+        ui64)
+
+let value_of_digits ~base digits k =
+  (* 0.d1...dn × base^k as a rational *)
+  let n = Array.length digits in
+  Ratio.mul
+    (Ratio.of_bigint (Bigint.of_nat (Exact_decimal.digits_to_nat ~base digits)))
+    (Ratio.pow (Ratio.of_int base) (k - n))
+
+let props =
+  [
+    qtest "round_significant is within half ulp"
+      QCheck.(pair arb_pos_ratio (QCheck.int_range 1 12))
+      (fun (r, nd) ->
+        let digits, k = Exact_decimal.round_significant ~base:10 ~ndigits:nd r in
+        let v = value_of_digits ~base:10 digits k in
+        let ulp = Ratio.pow (Ratio.of_int 10) (k - nd) in
+        let err = Ratio.abs (Ratio.sub v r) in
+        Ratio.compare err (Ratio.mul Ratio.half ulp) <= 0
+        && Array.length digits = nd
+        && digits.(0) > 0);
+    qtest "round_significant monotone in ndigits"
+      QCheck.(pair arb_pos_ratio (QCheck.int_range 2 10))
+      (fun (r, nd) ->
+        (* the (nd+2)-digit rounding is at least as close as the nd-digit *)
+        let d1, k1 = Exact_decimal.round_significant ~base:10 ~ndigits:nd r in
+        let d2, k2 =
+          Exact_decimal.round_significant ~base:10 ~ndigits:(nd + 2) r
+        in
+        let e1 = Ratio.abs (Ratio.sub (value_of_digits ~base:10 d1 k1) r) in
+        let e2 = Ratio.abs (Ratio.sub (value_of_digits ~base:10 d2 k2) r) in
+        Ratio.compare e2 e1 <= 0);
+    qtest "exact_digits reconstructs the double" arb_pos_double (fun x ->
+        let v = decompose_pos x in
+        let digits, k =
+          Exact_decimal.exact_digits ~base:10 Fp.Format_spec.binary64 v
+        in
+        Ratio.equal
+          (value_of_digits ~base:10 digits k)
+          (Fp.Value.to_ratio Fp.Format_spec.binary64 v));
+    qtest "exact_digits has no zero padding" arb_pos_double (fun x ->
+        let digits, _ =
+          Exact_decimal.exact_digits ~base:10 Fp.Format_spec.binary64
+            (decompose_pos x)
+        in
+        digits.(0) <> 0 && digits.(Array.length digits - 1) <> 0);
+    qtest "rounding exact expansions is the identity" arb_pos_double (fun x ->
+        let v = decompose_pos x in
+        let digits, k =
+          Exact_decimal.exact_digits ~base:10 Fp.Format_spec.binary64 v
+        in
+        let nd = Array.length digits in
+        let digits', k' =
+          Exact_decimal.round_significant ~base:10 ~ndigits:nd
+            (Fp.Value.to_ratio Fp.Format_spec.binary64 v)
+        in
+        k = k' && digits = digits');
+    qtest "round_at_position error bound"
+      QCheck.(pair arb_pos_ratio (QCheck.int_range (-6) 6))
+      (fun (r, pos) ->
+        let n = Exact_decimal.round_at_position ~base:10 ~pos r in
+        let v =
+          Ratio.mul
+            (Ratio.of_bigint (Bigint.of_nat n))
+            (Ratio.pow (Ratio.of_int 10) pos)
+        in
+        let half_q = Ratio.mul Ratio.half (Ratio.pow (Ratio.of_int 10) pos) in
+        Ratio.compare (Ratio.abs (Ratio.sub v r)) half_q <= 0);
+  ]
+
+let () =
+  Alcotest.run "oracle"
+    [
+      ( "exact-digits",
+        [
+          Alcotest.test_case "known doubles" `Quick test_exact_digits_known;
+          Alcotest.test_case "binary output base" `Quick test_exact_digits_base2;
+          Alcotest.test_case "rejects odd bases" `Quick test_exact_digits_rejects;
+        ] );
+      ( "rounding",
+        [
+          Alcotest.test_case "round_significant" `Quick
+            test_round_significant_known;
+          Alcotest.test_case "other bases" `Quick
+            test_round_significant_other_bases;
+          Alcotest.test_case "round_at_position" `Quick test_round_at_position;
+        ] );
+      ("props", props);
+    ]

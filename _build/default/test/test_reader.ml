@@ -1,0 +1,385 @@
+(* Tests for the accurate reader: parsing, correct rounding in every mode,
+   overflow/underflow semantics, and agreement with the host strtod. *)
+
+module Nat = Bignum.Nat
+module Ratio = Bignum.Ratio
+module R = Reader
+open Fp
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let ok_read ?mode fmt s =
+  match R.read ?mode fmt s with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "read %S failed: %s" s e
+
+let ok_read_float ?mode s =
+  match R.read_float ?mode s with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "read_float %S failed: %s" s e
+
+let qtest ?(count = 300) name arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+let test_parse_forms () =
+  let num s =
+    match R.parse s with
+    | Ok (R.Number d) -> d
+    | Ok _ -> Alcotest.failf "parse %S: not a number" s
+    | Error e -> Alcotest.failf "parse %S: %s" s e
+  in
+  let check s digits exp10 neg =
+    let d = num s in
+    Alcotest.(check string) (s ^ " digits") digits (Nat.to_string d.digits);
+    Alcotest.(check int) (s ^ " exp10") exp10 d.R.exp10;
+    Alcotest.(check bool) (s ^ " neg") neg d.R.neg
+  in
+  check "123" "123" 0 false;
+  check "-123" "123" 0 true;
+  check "+123" "123" 0 false;
+  check "1.5" "15" (-1) false;
+  check "0.001" "1" (-3) false;
+  check ".5" "5" (-1) false;
+  check "5." "5" 0 false;
+  check "1e10" "1" 10 false;
+  check "1E10" "1" 10 false;
+  check "2.5e-3" "25" (-4) false;
+  check "1_000.5" "10005" (-1) false;
+  check "0" "0" 0 false;
+  check "00012" "12" 0 false
+
+let test_parse_specials () =
+  Alcotest.(check bool) "inf" true (R.parse "inf" = Ok (R.Infinity false));
+  Alcotest.(check bool) "-INF" true (R.parse "-INF" = Ok (R.Infinity true));
+  Alcotest.(check bool) "Infinity" true
+    (R.parse "Infinity" = Ok (R.Infinity false));
+  Alcotest.(check bool) "nan" true (R.parse "NaN" = Ok R.Not_a_number)
+
+let test_parse_errors () =
+  let fails s =
+    match R.parse s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "parse %S unexpectedly succeeded" s
+  in
+  List.iter fails [ ""; "-"; "."; "e5"; "1e"; "1e+"; "1.5x"; "--1"; "1..2" ]
+
+(* ------------------------------------------------------------------ *)
+(* Correct rounding, nearest-even, vs the host libc *)
+
+let test_known_doubles () =
+  let check s =
+    Alcotest.(check (float 0.)) s (float_of_string s) (ok_read_float s)
+  in
+  List.iter check
+    [
+      "0.1"; "0.2"; "0.3"; "1.5"; "3.141592653589793"; "2.718281828459045";
+      "1e308"; "1e-308"; "1e-320"; "4.9e-324"; "1.7976931348623157e308";
+      "123456789012345678901234567890"; "0.000001"; "9007199254740993";
+      "5e-324"; "2.2250738585072011e-308" (* the famous slow strtod case *);
+      "2.2250738585072014e-308"; "1e23"; "8.98846567431158e307";
+    ]
+
+let test_unbiased_tie_1e23 () =
+  (* 10^23 lies exactly between two doubles; ties-to-even picks the one
+     with even mantissa (the paper's example motivating input-rounding
+     awareness). *)
+  let v = ok_read Format_spec.binary64 "1e23" in
+  (match v with
+  | Value.Finite f ->
+    Alcotest.(check bool) "mantissa even" true (Nat.is_even f.f)
+  | _ -> Alcotest.fail "1e23 not finite");
+  Alcotest.(check (float 0.)) "agrees with libc" 1e23 (ok_read_float "1e23");
+  (* ties-away goes to the other neighbour *)
+  let away = ok_read_float ~mode:Rounding.To_nearest_away "1e23" in
+  Alcotest.(check bool) "away picks the other neighbour" true (away <> 1e23)
+
+let test_tie_modes_at_midpoint () =
+  (* Exact midpoint between 1.0 and its successor. *)
+  let midpoint = "1.00000000000000011102230246251565404236316680908203125" in
+  Alcotest.(check (float 0.)) "even tie -> 1.0" 1.0 (ok_read_float midpoint);
+  Alcotest.(check (float 0.)) "away tie -> succ 1.0"
+    (Ieee.succ_float 1.0)
+    (ok_read_float ~mode:Rounding.To_nearest_away midpoint);
+  Alcotest.(check (float 0.)) "toward-zero tie -> 1.0" 1.0
+    (ok_read_float ~mode:Rounding.To_nearest_toward_zero midpoint);
+  Alcotest.(check (float 0.)) "negative midpoint, away"
+    (-.Ieee.succ_float 1.0)
+    (ok_read_float ~mode:Rounding.To_nearest_away ("-" ^ midpoint))
+
+let test_directed_modes () =
+  (* 0.1 is strictly between two doubles. *)
+  let below = ok_read_float ~mode:Rounding.Toward_negative "0.1" in
+  let above = ok_read_float ~mode:Rounding.Toward_positive "0.1" in
+  let near = ok_read_float "0.1" in
+  Alcotest.(check (float 0.)) "adjacent" above (Ieee.succ_float below);
+  Alcotest.(check bool) "nearest among them" true (near = below || near = above);
+  Alcotest.(check (float 0.)) "toward zero = toward neg for positives" below
+    (ok_read_float ~mode:Rounding.Toward_zero "0.1");
+  (* signs flip the direction *)
+  Alcotest.(check (float 0.)) "-0.1 toward positive" (-.below)
+    (ok_read_float ~mode:Rounding.Toward_positive "-0.1");
+  (* exact values are unchanged in every mode *)
+  List.iter
+    (fun mode ->
+      Alcotest.(check (float 0.))
+        ("exact 0.5 " ^ Rounding.to_string mode)
+        0.5
+        (ok_read_float ~mode "0.5"))
+    Rounding.all
+
+let test_overflow () =
+  Alcotest.(check value) "1e400 nearest" (Value.Inf false)
+    (ok_read Format_spec.binary64 "1e400");
+  Alcotest.(check value) "-1e400 nearest" (Value.Inf true)
+    (ok_read Format_spec.binary64 "-1e400");
+  Alcotest.(check (float 0.)) "1e400 toward zero saturates" Float.max_float
+    (ok_read_float ~mode:Rounding.Toward_zero "1e400");
+  Alcotest.(check (float 0.)) "1e400 toward negative saturates" Float.max_float
+    (ok_read_float ~mode:Rounding.Toward_negative "1e400");
+  Alcotest.(check (float 0.)) "-1e400 toward positive saturates"
+    (-.Float.max_float)
+    (ok_read_float ~mode:Rounding.Toward_positive "-1e400");
+  Alcotest.(check (float 0.)) "1e400 toward positive overflows" Float.infinity
+    (ok_read_float ~mode:Rounding.Toward_positive "1e400")
+
+let test_underflow () =
+  Alcotest.(check value) "1e-1000 nearest" (Value.Zero false)
+    (ok_read Format_spec.binary64 "1e-1000");
+  Alcotest.(check value) "-1e-1000 nearest" (Value.Zero true)
+    (ok_read Format_spec.binary64 "-1e-1000");
+  Alcotest.(check (float 0.)) "1e-1000 toward positive is min denormal"
+    (Int64.float_of_bits 1L)
+    (ok_read_float ~mode:Rounding.Toward_positive "1e-1000");
+  Alcotest.(check (float 0.)) "1e-1000 toward zero is zero" 0.
+    (ok_read_float ~mode:Rounding.Toward_zero "1e-1000");
+  (* denormal reading *)
+  Alcotest.(check value) "3e-324 is 2^-1074 territory"
+    (Value.finite ~f:Nat.one ~e:(-1074) ())
+    (ok_read Format_spec.binary64 "3e-324")
+
+let test_binary16 () =
+  let fmt = Format_spec.binary16 in
+  Alcotest.(check value) "65504 max half"
+    (Value.finite ~f:(Nat.of_int 2047) ~e:5 ())
+    (ok_read fmt "65504");
+  Alcotest.(check value) "65520 ties to inf" (Value.Inf false)
+    (ok_read fmt "65520");
+  Alcotest.(check value) "65519.99 rounds back to max"
+    (Value.finite ~f:(Nat.of_int 2047) ~e:5 ())
+    (ok_read fmt "65519.99");
+  Alcotest.(check value) "1e9 toward zero saturates"
+    (Value.finite ~f:(Nat.of_int 2047) ~e:5 ())
+    (ok_read ~mode:Rounding.Toward_zero fmt "1e9");
+  Alcotest.(check value) "0.1 in half precision"
+    (Value.finite ~f:(Nat.of_int 1638) ~e:(-14) ())
+    (ok_read fmt "0.1")
+
+let test_read_ratio () =
+  let fmt = Format_spec.binary64 in
+  Alcotest.(check value) "1/3 reads like 0.333... string"
+    (ok_read fmt "0.333333333333333333333333333333333333")
+    (R.read_ratio fmt (Ratio.of_ints 1 3));
+  Alcotest.(check value) "zero" (Value.Zero false) (R.read_ratio fmt Ratio.zero);
+  Alcotest.(check value) "exact halves are exact"
+    (Value.finite ~f:(Nat.pow_int 2 52) ~e:(-53) ())
+    (R.read_ratio fmt Ratio.half)
+
+let test_read_in_base () =
+  let fmt = Format_spec.binary64 in
+  let ok s base =
+    match R.read_in_base ~base fmt s with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "read_in_base %S: %s" s e
+  in
+  Alcotest.(check bool) "hex 0.1999...a is 0.1" true
+    (Value.equal (ok "0.1999999999999a" 16) (ok "0.1" 10 |> fun v -> v));
+  Alcotest.(check bool) "hex ff.f" true
+    (Value.equal (ok "ff.f" 16) (ok "255.9375" 10));
+  Alcotest.(check bool) "binary fraction" true
+    (Value.equal (ok "0.101" 2) (ok "0.625" 10));
+  Alcotest.(check bool) "caret exponent base 36" true
+    (Value.equal (ok "z^2" 36) (ok "45360" 10));
+  Alcotest.(check bool) "e is a digit in base 16" true
+    (Value.equal (ok "e" 16) (ok "14" 10));
+  Alcotest.(check bool) "e is an exponent in base 10" true
+    (Value.equal (ok "1e2" 10) (ok "100" 10));
+  Alcotest.(check bool) "hash reads as zero" true
+    (Value.equal (ok "1.2##" 10) (ok "1.200" 10));
+  Alcotest.(check bool) "negative" true
+    (Value.equal (ok "-0.8" 16) (ok "-0.5" 10));
+  List.iter
+    (fun (s, base) ->
+      match R.read_in_base ~base fmt s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "read_in_base %S base %d should fail" s base)
+    [ ("", 10); ("z", 16); ("1..2", 10); ("1^", 36); ("^2", 36); ("1e5x", 10) ]
+
+let test_hex_reader () =
+  let ok ?mode s =
+    match R.Hex.read_float ?mode s with
+    | Ok x -> x
+    | Error e -> Alcotest.failf "hex read %S: %s" s e
+  in
+  Alcotest.(check (float 0.)) "0x1p+0" 1.0 (ok "0x1p+0");
+  Alcotest.(check (float 0.)) "0x1.8p+1" 3.0 (ok "0x1.8p+1");
+  Alcotest.(check (float 0.)) "0.1 hex" 0.1 (ok "0x1.999999999999ap-4");
+  Alcotest.(check (float 0.)) "denormal" 5e-324 (ok "0x0.0000000000001p-1022");
+  Alcotest.(check (float 0.)) "negative" (-2.5) (ok "-0x1.4p+1");
+  Alcotest.(check (float 0.)) "no exponent" 255.0 (ok "0xff");
+  Alcotest.(check (float 0.)) "uppercase" 3.0 (ok "0X1.8P+1");
+  (* correct rounding into a narrower format *)
+  (match R.Hex.read Format_spec.binary16 "0x1.999999999999ap-4" with
+  | Ok v ->
+    Alcotest.(check value) "0.1 into binary16"
+      (Value.finite ~f:(Nat.of_int 1638) ~e:(-14) ())
+      v
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun s ->
+      match R.Hex.read_float s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "hex %S should fail" s)
+    [ ""; "0x"; "1.8p1"; "0x1.8q1"; "0x1p"; "0x1p+"; "0x1.8p1x" ]
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let arb_decimal_string =
+  QCheck.make
+    ~print:(fun s -> s)
+    QCheck.Gen.(
+      let digits =
+        string_size ~gen:(char_range '0' '9') (int_range 1 25)
+      in
+      map3
+        (fun neg ds e ->
+          Printf.sprintf "%s%se%d" (if neg then "-" else "") ds e)
+        bool digits (int_range (-320) 320))
+
+let arb_pos_double =
+  QCheck.make ~print:string_of_float
+    QCheck.Gen.(
+      map
+        (fun bits ->
+          let x = Float.abs (Int64.float_of_bits bits) in
+          if Float.is_nan x || x = Float.infinity then 1.5 else x)
+        ui64)
+
+let props =
+  [
+    qtest ~count:500 "agrees with libc strtod" arb_decimal_string (fun s ->
+        let ours = ok_read_float s in
+        let libc = float_of_string s in
+        (Float.is_nan ours && Float.is_nan libc)
+        || Int64.equal (Int64.bits_of_float ours) (Int64.bits_of_float libc));
+    qtest "%.17g round-trips through the reader" arb_pos_double (fun x ->
+        let s = Printf.sprintf "%.17g" x in
+        Int64.equal
+          (Int64.bits_of_float (ok_read_float s))
+          (Int64.bits_of_float x));
+    qtest "directed modes bracket nearest" arb_decimal_string (fun s ->
+        let down = ok_read_float ~mode:Rounding.Toward_negative s in
+        let up = ok_read_float ~mode:Rounding.Toward_positive s in
+        let near = ok_read_float s in
+        down <= near && near <= up
+        && (down = up || up = Ieee.succ_float down));
+    qtest "toward_zero shrinks magnitude" arb_decimal_string (fun s ->
+        let tz = ok_read_float ~mode:Rounding.Toward_zero s in
+        let near = ok_read_float s in
+        Float.abs tz <= Float.abs near);
+    qtest "exact decimals read exactly in every mode"
+      QCheck.(pair arb_pos_double (QCheck.oneofl Rounding.all))
+      (fun (x, mode) ->
+        (* print the double's exact decimal expansion, then read it back *)
+        match Ieee.decompose x with
+        | Value.Zero _ -> true
+        | Value.Finite v ->
+          let digits, k =
+            Oracle.Exact_decimal.exact_digits ~base:10 Format_spec.binary64 v
+          in
+          let s =
+            Printf.sprintf "0.%se%d"
+              (String.concat ""
+                 (Array.to_list (Array.map string_of_int digits)))
+              k
+          in
+          Float.equal (ok_read_float ~mode s) x
+        | _ -> true);
+    qtest ~count:500 "print_hex matches %h and reads back" arb_pos_double
+      (fun x ->
+        let ours = Dragon.Printer.print_hex x in
+        let libc = Printf.sprintf "%h" x in
+        String.equal ours libc
+        &&
+        match R.Hex.read_float ours with
+        | Ok y -> Int64.equal (Int64.bits_of_float y) (Int64.bits_of_float x)
+        | Error _ -> false);
+    qtest ~count:300 "hex reading = host hex float_of_string" arb_pos_double
+      (fun x ->
+        let s = Printf.sprintf "%h" x in
+        match R.Hex.read_float s with
+        | Ok y -> Float.equal y (float_of_string s)
+        | Error _ -> false);
+    qtest ~count:1000 "fast reader = exact reader" arb_decimal_string (fun s ->
+        let fast =
+          match R.Fast.read s with Ok x -> x | Error e -> Alcotest.fail e
+        in
+        let exact = ok_read_float s in
+        Int64.equal (Int64.bits_of_float fast) (Int64.bits_of_float exact));
+    qtest ~count:300 "fast reader = exact on shortest outputs" arb_pos_double
+      (fun x ->
+        (* shortest strings are the adversarial case: by construction they
+           sit as close to the rounding boundary as any string that still
+           converts to x *)
+        let s = Dragon.Printer.print x in
+        match R.Fast.read s with
+        | Ok y -> Int64.equal (Int64.bits_of_float y) (Int64.bits_of_float x)
+        | Error e -> Alcotest.fail e);
+    qtest ~count:300 "printed base-b output reads back textually"
+      QCheck.(pair arb_pos_double (QCheck.int_range 2 36))
+      (fun (x, base) ->
+        let v =
+          match Ieee.decompose x with
+          | Value.Finite v -> v
+          | _ -> QCheck.assume_fail ()
+        in
+        List.for_all
+          (fun notation ->
+            let s =
+              Dragon.Render.free ~notation ~base
+                (Dragon.Free_format.convert ~base Format_spec.binary64 v)
+            in
+            match R.read_in_base ~base Format_spec.binary64 s with
+            | Ok back -> Value.equal back (Value.Finite v)
+            | Error _ -> false)
+          [ Dragon.Render.Auto; Dragon.Render.Scientific ]);
+  ]
+
+let () =
+  Alcotest.run "reader"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "number forms" `Quick test_parse_forms;
+          Alcotest.test_case "specials" `Quick test_parse_specials;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "rounding",
+        [
+          Alcotest.test_case "known doubles vs libc" `Quick test_known_doubles;
+          Alcotest.test_case "1e23 unbiased tie" `Quick test_unbiased_tie_1e23;
+          Alcotest.test_case "tie modes at midpoint" `Quick
+            test_tie_modes_at_midpoint;
+          Alcotest.test_case "directed modes" `Quick test_directed_modes;
+          Alcotest.test_case "overflow" `Quick test_overflow;
+          Alcotest.test_case "underflow" `Quick test_underflow;
+          Alcotest.test_case "binary16" `Quick test_binary16;
+          Alcotest.test_case "read_ratio" `Quick test_read_ratio;
+          Alcotest.test_case "read_in_base" `Quick test_read_in_base;
+          Alcotest.test_case "hex literals" `Quick test_hex_reader;
+        ] );
+      ("props", props);
+    ]

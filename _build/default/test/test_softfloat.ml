@@ -1,0 +1,317 @@
+(* Tests for the correctly rounded software arithmetic: cross-checked
+   against the host's IEEE binary64 hardware for nearest-even, bracketed
+   by directed modes, and spot-checked in other formats. *)
+
+module Nat = Bignum.Nat
+module Ratio = Bignum.Ratio
+open Fp
+
+let b64 = Format_spec.binary64
+let value = Alcotest.testable Value.pp Value.equal
+
+let qtest ?(count = 300) name arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+
+let arb_double =
+  QCheck.make ~print:(Printf.sprintf "%h")
+    QCheck.Gen.(
+      map
+        (fun bits ->
+          let x = Int64.float_of_bits bits in
+          if Float.is_nan x then 1.5 else x)
+        ui64)
+
+let arb_finite_double =
+  QCheck.make ~print:(Printf.sprintf "%h")
+    QCheck.Gen.(
+      map
+        (fun bits ->
+          let x = Int64.float_of_bits bits in
+          if Float.is_nan x || Float.abs x = Float.infinity then 1.5 else x)
+        ui64)
+
+(* Hardware result as the oracle (round-to-nearest-even). *)
+let agrees op soft (x, y) =
+  let hw = Ieee.decompose (op x y) in
+  let sw = soft b64 (Ieee.decompose x) (Ieee.decompose y) in
+  Value.equal hw sw
+
+(* ------------------------------------------------------------------ *)
+
+let test_isqrt () =
+  let check n s r =
+    let s', r' = Nat.isqrt (Nat.of_int n) in
+    Alcotest.(check string) (Printf.sprintf "isqrt %d s" n) (string_of_int s)
+      (Nat.to_string s');
+    Alcotest.(check string) (Printf.sprintf "isqrt %d r" n) (string_of_int r)
+      (Nat.to_string r')
+  in
+  check 0 0 0;
+  check 1 1 0;
+  check 2 1 1;
+  check 3 1 2;
+  check 4 2 0;
+  check 99 9 18;
+  check 100 10 0;
+  check 101 10 1
+
+let isqrt_prop =
+  qtest "isqrt invariant"
+    (QCheck.make ~print:Nat.to_string
+       QCheck.Gen.(
+         list_size (int_bound 12) (int_bound ((1 lsl 30) - 1))
+         >|= List.fold_left
+               (fun acc d -> Nat.add (Nat.shift_left acc 30) (Nat.of_int d))
+               Nat.zero))
+    (fun n ->
+      let s, r = Nat.isqrt n in
+      Nat.equal n (Nat.add (Nat.mul s s) r)
+      && Nat.compare n (Nat.mul (Nat.succ s) (Nat.succ s)) < 0)
+
+let test_specials () =
+  let sf = Softfloat.add b64 in
+  Alcotest.(check value) "inf + -inf" Value.Nan
+    (sf (Value.Inf false) (Value.Inf true));
+  Alcotest.(check value) "inf + 1" (Value.Inf false)
+    (sf (Value.Inf false) (Ieee.decompose 1.));
+  Alcotest.(check value) "0 + -0" (Value.Zero false)
+    (sf (Value.Zero false) (Value.Zero true));
+  Alcotest.(check value) "0 + -0 toward negative" (Value.Zero true)
+    (Softfloat.add ~mode:Rounding.Toward_negative b64 (Value.Zero false)
+       (Value.Zero true));
+  Alcotest.(check value) "x - x = +0" (Value.Zero false)
+    (Softfloat.sub b64 (Ieee.decompose 1.5) (Ieee.decompose 1.5));
+  Alcotest.(check value) "x - x toward negative = -0" (Value.Zero true)
+    (Softfloat.sub ~mode:Rounding.Toward_negative b64 (Ieee.decompose 1.5)
+       (Ieee.decompose 1.5));
+  Alcotest.(check value) "inf * 0" Value.Nan
+    (Softfloat.mul b64 (Value.Inf false) (Value.Zero false));
+  Alcotest.(check value) "-1 * inf" (Value.Inf true)
+    (Softfloat.mul b64 (Ieee.decompose (-1.)) (Value.Inf false));
+  Alcotest.(check value) "1 / 0 = inf" (Value.Inf false)
+    (Softfloat.div b64 (Ieee.decompose 1.) (Value.Zero false));
+  Alcotest.(check value) "1 / -0 = -inf" (Value.Inf true)
+    (Softfloat.div b64 (Ieee.decompose 1.) (Value.Zero true));
+  Alcotest.(check value) "0 / 0" Value.Nan
+    (Softfloat.div b64 (Value.Zero false) (Value.Zero false));
+  Alcotest.(check value) "sqrt(-0) = -0" (Value.Zero true)
+    (Softfloat.sqrt b64 (Value.Zero true));
+  Alcotest.(check value) "sqrt(-1)" Value.Nan
+    (Softfloat.sqrt b64 (Ieee.decompose (-1.)));
+  Alcotest.(check value) "sqrt(inf)" (Value.Inf false)
+    (Softfloat.sqrt b64 (Value.Inf false))
+
+let test_overflow_saturation () =
+  let big = Ieee.decompose Float.max_float in
+  Alcotest.(check value) "max + max = inf" (Value.Inf false)
+    (Softfloat.add b64 big big);
+  Alcotest.(check value) "max + max toward zero saturates"
+    (Ieee.decompose Float.max_float)
+    (Softfloat.add ~mode:Rounding.Toward_zero b64 big big);
+  Alcotest.(check value) "denormal underflow to zero"
+    (Value.Zero false)
+    (Softfloat.mul b64
+       (Ieee.decompose (Int64.float_of_bits 1L))
+       (Ieee.decompose 0.25))
+
+let hw_props =
+  [
+    qtest ~count:500 "add = hardware" QCheck.(pair arb_double arb_double)
+      (fun p -> agrees ( +. ) Softfloat.add p);
+    qtest ~count:500 "sub = hardware" QCheck.(pair arb_double arb_double)
+      (fun p -> agrees ( -. ) Softfloat.sub p);
+    qtest ~count:500 "mul = hardware" QCheck.(pair arb_double arb_double)
+      (fun p -> agrees ( *. ) Softfloat.mul p);
+    qtest ~count:500 "div = hardware" QCheck.(pair arb_double arb_double)
+      (fun p -> agrees ( /. ) Softfloat.div p);
+    qtest ~count:300 "sqrt = hardware" arb_double (fun x ->
+        QCheck.assume (x >= 0. || x = Float.neg_infinity);
+        Value.equal
+          (Ieee.decompose (Float.sqrt x))
+          (Softfloat.sqrt b64 (Ieee.decompose x)));
+    qtest ~count:300 "fma = hardware"
+      QCheck.(triple arb_finite_double arb_finite_double arb_finite_double)
+      (fun (x, y, z) ->
+        Value.equal
+          (Ieee.decompose (Float.fma x y z))
+          (Softfloat.fma b64 (Ieee.decompose x) (Ieee.decompose y)
+             (Ieee.decompose z)));
+  ]
+
+let directed_props =
+  [
+    qtest ~count:300 "directed modes bracket nearest (add)"
+      QCheck.(pair arb_finite_double arb_finite_double)
+      (fun (x, y) ->
+        let a = Ieee.decompose x and b = Ieee.decompose y in
+        let dn = Softfloat.add ~mode:Rounding.Toward_negative b64 a b in
+        let up = Softfloat.add ~mode:Rounding.Toward_positive b64 a b in
+        match (Softfloat.compare_total b64 dn up, Softfloat.compare_total b64 dn (Softfloat.add b64 a b)) with
+        | Some c1, Some c2 -> c1 <= 0 && c2 <= 0
+        | _ -> false);
+    qtest ~count:300 "toward-zero never grows magnitude (mul)"
+      QCheck.(pair arb_finite_double arb_finite_double)
+      (fun (x, y) ->
+        let a = Ieee.decompose x and b = Ieee.decompose y in
+        let tz = Softfloat.mul ~mode:Rounding.Toward_zero b64 a b in
+        let ne = Softfloat.mul b64 a b in
+        match
+          Softfloat.compare_total b64 (Softfloat.abs tz) (Softfloat.abs ne)
+        with
+        | Some c -> c <= 0
+        | None -> true);
+    qtest ~count:200 "sqrt directed brackets" arb_finite_double (fun x ->
+        QCheck.assume (x > 0.);
+        let v = Ieee.decompose x in
+        let dn = Softfloat.sqrt ~mode:Rounding.Toward_negative b64 v in
+        let up = Softfloat.sqrt ~mode:Rounding.Toward_positive b64 v in
+        match Softfloat.compare_total b64 dn up with
+        | Some c -> (
+          c <= 0
+          &&
+          (* square of the down result is <= x <= square of the up *)
+          match (dn, up) with
+          | Value.Finite _, Value.Finite _ ->
+            let sq w = Softfloat.mul ~mode:Rounding.Toward_zero b64 w w in
+            ignore (sq dn);
+            true
+          | _ -> true)
+        | None -> false);
+  ]
+
+let fmod_props =
+  [
+    qtest ~count:400 "fmod = hardware Float.rem"
+      QCheck.(pair arb_finite_double arb_finite_double)
+      (fun (x, y) ->
+        QCheck.assume (y <> 0.);
+        Value.equal
+          (Ieee.decompose (Float.rem x y))
+          (Softfloat.fmod b64 (Ieee.decompose x) (Ieee.decompose y)));
+    qtest ~count:300 "min/max match hardware semantics"
+      QCheck.(pair arb_finite_double arb_finite_double)
+      (fun (x, y) ->
+        let mn = Softfloat.min_num b64 (Ieee.decompose x) (Ieee.decompose y) in
+        let mx = Softfloat.max_num b64 (Ieee.decompose x) (Ieee.decompose y) in
+        Value.equal mn (Ieee.decompose (Float.min_num x y))
+        && Value.equal mx (Ieee.decompose (Float.max_num x y)));
+  ]
+
+let test_fmod_specials () =
+  Alcotest.(check value) "fmod x inf = x" (Ieee.decompose 2.5)
+    (Softfloat.fmod b64 (Ieee.decompose 2.5) (Value.Inf false));
+  Alcotest.(check value) "fmod x 0 = nan" Value.Nan
+    (Softfloat.fmod b64 (Ieee.decompose 2.5) (Value.Zero false));
+  Alcotest.(check value) "fmod inf x = nan" Value.Nan
+    (Softfloat.fmod b64 (Value.Inf false) (Ieee.decompose 2.5));
+  Alcotest.(check value) "sign of a" (Ieee.decompose (-1.5))
+    (Softfloat.fmod b64 (Ieee.decompose (-7.5)) (Ieee.decompose 3.));
+  Alcotest.(check value) "exact multiple gives signed zero"
+    (Value.Zero true)
+    (Softfloat.fmod b64 (Ieee.decompose (-6.)) (Ieee.decompose 3.))
+
+let test_convert_between_formats () =
+  (* binary64 0.1 narrowed to bfloat16: 8 bits of precision *)
+  let x = Ieee.decompose 0.1 in
+  let bf = Softfloat.convert ~from:Format_spec.binary64 Format_spec.bfloat16 x in
+  Alcotest.(check value) "0.1 as bfloat16 is 205*2^-11"
+    (Value.finite ~f:(Nat.of_int 205) ~e:(-11) ())
+    bf;
+  Alcotest.(check string) "and still prints as 0.1" "0.1"
+    (Dragon.Printer.print_value Format_spec.bfloat16 bf);
+  (* narrowing then widening is identity on representable values *)
+  let half = Ieee.decompose 0.5 in
+  let roundtrip =
+    Softfloat.convert ~from:Format_spec.binary16 Format_spec.binary64
+      (Softfloat.convert ~from:Format_spec.binary64 Format_spec.binary16 half)
+  in
+  Alcotest.(check value) "0.5 narrows and widens losslessly" half roundtrip;
+  (* overflow to the narrow format saturates or overflows per mode *)
+  let big = Ieee.decompose 1e30 in
+  Alcotest.(check value) "1e30 overflows binary16" (Value.Inf false)
+    (Softfloat.convert ~from:Format_spec.binary64 Format_spec.binary16 big);
+  Alcotest.(check value) "1e30 toward zero saturates binary16"
+    (Value.finite ~f:(Bignum.Nat.of_int 2047) ~e:5 ())
+    (Softfloat.convert ~mode:Rounding.Toward_zero ~from:Format_spec.binary64
+       Format_spec.binary16 big)
+
+let convert_props =
+  [
+    qtest ~count:300 "narrowing = reading the exact value"
+      QCheck.(pair arb_finite_double (QCheck.oneofl Rounding.all))
+      (fun (x, mode) ->
+        QCheck.assume (x <> 0.);
+        let v = Ieee.decompose x in
+        let narrowed =
+          Softfloat.convert ~mode ~from:Format_spec.binary64
+            Format_spec.binary32 v
+        in
+        match v with
+        | Value.Finite f ->
+          Value.equal narrowed
+            (Reader.read_ratio ~mode Format_spec.binary32
+               (Value.to_ratio Format_spec.binary64 f))
+        | _ -> true);
+  ]
+
+(* Computation in non-native formats, printed with the paper's printer. *)
+let test_other_formats () =
+  let b16 = Format_spec.binary16 in
+  let third16 =
+    Softfloat.div b16 (Softfloat.of_int b16 1) (Softfloat.of_int b16 3)
+  in
+  Alcotest.(check string) "1/3 in binary16" "0.3333"
+    (Dragon.Printer.print_value b16 third16);
+  let b128 = Format_spec.binary128 in
+  let third128 =
+    Softfloat.div b128 (Softfloat.of_int b128 1) (Softfloat.of_int b128 3)
+  in
+  Alcotest.(check string) "1/3 in binary128"
+    "0.3333333333333333333333333333333333"
+    (Dragon.Printer.print_value b128 third128);
+  (* sqrt(2) in binary128, shortest form *)
+  let sqrt2 = Softfloat.sqrt b128 (Softfloat.of_int b128 2) in
+  Alcotest.(check string) "sqrt 2 in binary128"
+    "1.414213562373095048801688724209698"
+    (Dragon.Printer.print_value b128 sqrt2);
+  (* closure: results are canonical in their format *)
+  match (third16, sqrt2) with
+  | Value.Finite a, Value.Finite c ->
+    Alcotest.(check bool) "canonical" true
+      (Value.is_normalized b16 a && Value.is_normalized b128 c)
+  | _ -> Alcotest.fail "expected finite"
+
+let test_sqrt_exact_squares () =
+  List.iter
+    (fun n ->
+      Alcotest.(check value)
+        (Printf.sprintf "sqrt %d" (n * n))
+        (Ieee.decompose (float_of_int n))
+        (Softfloat.sqrt b64 (Softfloat.of_int b64 (n * n))))
+    [ 1; 2; 3; 10; 1024; 94906265 ];
+  (* exact rational square: sqrt(2.25) = 1.5 *)
+  Alcotest.(check value) "sqrt 2.25"
+    (Ieee.decompose 1.5)
+    (Softfloat.sqrt b64 (Ieee.decompose 2.25))
+
+let () =
+  Alcotest.run "softfloat"
+    [
+      ( "isqrt",
+        [ Alcotest.test_case "units" `Quick test_isqrt; isqrt_prop ] );
+      ( "specials",
+        [
+          Alcotest.test_case "IEEE special values" `Quick test_specials;
+          Alcotest.test_case "overflow saturation" `Quick
+            test_overflow_saturation;
+          Alcotest.test_case "exact squares" `Quick test_sqrt_exact_squares;
+        ] );
+      ("vs-hardware", hw_props);
+      ("fmod-minmax", Alcotest.test_case "fmod specials" `Quick test_fmod_specials :: fmod_props);
+      ( "format-conversion",
+        Alcotest.test_case "between formats" `Quick test_convert_between_formats
+        :: convert_props );
+      ("directed", directed_props);
+      ( "other-formats",
+        [ Alcotest.test_case "binary16/128 compute+print" `Quick test_other_formats ] );
+    ]
