@@ -1,8 +1,14 @@
 (* bdprint: command-line floating-point conversion using the Burger-Dybvig
    algorithms.  Input strings are read with the exact reader into the
-   chosen format, then printed free- or fixed-format. *)
+   chosen format, then printed free- or fixed-format.
+
+   Robustness: every failure is a structured Robust.Error — syntax,
+   range, budget or internal — and with [--stdin] the tool is a streaming
+   filter that reports per-line errors on stderr without aborting the
+   stream ([--max-errors N] bounds the tolerance). *)
 
 open Cmdliner
+module Error = Robust.Error
 
 let mode_conv =
   let parse = function
@@ -53,7 +59,9 @@ let notation_conv =
           | Dragon.Render.Positional -> "positional") )
 
 let numbers =
-  Arg.(non_empty & pos_all string [] & info [] ~docv:"NUMBER" ~doc:"Decimal numbers to convert.")
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"NUMBER" ~doc:"Decimal numbers to convert.")
 
 let base =
   Arg.(value & opt int 10 & info [ "b"; "base" ] ~docv:"BASE" ~doc:"Output base (2-36).")
@@ -107,6 +115,25 @@ let hex_out =
           "Print in C17 hexadecimal-significand notation (exact; binary64 \
            only).")
 
+let stdin_flag =
+  Arg.(
+    value & flag
+    & info [ "stdin" ]
+        ~doc:
+          "Streaming batch mode: read newline-delimited numbers from \
+           standard input, one conversion per line.  Per-line failures \
+           are reported on stderr as structured errors without aborting \
+           the stream; blank lines are skipped.")
+
+let max_errors =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-errors" ] ~docv:"N"
+        ~doc:
+          "With $(b,--stdin), stop after $(docv) failed lines (default: \
+           never stop; every line is attempted).")
+
 let is_hex_literal s =
   let s =
     if String.length s > 0 && (s.[0] = '-' || s.[0] = '+') then
@@ -115,54 +142,113 @@ let is_hex_literal s =
   in
   String.length s >= 2 && s.[0] = '0' && (s.[1] = 'x' || s.[1] = 'X')
 
-let run base mode fmt strategy notation digits places hex_out numbers =
-  if base < 2 || base > 36 then `Error (false, "base must be in 2..36")
+(* Vet the fixed-format request before any conversion runs: misuse
+   (--digits 0, --places 1000000) must be a clean structured error up
+   front, not a per-number failure or an unbounded allocation. *)
+let vet_request request =
+  let cap = (Robust.Budget.get ()).Robust.Budget.max_output_digits in
+  match request with
+  | Some (Dragon.Fixed_format.Relative d) ->
+    if d < 1 then
+      Some (Error.range ~what:"--digits" (Printf.sprintf "%d < 1" d))
+    else if d > cap then
+      Some (Error.budget ~what:"--digits" ~limit:cap ~got:d)
+    else None
+  | Some (Dragon.Fixed_format.Absolute j) ->
+    if abs j > cap then
+      Some (Error.budget ~what:"--places" ~limit:cap ~got:(abs j))
+    else None
+  | None -> None
+
+let convert_one ~base ~mode ~fmt ~strategy ~notation ~request ~hex_out input =
+  let parsed =
+    if is_hex_literal input then Reader.Hex.read ~mode fmt input
+    else Reader.read ~mode fmt input
+  in
+  match parsed with
+  | Error _ as e -> e
+  | Ok value -> (
+    match (request, value) with
+    | _ when hex_out -> Ok (Dragon.Printer.print_hex (Fp.Ieee.compose value))
+    | None, _ ->
+      Dragon.Printer.print_value ~base ~mode ~strategy ~notation fmt value
+    | Some _, Fp.Value.Zero neg -> Ok (Dragon.Render.zero ~neg ())
+    | Some _, Fp.Value.Inf neg -> Ok (Dragon.Render.infinity ~neg ())
+    | Some _, Fp.Value.Nan -> Ok Dragon.Render.nan
+    | Some req, Fp.Value.Finite v -> (
+      match Dragon.Fixed_format.convert ~base ~mode fmt v req with
+      | Error _ as e -> e
+      | Ok t -> Ok (Dragon.Render.fixed ~notation ~neg:v.Fp.Value.neg ~base t)))
+
+let run_stream ~convert ~max_errors =
+  let errors = ref 0 in
+  let lineno = ref 0 in
+  let aborted = ref false in
+  (try
+     while not !aborted do
+       let line = input_line stdin in
+       incr lineno;
+       if String.trim line <> "" then begin
+         match convert (String.trim line) with
+         | Ok out ->
+           print_string out;
+           print_newline ()
+         | Error e ->
+           incr errors;
+           Printf.eprintf "error: line %d: %s\n%!" !lineno (Error.to_string e);
+           (match max_errors with
+           | Some cap when !errors >= cap ->
+             Printf.eprintf
+               "error: aborting after %d failed line(s) (--max-errors %d)\n%!"
+               !errors cap;
+             aborted := true
+           | _ -> ())
+       end
+     done
+   with End_of_file -> ());
+  if !errors = 0 then `Ok ()
+  else `Error (false, Printf.sprintf "%d input line(s) failed" !errors)
+
+let run base mode fmt strategy notation digits places hex_out use_stdin
+    max_errors numbers =
+  if base < 2 || base > 36 then
+    `Error
+      ( false,
+        Error.to_string
+          (Error.range ~what:"base" (Printf.sprintf "%d not in 2..36" base)) )
   else begin
     let request =
       match (digits, places) with
-      | Some _, Some _ -> Error "use only one of --digits and --places"
-      | Some d, None -> Ok (Some (Dragon.Fixed_format.Relative d))
-      | None, Some p -> Ok (Some (Dragon.Fixed_format.Absolute (-p)))
-      | None, None -> Ok None
+      | Some _, Some _ -> Result.Error "use only one of --digits and --places"
+      | Some d, None -> Result.Ok (Some (Dragon.Fixed_format.Relative d))
+      | None, Some p -> Result.Ok (Some (Dragon.Fixed_format.Absolute (-p)))
+      | None, None -> Result.Ok None
     in
     match request with
-    | Error e -> `Error (false, e)
-    | Ok request ->
-      let ok = ref true in
-      List.iter
-        (fun input ->
-          let converted =
-            let parsed =
-              if is_hex_literal input then Reader.Hex.read ~mode fmt input
-              else Reader.read ~mode fmt input
-            in
-            match parsed with
-            | Error _ as e -> e
-            | Ok value -> (
-              (* surface misuse (e.g. --digits 0) as a clean error *)
-              try
-                Ok
-                  (match (request, value) with
-                  | _ when hex_out ->
-                    Dragon.Printer.print_hex (Fp.Ieee.compose value)
-                  | None, _ ->
-                    Dragon.Printer.print_value ~base ~mode ~strategy ~notation
-                      fmt value
-                  | Some _, Fp.Value.Zero neg -> Dragon.Render.zero ~neg ()
-                  | Some _, Fp.Value.Inf neg -> Dragon.Render.infinity ~neg ()
-                  | Some _, Fp.Value.Nan -> Dragon.Render.nan
-                  | Some req, Fp.Value.Finite v ->
-                    Dragon.Render.fixed ~notation ~neg:v.Fp.Value.neg ~base
-                      (Dragon.Fixed_format.convert ~base ~mode fmt v req))
-              with Invalid_argument msg -> Error msg)
-          in
-          match converted with
-          | Error e ->
-            ok := false;
-            Printf.eprintf "error: %s\n" e
-          | Ok out -> Printf.printf "%s\n" out)
-        numbers;
-      if !ok then `Ok () else `Error (false, "some inputs failed")
+    | Result.Error e -> `Error (false, e)
+    | Result.Ok request -> (
+      match vet_request request with
+      | Some e -> `Error (false, Error.to_string e)
+      | None -> (
+        let convert =
+          convert_one ~base ~mode ~fmt ~strategy ~notation ~request ~hex_out
+        in
+        match (use_stdin, numbers) with
+        | true, _ :: _ ->
+          `Error (false, "--stdin and positional NUMBER arguments conflict")
+        | true, [] -> run_stream ~convert ~max_errors
+        | false, [] -> `Error (true, "missing NUMBER argument (or --stdin)")
+        | false, numbers ->
+          let ok = ref true in
+          List.iter
+            (fun input ->
+              match convert input with
+              | Error e ->
+                ok := false;
+                Printf.eprintf "error: %s\n" (Error.to_string e)
+              | Ok out -> Printf.printf "%s\n" out)
+            numbers;
+          if !ok then `Ok () else `Error (false, "some inputs failed")))
   end
 
 let cmd =
@@ -177,12 +263,20 @@ let cmd =
          emits the shortest string that reads back to the same value; fixed \
          format emits correctly rounded digits with '#' marking positions \
          beyond the value's precision.";
+      `P
+        "Failures are structured: syntax errors (bad input text), range \
+         errors (bad request parameters), budget errors (requests that \
+         would exceed the resource caps, e.g. million-digit output) and \
+         internal errors.  Inputs with astronomical exponents like \
+         1e999999999 convert to the correctly rounded extreme (0 or inf) \
+         in constant time.";
       `S Manpage.s_examples;
       `Pre
         "  bdprint 0.1 1e23\n\
         \  bdprint --digits 10 --format binary32 0.333333333\n\
         \  bdprint --base 16 --notation scientific 255.9375\n\
-        \  bdprint --places 20 100";
+        \  bdprint --places 20 100\n\
+        \  printf '0.1\\n1e23\\nbogus\\n' | bdprint --stdin --max-errors 5";
     ]
   in
   Cmd.v
@@ -190,6 +284,6 @@ let cmd =
     Term.(
       ret
         (const run $ base $ mode $ fmt $ strategy $ notation $ digits $ places
-       $ hex_out $ numbers))
+       $ hex_out $ stdin_flag $ max_errors $ numbers))
 
 let () = exit (Cmd.eval cmd)

@@ -22,7 +22,7 @@ let () =
         let back =
           match Reader.read_in_base ~base Fp.Format_spec.binary64 s with
           | Ok back -> back
-          | Error e -> failwith e
+          | Error e -> failwith (Robust.Error.to_string e)
         in
         Printf.printf "  base %2d: %-28s %s\n" base s
           (if Value.equal back (Value.Finite v) then "(round-trips)"

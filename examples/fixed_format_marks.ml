@@ -12,13 +12,13 @@ let print_fixed_in fmt value request =
   match value with
   | Value.Finite v ->
     Dragon.Render.fixed ~neg:v.Value.neg ~base:10
-      (Dragon.Fixed_format.convert fmt v request)
+      (Dragon.Fixed_format.convert_exn fmt v request)
   | v -> Value.to_string v
 
 let read_into fmt s =
   match Reader.read fmt s with
   | Ok v -> v
-  | Error e -> failwith e
+  | Error e -> failwith (Robust.Error.to_string e)
 
 let () =
   print_endline "=== Denormal doubles: precision fades near 2^-1074 ===";

@@ -14,8 +14,8 @@ module Value = Fp.Value
 
 let b64 = Fp.Format_spec.binary64
 
-let print_lower v = Dragon.Printer.print_value ~mode:Fp.Rounding.Toward_positive b64 v
-let print_upper v = Dragon.Printer.print_value ~mode:Fp.Rounding.Toward_negative b64 v
+let print_lower v = Dragon.Printer.print_value_exn ~mode:Fp.Rounding.Toward_positive b64 v
+let print_upper v = Dragon.Printer.print_value_exn ~mode:Fp.Rounding.Toward_negative b64 v
 
 let enclose name lo hi =
   Printf.printf "  %-14s in [%s, %s]\n" name (print_lower lo) (print_upper hi)
@@ -61,8 +61,8 @@ let () =
       let lo = SF.sqrt ~mode:Fp.Rounding.Toward_negative fmt two in
       let hi = SF.sqrt ~mode:Fp.Rounding.Toward_positive fmt two in
       Printf.printf "  %-10s sqrt 2 in [%s, %s]\n" name
-        (Dragon.Printer.print_value ~mode:Fp.Rounding.Toward_positive fmt lo)
-        (Dragon.Printer.print_value ~mode:Fp.Rounding.Toward_negative fmt hi))
+        (Dragon.Printer.print_value_exn ~mode:Fp.Rounding.Toward_positive fmt lo)
+        (Dragon.Printer.print_value_exn ~mode:Fp.Rounding.Toward_negative fmt hi))
     [
       ("binary16", Fp.Format_spec.binary16);
       ("binary32", Fp.Format_spec.binary32);

@@ -24,7 +24,7 @@ let () =
           (if Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y) then
              "bit-exactly"
            else "WRONG")
-      | Error e -> Printf.printf "  %-24s PARSE ERROR %s\n" s e)
+      | Error e -> Printf.printf "  %-24s PARSE ERROR %s\n" s (Robust.Error.to_string e))
     samples;
 
   print_endline "";

@@ -365,6 +365,7 @@ let divmod_knuth u v =
   (normalize q, shift_right r shift)
 
 let divmod a b =
+  Robust.Faults.trip "nat.divmod";
   if is_zero b then raise Division_by_zero;
   if compare a b < 0 then (zero, a)
   else if Array.length b = 1 then begin
@@ -374,6 +375,7 @@ let divmod a b =
   else divmod_knuth a b
 
 let rec pow b k =
+  Robust.Faults.trip "nat.pow";
   if k < 0 then invalid_arg "Nat.pow: negative exponent"
   else if k = 0 then one
   else begin

@@ -109,16 +109,52 @@ let rec relative ~base ~mode ~tie fmt (v : Value.finite) i ~attempts ~guess =
   if result.k = guess || attempts = 0 then result
   else relative ~base ~mode ~tie fmt v i ~attempts:(attempts - 1) ~guess:result.k
 
-let convert ?(base = 10) ?(mode = Fp.Rounding.To_nearest_even)
+(* Cheap ceil(log_base v) from the mantissa and exponent, within one of
+   the true value — the guard that lets a position request be vetted
+   against the budget before any bignum scaling work. *)
+let estimate_k ~base (fmt : Format_spec.t) (v : Value.finite) =
+  let m, nbits = Nat.frexp v.f in
+  let log2b =
+    if fmt.b = 2 then 1. else log (float_of_int fmt.b) /. log 2.
+  in
+  let log2_v =
+    (log m /. log 2.) +. float_of_int nbits +. (float_of_int v.e *. log2b)
+  in
+  int_of_float
+    (Float.ceil ((log2_v /. (log (float_of_int base) /. log 2.)) -. 1e-10))
+
+let convert_exn ?(base = 10) ?(mode = Fp.Rounding.To_nearest_even)
     ?(tie = Generate.Closer_up) fmt (v : Value.finite) request =
-  if base < 2 || base > 36 then invalid_arg "Fixed_format.convert: base";
+  if base < 2 || base > 36 then
+    Robust.Error.raise_
+      (Robust.Error.range ~what:"base"
+         (Printf.sprintf "%d not in 2..36" base));
   match request with
-  | Absolute j -> absolute ~base ~mode ~tie fmt v j
+  | Absolute j ->
+    let k = estimate_k ~base fmt v in
+    if j >= k + 3 then
+      (* the whole value sits strictly below half the quantum: the
+         rounded output is a single zero digit at position j, decided
+         without scaling anything by base^|j| *)
+      { digits = [| Digit 0 |]; k = j + 1 }
+    else begin
+      (* [k - j] is within one of the digit span the conversion will
+         materialize; vet it against the budget before the bignum work *)
+      Robust.Budget.check_output_digits (k - j);
+      absolute ~base ~mode ~tie fmt v j
+    end
   | Relative i ->
-    if i < 1 then invalid_arg "Fixed_format.convert: relative digits < 1";
+    if i < 1 then
+      Robust.Error.raise_
+        (Robust.Error.range ~what:"relative digits"
+           (Printf.sprintf "%d < 1" i));
+    Robust.Budget.check_output_digits i;
     (* The position of the first digit can shift when the quantum expansion
        rounds the value up to the next power of the base (paper, end of
        Section 4), so estimate from the unexpanded range and refine. *)
     let bnd = Boundaries.of_finite ~mode fmt v in
     let k0, _ = Scaling.scale_on_high ~base bnd in
     relative ~base ~mode ~tie fmt v i ~attempts:2 ~guess:k0
+
+let convert ?base ?mode ?tie fmt (v : Value.finite) request =
+  Robust.Error.catch (fun () -> convert_exn ?base ?mode ?tie fmt v request)

@@ -27,14 +27,33 @@ val convert :
   Fp.Format_spec.t ->
   Fp.Value.finite ->
   request ->
-  t
+  (t, Robust.Error.t) result
 (** Fixed-format digits for the magnitude of a non-zero finite value.
     [tie] (default [Closer_up], as in the paper) breaks exact half-quantum
-    ties.  [Relative i] requires [i >= 1].
+    ties.
+
+    Never raises: a base outside 2..36 or [Relative i] with [i < 1] is a
+    [Range] error, and a request whose digit span exceeds the
+    {!Robust.Budget} cap ([--places 1000000] style) is a [Budget] error
+    — vetted {e before} any bignum scaling work, so pathological
+    requests fail in constant time.  An [Absolute] position far above
+    the value short-circuits to the single rounded zero digit.
 
     Scaling always uses the estimator seeded on the range's upper bound
     ({!Scaling.scale_on_high}), which stays within one of the true scale
     factor even when the quantum dwarfs the value. *)
+
+val convert_exn :
+  ?base:int ->
+  ?mode:Fp.Rounding.mode ->
+  ?tie:Generate.tie ->
+  Fp.Format_spec.t ->
+  Fp.Value.finite ->
+  request ->
+  t
+(** {!convert} for call sites with statically valid arguments (tests,
+    examples, internal drivers).
+    @raise Robust.Error.E on what [convert] would report as [Error]. *)
 
 val significant_digits : t -> int
 (** Number of non-[#] positions. *)

@@ -19,7 +19,13 @@ let run ~base ~tie (bnd : Boundaries.t) =
   let acc = ref [] in
   let r = ref bnd.r and m_plus = ref bnd.m_plus and m_minus = ref bnd.m_minus in
   let result = ref None in
+  let emitted = ref 0 in
   while !result = None do
+    (* resource guard: the loop provably terminates, but an injected
+       fault or a corrupted range could keep it spinning — degrade into
+       a budget error instead of an unbounded burn *)
+    incr emitted;
+    Robust.Budget.check_output_digits !emitted;
     let d, rest = Nat.divmod !r s in
     let d = Nat.to_int_exn d in
     let tc1 = cmp_low (Nat.compare rest !m_minus) in

@@ -1,7 +1,13 @@
 module Value = Fp.Value
 module Format_spec = Fp.Format_spec
 
-let print_value ?(base = 10) ?mode ?strategy ?tie ?notation fmt value =
+let check_base base =
+  if base < 2 || base > 36 then
+    Robust.Error.raise_
+      (Robust.Error.range ~what:"base" (Printf.sprintf "%d not in 2..36" base))
+
+let print_value_exn ?(base = 10) ?mode ?strategy ?tie ?notation fmt value =
+  check_base base;
   match value with
   | Value.Zero neg -> Render.zero ~neg ()
   | Value.Inf neg -> Render.infinity ~neg ()
@@ -10,8 +16,12 @@ let print_value ?(base = 10) ?mode ?strategy ?tie ?notation fmt value =
     let result = Free_format.convert ~base ?mode ?strategy ?tie fmt v in
     Render.free ?notation ~neg:v.neg ~base result
 
+let print_value ?base ?mode ?strategy ?tie ?notation fmt value =
+  Robust.Error.catch (fun () ->
+      print_value_exn ?base ?mode ?strategy ?tie ?notation fmt value)
+
 let print ?base ?mode ?strategy ?tie ?notation x =
-  print_value ?base ?mode ?strategy ?tie ?notation Format_spec.binary64
+  print_value_exn ?base ?mode ?strategy ?tie ?notation Format_spec.binary64
     (Fp.Ieee.decompose x)
 
 let print_fixed ?(base = 10) ?mode ?tie ?notation request x =
@@ -21,7 +31,7 @@ let print_fixed ?(base = 10) ?mode ?tie ?notation request x =
   | Value.Nan -> Render.nan
   | Value.Finite v ->
     let result =
-      Fixed_format.convert ~base ?mode ?tie Format_spec.binary64 v request
+      Fixed_format.convert_exn ~base ?mode ?tie Format_spec.binary64 v request
     in
     Render.fixed ?notation ~neg:v.neg ~base result
 

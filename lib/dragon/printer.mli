@@ -51,6 +51,20 @@ val print_value :
   ?notation:Render.notation ->
   Fp.Format_spec.t ->
   Fp.Value.t ->
+  (string, Robust.Error.t) result
+(** Free format for a decomposed value in any format.  Never raises:
+    misuse (base outside 2..36), budget violations and injected faults
+    all come back as [Error]. *)
+
+val print_value_exn :
+  ?base:int ->
+  ?mode:Fp.Rounding.mode ->
+  ?strategy:Scaling.strategy ->
+  ?tie:Generate.tie ->
+  ?notation:Render.notation ->
+  Fp.Format_spec.t ->
+  Fp.Value.t ->
   string
-(** Free format for a decomposed value in any format (used by the examples
-    that print binary16/binary32 and custom softfloat formats). *)
+(** {!print_value} for call sites with statically valid arguments (the
+    float convenience API and the examples).
+    @raise Robust.Error.E on what {!print_value} reports as [Error]. *)

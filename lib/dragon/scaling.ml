@@ -16,7 +16,13 @@ let strategy_name = function
 let power_tables : (int, Nat.t array ref) Hashtbl.t = Hashtbl.create 8
 
 let power ~base k =
+  Robust.Faults.trip "scaling.power";
   if k < 0 then invalid_arg "Scaling.power: negative exponent";
+  (* a power this large means a runaway scale request upstream *)
+  Robust.Budget.check_bignum_bits
+    (int_of_float
+       (float_of_int k *. (log (float_of_int base) /. log 2.))
+    + 64);
   if base = 2 then Nat.shift_left Nat.one k
   else if k > 1100 then Nat.pow_int base k
   else begin
@@ -153,6 +159,7 @@ let scale_estimated ~base est (bnd : Boundaries.t) =
   if too_low bnd then (est + 1, bnd) else (est, premultiply ~base bnd)
 
 let scale strategy ~base ~b ~f ~e bnd =
+  Robust.Faults.trip "scaling.scale";
   match estimate strategy ~base ~b ~f ~e with
   | None -> scale_iterative ~base bnd
   | Some est -> scale_estimated ~base est bnd

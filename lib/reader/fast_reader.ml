@@ -89,9 +89,11 @@ let read_decimal (d : Exact.decimal) =
   end
 
 let read s =
-  match Exact.parse s with
-  | Error _ as e -> e
-  | Ok (Exact.Infinity neg) ->
-    Ok (if neg then Float.neg_infinity else Float.infinity)
-  | Ok Exact.Not_a_number -> Ok Float.nan
-  | Ok (Exact.Number d) -> Ok (read_decimal d)
+  Result.join
+    (Robust.Error.catch (fun () ->
+         match Exact.parse s with
+         | Error _ as e -> e
+         | Ok (Exact.Infinity neg) ->
+           Ok (if neg then Float.neg_infinity else Float.infinity)
+         | Ok Exact.Not_a_number -> Ok Float.nan
+         | Ok (Exact.Number d) -> Ok (read_decimal d)))

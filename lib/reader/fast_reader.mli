@@ -19,8 +19,10 @@
     Results are {e always} correctly rounded to nearest-even: the fast
     tiers only answer when they can prove they agree with the fallback. *)
 
-val read : string -> (float, string) result
-(** Parse and convert to binary64, round-to-nearest-even. *)
+val read : string -> (float, Robust.Error.t) result
+(** Parse and convert to binary64, round-to-nearest-even.  Never
+    raises; shares the exact reader's structured errors and fast-reject
+    gate. *)
 
 val read_decimal : Exact.decimal -> float
 (** The tiered conversion on an already-parsed decimal. *)

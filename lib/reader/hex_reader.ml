@@ -1,8 +1,15 @@
 module Nat = Bignum.Nat
+module Error = Robust.Error
+module Budget = Robust.Budget
 
-let read ?mode fmt s =
+(* See Exact.exp_clamp: cap the binary-exponent accumulator; anything at
+   the clamp is settled by the fast-reject gate. *)
+let exp_clamp = 2_000_000_000
+
+let read_body ?mode fmt s =
   let len = String.length s in
-  let err what = Error (Printf.sprintf "%s in %S" what s) in
+  Budget.check_input_length len;
+  let err what = Error (Error.syntax ~input:s what) in
   let pos = ref 0 in
   let neg =
     if len > 0 && (s.[0] = '-' || s.[0] = '+') then begin
@@ -75,10 +82,12 @@ let read ?mode fmt s =
           let start = !pos in
           let v = ref 0 in
           while !pos < len && s.[!pos] >= '0' && s.[!pos] <= '9' do
-            v := (!v * 10) + (Char.code s.[!pos] - Char.code '0');
+            if !v < exp_clamp then
+              v := (!v * 10) + (Char.code s.[!pos] - Char.code '0');
             incr pos
           done;
-          if !pos = start || !pos <> len then None else Some (esign * !v)
+          if !pos = start || !pos <> len then None
+          else Some (esign * min !v exp_clamp)
         end
         else None
       in
@@ -89,14 +98,21 @@ let read ?mode fmt s =
         else begin
           (* value = mantissa * 2^(p - 4*frac_digits) *)
           let e2 = p - (4 * !frac_digits) in
-          let u, v =
-            if e2 >= 0 then (Nat.shift_left !mantissa e2, Nat.one)
-            else (!mantissa, Nat.shift_left Nat.one (-e2))
-          in
-          Ok (Fp.Softfloat.round_fraction ?mode fmt ~neg u v)
+          let bits = Nat.bit_length !mantissa in
+          match Exact.decide_extreme ?mode fmt ~neg ~base:2 ~bits ~scale:e2 with
+          | Some v -> Ok v
+          | None ->
+            Budget.check_bignum_bits (bits + abs e2 + 64);
+            let u, v =
+              if e2 >= 0 then (Nat.shift_left !mantissa e2, Nat.one)
+              else (!mantissa, Nat.shift_left Nat.one (-e2))
+            in
+            Ok (Fp.Softfloat.round_fraction ?mode fmt ~neg u v)
         end
     end
   end
+
+let read ?mode fmt s = Result.join (Error.catch (fun () -> read_body ?mode fmt s))
 
 let read_float ?mode s =
   match read ?mode Fp.Format_spec.binary64 s with

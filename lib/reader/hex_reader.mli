@@ -12,7 +12,12 @@ val read :
   ?mode:Fp.Rounding.mode ->
   Fp.Format_spec.t ->
   string ->
-  (Fp.Value.t, string) result
+  (Fp.Value.t, Robust.Error.t) result
+(** Never raises: malformed literals are [Syntax] errors, oversized
+    inputs are [Budget] errors, and astronomically scaled exponents
+    ([0x1p999999999]) are fast-rejected to the correctly rounded extreme
+    without building the corresponding power of two. *)
 
-val read_float : ?mode:Fp.Rounding.mode -> string -> (float, string) result
+val read_float :
+  ?mode:Fp.Rounding.mode -> string -> (float, Robust.Error.t) result
 (** Into binary64, as an OCaml float. *)

@@ -1,0 +1,39 @@
+type t = {
+  max_input_length : int;
+  max_exponent : int;
+  max_output_digits : int;
+  max_bignum_bits : int;
+}
+
+let default =
+  {
+    max_input_length = 65_536;
+    max_exponent = 100_000;
+    max_output_digits = 20_000;
+    max_bignum_bits = 2_000_000;
+  }
+
+let unlimited =
+  {
+    max_input_length = max_int;
+    max_exponent = max_int;
+    max_output_digits = max_int;
+    max_bignum_bits = max_int;
+  }
+
+let current = ref default
+let get () = !current
+let set b = current := b
+
+let with_budget b f =
+  let saved = !current in
+  current := b;
+  Fun.protect ~finally:(fun () -> current := saved) f
+
+let check what limit got =
+  if got > limit then Error.raise_ (Error.budget ~what ~limit ~got)
+
+let check_input_length n = check "input length" !current.max_input_length n
+let check_exponent n = check "scale exponent" !current.max_exponent (abs n)
+let check_output_digits n = check "output digits" !current.max_output_digits n
+let check_bignum_bits n = check "bignum bits" !current.max_bignum_bits n

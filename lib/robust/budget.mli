@@ -1,0 +1,49 @@
+(** Resource budgets: the caps that keep hostile input from turning the
+    exact-arithmetic substrate into an OOM or a hang.
+
+    The exact reader and the fixed-format converter are happy to build
+    multi-megabyte bignums for inputs like [1e999999999] or
+    [--places 1000000].  A budget bounds each dimension the pipeline can
+    spend: input bytes, decimal-exponent magnitude, bignum size, emitted
+    digits.  Checks raise {!Error.E} with a [Budget] payload; the public
+    API boundaries convert that into [Error (Budget _)] via
+    {!Error.catch}.
+
+    The budget is ambient (a process-wide setting) so the checks can sit
+    inside the digit loops without threading a parameter through every
+    layer.  {!default} is permissive enough that no legitimate
+    conversion in this repository comes near a cap. *)
+
+type t = {
+  max_input_length : int;  (** bytes of input text accepted by parsers *)
+  max_exponent : int;
+      (** magnitude of a decimal (or other-base) scale exponent that may
+          be turned into an actual bignum power *)
+  max_output_digits : int;
+      (** digits a single conversion may emit (also bounds the
+          fixed-format position span and the digit-loop iterations) *)
+  max_bignum_bits : int;
+      (** bit size of any single constructed power/scaled operand *)
+}
+
+val default : t
+(** 64 KiB of input, exponents to 100_000, 20_000 output digits, 2 Mbit
+    bignums. *)
+
+val unlimited : t
+(** Every cap at [max_int]; for tests and offline experiments. *)
+
+val get : unit -> t
+val set : t -> unit
+
+val with_budget : t -> (unit -> 'a) -> 'a
+(** Runs the thunk under a temporary budget, restoring the previous one
+    (also on exception). *)
+
+(** Each check raises [Error.E (Budget _)] when the value exceeds the
+    current budget, and returns unit otherwise. *)
+
+val check_input_length : int -> unit
+val check_exponent : int -> unit
+val check_output_digits : int -> unit
+val check_bignum_bits : int -> unit

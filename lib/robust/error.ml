@@ -1,0 +1,62 @@
+type t =
+  | Syntax of { input : string; reason : string; pos : int }
+  | Range of { what : string; detail : string }
+  | Budget of { what : string; limit : int; got : int }
+  | Internal of { where : string; reason : string }
+
+exception E of t
+
+(* Never echo unbounded attacker input back in an error message. *)
+let truncate_input s =
+  if String.length s <= 60 then s else String.sub s 0 57 ^ "..."
+
+let syntax ?(pos = -1) ~input reason =
+  Syntax { input = truncate_input input; reason; pos }
+
+let range ~what detail = Range { what; detail }
+let budget ~what ~limit ~got = Budget { what; limit; got }
+let internal ~where reason = Internal { where; reason }
+
+let raise_ e = raise (E e)
+
+(* Depth of nested [catch] regions.  Fault injection consults this so
+   that armed faults only fire under a boundary that will absorb them —
+   not, say, during module initialisation of a dependent library. *)
+let guard_depth = ref 0
+
+let in_guarded_region () = !guard_depth > 0
+
+let catch f =
+  incr guard_depth;
+  let r =
+    try Ok (f ()) with
+    | E e -> Error e
+    | Stack_overflow ->
+      Error (Internal { where = "runtime"; reason = "stack overflow" })
+    | Out_of_memory ->
+      Error (Internal { where = "runtime"; reason = "out of memory" })
+    | exn ->
+      Error
+        (Internal { where = "runtime"; reason = "escaped " ^ Printexc.to_string exn })
+  in
+  decr guard_depth;
+  r
+
+let category = function
+  | Syntax _ -> "syntax"
+  | Range _ -> "range"
+  | Budget _ -> "budget"
+  | Internal _ -> "internal"
+
+let to_string = function
+  | Syntax { input; reason; pos } ->
+    if pos < 0 then Printf.sprintf "syntax error: %s in %S" reason input
+    else Printf.sprintf "syntax error: %s at index %d in %S" reason pos input
+  | Range { what; detail } -> Printf.sprintf "range error: %s: %s" what detail
+  | Budget { what; limit; got } ->
+    Printf.sprintf "budget exceeded: %s: %d > limit %d" what got limit
+  | Internal { where; reason } ->
+    Printf.sprintf "internal error: %s: %s" where reason
+
+let equal (a : t) (b : t) = a = b
+let pp fmt e = Format.pp_print_string fmt (to_string e)

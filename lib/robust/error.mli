@@ -1,0 +1,60 @@
+(** Structured errors for the conversion pipeline.
+
+    Every fallible public entry point of the reader, the printer and the
+    fixed-format converter returns [('a, t) result] with one of four
+    variants, so callers can react to the {e class} of failure (retry,
+    reject, alert) without parsing prose:
+
+    - {!Syntax}: the input text is not a number in the accepted grammar;
+    - {!Range}: a request parameter is outside its legal domain (base not
+      in 2..36, a non-positive digit count, ...);
+    - {!Budget}: the request is well-formed but would exceed a resource
+      cap from {!Budget} (input length, exponent magnitude, bignum size,
+      emitted digits) — the defense against [1e999999999]-style inputs;
+    - {!Internal}: an invariant failed or a fault was injected
+      ({!Faults}); these indicate a bug (or a test), never user error.
+
+    The exception {!E} is the {e internal} carrier: deep layers (bignum,
+    scaling, digit loops) raise it and the public boundaries convert it
+    back to [Error] with {!catch}.  No exception, [E] included, escapes a
+    [result]-returning API. *)
+
+type t =
+  | Syntax of { input : string; reason : string; pos : int }
+      (** [input] is truncated to a bounded prefix for error hygiene;
+          [pos] is a byte offset into the original string (or [-1]). *)
+  | Range of { what : string; detail : string }
+  | Budget of { what : string; limit : int; got : int }
+  | Internal of { where : string; reason : string }
+
+exception E of t
+
+val syntax : ?pos:int -> input:string -> string -> t
+(** Builds {!Syntax}, truncating [input] to at most 60 bytes. *)
+
+val range : what:string -> string -> t
+val budget : what:string -> limit:int -> got:int -> t
+val internal : where:string -> string -> t
+
+val raise_ : t -> 'a
+(** [raise_ e] is [raise (E e)]. *)
+
+val catch : (unit -> 'a) -> ('a, t) result
+(** Runs the thunk; [E e] becomes [Error e] and any other exception
+    ([Invalid_argument], [Failure], [Stack_overflow], ...) becomes
+    [Error (Internal _)].  This is the boundary guard every public
+    conversion entry point runs under. *)
+
+val in_guarded_region : unit -> bool
+(** True while execution is inside the dynamic extent of a {!catch}.
+    {!Faults.trip} uses this to confine injected failures to code that
+    runs under a boundary guard. *)
+
+val category : t -> string
+(** ["syntax"], ["range"], ["budget"] or ["internal"]. *)
+
+val to_string : t -> string
+(** One-line rendering, prefixed with the category. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

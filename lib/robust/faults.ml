@@ -1,0 +1,41 @@
+let points = [ "nat.divmod"; "nat.pow"; "scaling.power"; "scaling.scale" ]
+
+(* The armed set is tiny; a list plus a count keeps the disarmed-path
+   cost of [trip] to a single load and branch. *)
+let armed_points : string list ref = ref []
+let armed_count = ref 0
+
+let sync () = armed_count := List.length !armed_points
+
+let arm name =
+  if not (List.mem name !armed_points) then begin
+    armed_points := name :: !armed_points;
+    sync ()
+  end
+
+let disarm name =
+  armed_points := List.filter (fun p -> not (String.equal p name)) !armed_points;
+  sync ()
+
+let disarm_all () =
+  armed_points := [];
+  sync ()
+
+let armed name = !armed_count > 0 && List.mem name !armed_points
+
+(* Only fire under a boundary guard: the instrumented kernels also run
+   during module initialisation of dependent libraries (precomputed
+   constants), where there is no [catch] to absorb the failure and a
+   trip would abort the program before [main]. *)
+let trip name =
+  if !armed_count > 0 && List.mem name !armed_points && Error.in_guarded_region ()
+  then Error.raise_ (Error.internal ~where:name "injected fault")
+
+let with_fault name f =
+  arm name;
+  Fun.protect ~finally:(fun () -> disarm name) f
+
+let () =
+  match Sys.getenv_opt "BDPRINT_FAULTS" with
+  | None | Some "" -> ()
+  | Some spec -> List.iter arm (String.split_on_char ',' spec)

@@ -1,0 +1,34 @@
+(** Fault injection: prove that a failure deep in the substrate surfaces
+    at the public API as a structured [Internal] error rather than as an
+    escaping exception or a wrong answer.
+
+    Named points in the bignum kernel and the scaling layer call
+    {!trip}; when the point is {e armed}, [trip] raises [Error.E
+    (Internal _)], which the boundary guards ({!Error.catch}) turn into
+    [Error].  Disarmed points cost one mutable-load-and-branch.
+
+    Arm programmatically ({!arm}/{!with_fault}) from tests, or via the
+    environment variable [BDPRINT_FAULTS], a comma-separated list of
+    point names read once at startup — which lets end-to-end tests
+    exercise the full binary. *)
+
+val points : string list
+(** The instrumented points: ["nat.divmod"], ["nat.pow"],
+    ["scaling.power"], ["scaling.scale"]. *)
+
+val arm : string -> unit
+val disarm : string -> unit
+val disarm_all : unit -> unit
+
+val armed : string -> bool
+
+val trip : string -> unit
+(** Called from the instrumented sites.
+    @raise Error.E with an [Internal] payload when the point is armed
+    {e and} execution is inside an {!Error.catch} region (so startup
+    computations and deliberately exception-raising [_exn] entry points
+    are not disrupted). *)
+
+val with_fault : string -> (unit -> 'a) -> 'a
+(** Runs the thunk with the point armed, disarming it afterwards (also
+    on exception). *)

@@ -1,0 +1,126 @@
+let digits st n =
+  String.init n (fun _ -> Char.chr (Char.code '0' + Random.State.int st 10))
+
+let sign st = match Random.State.int st 3 with 0 -> "-" | 1 -> "+" | _ -> ""
+
+let plain st =
+  let whole = digits st (1 + Random.State.int st 20) in
+  let frac =
+    if Random.State.bool st then "." ^ digits st (1 + Random.State.int st 20)
+    else ""
+  in
+  let exp =
+    if Random.State.bool st then
+      Printf.sprintf "e%s%d" (sign st) (Random.State.int st 330)
+    else ""
+  in
+  sign st ^ whole ^ frac ^ exp
+
+let extreme st =
+  match Random.State.int st 6 with
+  | 0 ->
+    (* exponent far beyond any format: must fast-reject to 0/inf *)
+    Printf.sprintf "%s%se%s%d" (sign st)
+      (digits st (1 + Random.State.int st 8))
+      (if Random.State.bool st then "-" else "")
+      (100_000 + Random.State.full_int st 2_000_000_000)
+  | 1 ->
+    (* straddle the binary64 overflow cliff *)
+    Printf.sprintf "%s%d.%se%d" (sign st)
+      (1 + Random.State.int st 9)
+      (digits st 17)
+      (304 + Random.State.int st 10)
+  | 2 ->
+    (* subnormal territory and the underflow cliff *)
+    Printf.sprintf "%s%d.%se-%d" (sign st)
+      (1 + Random.State.int st 9)
+      (digits st 17)
+      (300 + Random.State.int st 30)
+  | 3 ->
+    (* long zero runs around a few significant digits *)
+    let zeros = String.make (1 + Random.State.int st 400) '0' in
+    if Random.State.bool st then
+      sign st ^ digits st 3 ^ zeros ^ "." ^ zeros
+    else sign st ^ "0." ^ zeros ^ digits st 3
+  | 4 ->
+    (* binary16/32 cliffs: 65504 +/- eps, 1e38-ish *)
+    Printf.sprintf "%s655%d.%s" (sign st) (Random.State.int st 100) (digits st 6)
+  | _ ->
+    Printf.sprintf "%s%s.%se%s%d" (sign st) (digits st 2) (digits st 40)
+      (if Random.State.bool st then "-" else "")
+      (Random.State.int st 5_000)
+
+let long_digits st =
+  let n = 200 + Random.State.int st 3_000 in
+  let body =
+    if Random.State.int st 3 = 0 then
+      (* one significant digit then a wall of zeros: 1 followed by 10k
+         zeros is the classic fast-reject regression *)
+      digits st 1 ^ String.make n '0'
+    else digits st n
+  in
+  let exp =
+    if Random.State.bool st then
+      Printf.sprintf "e%s%d" (sign st) (Random.State.int st 4_000)
+    else ""
+  in
+  if Random.State.bool st then sign st ^ body ^ exp
+  else sign st ^ "0." ^ body ^ exp
+
+let garbage st =
+  match Random.State.int st 5 with
+  | 0 -> String.init (Random.State.int st 30) (fun _ -> Char.chr (Random.State.int st 256))
+  | 1 ->
+    (* near-miss syntax: doubled operators, dangling exponents *)
+    List.nth
+      [ ""; "-"; "+"; "."; ".."; "1..2"; "--1"; "1e"; "1e+"; "e5"; "1.5x";
+        "0x"; "inf inity"; "na n"; "1_"; "_1"; "1e_5"; "+-1"; "1.2.3" ]
+      (Random.State.int st 19)
+  | 2 ->
+    (* valid prefix + junk suffix *)
+    plain st ^ String.make 1 (Char.chr (33 + Random.State.int st 90))
+  | 3 ->
+    (* whitespace variants: the strict grammar rejects these *)
+    " " ^ plain st ^ "\t"
+  | _ ->
+    String.init (1 + Random.State.int st 20) (fun _ ->
+        List.nth [ '0'; '9'; '.'; 'e'; '-'; '+'; '_'; 'x'; '#' ]
+          (Random.State.int st 9))
+
+let any st =
+  let r = Random.State.int st 100 in
+  if r < 60 then plain st
+  else if r < 75 then extreme st
+  else if r < 85 then long_digits st
+  else garbage st
+
+let nasty =
+  [
+    "1e999999999";
+    "-1e-999999999";
+    "1e2147483647";
+    "1e-2147483648";
+    "1e99999999999999999999";
+    "-1e-99999999999999999999";
+    "9.9999999999999999999e308";
+    "1.7976931348623157e308";
+    "1.7976931348623159e308";
+    "4.9e-324";
+    "5e-324";
+    "2.4e-324";
+    "2.5e-324";
+    "2.2250738585072011e-308" (* the famous slow strtod value *);
+    "2.2250738585072014e-308";
+    "1e23";
+    "9007199254740993";
+    "1.00000000000000011102230246251565404236316680908203125";
+    "0.1";
+    "-0";
+    "0e999999999";
+    "-0e-999999999";
+    "1" ^ String.make 10_000 '0';
+    "0." ^ String.make 10_000 '0' ^ "1";
+    String.make 800 '9';
+    "65504"; "65519.99"; "65520" (* binary16 cliff *);
+    "3.4028235e38"; "3.4028236e38" (* binary32 cliff *);
+  ]

@@ -1,0 +1,31 @@
+(** Input generators for the differential fuzz harness.
+
+    Deterministic given the [Random.State.t]: the harness seeds one
+    state, so a failing run is reproducible from its seed.  Four
+    families, from friendly to hostile:
+
+    - {!plain}: well-formed decimals of moderate size — the round-trip
+      and differential (vs libc) workhorse;
+    - {!extreme}: well-formed but pathological — huge exponent
+      magnitudes, long zero runs, values straddling the
+      overflow/underflow cliffs of binary16/32/64;
+    - {!long_digits}: digit strings hundreds to thousands of characters
+      long, exercising the budget and the fast-reject gates;
+    - {!garbage}: byte noise and near-miss syntax, which must come back
+      as structured syntax errors, never as exceptions.
+
+    {!any} is a weighted mix.  {!nasty} is the deterministic seed list
+    mirrored by [test/corpus/]. *)
+
+val plain : Random.State.t -> string
+val extreme : Random.State.t -> string
+val long_digits : Random.State.t -> string
+val garbage : Random.State.t -> string
+
+val any : Random.State.t -> string
+(** Roughly 60% {!plain}, 15% {!extreme}, 10% {!long_digits}, 15%
+    {!garbage}. *)
+
+val nasty : string list
+(** Known-hard inputs: exponent cliffs, subnormal boundaries, the famous
+    slow-[strtod] value, tie midpoints, 10k-digit literals. *)

@@ -1,0 +1,6 @@
+(* Facade: [Robust.Error], [Robust.Budget], [Robust.Faults], [Robust.Gen]. *)
+
+module Error = Error
+module Budget = Budget
+module Faults = Faults
+module Gen = Gen

@@ -204,10 +204,10 @@ let test_torture_inputs () =
   Array.iter
     (fun s ->
       let exact =
-        match Reader.read_float s with Ok x -> x | Error e -> Alcotest.fail e
+        match Reader.read_float s with Ok x -> x | Error e -> Alcotest.fail (Robust.Error.to_string e)
       in
       let fast =
-        match Reader.Fast.read s with Ok x -> x | Error e -> Alcotest.fail e
+        match Reader.Fast.read s with Ok x -> x | Error e -> Alcotest.fail (Robust.Error.to_string e)
       in
       Alcotest.(check bool)
         (Printf.sprintf "fast = exact on %s" s)

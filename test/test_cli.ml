@@ -57,6 +57,126 @@ let test_errors () =
   let status, _ = bdprint "--digits 3 --places 2 1.0" in
   Alcotest.(check bool) "conflicting flags fail" true (status <> 0)
 
+(* Full-pipe variant: feed stdin, capture stdout and stderr separately,
+   optionally with an environment prefix (for BDPRINT_FAULTS). *)
+let bdprint_full ?(env = "") ?(stdin = "") args =
+  let exe =
+    Filename.concat
+      (Filename.dirname (Filename.dirname Sys.executable_name))
+      "bin/bdprint.exe"
+  in
+  let tmp_in = Filename.temp_file "bdprint" ".in" in
+  let tmp_out = Filename.temp_file "bdprint" ".out" in
+  let tmp_err = Filename.temp_file "bdprint" ".err" in
+  let oc = open_out tmp_in in
+  output_string oc stdin;
+  close_out oc;
+  let cmd =
+    Printf.sprintf "%s %s %s < %s > %s 2> %s" env exe args tmp_in tmp_out
+      tmp_err
+  in
+  let status = Sys.command cmd in
+  let slurp path =
+    let ic = open_in path in
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !lines
+  in
+  let out = slurp tmp_out and err = slurp tmp_err in
+  Sys.remove tmp_in;
+  Sys.remove tmp_out;
+  Sys.remove tmp_err;
+  (status, out, err)
+
+let contains line needle =
+  let n = String.length needle and l = String.length line in
+  let rec go i = i + n <= l && (String.sub line i n = needle || go (i + 1)) in
+  go 0
+
+let test_stdin_stream () =
+  (* clean stream: converts every line, skips blanks, exits 0 *)
+  let status, out, err =
+    bdprint_full ~stdin:"0.1\n1e23\n\n2.5e-1\n" "--stdin"
+  in
+  Alcotest.(check int) "clean stream exit" 0 status;
+  Alcotest.(check (list string)) "clean stream output"
+    [ "0.1"; "1e23"; "0.25" ] out;
+  Alcotest.(check (list string)) "clean stream stderr" [] err;
+  (* bad lines are reported with their line number and the stream
+     continues *)
+  let status, out, err =
+    bdprint_full ~stdin:"0.1\nbogus\n1e999999999\n" "--stdin"
+  in
+  Alcotest.(check bool) "dirty stream exits nonzero" true (status <> 0);
+  Alcotest.(check (list string)) "dirty stream still converts the rest"
+    [ "0.1"; "inf" ] out;
+  Alcotest.(check bool) "stderr names the line" true
+    (List.exists (fun l -> contains l "line 2" && contains l "syntax") err);
+  (* per-number fixed format works through the stream too *)
+  let status, out, _ =
+    bdprint_full ~stdin:"3.14159265358979\n100\n" "--stdin --places 4"
+  in
+  Alcotest.(check int) "fixed stream exit" 0 status;
+  Alcotest.(check (list string)) "fixed stream output"
+    [ "3.1416"; "100.0000" ] out
+
+let test_stdin_max_errors () =
+  let status, out, err =
+    bdprint_full ~stdin:"x\ny\n0.1\n" "--stdin --max-errors 2"
+  in
+  Alcotest.(check bool) "aborts nonzero" true (status <> 0);
+  Alcotest.(check (list string)) "stops before the good line" [] out;
+  Alcotest.(check bool) "stderr mentions the abort" true
+    (List.exists (fun l -> contains l "max-errors") err);
+  (* without the cap the same stream drains fully *)
+  let status, out, _ = bdprint_full ~stdin:"x\ny\n0.1\n" "--stdin" in
+  Alcotest.(check bool) "uncapped still nonzero" true (status <> 0);
+  Alcotest.(check (list string)) "uncapped drains" [ "0.1" ] out;
+  (* --stdin and positional arguments are mutually exclusive *)
+  let status, _, _ = bdprint_full ~stdin:"0.1\n" "--stdin 2.5" in
+  Alcotest.(check bool) "conflict rejected" true (status <> 0)
+
+let test_budget_misuse () =
+  let status, _, err = bdprint_full "--places 1000000 100" in
+  Alcotest.(check bool) "huge --places fails" true (status <> 0);
+  Alcotest.(check bool) "names the budget" true
+    (List.exists (fun l -> contains l "budget" && contains l "--places") err);
+  let status, _, err = bdprint_full "--digits 1000000 100" in
+  Alcotest.(check bool) "huge --digits fails" true (status <> 0);
+  Alcotest.(check bool) "names the budget" true
+    (List.exists (fun l -> contains l "budget" && contains l "--digits") err);
+  (* extremes that are merely large still work *)
+  let status, out, _ = bdprint_full "--places 100 0.5" in
+  Alcotest.(check int) "places 100 fine" 0 status;
+  Alcotest.(check int) "one output line" 1 (List.length out)
+
+let test_fault_env () =
+  let status, _, err =
+    bdprint_full ~env:"BDPRINT_FAULTS=nat.divmod" "0.1"
+  in
+  Alcotest.(check bool) "fault makes it fail" true (status <> 0);
+  Alcotest.(check bool) "fault is a structured internal error" true
+    (List.exists
+       (fun l -> contains l "internal error" && contains l "nat.divmod")
+       err);
+  Alcotest.(check bool) "no uncaught exception" true
+    (not (List.exists (fun l -> contains l "Fatal error") err));
+  (* armed fault + stream: every line degrades, none crash *)
+  let status, out, err =
+    bdprint_full ~env:"BDPRINT_FAULTS=scaling.scale" ~stdin:"0.1\n0.2\n"
+      "--stdin"
+  in
+  Alcotest.(check bool) "stream under fault fails" true (status <> 0);
+  Alcotest.(check (list string)) "no output under fault" [] out;
+  Alcotest.(check int) "two per-line errors plus summary" 2
+    (List.length
+       (List.filter (fun l -> contains l "injected fault") err))
+
 let () =
   Alcotest.run "cli"
     [
@@ -66,5 +186,9 @@ let () =
           Alcotest.test_case "fixed format" `Quick test_fixed;
           Alcotest.test_case "bases and hex" `Quick test_bases_and_hex;
           Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "stdin streaming" `Quick test_stdin_stream;
+          Alcotest.test_case "stdin max-errors" `Quick test_stdin_max_errors;
+          Alcotest.test_case "budget misuse" `Quick test_budget_misuse;
+          Alcotest.test_case "fault injection env" `Quick test_fault_env;
         ] );
     ]

@@ -83,13 +83,13 @@ let test_paper_examples () =
     | _ -> Alcotest.fail "binary32 third"
   in
   let fx =
-    Fixed_format.convert Format_spec.binary32 third32
+    Fixed_format.convert_exn Format_spec.binary32 third32
       (Fixed_format.Absolute (-10))
   in
   Alcotest.(check string) "1/3 single to 10 places" "0.33333334##"
     (Render.fixed ~base:10 fx);
   let fx17 =
-    Fixed_format.convert Format_spec.binary32 third32
+    Fixed_format.convert_exn Format_spec.binary32 third32
       (Fixed_format.Absolute (-17))
   in
   Alcotest.(check bool) "garbage digits become #, not 0.3333333432674408"
@@ -415,7 +415,7 @@ let test_fixed_known () =
   Alcotest.(check string) "12345 at tens ties to even"
     "12340.0"
     (Render.fixed ~base:10
-       (Fixed_format.convert ~tie:Generate.Closer_even b64
+       (Fixed_format.convert_exn ~tie:Generate.Closer_even b64
           (decompose_pos 12345.) (Fixed_format.Absolute 1)));
   Alcotest.(check string) "9.99 to 2 significant promotes" "10.0"
     (fx (Fixed_format.Relative 2) 9.99);
@@ -429,23 +429,23 @@ let test_fixed_known () =
 let test_fixed_zero_case () =
   (* values at or below half a quantum *)
   let v = decompose_pos 0.4 in
-  let t = Fixed_format.convert b64 v (Fixed_format.Absolute 0) in
+  let t = Fixed_format.convert_exn b64 v (Fixed_format.Absolute 0) in
   Alcotest.(check fixed_result) "0.4 at units"
     { Fixed_format.digits = [| Fixed_format.Digit 0 |]; k = 1 }
     t;
   let v5 = decompose_pos 0.5 in
-  let tie_up = Fixed_format.convert b64 v5 (Fixed_format.Absolute 0) in
+  let tie_up = Fixed_format.convert_exn b64 v5 (Fixed_format.Absolute 0) in
   Alcotest.(check fixed_result) "0.5 ties up"
     { Fixed_format.digits = [| Fixed_format.Digit 1 |]; k = 1 }
     tie_up;
   let tie_down =
-    Fixed_format.convert ~tie:Generate.Closer_down b64 v5
+    Fixed_format.convert_exn ~tie:Generate.Closer_down b64 v5
       (Fixed_format.Absolute 0)
   in
   Alcotest.(check fixed_result) "0.5 ties down"
     { Fixed_format.digits = [| Fixed_format.Digit 0 |]; k = 1 }
     tie_down;
-  let tiny = Fixed_format.convert b64 (decompose_pos 1e-30) (Fixed_format.Absolute 0) in
+  let tiny = Fixed_format.convert_exn b64 (decompose_pos 1e-30) (Fixed_format.Absolute 0) in
   Alcotest.(check fixed_result) "1e-30 at units"
     { Fixed_format.digits = [| Fixed_format.Digit 0 |]; k = 1 }
     tiny
@@ -476,7 +476,7 @@ let props_fixed =
         List.for_all
           (fun req ->
             Fixed_format.equal
-              (Fixed_format.convert ~mode ~tie b64 v req)
+              (Fixed_format.convert_exn ~mode ~tie b64 v req)
               (Reference.fixed ~mode ~tie b64 v req))
           requests);
     qtest ~count:200 "fixed = reference in other bases"
@@ -487,14 +487,14 @@ let props_fixed =
         List.for_all
           (fun req ->
             Fixed_format.equal
-              (Fixed_format.convert ~base b64 v req)
+              (Fixed_format.convert_exn ~base b64 v req)
               (Reference.fixed ~base b64 v req))
           [ Fixed_format.Absolute pos; Fixed_format.Relative (1 + abs pos) ]);
     qtest ~count:300 "full-precision output is the oracle's rounding"
       QCheck.(pair arb_pos_double (QCheck.int_range 1 17))
       (fun (x, nd) ->
         let v = decompose_pos x in
-        let t = Fixed_format.convert b64 v (Fixed_format.Relative nd) in
+        let t = Fixed_format.convert_exn b64 v (Fixed_format.Relative nd) in
         QCheck.assume (quantum_dominates v (t.Fixed_format.k - nd));
         let digits, k =
           Oracle.Exact_decimal.round_significant ~tie:Oracle.Exact_decimal.Half_up
@@ -510,20 +510,20 @@ let props_fixed =
       QCheck.(pair arb_structured_double (QCheck.int_range 1 25))
       (fun (x, nd) ->
         let v = decompose_pos x in
-        let t = Fixed_format.convert b64 v (Fixed_format.Relative nd) in
+        let t = Fixed_format.convert_exn b64 v (Fixed_format.Relative nd) in
         Array.length t.Fixed_format.digits = nd);
     qtest ~count:300 "absolute requests stop at position j"
       QCheck.(pair arb_pos_double (QCheck.int_range (-25) 25))
       (fun (x, j) ->
         let v = decompose_pos x in
-        let t = Fixed_format.convert b64 v (Fixed_format.Absolute j) in
+        let t = Fixed_format.convert_exn b64 v (Fixed_format.Absolute j) in
         t.Fixed_format.k - Array.length t.digits = j);
     qtest ~count:300 "output within half quantum when precision suffices"
       QCheck.(pair arb_pos_double (QCheck.int_range (-20) 20))
       (fun (x, j) ->
         let v = decompose_pos x in
         QCheck.assume (quantum_dominates v j);
-        let t = Fixed_format.convert b64 v (Fixed_format.Absolute j) in
+        let t = Fixed_format.convert_exn b64 v (Fixed_format.Absolute j) in
         let out = Fixed_format.to_ratio ~base:10 t in
         let half_q = Ratio.mul Ratio.half (Ratio.pow (Ratio.of_int 10) j) in
         digits_no_hash t
@@ -535,7 +535,7 @@ let props_fixed =
       QCheck.(pair arb_structured_double (QCheck.int_range 1 30))
       (fun (x, nd) ->
         let v = decompose_pos x in
-        let t = Fixed_format.convert b64 v (Fixed_format.Relative nd) in
+        let t = Fixed_format.convert_exn b64 v (Fixed_format.Relative nd) in
         QCheck.assume (not (digits_no_hash t));
         let fill d =
           Ratio.add
@@ -559,7 +559,7 @@ let props_fixed =
       QCheck.(pair arb_structured_double (QCheck.int_range 1 30))
       (fun (x, nd) ->
         let v = decompose_pos x in
-        let t = Fixed_format.convert b64 v (Fixed_format.Relative nd) in
+        let t = Fixed_format.convert_exn b64 v (Fixed_format.Relative nd) in
         let seen_hash = ref false in
         Array.for_all
           (fun d ->
@@ -575,7 +575,7 @@ let props_fixed =
         let v = decompose_pos x in
         let free = Free_format.convert b64 v in
         let n = Array.length free.Free_format.digits in
-        let t = Fixed_format.convert b64 v (Fixed_format.Relative n) in
+        let t = Fixed_format.convert_exn b64 v (Fixed_format.Relative n) in
         QCheck.assume (digits_no_hash t);
         (* at the free-format length, fixed must denote a value at most one
            ulp away from the free result (both are within the range) *)
@@ -591,7 +591,7 @@ let props_fixed =
 let test_denormal_hashes () =
   (* The smallest denormal has a single significant decimal digit. *)
   let v = decompose_pos (Int64.float_of_bits 1L) in
-  let t = Fixed_format.convert b64 v (Fixed_format.Relative 10) in
+  let t = Fixed_format.convert_exn b64 v (Fixed_format.Relative 10) in
   Alcotest.(check int) "one significant digit" 1
     (Fixed_format.significant_digits t);
   Alcotest.(check string) "render" "5.#########e-324"

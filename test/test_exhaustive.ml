@@ -80,7 +80,7 @@ let test_fixed_sampled () =
             if
               not
                 (Fixed_format.equal
-                   (Fixed_format.convert b16 v req)
+                   (Fixed_format.convert_exn b16 v req)
                    (Reference.fixed b16 v req))
             then incr failures)
           [ Fixed_format.Relative 3; Fixed_format.Relative 8;

@@ -107,8 +107,8 @@ let test_printer_api () =
   Alcotest.(check string) "print_value binary32"
     "0.33333334"
     (match Reader.read Format_spec.binary32 "0.3333333333" with
-    | Ok v -> Printer.print_value Format_spec.binary32 v
-    | Error e -> Alcotest.fail e)
+    | Ok v -> Printer.print_value_exn Format_spec.binary32 v
+    | Error e -> Alcotest.fail (Robust.Error.to_string e))
 
 (* ------------------------------------------------------------------ *)
 (* Wide and custom formats *)

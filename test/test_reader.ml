@@ -11,12 +11,12 @@ let value = Alcotest.testable Value.pp Value.equal
 let ok_read ?mode fmt s =
   match R.read ?mode fmt s with
   | Ok v -> v
-  | Error e -> Alcotest.failf "read %S failed: %s" s e
+  | Error e -> Alcotest.failf "read %S failed: %s" s (Robust.Error.to_string e)
 
 let ok_read_float ?mode s =
   match R.read_float ?mode s with
   | Ok v -> v
-  | Error e -> Alcotest.failf "read_float %S failed: %s" s e
+  | Error e -> Alcotest.failf "read_float %S failed: %s" s (Robust.Error.to_string e)
 
 let qtest ?(count = 300) name arb f =
   QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
@@ -29,7 +29,7 @@ let test_parse_forms () =
     match R.parse s with
     | Ok (R.Number d) -> d
     | Ok _ -> Alcotest.failf "parse %S: not a number" s
-    | Error e -> Alcotest.failf "parse %S: %s" s e
+    | Error e -> Alcotest.failf "parse %S: %s" s (Robust.Error.to_string e)
   in
   let check s digits exp10 neg =
     let d = num s in
@@ -192,7 +192,7 @@ let test_read_in_base () =
   let ok s base =
     match R.read_in_base ~base fmt s with
     | Ok v -> v
-    | Error e -> Alcotest.failf "read_in_base %S: %s" s e
+    | Error e -> Alcotest.failf "read_in_base %S: %s" s (Robust.Error.to_string e)
   in
   Alcotest.(check bool) "hex 0.1999...a is 0.1" true
     (Value.equal (ok "0.1999999999999a" 16) (ok "0.1" 10 |> fun v -> v));
@@ -221,7 +221,7 @@ let test_hex_reader () =
   let ok ?mode s =
     match R.Hex.read_float ?mode s with
     | Ok x -> x
-    | Error e -> Alcotest.failf "hex read %S: %s" s e
+    | Error e -> Alcotest.failf "hex read %S: %s" s (Robust.Error.to_string e)
   in
   Alcotest.(check (float 0.)) "0x1p+0" 1.0 (ok "0x1p+0");
   Alcotest.(check (float 0.)) "0x1.8p+1" 3.0 (ok "0x1.8p+1");
@@ -236,7 +236,7 @@ let test_hex_reader () =
     Alcotest.(check value) "0.1 into binary16"
       (Value.finite ~f:(Nat.of_int 1638) ~e:(-14) ())
       v
-  | Error e -> Alcotest.fail e);
+  | Error e -> Alcotest.fail (Robust.Error.to_string e));
   List.iter
     (fun s ->
       match R.Hex.read_float s with
@@ -325,7 +325,7 @@ let props =
         | Error _ -> false);
     qtest ~count:1000 "fast reader = exact reader" arb_decimal_string (fun s ->
         let fast =
-          match R.Fast.read s with Ok x -> x | Error e -> Alcotest.fail e
+          match R.Fast.read s with Ok x -> x | Error e -> Alcotest.fail (Robust.Error.to_string e)
         in
         let exact = ok_read_float s in
         Int64.equal (Int64.bits_of_float fast) (Int64.bits_of_float exact));
@@ -337,7 +337,7 @@ let props =
         let s = Dragon.Printer.print x in
         match R.Fast.read s with
         | Ok y -> Int64.equal (Int64.bits_of_float y) (Int64.bits_of_float x)
-        | Error e -> Alcotest.fail e);
+        | Error e -> Alcotest.fail (Robust.Error.to_string e));
     qtest ~count:300 "printed base-b output reads back textually"
       QCheck.(pair arb_pos_double (QCheck.int_range 2 36))
       (fun (x, base) ->
@@ -357,6 +357,173 @@ let props =
             | Error _ -> false)
           [ Dragon.Render.Auto; Dragon.Render.Scientific ]);
   ]
+
+(* ------------------------------------------------------------------ *)
+(* Robustness: extreme exponents, structured errors, resource budgets,
+   fault injection *)
+
+let test_extreme_exponents () =
+  let b64 = Format_spec.binary64 in
+  (* astronomically scaled inputs must fast-reject to the correctly
+     rounded extreme without ever constructing 10^|exponent| *)
+  Alcotest.(check value) "1e999999999" (Value.Inf false)
+    (ok_read b64 "1e999999999");
+  Alcotest.(check value) "-1e999999999" (Value.Inf true)
+    (ok_read b64 "-1e999999999");
+  Alcotest.(check value) "1e-999999999" (Value.Zero false)
+    (ok_read b64 "1e-999999999");
+  Alcotest.(check value) "-1e-999999999" (Value.Zero true)
+    (ok_read b64 "-1e-999999999");
+  (* directed modes keep the same saturation semantics as moderate
+     overflow/underflow *)
+  Alcotest.(check (float 0.)) "extreme overflow toward zero saturates"
+    Float.max_float
+    (ok_read_float ~mode:Rounding.Toward_zero "1e999999999");
+  Alcotest.(check (float 0.)) "extreme overflow toward negative saturates"
+    Float.max_float
+    (ok_read_float ~mode:Rounding.Toward_negative "1e999999999");
+  Alcotest.(check (float 0.)) "extreme underflow toward positive is min denormal"
+    (Int64.float_of_bits 1L)
+    (ok_read_float ~mode:Rounding.Toward_positive "1e-999999999");
+  Alcotest.(check (float 0.)) "extreme negative underflow toward zero"
+    0.
+    (ok_read_float ~mode:Rounding.Toward_zero "-1e-999999999" |> Float.abs);
+  (* exponent digit strings beyond int range must clamp, not wrap *)
+  Alcotest.(check value) "1e[30 nines]" (Value.Inf false)
+    (ok_read b64 ("1e" ^ String.make 30 '9'));
+  Alcotest.(check value) "1e-[30 nines]" (Value.Zero false)
+    (ok_read b64 ("1e-" ^ String.make 30 '9'));
+  (* huge written-out magnitudes, no exponent marker at all *)
+  Alcotest.(check value) "1 followed by 10k zeros" (Value.Inf false)
+    (ok_read b64 ("1" ^ String.make 10_000 '0'));
+  Alcotest.(check value) "0.[10k zeros]1" (Value.Zero false)
+    (ok_read b64 ("0." ^ String.make 10_000 '0' ^ "1"));
+  (* zero mantissas never overflow, whatever the exponent says *)
+  Alcotest.(check value) "0e999999999" (Value.Zero false)
+    (ok_read b64 "0e999999999");
+  Alcotest.(check value) "-0e-999999999" (Value.Zero true)
+    (ok_read b64 "-0e-999999999")
+
+let test_structured_errors () =
+  let b64 = Format_spec.binary64 in
+  let syntax s =
+    match R.read b64 s with
+    | Error (Robust.Error.Syntax _) -> ()
+    | Error e ->
+      Alcotest.failf "%S: expected syntax error, got %s" s
+        (Robust.Error.to_string e)
+    | Ok v -> Alcotest.failf "%S unexpectedly read as %s" s (Value.to_string v)
+  in
+  List.iter syntax
+    [
+      ""; " "; "\t"; "\n"; " 1.5"; "1.5 "; "abc"; "1..2"; "--1"; "+-1"; "1e+";
+      "1e"; "e5"; "0x"; "+"; "."; "#"; "\xff\xfe\x00"; "1,5"; "1.2.3";
+    ];
+  (* inputs longer than the cap are rejected up front as budget errors *)
+  (match R.read b64 (String.make 100_000 '1') with
+  | Error (Robust.Error.Budget { what = "input length"; _ }) -> ()
+  | Error e ->
+    Alcotest.failf "expected input-length budget error, got %s"
+      (Robust.Error.to_string e)
+  | Ok _ -> Alcotest.fail "100k-digit input unexpectedly accepted");
+  (* a tighter ambient budget is honored *)
+  Robust.Budget.with_budget
+    { (Robust.Budget.get ()) with Robust.Budget.max_input_length = 8 }
+    (fun () ->
+      match R.read b64 "3.14159265358979" with
+      | Error (Robust.Error.Budget _) -> ()
+      | Error e -> Alcotest.fail (Robust.Error.to_string e)
+      | Ok _ -> Alcotest.fail "budget override ignored")
+
+let test_special_value_roundtrips () =
+  let b64 = Format_spec.binary64 in
+  Alcotest.(check value) "nan reads" Value.Nan (ok_read b64 "nan");
+  Alcotest.(check value) "NAN reads" Value.Nan (ok_read b64 "NAN");
+  Alcotest.(check string) "nan prints" "nan" (Dragon.Printer.shortest Float.nan);
+  (match Dragon.Printer.print_value b64 Value.Nan with
+  | Ok s -> Alcotest.(check string) "nan through result api" "nan" s
+  | Error e -> Alcotest.fail (Robust.Error.to_string e));
+  Alcotest.(check value) "nan round-trips" Value.Nan
+    (ok_read b64 (Dragon.Printer.shortest Float.nan));
+  Alcotest.(check value) "-0.0 keeps sign" (Value.Zero true)
+    (ok_read b64 "-0.0");
+  Alcotest.(check string) "-0 free format" "-0" (Dragon.Printer.shortest (-0.));
+  Alcotest.(check string) "-0 fixed format keeps sign" "-0"
+    (Dragon.Printer.print_fixed (Dragon.Fixed_format.Relative 3) (-0.));
+  Alcotest.(check string) "-inf fixed format" "-inf"
+    (Dragon.Printer.print_fixed (Dragon.Fixed_format.Absolute 0)
+       Float.neg_infinity)
+
+let test_subnormal_boundaries () =
+  (* smallest denormal of each format, and the rounding cliff at half of
+     it: below half -> zero, above half -> the denormal *)
+  Alcotest.(check value) "binary64 min denormal"
+    (Value.finite ~f:Nat.one ~e:(-1074) ())
+    (ok_read Format_spec.binary64 "4.9e-324");
+  Alcotest.(check value) "binary64 below half min denormal"
+    (Value.Zero false)
+    (ok_read Format_spec.binary64 "2.4e-324");
+  Alcotest.(check value) "binary64 above half min denormal"
+    (Value.finite ~f:Nat.one ~e:(-1074) ())
+    (ok_read Format_spec.binary64 "2.5e-324");
+  Alcotest.(check value) "binary32 min denormal"
+    (Value.finite ~f:Nat.one ~e:(-149) ())
+    (ok_read Format_spec.binary32 "1.401298464324817e-45");
+  Alcotest.(check value) "binary32 below half min denormal"
+    (Value.Zero false)
+    (ok_read Format_spec.binary32 "7e-46");
+  Alcotest.(check value) "binary16 min denormal"
+    (Value.finite ~f:Nat.one ~e:(-24) ())
+    (ok_read Format_spec.binary16 "5.9604644775390625e-8");
+  Alcotest.(check value) "binary16 below half min denormal"
+    (Value.Zero false)
+    (ok_read Format_spec.binary16 "2.9e-8");
+  (* each min denormal round-trips through its own format's printer *)
+  List.iter
+    (fun (fmt, e) ->
+      let v = Value.finite ~f:Nat.one ~e () in
+      match Dragon.Printer.print_value fmt v with
+      | Error err -> Alcotest.fail (Robust.Error.to_string err)
+      | Ok s ->
+        Alcotest.(check value)
+          (Printf.sprintf "min denormal of e=%d round-trips via %s" e s)
+          v (ok_read fmt s))
+    [
+      (Format_spec.binary64, -1074);
+      (Format_spec.binary32, -149);
+      (Format_spec.binary16, -24);
+    ]
+
+let test_fault_injection () =
+  let b64 = Format_spec.binary64 in
+  (* a failure injected deep in the bignum kernel surfaces as a
+     structured Internal error, never as an exception *)
+  Robust.Faults.with_fault "nat.pow" (fun () ->
+      match R.read b64 "1e300" with
+      | Error (Robust.Error.Internal { where = "nat.pow"; _ }) -> ()
+      | Error e ->
+        Alcotest.failf "expected nat.pow fault, got %s"
+          (Robust.Error.to_string e)
+      | Ok _ -> Alcotest.fail "armed nat.pow fault did not fire");
+  Robust.Faults.with_fault "nat.divmod" (fun () ->
+      match R.read b64 "0.1" with
+      | Error (Robust.Error.Internal { where = "nat.divmod"; _ }) -> ()
+      | Error e ->
+        Alcotest.failf "expected nat.divmod fault, got %s"
+          (Robust.Error.to_string e)
+      | Ok _ -> Alcotest.fail "armed nat.divmod fault did not fire");
+  (* ... and in the printer's scaling layer *)
+  Robust.Faults.with_fault "scaling.scale" (fun () ->
+      match
+        Dragon.Printer.print_value b64 (Fp.Ieee.decompose 0.1)
+      with
+      | Error (Robust.Error.Internal { where = "scaling.scale"; _ }) -> ()
+      | Error e ->
+        Alcotest.failf "expected scaling.scale fault, got %s"
+          (Robust.Error.to_string e)
+      | Ok _ -> Alcotest.fail "armed scaling.scale fault did not fire");
+  (* disarmed, everything works again *)
+  Alcotest.(check (float 0.)) "recovered" 0.1 (ok_read_float "0.1")
 
 let () =
   Alcotest.run "reader"
@@ -380,6 +547,18 @@ let () =
           Alcotest.test_case "read_ratio" `Quick test_read_ratio;
           Alcotest.test_case "read_in_base" `Quick test_read_in_base;
           Alcotest.test_case "hex literals" `Quick test_hex_reader;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "extreme exponents fast-reject" `Quick
+            test_extreme_exponents;
+          Alcotest.test_case "structured errors and budgets" `Quick
+            test_structured_errors;
+          Alcotest.test_case "special-value round-trips" `Quick
+            test_special_value_roundtrips;
+          Alcotest.test_case "subnormal boundaries" `Quick
+            test_subnormal_boundaries;
+          Alcotest.test_case "fault injection" `Quick test_fault_injection;
         ] );
       ("props", props);
     ]

@@ -218,7 +218,7 @@ let test_convert_between_formats () =
     (Value.finite ~f:(Nat.of_int 205) ~e:(-11) ())
     bf;
   Alcotest.(check string) "and still prints as 0.1" "0.1"
-    (Dragon.Printer.print_value Format_spec.bfloat16 bf);
+    (Dragon.Printer.print_value_exn Format_spec.bfloat16 bf);
   (* narrowing then widening is identity on representable values *)
   let half = Ieee.decompose 0.5 in
   let roundtrip =
@@ -261,19 +261,19 @@ let test_other_formats () =
     Softfloat.div b16 (Softfloat.of_int b16 1) (Softfloat.of_int b16 3)
   in
   Alcotest.(check string) "1/3 in binary16" "0.3333"
-    (Dragon.Printer.print_value b16 third16);
+    (Dragon.Printer.print_value_exn b16 third16);
   let b128 = Format_spec.binary128 in
   let third128 =
     Softfloat.div b128 (Softfloat.of_int b128 1) (Softfloat.of_int b128 3)
   in
   Alcotest.(check string) "1/3 in binary128"
     "0.3333333333333333333333333333333333"
-    (Dragon.Printer.print_value b128 third128);
+    (Dragon.Printer.print_value_exn b128 third128);
   (* sqrt(2) in binary128, shortest form *)
   let sqrt2 = Softfloat.sqrt b128 (Softfloat.of_int b128 2) in
   Alcotest.(check string) "sqrt 2 in binary128"
     "1.414213562373095048801688724209698"
-    (Dragon.Printer.print_value b128 sqrt2);
+    (Dragon.Printer.print_value_exn b128 sqrt2);
   (* closure: results are canonical in their format *)
   match (third16, sqrt2) with
   | Value.Finite a, Value.Finite c ->
