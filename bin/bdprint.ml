@@ -5,10 +5,17 @@
    Robustness: every failure is a structured Robust.Error — syntax,
    range, budget or internal — and with [--stdin] the tool is a streaming
    filter that reports per-line errors on stderr without aborting the
-   stream ([--max-errors N] bounds the tolerance). *)
+   stream ([--max-errors N] bounds the tolerance).  [--jobs N] runs the
+   stream through the supervised parallel service (order-preserving,
+   with per-request deadlines, retries and a circuit breaker); [--stats]
+   reports queue/retry/breaker counters on exit.  Streaming exit codes
+   are per failure class: 2 syntax/range, 3 budget (incl. deadline),
+   4 internal. *)
 
 open Cmdliner
 module Error = Robust.Error
+module Budget = Robust.Budget
+module Supervisor = Service.Supervisor
 
 let mode_conv =
   let parse = function
@@ -134,6 +141,37 @@ let max_errors =
           "With $(b,--stdin), stop after $(docv) failed lines (default: \
            never stop; every line is attempted).")
 
+let jobs_flag =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "With $(b,--stdin), convert lines on $(docv) parallel worker \
+           domains through the supervised service: bounded queue with \
+           backpressure, automatic retry of transient internal failures, \
+           circuit breaker with a clearly-marked degraded fallback, and \
+           output in input order.")
+
+let stats_flag =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "With $(b,--stdin), print service statistics on exit to stderr: \
+           per-error-class counts, retries, queue depth and breaker state.")
+
+let deadline_ms =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "With $(b,--stdin), give each line a $(docv)-millisecond \
+           wall-clock deadline, enforced cooperatively inside the digit \
+           loops; an expired line fails with a structured budget \
+           (timeout) error.")
+
 let is_hex_literal s =
   let s =
     if String.length s > 0 && (s.[0] = '-' || s.[0] = '+') then
@@ -180,8 +218,56 @@ let convert_one ~base ~mode ~fmt ~strategy ~notation ~request ~hex_out input =
       | Error _ as e -> e
       | Ok t -> Ok (Dragon.Render.fixed ~notation ~neg:v.Fp.Value.neg ~base t)))
 
-let run_stream ~convert ~max_errors =
-  let errors = ref 0 in
+(* Per-class error accounting shared by the sequential and parallel
+   stream drivers; the stream exit code reflects the most severe class
+   seen (docs/ROBUSTNESS.md taxonomy): 4 internal, 3 budget (incl.
+   deadline timeouts), 2 syntax/range, 0 clean. *)
+type class_counts = {
+  mutable n_syntax : int;
+  mutable n_range : int;
+  mutable n_budget : int;
+  mutable n_internal : int;
+}
+
+let new_counts () = { n_syntax = 0; n_range = 0; n_budget = 0; n_internal = 0 }
+
+let count_error c = function
+  | Error.Syntax _ -> c.n_syntax <- c.n_syntax + 1
+  | Error.Range _ -> c.n_range <- c.n_range + 1
+  | Error.Budget _ -> c.n_budget <- c.n_budget + 1
+  | Error.Internal _ -> c.n_internal <- c.n_internal + 1
+
+let total_errors c = c.n_syntax + c.n_range + c.n_budget + c.n_internal
+
+let class_exit_code c =
+  if c.n_internal > 0 then 4
+  else if c.n_budget > 0 then 3
+  else if c.n_syntax + c.n_range > 0 then 2
+  else 0
+
+let finish_stream ~counts =
+  let errors = total_errors counts in
+  if errors > 0 then
+    Printf.eprintf "error: %d input line(s) failed\n%!" errors;
+  exit (class_exit_code counts)
+
+(* Sequential deadline support: same pre-flight + cooperative-check
+   semantics as the service workers. *)
+let with_line_deadline deadline_ms convert input =
+  match deadline_ms with
+  | None -> convert input
+  | Some ms ->
+    let d = Budget.deadline_after ~ms in
+    Budget.set_deadline (Some d);
+    Fun.protect
+      ~finally:(fun () -> Budget.set_deadline None)
+      (fun () ->
+        if Budget.expired d then Result.Error (Budget.deadline_error d)
+        else convert input)
+
+let run_stream ~convert ~max_errors ~deadline_ms ~show_stats =
+  let counts = new_counts () in
+  let ok_lines = ref 0 in
   let lineno = ref 0 in
   let aborted = ref false in
   (try
@@ -189,33 +275,105 @@ let run_stream ~convert ~max_errors =
        let line = input_line stdin in
        incr lineno;
        if String.trim line <> "" then begin
-         match convert (String.trim line) with
+         match with_line_deadline deadline_ms convert (String.trim line) with
          | Ok out ->
+           incr ok_lines;
            print_string out;
            print_newline ()
          | Error e ->
-           incr errors;
+           count_error counts e;
            Printf.eprintf "error: line %d: %s\n%!" !lineno (Error.to_string e);
            (match max_errors with
-           | Some cap when !errors >= cap ->
+           | Some cap when total_errors counts >= cap ->
              Printf.eprintf
                "error: aborting after %d failed line(s) (--max-errors %d)\n%!"
-               !errors cap;
+               (total_errors counts) cap;
              aborted := true
            | _ -> ())
        end
      done
    with End_of_file -> ());
-  if !errors = 0 then `Ok ()
-  else `Error (false, Printf.sprintf "%d input line(s) failed" !errors)
+  if show_stats then
+    Printf.eprintf
+      "stats: submitted=%d ok=%d errors: syntax=%d range=%d budget=%d \
+       internal=%d\n\
+       stats: jobs=1 (sequential)\n\
+       %!"
+      (!ok_lines + total_errors counts)
+      !ok_lines counts.n_syntax counts.n_range counts.n_budget
+      counts.n_internal;
+  finish_stream ~counts
+
+(* Parallel streaming through the supervised service.  The collector
+   domain owns stdout/stderr during the run (replies arrive in input
+   order); the main domain only reads stdin and submits, so output never
+   interleaves.  --max-errors sets a stop flag read by the submission
+   loop; lines already in flight still drain (the shutdown contract
+   forbids dropping submitted work). *)
+let run_stream_jobs ~convert ~jobs ~max_errors ~deadline_ms ~show_stats =
+  let counts = new_counts () in
+  let stop = Atomic.make false in
+  let emit (reply : Supervisor.reply) =
+    match reply.Supervisor.outcome with
+    | Supervisor.Done out ->
+      print_string out;
+      print_newline ()
+    | Supervisor.Degraded out ->
+      (* breaker-open fallback: correct to 17 significant digits but not
+         the pipeline's output — keep the tag machine-visible *)
+      Printf.printf "degraded:%s\n" out
+    | Supervisor.Failed e ->
+      count_error counts e;
+      Printf.eprintf "error: line %d: %s\n%!" reply.Supervisor.lineno
+        (Error.to_string e);
+      (match max_errors with
+      | Some cap when total_errors counts >= cap && not (Atomic.get stop) ->
+        Printf.eprintf
+          "error: aborting after %d failed line(s) (--max-errors %d)\n%!"
+          (total_errors counts) cap;
+        Atomic.set stop true
+      | _ -> ())
+  in
+  let service =
+    Supervisor.start ~jobs ~queue_capacity:(max 64 (8 * jobs)) ~emit convert
+  in
+  let lineno = ref 0 in
+  (try
+     while not (Atomic.get stop) do
+       let line = input_line stdin in
+       incr lineno;
+       if String.trim line <> "" then
+         Supervisor.submit service ?deadline_ms ~lineno:!lineno
+           (String.trim line)
+     done
+   with End_of_file -> ());
+  let stats = Supervisor.shutdown service in
+  if show_stats then Format.eprintf "%a@.%!" Supervisor.pp_stats stats;
+  (* counts was filled by the collector domain; shutdown joined it, so
+     the reads below are safely ordered after its writes *)
+  finish_stream ~counts
 
 let run base mode fmt strategy notation digits places hex_out use_stdin
-    max_errors numbers =
+    max_errors jobs show_stats deadline_ms numbers =
   if base < 2 || base > 36 then
     `Error
       ( false,
         Error.to_string
           (Error.range ~what:"base" (Printf.sprintf "%d not in 2..36" base)) )
+  else if (match jobs with Some j -> j < 1 | None -> false) then
+    `Error
+      ( false,
+        Error.to_string (Error.range ~what:"--jobs" "must be at least 1") )
+  else if (match deadline_ms with Some ms -> ms < 0 | None -> false) then
+    `Error
+      ( false,
+        Error.to_string (Error.range ~what:"--deadline-ms" "must be >= 0") )
+  else if (not use_stdin) && jobs <> None then
+    `Error (false, "--jobs requires --stdin")
+  else if (not use_stdin) && deadline_ms <> None then
+    `Error (false, "--deadline-ms requires --stdin")
+  else if (not use_stdin) && show_stats then
+    `Error (false, "--stats requires --stdin")
   else begin
     let request =
       match (digits, places) with
@@ -236,7 +394,13 @@ let run base mode fmt strategy notation digits places hex_out use_stdin
         match (use_stdin, numbers) with
         | true, _ :: _ ->
           `Error (false, "--stdin and positional NUMBER arguments conflict")
-        | true, [] -> run_stream ~convert ~max_errors
+        | true, [] -> (
+          match jobs with
+          | Some jobs ->
+            run_stream_jobs ~convert ~jobs ~max_errors ~deadline_ms
+              ~show_stats
+          | None ->
+            run_stream ~convert ~max_errors ~deadline_ms ~show_stats)
         | false, [] -> `Error (true, "missing NUMBER argument (or --stdin)")
         | false, numbers ->
           let ok = ref true in
@@ -270,13 +434,26 @@ let cmd =
          internal errors.  Inputs with astronomical exponents like \
          1e999999999 convert to the correctly rounded extreme (0 or inf) \
          in constant time.";
+      `P
+        "With --stdin the exit code reflects the most severe failure \
+         class seen on the stream: 0 clean, 2 syntax/range, 3 budget \
+         (including --deadline-ms timeouts), 4 internal.  With --jobs N \
+         the stream runs through a supervised parallel worker pool: \
+         bounded submission queue with backpressure, per-line deadlines, \
+         automatic retry of transient internal failures with capped \
+         exponential backoff, and a circuit breaker that degrades to a \
+         clearly-marked host-printf fallback (lines prefixed \
+         'degraded:') instead of refusing service.  Output stays in \
+         input order.";
       `S Manpage.s_examples;
       `Pre
         "  bdprint 0.1 1e23\n\
         \  bdprint --digits 10 --format binary32 0.333333333\n\
         \  bdprint --base 16 --notation scientific 255.9375\n\
         \  bdprint --places 20 100\n\
-        \  printf '0.1\\n1e23\\nbogus\\n' | bdprint --stdin --max-errors 5";
+        \  printf '0.1\\n1e23\\nbogus\\n' | bdprint --stdin --max-errors 5\n\
+        \  bdprint --stdin --jobs 4 --stats < corpus.txt\n\
+        \  bdprint --stdin --deadline-ms 50 < corpus.txt";
     ]
   in
   Cmd.v
@@ -284,6 +461,7 @@ let cmd =
     Term.(
       ret
         (const run $ base $ mode $ fmt $ strategy $ notation $ digits $ places
-       $ hex_out $ stdin_flag $ max_errors $ numbers))
+       $ hex_out $ stdin_flag $ max_errors $ jobs_flag $ stats_flag
+       $ deadline_ms $ numbers))
 
 let () = exit (Cmd.eval cmd)

@@ -12,8 +12,11 @@ let strategy_name = function
 
 (* Memoized powers of the output base, the paper's [esptt] table (Figure
    2 keeps 10^k for k <= 325).  Keyed by base; each table grows on
-   demand. *)
-let power_tables : (int, Nat.t array ref) Hashtbl.t = Hashtbl.create 8
+   demand.  Domain-local so parallel workers in the service layer never
+   race on the growth-and-publish sequence: each domain fills its own
+   table (a few hundred cheap multiplications, paid once per domain). *)
+let power_tables : (int, Nat.t array ref) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
 
 let power ~base k =
   Robust.Faults.trip "scaling.power";
@@ -26,6 +29,7 @@ let power ~base k =
   if base = 2 then Nat.shift_left Nat.one k
   else if k > 1100 then Nat.pow_int base k
   else begin
+    let power_tables = Domain.DLS.get power_tables in
     let table =
       match Hashtbl.find_opt power_tables base with
       | Some t -> t

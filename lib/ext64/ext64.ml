@@ -140,12 +140,16 @@ let pow10 n =
     Option.get !acc
   end
 
-(* Correctly rounded powers, memoized over the full range. *)
-let correct_table : t option array = Array.make 701 None
+(* Correctly rounded powers, memoized over the full range.  Domain-local
+   so the fill-and-publish writes never race when fast paths run on the
+   service layer's worker domains. *)
+let correct_table : t option array Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Array.make 701 None)
 
 let pow10_correct n =
   if abs n > 350 then invalid_arg "Ext64.pow10_correct: out of range";
   let i = n + 350 in
+  let correct_table = Domain.DLS.get correct_table in
   match correct_table.(i) with
   | Some t -> t
   | None ->

@@ -21,19 +21,74 @@ let unlimited =
     max_bignum_bits = max_int;
   }
 
-let current = ref default
-let get () = !current
-let set b = current := b
+type deadline = { expires_at : float; started_at : float; grant_ms : int }
+
+(* The ambient state is domain-local: every worker domain of the service
+   layer carries its own budget and per-request deadline, so concurrent
+   requests cannot clobber each other's caps. *)
+type slot = { mutable budget : t; mutable deadline : deadline option }
+
+let slot = Domain.DLS.new_key (fun () -> { budget = default; deadline = None })
+
+let get () = (Domain.DLS.get slot).budget
+let set b = (Domain.DLS.get slot).budget <- b
 
 let with_budget b f =
-  let saved = !current in
-  current := b;
-  Fun.protect ~finally:(fun () -> current := saved) f
+  let s = Domain.DLS.get slot in
+  let saved = s.budget in
+  s.budget <- b;
+  Fun.protect ~finally:(fun () -> s.budget <- saved) f
+
+let now () = Unix.gettimeofday ()
+
+let deadline_after ~ms =
+  let t = now () in
+  { expires_at = t +. (float_of_int ms /. 1000.); started_at = t; grant_ms = ms }
+
+let set_deadline d = (Domain.DLS.get slot).deadline <- d
+let get_deadline () = (Domain.DLS.get slot).deadline
+
+let deadline_what = "deadline-ms"
+
+let expired d = now () >= d.expires_at
+
+let deadline_error d =
+  let elapsed_ms =
+    max 1 (int_of_float (ceil ((now () -. d.started_at) *. 1000.)))
+  in
+  Error.budget ~what:deadline_what ~limit:d.grant_ms ~got:elapsed_ms
+
+let check_deadline () =
+  match (Domain.DLS.get slot).deadline with
+  | None -> ()
+  | Some d -> if expired d then Error.raise_ (deadline_error d)
+
+let with_deadline ~ms f =
+  let s = Domain.DLS.get slot in
+  let saved = s.deadline in
+  s.deadline <- Some (deadline_after ~ms);
+  Fun.protect ~finally:(fun () -> s.deadline <- saved) f
 
 let check what limit got =
   if got > limit then Error.raise_ (Error.budget ~what ~limit ~got)
 
-let check_input_length n = check "input length" !current.max_input_length n
-let check_exponent n = check "scale exponent" !current.max_exponent (abs n)
-let check_output_digits n = check "output digits" !current.max_output_digits n
-let check_bignum_bits n = check "bignum bits" !current.max_bignum_bits n
+(* Every budget check site doubles as a cooperative deadline check: the
+   digit loops, the scaling layer and the reader already call these at
+   each unit of work, which is exactly the granularity a per-request
+   deadline needs.  With no deadline set the extra cost is one
+   domain-local load and a branch. *)
+let check_input_length n =
+  check_deadline ();
+  check "input length" (get ()).max_input_length n
+
+let check_exponent n =
+  check_deadline ();
+  check "scale exponent" (get ()).max_exponent (abs n)
+
+let check_output_digits n =
+  check_deadline ();
+  check "output digits" (get ()).max_output_digits n
+
+let check_bignum_bits n =
+  check_deadline ();
+  check "bignum bits" (get ()).max_bignum_bits n

@@ -9,10 +9,19 @@
     API boundaries convert that into [Error (Budget _)] via
     {!Error.catch}.
 
-    The budget is ambient (a process-wide setting) so the checks can sit
-    inside the digit loops without threading a parameter through every
-    layer.  {!default} is permissive enough that no legitimate
-    conversion in this repository comes near a cap. *)
+    The budget is ambient — and {e domain-local}, so every worker domain
+    of the service layer carries its own caps — which lets the checks
+    sit inside the digit loops without threading a parameter through
+    every layer.  {!default} is permissive enough that no legitimate
+    conversion in this repository comes near a cap.
+
+    On top of the size caps, the same check sites enforce a cooperative
+    per-request {e deadline}: when one is set ({!set_deadline} /
+    {!with_deadline}), every [check_*] call first verifies that the
+    wall clock has not passed it, and raises a [Budget] error with
+    [what = ]{!deadline_what} if it has.  Because the digit loops call a
+    check on every iteration, a request that has run out of time is cut
+    off within one unit of work. *)
 
 type t = {
   max_input_length : int;  (** bytes of input text accepted by parsers *)
@@ -39,6 +48,42 @@ val set : t -> unit
 val with_budget : t -> (unit -> 'a) -> 'a
 (** Runs the thunk under a temporary budget, restoring the previous one
     (also on exception). *)
+
+(** {2 Deadlines} *)
+
+type deadline = {
+  expires_at : float;  (** absolute wall-clock time ([Unix.gettimeofday]) *)
+  started_at : float;  (** when the grant was issued *)
+  grant_ms : int;  (** the original allowance, for error reporting *)
+}
+
+val deadline_after : ms:int -> deadline
+(** A deadline expiring [ms] milliseconds from now. *)
+
+val expired : deadline -> bool
+
+val set_deadline : deadline option -> unit
+(** Installs (or clears, with [None]) the current domain's deadline. *)
+
+val get_deadline : unit -> deadline option
+
+val with_deadline : ms:int -> (unit -> 'a) -> 'a
+(** Runs the thunk under a fresh [ms]-millisecond deadline, restoring
+    the previous deadline state afterwards (also on exception). *)
+
+val check_deadline : unit -> unit
+(** Raises [Error.E (Budget { what = deadline_what; _ })] if the current
+    domain's deadline has passed; a no-op when none is set.  Called
+    automatically by every [check_*] function below. *)
+
+val deadline_what : string
+(** The [what] field of a deadline-exceeded [Budget] error:
+    ["deadline-ms"].  [limit] is the granted allowance in milliseconds
+    and [got] the elapsed time. *)
+
+val deadline_error : deadline -> Error.t
+(** The structured timeout error for an expired deadline (used by the
+    service layer's pre-flight check; [check_deadline] raises it). *)
 
 (** Each check raises [Error.E (Budget _)] when the value exceeds the
     current budget, and returns unit otherwise. *)

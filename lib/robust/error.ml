@@ -21,13 +21,17 @@ let raise_ e = raise (E e)
 
 (* Depth of nested [catch] regions.  Fault injection consults this so
    that armed faults only fire under a boundary that will absorb them —
-   not, say, during module initialisation of a dependent library. *)
-let guard_depth = ref 0
+   not, say, during module initialisation of a dependent library.
+   Domain-local: each worker domain of the service layer tracks its own
+   nesting, so a guard on one domain never licenses a fault on
+   another. *)
+let guard_depth = Domain.DLS.new_key (fun () -> ref 0)
 
-let in_guarded_region () = !guard_depth > 0
+let in_guarded_region () = !(Domain.DLS.get guard_depth) > 0
 
 let catch f =
-  incr guard_depth;
+  let depth = Domain.DLS.get guard_depth in
+  incr depth;
   let r =
     try Ok (f ()) with
     | E e -> Error e
@@ -39,7 +43,7 @@ let catch f =
       Error
         (Internal { where = "runtime"; reason = "escaped " ^ Printexc.to_string exn })
   in
-  decr guard_depth;
+  decr depth;
   r
 
 let category = function

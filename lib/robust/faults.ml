@@ -1,41 +1,136 @@
 let points = [ "nat.divmod"; "nat.pow"; "scaling.power"; "scaling.scale" ]
 
-(* The armed set is tiny; a list plus a count keeps the disarmed-path
-   cost of [trip] to a single load and branch. *)
-let armed_points : string list ref = ref []
-let armed_count = ref 0
+type arming = { point : string; probability : float }
 
-let sync () = armed_count := List.length !armed_points
+(* The armed set is tiny and read from every domain on every trip-site
+   call; an atomic holding an immutable list keeps the disarmed-path
+   cost of [trip] to a single load and branch while staying safe under
+   concurrent arm/disarm from tests. *)
+let armed_points : arming list Atomic.t = Atomic.make []
+let armed_count = Atomic.make 0
 
-let arm name =
-  if not (List.mem name !armed_points) then begin
-    armed_points := name :: !armed_points;
-    sync ()
-  end
+let sync set =
+  Atomic.set armed_points set;
+  Atomic.set armed_count (List.length set)
+
+let arm ?(probability = 1.0) name =
+  let rest =
+    List.filter (fun a -> not (String.equal a.point name)) (Atomic.get armed_points)
+  in
+  sync ({ point = name; probability } :: rest)
 
 let disarm name =
-  armed_points := List.filter (fun p -> not (String.equal p name)) !armed_points;
-  sync ()
+  sync
+    (List.filter (fun a -> not (String.equal a.point name)) (Atomic.get armed_points))
 
-let disarm_all () =
-  armed_points := [];
-  sync ()
+let disarm_all () = sync []
 
-let armed name = !armed_count > 0 && List.mem name !armed_points
+let armed name =
+  List.exists (fun a -> String.equal a.point name) (Atomic.get armed_points)
+
+let probability name =
+  List.find_map
+    (fun a -> if String.equal a.point name then Some a.probability else None)
+    (Atomic.get armed_points)
+
+(* Per-point trip counters, atomic so chaos tests can count injections
+   across all worker domains. *)
+let counters = List.map (fun p -> (p, Atomic.make 0)) points
+
+let trip_count name =
+  match List.assoc_opt name counters with
+  | Some c -> Atomic.get c
+  | None -> 0
+
+let total_trips () =
+  List.fold_left (fun acc (_, c) -> acc + Atomic.get c) 0 counters
+
+let reset_trip_counts () = List.iter (fun (_, c) -> Atomic.set c 0) counters
+
+(* Probabilistic trips draw from a domain-local generator so worker
+   domains never contend (or share a stream).  Seeding is deterministic
+   per domain-spawn order; BDPRINT_FAULT_SEED perturbs the whole run. *)
+let base_seed =
+  match Sys.getenv_opt "BDPRINT_FAULT_SEED" with
+  | Some s -> ( match int_of_string_opt s with Some n -> n | None -> 0x6bd)
+  | None -> 0x6bd
+
+let domain_seq = Atomic.make 0
+
+let rng =
+  Domain.DLS.new_key (fun () ->
+      Random.State.make [| base_seed; Atomic.fetch_and_add domain_seq 1 |])
 
 (* Only fire under a boundary guard: the instrumented kernels also run
    during module initialisation of dependent libraries (precomputed
    constants), where there is no [catch] to absorb the failure and a
    trip would abort the program before [main]. *)
 let trip name =
-  if !armed_count > 0 && List.mem name !armed_points && Error.in_guarded_region ()
-  then Error.raise_ (Error.internal ~where:name "injected fault")
+  if Atomic.get armed_count > 0 then
+    match
+      List.find_opt
+        (fun a -> String.equal a.point name)
+        (Atomic.get armed_points)
+    with
+    | None -> ()
+    | Some a ->
+      if
+        Error.in_guarded_region ()
+        && (a.probability >= 1.0
+           || Random.State.float (Domain.DLS.get rng) 1.0 < a.probability)
+      then begin
+        (match List.assoc_opt name counters with
+        | Some c -> Atomic.incr c
+        | None -> ());
+        Error.raise_ (Error.internal ~where:name "injected fault")
+      end
 
-let with_fault name f =
-  arm name;
+let with_fault ?probability name f =
+  arm ?probability name;
   Fun.protect ~finally:(fun () -> disarm name) f
+
+(* BDPRINT_FAULTS grammar: comma-separated entries, each either a bare
+   point name (deterministic, probability 1) or name:probability for
+   transient faults.  Unknown names and malformed probabilities are
+   collected rather than silently dropped. *)
+let parse_spec spec =
+  let entries =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let armed, bad =
+    List.fold_left
+      (fun (armed, bad) entry ->
+        let name, prob =
+          match String.index_opt entry ':' with
+          | None -> (entry, Some 1.0)
+          | Some i ->
+            let name = String.sub entry 0 i in
+            let p = String.sub entry (i + 1) (String.length entry - i - 1) in
+            ( name,
+              match float_of_string_opt p with
+              | Some p when p >= 0.0 && p <= 1.0 -> Some p
+              | _ -> None )
+        in
+        match prob with
+        | None -> (armed, entry :: bad)
+        | Some p ->
+          if List.mem name points then ((name, p) :: armed, bad)
+          else (armed, entry :: bad))
+      ([], []) entries
+  in
+  (List.rev armed, List.rev bad)
 
 let () =
   match Sys.getenv_opt "BDPRINT_FAULTS" with
   | None | Some "" -> ()
-  | Some spec -> List.iter arm (String.split_on_char ',' spec)
+  | Some spec ->
+    let to_arm, unknown = parse_spec spec in
+    List.iter (fun (name, probability) -> arm ~probability name) to_arm;
+    if unknown <> [] then
+      Printf.eprintf
+        "bdprint: warning: BDPRINT_FAULTS: unknown fault point%s %s (known: %s)\n%!"
+        (if List.length unknown > 1 then "s" else "")
+        (String.concat ", " (List.map (Printf.sprintf "%S") unknown))
+        (String.concat ", " points)

@@ -5,30 +5,71 @@
     Named points in the bignum kernel and the scaling layer call
     {!trip}; when the point is {e armed}, [trip] raises [Error.E
     (Internal _)], which the boundary guards ({!Error.catch}) turn into
-    [Error].  Disarmed points cost one mutable-load-and-branch.
+    [Error].  Disarmed points cost one atomic load and branch.
+
+    A point can be armed {e deterministically} (probability 1, the
+    default: every guarded call fails) or {e transiently} with a
+    probability in [0,1] — each call draws from a domain-local generator
+    and fails with that probability, which is what chaos tests use to
+    inject a realistic transient failure rate under the service layer's
+    retry machinery.  Every injected failure increments a per-point
+    atomic counter ({!trip_count}).
 
     Arm programmatically ({!arm}/{!with_fault}) from tests, or via the
-    environment variable [BDPRINT_FAULTS], a comma-separated list of
-    point names read once at startup — which lets end-to-end tests
-    exercise the full binary. *)
+    environment variable [BDPRINT_FAULTS], read once at startup — which
+    lets end-to-end tests exercise the full binary.  The variable is a
+    comma-separated list of entries, each [name] or [name:probability]
+    (e.g. [BDPRINT_FAULTS=nat.divmod:0.01,scaling.scale]).  Entries
+    naming unknown points or carrying malformed probabilities are
+    reported once on stderr at startup instead of being silently
+    ignored. *)
 
 val points : string list
 (** The instrumented points: ["nat.divmod"], ["nat.pow"],
     ["scaling.power"], ["scaling.scale"]. *)
 
-val arm : string -> unit
+val arm : ?probability:float -> string -> unit
+(** Arms a point.  [probability] defaults to [1.0] (deterministic);
+    values below 1 make the point transient: each guarded call trips
+    independently with that probability.  Re-arming replaces the
+    point's previous probability. *)
+
 val disarm : string -> unit
 val disarm_all : unit -> unit
 
 val armed : string -> bool
+(** True if the point is armed at any probability. *)
+
+val probability : string -> float option
+(** The armed probability of a point, or [None] if disarmed. *)
 
 val trip : string -> unit
 (** Called from the instrumented sites.
     @raise Error.E with an [Internal] payload when the point is armed
-    {e and} execution is inside an {!Error.catch} region (so startup
+    (and, for transient arming, the per-call draw fires) {e and}
+    execution is inside an {!Error.catch} region (so startup
     computations and deliberately exception-raising [_exn] entry points
     are not disrupted). *)
 
-val with_fault : string -> (unit -> 'a) -> 'a
+val with_fault : ?probability:float -> string -> (unit -> 'a) -> 'a
 (** Runs the thunk with the point armed, disarming it afterwards (also
     on exception). *)
+
+(** {2 Trip counters} *)
+
+val trip_count : string -> int
+(** Number of injected failures at the point since the last reset
+    (summed across all domains). *)
+
+val total_trips : unit -> int
+val reset_trip_counts : unit -> unit
+
+(** {2 Specification parsing} *)
+
+val parse_spec : string -> (string * float) list * string list
+(** [parse_spec s] parses a [BDPRINT_FAULTS]-style specification into
+    [(armings, rejected)]: the list of [(point, probability)] pairs to
+    arm, and the entries that name unknown points or carry malformed
+    probabilities (empty entries are skipped).  Pure — does not arm
+    anything; the startup hook arms the valid entries and warns once on
+    stderr about the rejected ones. *)

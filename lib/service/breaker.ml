@@ -1,0 +1,89 @@
+type policy = { failure_threshold : int; cooldown_ms : int }
+
+let default_policy = { failure_threshold = 8; cooldown_ms = 200 }
+
+type state = Closed | Open of { until : float } | Half_open
+
+type t = {
+  policy : policy;
+  m : Mutex.t;
+  mutable state : state;
+  mutable consecutive_failures : int;
+  mutable trips : int;
+}
+
+let create ?(policy = default_policy) () =
+  if policy.failure_threshold < 1 then
+    invalid_arg "Breaker.create: failure_threshold < 1";
+  {
+    policy;
+    m = Mutex.create ();
+    state = Closed;
+    consecutive_failures = 0;
+    trips = 0;
+  }
+
+let now () = Unix.gettimeofday ()
+
+let admit t =
+  Mutex.lock t.m;
+  let r =
+    match t.state with
+    | Closed -> `Proceed
+    | Half_open ->
+      (* a probe is already in flight; don't pile more load on a
+         possibly-broken pipeline *)
+      `Fallback
+    | Open { until } ->
+      if now () >= until then begin
+        t.state <- Half_open;
+        `Probe
+      end
+      else `Fallback
+  in
+  Mutex.unlock t.m;
+  r
+
+let record_success t =
+  Mutex.lock t.m;
+  t.consecutive_failures <- 0;
+  t.state <- Closed;
+  Mutex.unlock t.m
+
+let open_locked t =
+  t.state <-
+    Open { until = now () +. (float_of_int t.policy.cooldown_ms /. 1000.) };
+  t.trips <- t.trips + 1
+
+let record_failure t =
+  Mutex.lock t.m;
+  t.consecutive_failures <- t.consecutive_failures + 1;
+  (match t.state with
+  | Half_open ->
+    (* the probe failed: back to cooling down *)
+    open_locked t
+  | Closed ->
+    if t.consecutive_failures >= t.policy.failure_threshold then open_locked t
+  | Open _ ->
+    (* a request admitted before the trip finished late; refresh the
+       cooldown rather than double-counting a trip *)
+    t.state <-
+      Open { until = now () +. (float_of_int t.policy.cooldown_ms /. 1000.) });
+  Mutex.unlock t.m
+
+let state_name t =
+  Mutex.lock t.m;
+  let s =
+    match t.state with
+    | Closed -> "closed"
+    | Open _ -> "open"
+    | Half_open -> "half-open"
+  in
+  Mutex.unlock t.m;
+  s
+
+let trips t =
+  Mutex.lock t.m;
+  let n = t.trips in
+  Mutex.unlock t.m;
+  n

@@ -1,0 +1,40 @@
+(** A circuit breaker over the conversion pipeline.
+
+    The supervised pool records one signal per completed request:
+    {!record_success} for anything that proves the pipeline itself works
+    (a successful conversion, or a clean [Syntax]/[Range]/[Budget]
+    rejection), {!record_failure} for an [Internal]-class failure that
+    survived the retry policy.  After [failure_threshold] consecutive
+    failures the breaker {e opens}: requests are diverted to a degraded
+    fallback instead of being refused.  After [cooldown_ms] one probe
+    request is let through ({e half-open}); its outcome either closes
+    the breaker or re-opens it for another cooldown — so a breaker never
+    sticks open once the underlying faults clear. *)
+
+type policy = {
+  failure_threshold : int;
+      (** consecutive [Internal] failures (post-retry) before opening *)
+  cooldown_ms : int;  (** open duration before the next probe *)
+}
+
+val default_policy : policy
+(** 8 consecutive failures, 200 ms cooldown. *)
+
+type t
+
+val create : ?policy:policy -> unit -> t
+
+val admit : t -> [ `Proceed | `Probe | `Fallback ]
+(** Per-request admission decision.  [`Proceed]: breaker closed, run
+    normally.  [`Probe]: the cooldown has elapsed and this request is
+    the (single) half-open probe — run normally and {e always} record
+    its outcome.  [`Fallback]: serve the degraded fallback. *)
+
+val record_success : t -> unit
+val record_failure : t -> unit
+
+val state_name : t -> string
+(** ["closed"], ["open"] or ["half-open"]. *)
+
+val trips : t -> int
+(** Times the breaker has opened. *)

@@ -1,0 +1,5 @@
+(* Facade: [Service.Supervisor], [Service.Breaker], [Service.Bqueue]. *)
+
+module Bqueue = Bqueue
+module Breaker = Breaker
+module Supervisor = Supervisor

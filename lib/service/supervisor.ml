@@ -1,0 +1,305 @@
+module Error = Robust.Error
+module Budget = Robust.Budget
+
+type retry_policy = {
+  max_retries : int;
+  backoff_ms : float;
+  backoff_multiplier : float;
+  backoff_cap_ms : float;
+}
+
+let default_retry =
+  { max_retries = 4; backoff_ms = 1.0; backoff_multiplier = 2.0; backoff_cap_ms = 50.0 }
+
+type outcome = Done of string | Degraded of string | Failed of Error.t
+
+type reply = { lineno : int; input : string; outcome : outcome; attempts : int }
+
+type stats = {
+  submitted : int;
+  completed : int;
+  succeeded : int;
+  degraded : int;
+  retries : int;
+  syntax_failures : int;
+  range_failures : int;
+  budget_failures : int;
+  internal_failures : int;
+  breaker_state : string;
+  breaker_trips : int;
+  max_in_flight : int;
+  capacity : int;
+  jobs : int;
+}
+
+type job = {
+  seq : int;
+  job_lineno : int;
+  job_input : string;
+  deadline : Budget.deadline option;
+}
+
+type t = {
+  jobs : int;
+  capacity : int;
+  convert : string -> (string, Error.t) result;
+  fallback : string -> (string, Error.t) result;
+  retry : retry_policy;
+  breaker : Breaker.t;
+  emit : reply -> unit;
+  queue : job Bqueue.t;
+  slots : Semaphore.Counting.t;
+  budget : Budget.t;
+  m : Mutex.t;
+  c_result : Condition.t;
+  buffer : (int, reply) Hashtbl.t;
+  mutable submitted : int;
+  mutable emitted : int;
+  mutable closed : bool;
+  mutable max_in_flight : int;
+  mutable succeeded_n : int;
+  mutable degraded_n : int;
+  mutable retries_n : int;
+  mutable fail_syntax : int;
+  mutable fail_range : int;
+  mutable fail_budget : int;
+  mutable fail_internal : int;
+  mutable workers : unit Domain.t list;
+  mutable collector : unit Domain.t option;
+}
+
+(* The degraded path must not depend on the (presumed broken) exact
+   pipeline: OCaml's own float parsing and %.17g rendering, which is
+   information-preserving for binary64 if not shortest. *)
+let default_fallback input =
+  match float_of_string_opt (String.trim input) with
+  | Some x -> Ok (Printf.sprintf "%.17g" x)
+  | None -> Error (Error.syntax ~input "unparseable in degraded mode")
+
+(* No exception may escape a worker: re-guard the user's convert even
+   though the public conversion APIs are already result-returning. *)
+let run_convert t input =
+  match Error.catch (fun () -> t.convert input) with
+  | Ok r -> r
+  | Error e -> Error e
+
+let remaining_s = function
+  | None -> infinity
+  | Some (d : Budget.deadline) -> d.Budget.expires_at -. Unix.gettimeofday ()
+
+(* Supervised execution of one request: breaker admission, cooperative
+   deadline, capped-exponential retry for Internal-class failures.
+   Returns the outcome and the number of convert attempts made. *)
+let process t (job : job) =
+  Budget.set t.budget;
+  Budget.set_deadline job.deadline;
+  Fun.protect ~finally:(fun () -> Budget.set_deadline None) @@ fun () ->
+  let fallback_outcome () =
+    match Error.catch (fun () -> t.fallback job.job_input) with
+    | Ok (Ok s) -> Degraded s
+    | Ok (Error e) | Error e -> Failed e
+  in
+  match Breaker.admit t.breaker with
+  | `Fallback -> (fallback_outcome (), 0)
+  | (`Proceed | `Probe) as admission ->
+    let is_probe = admission = `Probe in
+    let timed_out () =
+      (* a timeout says nothing about pipeline health, except for the
+         half-open probe, which must always resolve the breaker state *)
+      if is_probe then Breaker.record_failure t.breaker
+    in
+    let rec attempt n backoff =
+      match job.deadline with
+      | Some d when Budget.expired d ->
+        timed_out ();
+        (Failed (Budget.deadline_error d), n)
+      | _ -> (
+        match run_convert t job.job_input with
+        | Ok s ->
+          Breaker.record_success t.breaker;
+          (Done s, n + 1)
+        | Error (Error.Internal _ as e) ->
+          if n < t.retry.max_retries then begin
+            let pause =
+              Float.min (backoff /. 1000.) (remaining_s job.deadline)
+            in
+            if pause > 0. then Unix.sleepf pause;
+            attempt (n + 1)
+              (Float.min
+                 (backoff *. t.retry.backoff_multiplier)
+                 t.retry.backoff_cap_ms)
+          end
+          else begin
+            Breaker.record_failure t.breaker;
+            (Failed e, n + 1)
+          end
+        | Error e ->
+          (* Syntax/Range/Budget: the pipeline did its job — fail fast,
+             don't retry, don't count against the breaker *)
+          Breaker.record_success t.breaker;
+          (Failed e, n + 1))
+    in
+    attempt 0 t.retry.backoff_ms
+
+let post t (job : job) reply =
+  Mutex.lock t.m;
+  Hashtbl.replace t.buffer job.seq reply;
+  (match reply.outcome with
+  | Done _ -> t.succeeded_n <- t.succeeded_n + 1
+  | Degraded _ -> t.degraded_n <- t.degraded_n + 1
+  | Failed e -> (
+    match e with
+    | Error.Syntax _ -> t.fail_syntax <- t.fail_syntax + 1
+    | Error.Range _ -> t.fail_range <- t.fail_range + 1
+    | Error.Budget _ -> t.fail_budget <- t.fail_budget + 1
+    | Error.Internal _ -> t.fail_internal <- t.fail_internal + 1));
+  if reply.attempts > 1 then t.retries_n <- t.retries_n + (reply.attempts - 1);
+  Condition.broadcast t.c_result;
+  Mutex.unlock t.m
+
+let rec worker_loop t =
+  match Bqueue.take t.queue with
+  | None -> ()
+  | Some job ->
+    let outcome, attempts = process t job in
+    post t job
+      { lineno = job.job_lineno; input = job.job_input; outcome; attempts };
+    worker_loop t
+
+(* Single collector: emits replies in submission order (the reorder
+   point) and returns each request's backpressure slot afterwards, so
+   "in flight" covers everything from submit to emit. *)
+let rec collector_loop t =
+  Mutex.lock t.m;
+  let rec next () =
+    match Hashtbl.find_opt t.buffer t.emitted with
+    | Some reply ->
+      Hashtbl.remove t.buffer t.emitted;
+      t.emitted <- t.emitted + 1;
+      `Emit reply
+    | None ->
+      if t.closed && t.emitted = t.submitted then `Finished
+      else begin
+        Condition.wait t.c_result t.m;
+        next ()
+      end
+  in
+  let step = next () in
+  Mutex.unlock t.m;
+  match step with
+  | `Finished -> ()
+  | `Emit reply ->
+    t.emit reply;
+    Semaphore.Counting.release t.slots;
+    collector_loop t
+
+let start ?(jobs = 2) ?(queue_capacity = 64) ?(retry = default_retry)
+    ?(breaker = Breaker.default_policy) ?fallback ~emit convert =
+  if jobs < 1 then invalid_arg "Supervisor.start: jobs < 1";
+  if queue_capacity < 1 then invalid_arg "Supervisor.start: queue_capacity < 1";
+  if retry.max_retries < 0 then invalid_arg "Supervisor.start: max_retries < 0";
+  let t =
+    {
+      jobs;
+      capacity = queue_capacity;
+      convert;
+      fallback = Option.value fallback ~default:default_fallback;
+      retry;
+      breaker = Breaker.create ~policy:breaker ();
+      emit;
+      queue = Bqueue.create ~capacity:queue_capacity;
+      slots = Semaphore.Counting.make queue_capacity;
+      budget = Budget.get ();
+      m = Mutex.create ();
+      c_result = Condition.create ();
+      buffer = Hashtbl.create 64;
+      submitted = 0;
+      emitted = 0;
+      closed = false;
+      max_in_flight = 0;
+      succeeded_n = 0;
+      degraded_n = 0;
+      retries_n = 0;
+      fail_syntax = 0;
+      fail_range = 0;
+      fail_budget = 0;
+      fail_internal = 0;
+      workers = [];
+      collector = None;
+    }
+  in
+  t.workers <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t.collector <- Some (Domain.spawn (fun () -> collector_loop t));
+  t
+
+let submit t ?deadline_ms ~lineno input =
+  Semaphore.Counting.acquire t.slots;
+  Mutex.lock t.m;
+  if t.closed then begin
+    Mutex.unlock t.m;
+    Semaphore.Counting.release t.slots;
+    invalid_arg "Supervisor.submit: service is shut down"
+  end;
+  let seq = t.submitted in
+  t.submitted <- seq + 1;
+  let in_flight = t.submitted - t.emitted in
+  if in_flight > t.max_in_flight then t.max_in_flight <- in_flight;
+  Mutex.unlock t.m;
+  let deadline = Option.map (fun ms -> Budget.deadline_after ~ms) deadline_ms in
+  (* the semaphore already bounds in-flight work, so this put cannot
+     block; Closed can only race with a concurrent shutdown *)
+  try Bqueue.put t.queue { seq; job_lineno = lineno; job_input = input; deadline }
+  with Bqueue.Closed -> invalid_arg "Supervisor.submit: service is shut down"
+
+let stats t =
+  Mutex.lock t.m;
+  let s =
+    {
+      submitted = t.submitted;
+      completed = t.emitted;
+      succeeded = t.succeeded_n;
+      degraded = t.degraded_n;
+      retries = t.retries_n;
+      syntax_failures = t.fail_syntax;
+      range_failures = t.fail_range;
+      budget_failures = t.fail_budget;
+      internal_failures = t.fail_internal;
+      breaker_state = Breaker.state_name t.breaker;
+      breaker_trips = Breaker.trips t.breaker;
+      max_in_flight = t.max_in_flight;
+      capacity = t.capacity;
+      jobs = t.jobs;
+    }
+  in
+  Mutex.unlock t.m;
+  s
+
+let shutdown t =
+  Mutex.lock t.m;
+  let already = t.closed in
+  t.closed <- true;
+  Mutex.unlock t.m;
+  if not already then begin
+    Bqueue.close t.queue;
+    List.iter Domain.join t.workers;
+    t.workers <- [];
+    (* every dequeued job has been posted; wake the collector so it can
+       observe closed && fully-emitted even if nothing was submitted *)
+    Mutex.lock t.m;
+    Condition.broadcast t.c_result;
+    Mutex.unlock t.m;
+    Option.iter Domain.join t.collector;
+    t.collector <- None
+  end;
+  stats t
+
+let breaker_state t = Breaker.state_name t.breaker
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf
+    "stats: submitted=%d completed=%d ok=%d degraded=%d retries=%d@\n\
+     stats: errors: syntax=%d range=%d budget=%d internal=%d@\n\
+     stats: jobs=%d queue-capacity=%d max-in-flight=%d breaker=%s trips=%d"
+    s.submitted s.completed s.succeeded s.degraded s.retries s.syntax_failures
+    s.range_failures s.budget_failures s.internal_failures s.jobs s.capacity
+    s.max_in_flight s.breaker_state s.breaker_trips

@@ -1,0 +1,108 @@
+(** A supervised parallel conversion service: a worker pool on OCaml 5
+    domains that turns the one-shot conversion pipeline into a
+    long-running batch service with bounded memory and total, structured
+    failure behaviour.
+
+    {ul
+    {- {e Bounded submission with backpressure}: at most
+       [queue_capacity] requests are in flight (submitted but not yet
+       emitted); {!submit} blocks beyond that.}
+    {- {e Per-request deadlines}: enforced cooperatively through the
+       {!Robust.Budget} check sites inside the digit loops; an expired
+       request fails with a structured [Budget] timeout error
+       ([what = Budget.deadline_what]) within one unit of work.}
+    {- {e Retries}: [Internal]-class failures (how transient injected
+       faults surface) are retried with capped exponential backoff;
+       [Syntax]/[Range]/[Budget] failures fail fast.}
+    {- {e Circuit breaker}: repeated post-retry [Internal] failures open
+       a breaker that degrades to a clearly-marked fallback ([%.17g] via
+       the host float parser, tagged [Degraded]) instead of refusing
+       service, and recovers through half-open probes.}
+    {- {e Order preservation}: replies are delivered to [emit] (on a
+       dedicated collector domain, never concurrently) in exact
+       submission order.}
+    {- {e Graceful shutdown}: {!shutdown} drains the queue — every
+       submitted request is emitted exactly once — then joins all
+       domains and reports final statistics.}} *)
+
+type retry_policy = {
+  max_retries : int;  (** additional attempts after the first *)
+  backoff_ms : float;  (** pause before the first retry *)
+  backoff_multiplier : float;
+  backoff_cap_ms : float;
+}
+
+val default_retry : retry_policy
+(** 4 retries, 1 ms initial backoff, doubling, capped at 50 ms. *)
+
+type outcome =
+  | Done of string  (** converted by the real pipeline *)
+  | Degraded of string
+      (** breaker-open fallback output — correct but not the pipeline's
+          (host [%.17g]); callers must keep the tag visible *)
+  | Failed of Robust.Error.t
+
+type reply = {
+  lineno : int;  (** caller-supplied request label (input line number) *)
+  input : string;
+  outcome : outcome;
+  attempts : int;  (** convert attempts made; 0 for breaker fallbacks *)
+}
+
+type stats = {
+  submitted : int;
+  completed : int;
+  succeeded : int;
+  degraded : int;
+  retries : int;  (** total retry attempts across all requests *)
+  syntax_failures : int;
+  range_failures : int;
+  budget_failures : int;  (** includes deadline timeouts *)
+  internal_failures : int;  (** post-retry, i.e. retries did not mask *)
+  breaker_state : string;
+  breaker_trips : int;
+  max_in_flight : int;  (** high-water mark of submitted-not-yet-emitted *)
+  capacity : int;
+  jobs : int;
+}
+
+type t
+
+val start :
+  ?jobs:int ->
+  ?queue_capacity:int ->
+  ?retry:retry_policy ->
+  ?breaker:Breaker.policy ->
+  ?fallback:(string -> (string, Robust.Error.t) result) ->
+  emit:(reply -> unit) ->
+  (string -> (string, Robust.Error.t) result) ->
+  t
+(** [start ~emit convert] spawns [jobs] worker domains (default 2) and
+    one collector domain.  [convert] runs on worker domains — it must be
+    safe to call concurrently — and is re-guarded with
+    {!Robust.Error.catch}, so even an exception-throwing convert cannot
+    kill a worker.  [emit] receives every reply in submission order on
+    the collector domain and must not raise.  The ambient
+    {!Robust.Budget} of the starting domain is captured and installed in
+    every worker.  [fallback] defaults to host [float_of_string] +
+    [%.17g]. *)
+
+val submit : t -> ?deadline_ms:int -> lineno:int -> string -> unit
+(** Enqueues a request.  Blocks while [queue_capacity] requests are in
+    flight (backpressure).  [deadline_ms] grants a wall-clock budget
+    measured from submission — queue wait counts, so a 0 ms deadline
+    fails with a structured timeout without converting.
+    @raise Invalid_argument after {!shutdown}. *)
+
+val shutdown : t -> stats
+(** Closes the queue, waits for workers to drain every submitted
+    request, waits for the collector to emit every reply (in order),
+    joins all domains, and returns the final statistics.  Idempotent. *)
+
+val stats : t -> stats
+(** A consistent snapshot; callable at any time. *)
+
+val breaker_state : t -> string
+
+val pp_stats : Format.formatter -> stats -> unit
+(** Multi-line [stats: ...] rendering used by [bdprint --stats]. *)

@@ -177,6 +177,125 @@ let test_fault_env () =
     (List.length
        (List.filter (fun l -> contains l "injected fault") err))
 
+let test_exit_codes () =
+  (* each failure class has its own exit code; the stream reports the
+     most severe class seen: internal(4) > budget(3) > syntax/range(2) *)
+  let status, _, _ = bdprint_full ~stdin:"bogus\n" "--stdin" in
+  Alcotest.(check int) "syntax exits 2" 2 status;
+  let long_line = String.make 70_000 '1' in
+  let status, _, err = bdprint_full ~stdin:(long_line ^ "\n") "--stdin" in
+  Alcotest.(check int) "budget exits 3" 3 status;
+  Alcotest.(check bool) "budget named on stderr" true
+    (List.exists (fun l -> contains l "budget") err);
+  let status, _, _ =
+    bdprint_full ~stdin:("bogus\n" ^ long_line ^ "\n0.1\n") "--stdin"
+  in
+  Alcotest.(check int) "mixed stream reports most severe (3)" 3 status;
+  let status, _, _ =
+    bdprint_full ~env:"BDPRINT_FAULTS=nat.divmod" ~stdin:"0.1\n" "--stdin"
+  in
+  Alcotest.(check int) "internal exits 4" 4 status;
+  let status, _, _ =
+    bdprint_full ~env:"BDPRINT_FAULTS=nat.divmod" ~stdin:"bogus\n0.1\n"
+      "--stdin"
+  in
+  Alcotest.(check int) "internal beats syntax" 4 status
+
+let test_deadline_flag () =
+  let status, out, err =
+    bdprint_full ~stdin:"0.1\n" "--stdin --deadline-ms 0"
+  in
+  Alcotest.(check int) "expired deadline exits 3 (budget class)" 3 status;
+  Alcotest.(check (list string)) "no output" [] out;
+  Alcotest.(check bool) "stderr names the deadline" true
+    (List.exists (fun l -> contains l "deadline") err);
+  (* a sane deadline changes nothing on a fast input *)
+  let status, out, _ =
+    bdprint_full ~stdin:"0.1\n" "--stdin --deadline-ms 5000"
+  in
+  Alcotest.(check int) "generous deadline exit" 0 status;
+  Alcotest.(check (list string)) "generous deadline output" [ "0.1" ] out;
+  (* same through the parallel service *)
+  let status, out, _ =
+    bdprint_full ~stdin:"0.1\n1e23\n" "--stdin --jobs 2 --deadline-ms 5000"
+  in
+  Alcotest.(check int) "parallel deadline exit" 0 status;
+  Alcotest.(check (list string)) "parallel deadline output"
+    [ "0.1"; "1e23" ] out
+
+let test_unknown_fault_point () =
+  (* unknown names in BDPRINT_FAULTS warn once on stderr and are
+     ignored; the conversion itself is untouched *)
+  let status, out, err =
+    bdprint_full ~env:"BDPRINT_FAULTS=no.such.point" ~stdin:"0.1\n" "--stdin"
+  in
+  Alcotest.(check int) "unknown point is not fatal" 0 status;
+  Alcotest.(check (list string)) "output unaffected" [ "0.1" ] out;
+  Alcotest.(check bool) "warning on stderr" true
+    (List.exists
+       (fun l -> contains l "unknown fault point" && contains l "no.such.point")
+       err);
+  (* valid entries alongside an unknown one still arm *)
+  let status, _, err =
+    bdprint_full ~env:"BDPRINT_FAULTS=no.such.point,nat.divmod" ~stdin:"0.1\n"
+      "--stdin"
+  in
+  Alcotest.(check int) "valid entry still arms" 4 status;
+  Alcotest.(check bool) "both warning and fault" true
+    (List.exists (fun l -> contains l "unknown fault point") err
+    && List.exists (fun l -> contains l "injected fault") err)
+
+let test_jobs_parallel () =
+  let inputs = List.init 50 (fun i -> string_of_int (i + 1)) in
+  let stdin = String.concat "\n" inputs ^ "\n" in
+  let status_seq, out_seq, _ = bdprint_full ~stdin "--stdin" in
+  let status_par, out_par, _ = bdprint_full ~stdin "--stdin --jobs 4" in
+  Alcotest.(check int) "sequential exit" 0 status_seq;
+  Alcotest.(check int) "parallel exit" 0 status_par;
+  Alcotest.(check (list string)) "parallel output matches sequential"
+    out_seq out_par;
+  Alcotest.(check (list string)) "order preserved"
+    (List.map (fun s -> s ^ ".0") inputs)
+    out_par;
+  (* dirty stream: same per-line errors, same exit code as sequential *)
+  let dirty = "0.1\nbogus\n1e23\n" in
+  let status_seq, out_seq, _ = bdprint_full ~stdin:dirty "--stdin" in
+  let status_par, out_par, err_par =
+    bdprint_full ~stdin:dirty "--stdin --jobs 3"
+  in
+  Alcotest.(check int) "dirty exits match" status_seq status_par;
+  Alcotest.(check (list string)) "dirty outputs match" out_seq out_par;
+  Alcotest.(check bool) "parallel stderr names the line" true
+    (List.exists (fun l -> contains l "line 2" && contains l "syntax") err_par);
+  (* --jobs requires --stdin *)
+  let status, _, err = bdprint_full "--jobs 2 0.1" in
+  Alcotest.(check bool) "--jobs without --stdin rejected" true (status <> 0);
+  Alcotest.(check bool) "rejection names --stdin" true
+    (List.exists (fun l -> contains l "stdin") err);
+  let status, _, _ = bdprint_full ~stdin:"0.1\n" "--stdin --jobs 0" in
+  Alcotest.(check bool) "--jobs 0 rejected" true (status <> 0)
+
+let test_stats_flag () =
+  let status, out, err =
+    bdprint_full ~stdin:"0.1\n1e23\n" "--stdin --jobs 2 --stats"
+  in
+  Alcotest.(check int) "stats exit" 0 status;
+  Alcotest.(check (list string)) "stats leaves stdout alone"
+    [ "0.1"; "1e23" ] out;
+  Alcotest.(check bool) "stats on stderr" true
+    (List.exists
+       (fun l -> contains l "submitted=2" && contains l "ok=2")
+       err);
+  Alcotest.(check bool) "breaker state reported" true
+    (List.exists (fun l -> contains l "breaker=closed") err);
+  (* sequential --stats works too *)
+  let status, _, err = bdprint_full ~stdin:"0.1\n" "--stdin --stats" in
+  Alcotest.(check int) "sequential stats exit" 0 status;
+  Alcotest.(check bool) "sequential stats on stderr" true
+    (List.exists (fun l -> contains l "jobs=1") err);
+  let status, _, _ = bdprint_full "--stats 0.1" in
+  Alcotest.(check bool) "--stats without --stdin rejected" true (status <> 0)
+
 let () =
   Alcotest.run "cli"
     [
@@ -190,5 +309,12 @@ let () =
           Alcotest.test_case "stdin max-errors" `Quick test_stdin_max_errors;
           Alcotest.test_case "budget misuse" `Quick test_budget_misuse;
           Alcotest.test_case "fault injection env" `Quick test_fault_env;
+          Alcotest.test_case "exit codes per class" `Quick test_exit_codes;
+          Alcotest.test_case "deadline flag" `Quick test_deadline_flag;
+          Alcotest.test_case "unknown fault point" `Quick
+            test_unknown_fault_point;
+          Alcotest.test_case "jobs parallel streaming" `Quick
+            test_jobs_parallel;
+          Alcotest.test_case "stats flag" `Quick test_stats_flag;
         ] );
     ]

@@ -1,0 +1,449 @@
+(* Unit tests for the supervised parallel conversion service
+   (lib/service) and the fault-spec machinery it leans on: bounded
+   queue, order preservation, backpressure, retry masking of transient
+   internal failures, fail-fast classes, deadlines, graceful drain, and
+   the circuit breaker's open/degrade/probe/close cycle. *)
+
+module S = Service.Supervisor
+module B = Service.Bqueue
+module Error = Robust.Error
+module Budget = Robust.Budget
+module Faults = Robust.Faults
+
+let convert_real input =
+  match
+    Reader.read ~mode:Fp.Rounding.To_nearest_even Fp.Format_spec.binary64 input
+  with
+  | Error _ as e -> e
+  | Ok v ->
+    Dragon.Printer.print_value ~base:10 ~mode:Fp.Rounding.To_nearest_even
+      ~strategy:Dragon.Scaling.Fast_estimate ~notation:Dragon.Render.Auto
+      Fp.Format_spec.binary64 v
+
+(* Run a batch through a fresh service; replies are collected on the
+   collector domain and read after shutdown (joined, so safely
+   published). *)
+let collect ?(jobs = 2) ?(capacity = 8) ?retry ?breaker ?fallback ?deadline_ms
+    convert inputs =
+  let replies = ref [] in
+  let svc =
+    S.start ~jobs ~queue_capacity:capacity ?retry ?breaker ?fallback
+      ~emit:(fun r -> replies := r :: !replies)
+      convert
+  in
+  List.iteri
+    (fun i input -> S.submit svc ?deadline_ms ~lineno:(i + 1) input)
+    inputs;
+  let stats = S.shutdown svc in
+  (List.rev !replies, stats)
+
+let fast_retry =
+  { S.default_retry with S.backoff_ms = 0.02; backoff_cap_ms = 0.2 }
+
+(* ------------------------------------------------------------------ *)
+(* Faults: spec parsing, warning list, counters, probabilistic arming *)
+
+let test_parse_spec () =
+  let check name spec armed bad =
+    let a, b = Faults.parse_spec spec in
+    Alcotest.(check (list (pair string (float 1e-9)))) (name ^ " armed") armed a;
+    Alcotest.(check (list string)) (name ^ " rejected") bad b
+  in
+  check "bare point" "nat.divmod" [ ("nat.divmod", 1.0) ] [];
+  check "probability" "nat.divmod:0.01" [ ("nat.divmod", 0.01) ] [];
+  check "mixed" "nat.divmod:0.5,scaling.scale"
+    [ ("nat.divmod", 0.5); ("scaling.scale", 1.0) ]
+    [];
+  check "unknown point" "bogus" [] [ "bogus" ];
+  check "unknown among known" "nat.pow,bogus,scaling.power"
+    [ ("nat.pow", 1.0); ("scaling.power", 1.0) ]
+    [ "bogus" ];
+  check "malformed probability" "nat.pow:banana" [] [ "nat.pow:banana" ];
+  check "probability out of range" "nat.pow:1.5" [] [ "nat.pow:1.5" ];
+  check "empty entries skipped" ", ,nat.divmod," [ ("nat.divmod", 1.0) ] [];
+  check "unknown with probability" "no.such:0.5" [] [ "no.such:0.5" ]
+
+let test_trip_counters () =
+  Faults.disarm_all ();
+  Faults.reset_trip_counts ();
+  Alcotest.(check int) "reset" 0 (Faults.total_trips ());
+  let r =
+    Error.catch (fun () ->
+        Faults.with_fault "nat.divmod" (fun () -> Faults.trip "nat.divmod"))
+  in
+  (match r with
+  | Error (Error.Internal { where = "nat.divmod"; _ }) -> ()
+  | _ -> Alcotest.fail "expected injected internal error");
+  Alcotest.(check int) "one trip counted" 1 (Faults.trip_count "nat.divmod");
+  Alcotest.(check int) "total" 1 (Faults.total_trips ());
+  Faults.reset_trip_counts ();
+  Alcotest.(check int) "reset again" 0 (Faults.trip_count "nat.divmod")
+
+let test_probabilistic_arming () =
+  Faults.disarm_all ();
+  (* probability 0: armed but never fires *)
+  Faults.with_fault ~probability:0.0 "nat.divmod" (fun () ->
+      Alcotest.(check bool) "armed" true (Faults.armed "nat.divmod");
+      Alcotest.(check (option (float 1e-9)))
+        "probability readable" (Some 0.0)
+        (Faults.probability "nat.divmod");
+      for _ = 1 to 200 do
+        match Error.catch (fun () -> Faults.trip "nat.divmod") with
+        | Ok () -> ()
+        | Error _ -> Alcotest.fail "p=0 must never trip"
+      done);
+  (* probability 1: always fires; a real conversion fails *)
+  Faults.with_fault ~probability:1.0 "nat.divmod" (fun () ->
+      match convert_real "0.1" with
+      | Error (Error.Internal _) -> ()
+      | _ -> Alcotest.fail "p=1 must fail the conversion");
+  Alcotest.(check bool) "disarmed after" false (Faults.armed "nat.divmod");
+  match convert_real "0.1" with
+  | Ok s -> Alcotest.(check string) "clean again" "0.1" s
+  | Error e -> Alcotest.fail (Error.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Bounded queue *)
+
+let test_bqueue () =
+  let q = B.create ~capacity:2 in
+  (* a producer pushing past the capacity blocks until the consumer
+     drains; the join below proves it completes without deadlock *)
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 1 to 5 do
+          B.put q i
+        done;
+        B.close q)
+  in
+  let got = ref [] in
+  let rec drain () =
+    match B.take q with
+    | Some x ->
+      got := x :: !got;
+      Unix.sleepf 0.002;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Domain.join producer;
+  Alcotest.(check (list int)) "FIFO order" [ 1; 2; 3; 4; 5 ] (List.rev !got);
+  Alcotest.(check bool) "closed" true (B.is_closed q);
+  Alcotest.(check bool) "put after close raises" true
+    (match B.put q 6 with exception B.Closed -> true | () -> false);
+  Alcotest.(check (option int)) "take after close drained" None (B.take q)
+
+(* ------------------------------------------------------------------ *)
+(* Service basics *)
+
+let test_order_preserved () =
+  let inputs = List.init 300 (fun i -> string_of_int i) in
+  let replies, stats =
+    collect ~jobs:4 ~capacity:16 (fun s -> Ok ("v" ^ s)) inputs
+  in
+  Alcotest.(check int) "all replies" 300 (List.length replies);
+  List.iteri
+    (fun i (r : S.reply) ->
+      Alcotest.(check int) "lineno order" (i + 1) r.S.lineno;
+      match r.S.outcome with
+      | S.Done s ->
+        Alcotest.(check string) "payload" ("v" ^ string_of_int i) s
+      | _ -> Alcotest.fail "expected Done")
+    replies;
+  Alcotest.(check int) "submitted" 300 stats.S.submitted;
+  Alcotest.(check int) "completed" 300 stats.S.completed;
+  Alcotest.(check int) "succeeded" 300 stats.S.succeeded;
+  Alcotest.(check string) "breaker closed" "closed" stats.S.breaker_state
+
+let test_backpressure_bound () =
+  let inputs = List.init 50 (fun i -> string_of_int i) in
+  let convert s =
+    Unix.sleepf 0.001;
+    Ok s
+  in
+  let replies, stats = collect ~jobs:2 ~capacity:4 convert inputs in
+  Alcotest.(check int) "all drained" 50 (List.length replies);
+  Alcotest.(check bool)
+    (Printf.sprintf "in-flight bounded by capacity (%d <= 4)"
+       stats.S.max_in_flight)
+    true
+    (stats.S.max_in_flight <= 4)
+
+let test_real_pipeline_parallel () =
+  let inputs =
+    [ "0.1"; "1e23"; "2.5e-1"; "9007199254740993"; "5e-324"; "1e999999999" ]
+  in
+  let replies, _ = collect ~jobs:3 convert_real inputs in
+  let outs =
+    List.map
+      (fun (r : S.reply) ->
+        match r.S.outcome with S.Done s -> s | _ -> "<fail>")
+      replies
+  in
+  Alcotest.(check (list string)) "parallel pipeline output"
+    [ "0.1"; "1e23"; "0.25"; "9007199254740992.0"; "5e-324"; "inf" ]
+    outs
+
+(* ------------------------------------------------------------------ *)
+(* Retry policy *)
+
+let test_retry_masks_transient () =
+  (* every input fails with Internal on its first attempt and succeeds
+     on the second: retries must mask all of them *)
+  let seen : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let m = Mutex.create () in
+  let convert input =
+    Mutex.lock m;
+    let n = Option.value (Hashtbl.find_opt seen input) ~default:0 in
+    Hashtbl.replace seen input (n + 1);
+    Mutex.unlock m;
+    if n = 0 then Error (Error.internal ~where:"test" "transient")
+    else Ok input
+  in
+  let inputs = List.init 60 (fun i -> string_of_int i) in
+  let replies, stats = collect ~jobs:3 ~retry:fast_retry convert inputs in
+  List.iter
+    (fun (r : S.reply) ->
+      match r.S.outcome with
+      | S.Done s -> Alcotest.(check string) "masked" r.S.input s
+      | _ -> Alcotest.fail "transient failure was not retried")
+    replies;
+  Alcotest.(check int) "one retry per input" 60 stats.S.retries;
+  Alcotest.(check int) "no surviving internal errors" 0
+    stats.S.internal_failures
+
+let test_fail_fast_classes () =
+  (* Syntax/Range/Budget never retry, even with a generous policy *)
+  let calls = Atomic.make 0 in
+  let convert input =
+    Atomic.incr calls;
+    match input with
+    | "s" -> Error (Error.syntax ~input "nope")
+    | "r" -> Error (Error.range ~what:"test" "nope")
+    | _ -> Error (Error.budget ~what:"test" ~limit:1 ~got:2)
+  in
+  let replies, stats =
+    collect ~jobs:2 ~retry:{ fast_retry with S.max_retries = 5 } convert
+      [ "s"; "r"; "b" ]
+  in
+  List.iter
+    (fun (r : S.reply) ->
+      Alcotest.(check int) "single attempt" 1 r.S.attempts)
+    replies;
+  Alcotest.(check int) "three calls total" 3 (Atomic.get calls);
+  Alcotest.(check int) "no retries" 0 stats.S.retries;
+  Alcotest.(check int) "syntax counted" 1 stats.S.syntax_failures;
+  Alcotest.(check int) "range counted" 1 stats.S.range_failures;
+  Alcotest.(check int) "budget counted" 1 stats.S.budget_failures;
+  Alcotest.(check string) "breaker unaffected" "closed" stats.S.breaker_state
+
+let test_retry_exhaustion_surfaces () =
+  let convert _ = Error (Error.internal ~where:"test" "permanent") in
+  let replies, stats =
+    collect ~jobs:1 ~retry:{ fast_retry with S.max_retries = 2 } convert
+      [ "x" ]
+  in
+  (match replies with
+  | [ { S.outcome = S.Failed (Error.Internal _); attempts = 3; _ } ] -> ()
+  | [ r ] ->
+    Alcotest.failf "expected Failed Internal after 3 attempts, got %d attempts"
+      r.S.attempts
+  | _ -> Alcotest.fail "expected one reply");
+  Alcotest.(check int) "two retries recorded" 2 stats.S.retries;
+  Alcotest.(check int) "internal failure surfaced" 1 stats.S.internal_failures
+
+(* ------------------------------------------------------------------ *)
+(* Deadlines *)
+
+let test_deadline_zero () =
+  let t0 = Unix.gettimeofday () in
+  let replies, stats = collect ~jobs:2 ~deadline_ms:0 convert_real [ "0.1" ] in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (match replies with
+  | [ { S.outcome = S.Failed (Error.Budget { what; _ }); attempts = 0; _ } ] ->
+    Alcotest.(check string) "timeout error" Budget.deadline_what what
+  | _ -> Alcotest.fail "expected a structured timeout with zero attempts");
+  Alcotest.(check int) "counted as budget class" 1 stats.S.budget_failures;
+  Alcotest.(check bool) "bounded time" true (elapsed < 5.0)
+
+let test_deadline_cuts_running_conversion () =
+  (* a conversion stuck in a digit-loop-style spin is cut off by the
+     cooperative deadline check at the budget check sites *)
+  let convert _ =
+    match
+      Error.catch (fun () ->
+          while true do
+            Budget.check_bignum_bits 0
+          done)
+    with
+    | Ok () -> Error (Error.internal ~where:"test" "unreachable")
+    | Error e -> Error e
+  in
+  let t0 = Unix.gettimeofday () in
+  let replies, _ = collect ~jobs:1 ~deadline_ms:30 convert [ "spin" ] in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (match replies with
+  | [ { S.outcome = S.Failed (Error.Budget { what; _ }); _ } ] ->
+    Alcotest.(check string) "timeout error" Budget.deadline_what what
+  | _ -> Alcotest.fail "expected a deadline timeout");
+  Alcotest.(check bool)
+    (Printf.sprintf "cut off cooperatively (%.3fs)" elapsed)
+    true (elapsed < 5.0)
+
+(* ------------------------------------------------------------------ *)
+(* Shutdown drain *)
+
+let test_shutdown_drains_everything () =
+  let convert s =
+    Unix.sleepf 0.002;
+    Ok s
+  in
+  let inputs = List.init 40 (fun i -> string_of_int i) in
+  (* shutdown is called immediately after the last submit, with most
+     requests still queued: none may be dropped *)
+  let replies, stats = collect ~jobs:3 ~capacity:64 convert inputs in
+  Alcotest.(check int) "every request emitted" 40 (List.length replies);
+  Alcotest.(check int) "completed = submitted" stats.S.submitted
+    stats.S.completed;
+  List.iteri
+    (fun i (r : S.reply) ->
+      Alcotest.(check int) "drain preserves order" (i + 1) r.S.lineno)
+    replies
+
+let test_submit_after_shutdown () =
+  let svc = S.start ~jobs:1 ~emit:(fun _ -> ()) (fun s -> Ok s) in
+  ignore (S.shutdown svc);
+  Alcotest.(check bool) "submit after shutdown rejected" true
+    (match S.submit svc ~lineno:1 "x" with
+    | exception Invalid_argument _ -> true
+    | () -> false);
+  (* shutdown is idempotent *)
+  let stats = S.shutdown svc in
+  Alcotest.(check int) "idempotent shutdown" 0 stats.S.submitted
+
+(* ------------------------------------------------------------------ *)
+(* Circuit breaker *)
+
+let test_breaker_cycle () =
+  (* failure is input-driven ("bad" lines), so the breaker's trajectory
+     depends only on processing order, not on scheduling *)
+  let convert input =
+    if input = "bad" then Error (Error.internal ~where:"test" "down")
+    else Ok "ok"
+  in
+  let replies = ref [] in
+  let emitted = Atomic.make 0 in
+  let svc =
+    S.start ~jobs:1 ~queue_capacity:8
+      ~retry:{ fast_retry with S.max_retries = 0 }
+      ~breaker:{ Service.Breaker.failure_threshold = 3; cooldown_ms = 50 }
+      ~emit:(fun r ->
+        replies := r :: !replies;
+        Atomic.incr emitted)
+      convert
+  in
+  (* three consecutive internal failures open the breaker, then two
+     healthy inputs arrive while it is open: they must degrade to the
+     %.17g fallback instead of being refused *)
+  for i = 1 to 3 do
+    S.submit svc ~lineno:i "bad"
+  done;
+  for i = 4 to 5 do
+    S.submit svc ~lineno:i "1.5"
+  done;
+  (* wait until all five are emitted (the breaker opened at reply 3),
+     then sit out the cooldown: the half-open probe must run the real
+     pipeline and close the breaker again *)
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while Atomic.get emitted < 5 && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.002
+  done;
+  Alcotest.(check int) "first five emitted" 5 (Atomic.get emitted);
+  Unix.sleepf 0.08;
+  S.submit svc ~lineno:6 "2.5";
+  S.submit svc ~lineno:7 "2.5";
+  let stats = S.shutdown svc in
+  let outcomes =
+    List.rev_map
+      (fun (r : S.reply) ->
+        match r.S.outcome with
+        | S.Done s -> "done:" ^ s
+        | S.Degraded s -> "degraded:" ^ s
+        | S.Failed e -> "failed:" ^ Error.category e)
+      !replies
+  in
+  Alcotest.(check (list string)) "open, degrade, probe, close"
+    [
+      "failed:internal";
+      "failed:internal";
+      "failed:internal";
+      "degraded:1.5";
+      "degraded:1.5";
+      "done:ok";
+      "done:ok";
+    ]
+    outcomes;
+  Alcotest.(check int) "one trip" 1 stats.S.breaker_trips;
+  Alcotest.(check int) "two degraded" 2 stats.S.degraded;
+  Alcotest.(check string) "breaker recovered" "closed" stats.S.breaker_state
+
+let test_breaker_fallback_unparseable () =
+  (* while open, an input even the host parser rejects fails with a
+     structured syntax error — still no escaping exception *)
+  let convert _ = Error (Error.internal ~where:"test" "down") in
+  let replies, stats =
+    collect ~jobs:1
+      ~retry:{ fast_retry with S.max_retries = 0 }
+      ~breaker:{ Service.Breaker.failure_threshold = 1; cooldown_ms = 10_000 }
+      convert
+      [ "1.5"; "not-a-number" ]
+  in
+  (match replies with
+  | [ { S.outcome = S.Failed (Error.Internal _); _ };
+      { S.outcome = S.Failed (Error.Syntax _); _ } ] -> ()
+  | _ -> Alcotest.fail "expected internal failure then fallback syntax error");
+  Alcotest.(check string) "stuck open without a probe window" "open"
+    stats.S.breaker_state
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Faults.disarm_all ();
+  Alcotest.run "service"
+    [
+      ( "faults",
+        [
+          Alcotest.test_case "parse_spec" `Quick test_parse_spec;
+          Alcotest.test_case "trip counters" `Quick test_trip_counters;
+          Alcotest.test_case "probabilistic arming" `Quick
+            test_probabilistic_arming;
+        ] );
+      ("bqueue", [ Alcotest.test_case "bounded queue" `Quick test_bqueue ]);
+      ( "supervisor",
+        [
+          Alcotest.test_case "order preserved" `Quick test_order_preserved;
+          Alcotest.test_case "backpressure bound" `Quick
+            test_backpressure_bound;
+          Alcotest.test_case "real pipeline parallel" `Quick
+            test_real_pipeline_parallel;
+          Alcotest.test_case "retry masks transient" `Quick
+            test_retry_masks_transient;
+          Alcotest.test_case "fail fast classes" `Quick test_fail_fast_classes;
+          Alcotest.test_case "retry exhaustion surfaces" `Quick
+            test_retry_exhaustion_surfaces;
+          Alcotest.test_case "deadline zero" `Quick test_deadline_zero;
+          Alcotest.test_case "deadline cuts running conversion" `Quick
+            test_deadline_cuts_running_conversion;
+          Alcotest.test_case "shutdown drains everything" `Quick
+            test_shutdown_drains_everything;
+          Alcotest.test_case "submit after shutdown" `Quick
+            test_submit_after_shutdown;
+        ] );
+      ( "breaker",
+        [
+          Alcotest.test_case "open, degrade, probe, close" `Quick
+            test_breaker_cycle;
+          Alcotest.test_case "fallback on unparseable input" `Quick
+            test_breaker_fallback_unparseable;
+        ] );
+    ]
