@@ -485,6 +485,61 @@ let service_bench ~size () =
     \   service measures supervision overhead, not parallel speedup)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry: instrumentation overhead of the metrics/tracing layer *)
+
+let telemetry_bench ~size () =
+  Printf.printf
+    "%s\nTelemetry: instrumentation overhead (free-format conversion)\n" line;
+  Printf.printf "(%d Schryer doubles; medians of alternating passes)\n\n" size;
+  let values = Array.map decompose_pos (Workloads.Schryer.corpus ~size ()) in
+  let pass () =
+    Array.iter
+      (fun v ->
+        let r = Dragon.Free_format.convert b64 v in
+        sink := !sink + Array.length r.Dragon.Free_format.digits)
+      values
+  in
+  pass () (* warm up; fills the power tables *);
+  let reps = 9 in
+  let t_off = Array.make reps 0. and t_on = Array.make reps 0. in
+  (* alternate enabled/disabled passes so clock drift and GC phase hit
+     both sides equally; compare medians, not means *)
+  for i = 0 to reps - 1 do
+    Telemetry.set_enabled false;
+    t_off.(i) <- snd (time_cpu pass);
+    Telemetry.set_enabled true;
+    t_on.(i) <- snd (time_cpu pass)
+  done;
+  Telemetry.set_enabled false;
+  let median a =
+    let b = Array.copy a in
+    Array.sort compare b;
+    b.(reps / 2)
+  in
+  let m_off = median t_off and m_on = median t_on in
+  let ns t = t /. float_of_int size *. 1e9 in
+  let overhead = (m_on -. m_off) /. m_off *. 100. in
+  Printf.printf "  %-28s %10.3f s %10.1f ns/conversion\n"
+    "telemetry disabled" m_off (ns m_off);
+  Printf.printf "  %-28s %10.3f s %10.1f ns/conversion\n"
+    "telemetry enabled" m_on (ns m_on);
+  Printf.printf "  overhead: %.2f%% (budget: <= 2%% median)\n" overhead;
+  let oc = open_out "BENCH_telemetry.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"size\": %d,\n\
+    \  \"repetitions\": %d,\n\
+    \  \"median_disabled_s\": %.6f,\n\
+    \  \"median_enabled_s\": %.6f,\n\
+    \  \"ns_per_conversion_disabled\": %.1f,\n\
+    \  \"ns_per_conversion_enabled\": %.1f,\n\
+    \  \"overhead_percent\": %.2f\n\
+     }\n"
+    size reps m_off m_on (ns m_off) (ns m_on) overhead;
+  close_out oc;
+  Printf.printf "  wrote BENCH_telemetry.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: one Test.make per table *)
 
 let bechamel_benches () =
@@ -567,6 +622,7 @@ let () =
   if has "sweep" then sweep ();
   if has "reader" then reader_bench ~size:(pick 30_000) ();
   if has "service" then service_bench ~size:(pick 30_000) ();
+  if has "telemetry" then telemetry_bench ~size:(pick 20_000) ();
   if has "bignum" then bignum_bench ();
   if has "bechamel" then bechamel_benches ();
   ignore !sink

@@ -8,9 +8,10 @@
    stream ([--max-errors N] bounds the tolerance).  [--jobs N] runs the
    stream through the supervised parallel service (order-preserving,
    with per-request deadlines, retries and a circuit breaker); [--stats]
-   reports queue/retry/breaker counters on exit.  Streaming exit codes
-   are per failure class: 2 syntax/range, 3 budget (incl. deadline),
-   4 internal. *)
+   reports queue/retry/breaker counters on exit and [--metrics FILE]
+   dumps the full telemetry registry as JSON (FILE) plus Prometheus text
+   (FILE with a .prom suffix).  Streaming exit codes are per failure
+   class: 2 syntax/range, 3 budget (incl. deadline), 4 internal. *)
 
 open Cmdliner
 module Error = Robust.Error
@@ -172,6 +173,18 @@ let deadline_ms =
            loops; an expired line fails with a structured budget \
            (timeout) error.")
 
+let metrics_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "With $(b,--stdin), enable the telemetry registry and write a \
+           JSON snapshot of every metric (pipeline counters, stage-timing \
+           and digit-count histograms, service/breaker state) to $(docv) \
+           on exit, plus a Prometheus text rendering next to it ($(docv) \
+           with its .json suffix replaced by .prom).")
+
 let is_hex_literal s =
   let s =
     if String.length s > 0 && (s.[0] = '-' || s.[0] = '+') then
@@ -199,10 +212,19 @@ let vet_request request =
   | None -> None
 
 let convert_one ~base ~mode ~fmt ~strategy ~notation ~request ~hex_out input =
+  let t0 = Telemetry.Trace.start () in
   let parsed =
     if is_hex_literal input then Reader.Hex.read ~mode fmt input
+    else if
+      (* binary64 round-to-nearest-even is the certified fast reader's
+         domain; it proves agreement with the exact reader, so routing
+         through it changes nothing but the tier counters (and speed) *)
+      Fp.Format_spec.equal fmt Fp.Format_spec.binary64
+      && mode = Fp.Rounding.To_nearest_even
+    then Result.map Fp.Ieee.decompose (Reader.Fast.read input)
     else Reader.read ~mode fmt input
   in
+  Telemetry.Trace.finish Telemetry.Trace.Parse t0;
   match parsed with
   | Error _ as e -> e
   | Ok value -> (
@@ -245,7 +267,72 @@ let class_exit_code c =
   else if c.n_syntax + c.n_range > 0 then 2
   else 0
 
-let finish_stream ~counts =
+(* Stream-level counters: both drivers (sequential and supervised
+   parallel) feed the same registry metrics, so --stats and --metrics
+   report identical fields whichever driver ran. *)
+let m_conversions =
+  Telemetry.Metrics.counter
+    ~help:"Input lines submitted for conversion (all outcomes)."
+    "bdprint_conversions_total"
+
+let result_counter r =
+  Telemetry.Metrics.counter
+    ~labels:[ ("result", r) ]
+    ~help:"Converted lines by result: pipeline output or degraded fallback."
+    "bdprint_conversion_results_total"
+
+let m_ok = result_counter "ok"
+let m_degraded = result_counter "degraded"
+
+let error_counter cls =
+  Telemetry.Metrics.counter
+    ~labels:[ ("class", cls) ]
+    ~help:"Failed lines by structured error class."
+    "bdprint_conversion_errors_total"
+
+let m_err_syntax = error_counter "syntax"
+let m_err_range = error_counter "range"
+let m_err_budget = error_counter "budget"
+let m_err_internal = error_counter "internal"
+
+let record_error = function
+  | Error.Syntax _ -> Telemetry.Metrics.incr m_err_syntax
+  | Error.Range _ -> Telemetry.Metrics.incr m_err_range
+  | Error.Budget _ -> Telemetry.Metrics.incr m_err_budget
+  | Error.Internal _ -> Telemetry.Metrics.incr m_err_internal
+
+let g_jobs =
+  Telemetry.Metrics.gauge
+    ~help:"Worker domains converting the stream (1 = sequential driver)."
+    "bdprint_stream_jobs"
+
+let g_queue_capacity =
+  Telemetry.Metrics.gauge
+    ~help:"Bounded submission-queue capacity (0 = sequential driver)."
+    "bdprint_stream_queue_capacity"
+
+let prom_path json_path =
+  if Filename.check_suffix json_path ".json" then
+    Filename.chop_suffix json_path ".json" ^ ".prom"
+  else json_path ^ ".prom"
+
+(* One exit path for both stream drivers: snapshot the registry once,
+   render --stats from it (so sequential and parallel print identical
+   fields), dump --metrics files, exit with the class code. *)
+let finish_stream ~counts ~show_stats ~metrics_file =
+  let snap = Telemetry.Snapshot.take () in
+  if show_stats then Format.eprintf "%a@.%!" Telemetry.Snapshot.pp_stream snap;
+  (match metrics_file with
+  | None -> ()
+  | Some file ->
+    let write path contents =
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc contents)
+    in
+    write file (Telemetry.Snapshot.to_json snap);
+    write (prom_path file) (Telemetry.Snapshot.to_prometheus snap));
   let errors = total_errors counts in
   if errors > 0 then
     Printf.eprintf "error: %d input line(s) failed\n%!" errors;
@@ -265,23 +352,25 @@ let with_line_deadline deadline_ms convert input =
         if Budget.expired d then Result.Error (Budget.deadline_error d)
         else convert input)
 
-let run_stream ~convert ~max_errors ~deadline_ms ~show_stats =
+let run_stream ~convert ~max_errors ~deadline_ms ~show_stats ~metrics_file =
   let counts = new_counts () in
-  let ok_lines = ref 0 in
   let lineno = ref 0 in
   let aborted = ref false in
+  Telemetry.Metrics.set_gauge g_jobs 1;
   (try
      while not !aborted do
        let line = input_line stdin in
        incr lineno;
        if String.trim line <> "" then begin
+         Telemetry.Metrics.incr m_conversions;
          match with_line_deadline deadline_ms convert (String.trim line) with
          | Ok out ->
-           incr ok_lines;
+           Telemetry.Metrics.incr m_ok;
            print_string out;
            print_newline ()
          | Error e ->
            count_error counts e;
+           record_error e;
            Printf.eprintf "error: line %d: %s\n%!" !lineno (Error.to_string e);
            (match max_errors with
            | Some cap when total_errors counts >= cap ->
@@ -293,16 +382,7 @@ let run_stream ~convert ~max_errors ~deadline_ms ~show_stats =
        end
      done
    with End_of_file -> ());
-  if show_stats then
-    Printf.eprintf
-      "stats: submitted=%d ok=%d errors: syntax=%d range=%d budget=%d \
-       internal=%d\n\
-       stats: jobs=1 (sequential)\n\
-       %!"
-      (!ok_lines + total_errors counts)
-      !ok_lines counts.n_syntax counts.n_range counts.n_budget
-      counts.n_internal;
-  finish_stream ~counts
+  finish_stream ~counts ~show_stats ~metrics_file
 
 (* Parallel streaming through the supervised service.  The collector
    domain owns stdout/stderr during the run (replies arrive in input
@@ -310,20 +390,25 @@ let run_stream ~convert ~max_errors ~deadline_ms ~show_stats =
    interleaves.  --max-errors sets a stop flag read by the submission
    loop; lines already in flight still drain (the shutdown contract
    forbids dropping submitted work). *)
-let run_stream_jobs ~convert ~jobs ~max_errors ~deadline_ms ~show_stats =
+let run_stream_jobs ~convert ~jobs ~max_errors ~deadline_ms ~show_stats
+    ~metrics_file =
   let counts = new_counts () in
   let stop = Atomic.make false in
   let emit (reply : Supervisor.reply) =
+    Telemetry.Metrics.incr m_conversions;
     match reply.Supervisor.outcome with
     | Supervisor.Done out ->
+      Telemetry.Metrics.incr m_ok;
       print_string out;
       print_newline ()
     | Supervisor.Degraded out ->
       (* breaker-open fallback: correct to 17 significant digits but not
          the pipeline's output — keep the tag machine-visible *)
+      Telemetry.Metrics.incr m_degraded;
       Printf.printf "degraded:%s\n" out
     | Supervisor.Failed e ->
       count_error counts e;
+      record_error e;
       Printf.eprintf "error: line %d: %s\n%!" reply.Supervisor.lineno
         (Error.to_string e);
       (match max_errors with
@@ -334,9 +419,10 @@ let run_stream_jobs ~convert ~jobs ~max_errors ~deadline_ms ~show_stats =
         Atomic.set stop true
       | _ -> ())
   in
-  let service =
-    Supervisor.start ~jobs ~queue_capacity:(max 64 (8 * jobs)) ~emit convert
-  in
+  let queue_capacity = max 64 (8 * jobs) in
+  Telemetry.Metrics.set_gauge g_jobs jobs;
+  Telemetry.Metrics.set_gauge g_queue_capacity queue_capacity;
+  let service = Supervisor.start ~jobs ~queue_capacity ~emit convert in
   let lineno = ref 0 in
   (try
      while not (Atomic.get stop) do
@@ -347,14 +433,13 @@ let run_stream_jobs ~convert ~jobs ~max_errors ~deadline_ms ~show_stats =
            (String.trim line)
      done
    with End_of_file -> ());
-  let stats = Supervisor.shutdown service in
-  if show_stats then Format.eprintf "%a@.%!" Supervisor.pp_stats stats;
+  let (_ : Supervisor.stats) = Supervisor.shutdown service in
   (* counts was filled by the collector domain; shutdown joined it, so
      the reads below are safely ordered after its writes *)
-  finish_stream ~counts
+  finish_stream ~counts ~show_stats ~metrics_file
 
 let run base mode fmt strategy notation digits places hex_out use_stdin
-    max_errors jobs show_stats deadline_ms numbers =
+    max_errors jobs show_stats deadline_ms metrics_file numbers =
   if base < 2 || base > 36 then
     `Error
       ( false,
@@ -374,7 +459,12 @@ let run base mode fmt strategy notation digits places hex_out use_stdin
     `Error (false, "--deadline-ms requires --stdin")
   else if (not use_stdin) && show_stats then
     `Error (false, "--stats requires --stdin")
+  else if (not use_stdin) && metrics_file <> None then
+    `Error (false, "--metrics requires --stdin")
   else begin
+    (* Flip the registry on before the service spawns workers so every
+       domain observes the same switch state from its first conversion. *)
+    if show_stats || metrics_file <> None then Telemetry.set_enabled true;
     let request =
       match (digits, places) with
       | Some _, Some _ -> Result.Error "use only one of --digits and --places"
@@ -398,9 +488,10 @@ let run base mode fmt strategy notation digits places hex_out use_stdin
           match jobs with
           | Some jobs ->
             run_stream_jobs ~convert ~jobs ~max_errors ~deadline_ms
-              ~show_stats
+              ~show_stats ~metrics_file
           | None ->
-            run_stream ~convert ~max_errors ~deadline_ms ~show_stats)
+            run_stream ~convert ~max_errors ~deadline_ms ~show_stats
+              ~metrics_file)
         | false, [] -> `Error (true, "missing NUMBER argument (or --stdin)")
         | false, numbers ->
           let ok = ref true in
@@ -453,6 +544,7 @@ let cmd =
         \  bdprint --places 20 100\n\
         \  printf '0.1\\n1e23\\nbogus\\n' | bdprint --stdin --max-errors 5\n\
         \  bdprint --stdin --jobs 4 --stats < corpus.txt\n\
+        \  bdprint --stdin --jobs 4 --metrics metrics.json < corpus.txt\n\
         \  bdprint --stdin --deadline-ms 50 < corpus.txt";
     ]
   in
@@ -462,6 +554,6 @@ let cmd =
       ret
         (const run $ base $ mode $ fmt $ strategy $ notation $ digits $ places
        $ hex_out $ stdin_flag $ max_errors $ jobs_flag $ stats_flag
-       $ deadline_ms $ numbers))
+       $ deadline_ms $ metrics_file $ numbers))
 
 let () = exit (Cmd.eval cmd)

@@ -4,15 +4,35 @@ module Ratio = Bignum.Ratio
 
 type t = { digits : int array; k : int }
 
+module Trace = Telemetry.Trace
+
+(* Shortest-output length per conversion (the paper's "average 15.2
+   digits" distribution), recorded at the free-format entry point. *)
+let h_digits =
+  Telemetry.Metrics.histogram
+    ~help:"Shortest free-format output length in significant digits."
+    ~bounds:[| 1; 2; 4; 6; 8; 10; 12; 14; 16; 17; 18; 20; 24; 32; 64; 256;
+               1024; 8192 |]
+    "bdprint_free_format_digits"
+
 let convert ?(base = 10) ?(mode = Fp.Rounding.To_nearest_even)
     ?(strategy = Scaling.Fast_estimate) ?(tie = Generate.Closer_up) fmt v =
   if base < 2 || base > 36 then invalid_arg "Free_format.convert: base";
+  let t0 = Trace.start () in
   let bnd = Boundaries.of_finite ~mode fmt v in
+  Trace.finish Trace.Boundaries t0;
+  let t0 = Trace.start () in
   let k, state =
     Scaling.scale strategy ~base ~b:fmt.Fp.Format_spec.b ~f:v.Fp.Value.f
       ~e:v.Fp.Value.e bnd
   in
-  { digits = Generate.free ~base ~tie state; k }
+  Trace.finish Trace.Scale t0;
+  let t0 = Trace.start () in
+  let digits = Generate.free ~base ~tie state in
+  Trace.finish Trace.Generate t0;
+  if Telemetry.Metrics.enabled () then
+    Telemetry.Metrics.observe h_digits (Array.length digits);
+  { digits; k }
 
 let digit_count ?base ?mode ?strategy fmt v =
   Array.length (convert ?base ?mode ?strategy fmt v).digits

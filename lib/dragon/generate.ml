@@ -9,6 +9,18 @@ type stopped = {
   m_plus_n : Nat.t;
 }
 
+(* Figure-3 loop iterations per conversion.  In free format every
+   iteration emits one digit, so this distribution is also the
+   digit-length distribution the paper reports as "average 15.2
+   digits"; recorded once per conversion, gated on the telemetry
+   switch. *)
+let h_loop_iterations =
+  Telemetry.Metrics.histogram
+    ~help:"Digit-generation loop iterations per conversion."
+    ~bounds:[| 1; 2; 4; 6; 8; 10; 12; 14; 16; 17; 18; 20; 24; 32; 64; 256;
+               1024; 8192 |]
+    "bdprint_generate_loop_iterations"
+
 (* One pass of the Figure-3 loop.  [r], [m_plus], [m_minus] arrive
    pre-multiplied by the base; each iteration emits floor(r/s) and carries
    the remainder, multiplied by the base, into the next step. *)
@@ -54,6 +66,10 @@ let run ~base ~tie (bnd : Boundaries.t) =
       in
       result := Some ((if up then d + 1 else d), up, rest)
   done;
+  if Telemetry.Metrics.enabled () then begin
+    Telemetry.Metrics.observe h_loop_iterations !emitted;
+    Robust.Budget.observe_output_digits !emitted
+  end;
   match !result with
   | None -> assert false
   | Some (last, incremented, rest) ->

@@ -14,7 +14,10 @@ let print_value_exn ?(base = 10) ?mode ?strategy ?tie ?notation fmt value =
   | Value.Nan -> Render.nan
   | Value.Finite v ->
     let result = Free_format.convert ~base ?mode ?strategy ?tie fmt v in
-    Render.free ?notation ~neg:v.neg ~base result
+    let t0 = Telemetry.Trace.start () in
+    let s = Render.free ?notation ~neg:v.neg ~base result in
+    Telemetry.Trace.finish Telemetry.Trace.Render t0;
+    s
 
 let print_value ?base ?mode ?strategy ?tie ?notation fmt value =
   Robust.Error.catch (fun () ->

@@ -141,6 +141,24 @@ let estimate strategy ~base ~b ~f ~e =
   | Fast_estimate -> Some (fast_estimate ~base ~b ~f ~e)
   | Gay_taylor -> Some (gay_taylor_estimate ~base ~b ~f ~e)
 
+(* The paper's §3.2 claim — the estimate is always k or k-1, and the
+   k-1 fixup is free — made observable: every estimated scaling records
+   whether the fixup fired.  Hot path, so gated on the telemetry
+   switch. *)
+let m_estimate_exact =
+  Telemetry.Metrics.counter
+    ~labels:[ ("result", "exact") ]
+    ~help:"Estimated scalings by outcome: estimate hit k exactly, or the \
+           free one-low fixup fired."
+    "bdprint_scaling_estimates_total"
+
+let m_estimate_fixup =
+  Telemetry.Metrics.counter
+    ~labels:[ ("result", "fixup") ]
+    ~help:"Estimated scalings by outcome: estimate hit k exactly, or the \
+           free one-low fixup fired."
+    "bdprint_scaling_estimates_total"
+
 (* Apply the estimate, then fix up (Figure 3's [fixup]).  Bumping k by one
    means dividing the scaled value by B, which is the same as skipping the
    loop's pre-multiplication of r, m+ and m-: every termination test is
@@ -160,7 +178,14 @@ let scale_estimated ~base est (bnd : Boundaries.t) =
       }
     end
   in
-  if too_low bnd then (est + 1, bnd) else (est, premultiply ~base bnd)
+  if too_low bnd then begin
+    if Telemetry.Metrics.enabled () then Telemetry.Metrics.incr m_estimate_fixup;
+    (est + 1, bnd)
+  end
+  else begin
+    if Telemetry.Metrics.enabled () then Telemetry.Metrics.incr m_estimate_exact;
+    (est, premultiply ~base bnd)
+  end
 
 let scale strategy ~base ~b ~f ~e bnd =
   Robust.Faults.trip "scaling.scale";

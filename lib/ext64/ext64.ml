@@ -146,13 +146,29 @@ let pow10 n =
 let correct_table : t option array Domain.DLS.key =
   Domain.DLS.new_key (fun () -> Array.make 701 None)
 
+(* Fast-path-vs-bignum split of the extended-precision tier: a memo hit
+   is two table reads; a miss runs the exact bignum computation.  Gated
+   on the telemetry switch (this sits on the reader's hot path). *)
+let pow10_path path =
+  Telemetry.Metrics.counter
+    ~labels:[ ("path", path) ]
+    ~help:"Correctly rounded 10^n lookups: per-domain memo hit vs exact \
+           bignum computation."
+    "bdprint_ext64_pow10_total"
+
+let m_pow10_memo = pow10_path "memo"
+let m_pow10_computed = pow10_path "computed"
+
 let pow10_correct n =
   if abs n > 350 then invalid_arg "Ext64.pow10_correct: out of range";
   let i = n + 350 in
   let correct_table = Domain.DLS.get correct_table in
   match correct_table.(i) with
-  | Some t -> t
+  | Some t ->
+    if Telemetry.Metrics.enabled () then Telemetry.Metrics.incr m_pow10_memo;
+    t
   | None ->
+    if Telemetry.Metrics.enabled () then Telemetry.Metrics.incr m_pow10_computed;
     let t = if n = 0 then of_int 1 else exact_pow10 n in
     correct_table.(i) <- Some t;
     t

@@ -2,12 +2,27 @@ module Nat = Bignum.Nat
 
 type stats = { exact : int; extended : int; fallback : int }
 
-let n_exact = ref 0
-let n_extended = ref 0
-let n_fallback = ref 0
+(* Tier counters are telemetry counters (atomic, summed across worker
+   domains) and always-on: [stats ()] is a public contract the ablation
+   bench reads with telemetry switched off.  One uncontended
+   fetch-and-add per conversion. *)
+let tier_counter tier =
+  Telemetry.Metrics.counter
+    ~labels:[ ("tier", tier) ]
+    ~help:"Reader conversions by tier: hardware-exact fast path, \
+           extended-precision certified, or exact bignum fallback."
+    "bdprint_reader_tier_total"
+
+let n_exact = tier_counter "exact"
+let n_extended = tier_counter "extended"
+let n_fallback = tier_counter "fallback"
 
 let stats () =
-  { exact = !n_exact; extended = !n_extended; fallback = !n_fallback }
+  {
+    exact = Telemetry.Metrics.value n_exact;
+    extended = Telemetry.Metrics.value n_extended;
+    fallback = Telemetry.Metrics.value n_fallback;
+  }
 
 (* Powers of ten exactly representable in binary64: 10^22 = 2^22 * 5^22
    and 5^22 < 2^53. *)
@@ -17,7 +32,7 @@ let exact_pow10 =
 let two53 = 9007199254740992 (* 2^53 *)
 
 let fallback (d : Exact.decimal) =
-  incr n_fallback;
+  Telemetry.Metrics.incr n_fallback;
   Fp.Ieee.compose (Exact.read_decimal Fp.Format_spec.binary64 d)
 
 (* Tier 2: extended-precision scaling with certification.  [m] is the
@@ -41,7 +56,7 @@ let extended_tier (d : Exact.decimal) m scale truncated =
       let budget = if truncated then 200 else 6 in
       if abs (dropped - 1024) <= budget then fallback d
       else begin
-        incr n_extended;
+        Telemetry.Metrics.incr n_extended;
         let up = dropped > 1024 in
         let mant = Int64.add kept (if up then 1L else 0L) in
         let x = Float.ldexp (Int64.to_float mant) (y.Ext64.e + 11) in
@@ -56,7 +71,7 @@ let read_decimal (d : Exact.decimal) =
     match Nat.to_int_opt d.Exact.digits with
     | Some m when m <= two53 && abs d.Exact.exp10 <= 22 ->
       (* Tier 1 (Clinger): both operands exact, one IEEE operation *)
-      incr n_exact;
+      Telemetry.Metrics.incr n_exact;
       let x =
         if d.Exact.exp10 >= 0 then
           float_of_int m *. exact_pow10.(d.Exact.exp10)

@@ -72,6 +72,48 @@ let with_deadline ~ms f =
 let check what limit got =
   if got > limit then Error.raise_ (Error.budget ~what ~limit ~got)
 
+(* Budget-consumption histograms: how much of each capped resource the
+   pipeline actually asks for, recorded at the check sites (telemetry
+   must see the request even when the check then rejects it).  Gated on
+   the global telemetry switch — disabled cost is one atomic load and a
+   branch on top of the existing check.
+
+   [output digits] is the exception: its check runs once per digit-loop
+   iteration with a monotonically growing count, so observing every
+   call would record each conversion once per digit.  The digit loops
+   instead report their final count once through
+   {!observe_output_digits}. *)
+
+let h_input_length =
+  Telemetry.Metrics.histogram
+    ~help:"Input text length in bytes, per parse request."
+    ~bounds:[| 8; 16; 24; 32; 48; 64; 128; 256; 1024; 4096; 65536 |]
+    "bdprint_budget_input_length_bytes"
+
+let h_exponent =
+  Telemetry.Metrics.histogram
+    ~help:"Magnitude of decimal scale exponents turned into powers."
+    ~bounds:[| 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024; 10_000; 100_000 |]
+    "bdprint_budget_scale_exponent"
+
+let h_bignum_bits =
+  Telemetry.Metrics.histogram
+    ~help:"Bit size of constructed bignum powers and scaled operands."
+    ~bounds:
+      [| 64; 128; 256; 512; 1024; 2048; 4096; 16_384; 65_536; 1_048_576 |]
+    "bdprint_budget_bignum_bits"
+
+let h_output_digits =
+  Telemetry.Metrics.histogram
+    ~help:"Digits emitted per conversion (digit-loop iterations)."
+    ~bounds:[| 1; 2; 4; 6; 8; 10; 12; 14; 16; 17; 18; 20; 24; 32; 64; 256;
+               1024; 8192 |]
+    "bdprint_budget_output_digits"
+
+let observe_output_digits n =
+  if Telemetry.Metrics.enabled () then
+    Telemetry.Metrics.observe h_output_digits n
+
 (* Every budget check site doubles as a cooperative deadline check: the
    digit loops, the scaling layer and the reader already call these at
    each unit of work, which is exactly the granularity a per-request
@@ -79,10 +121,12 @@ let check what limit got =
    domain-local load and a branch. *)
 let check_input_length n =
   check_deadline ();
+  if Telemetry.Metrics.enabled () then Telemetry.Metrics.observe h_input_length n;
   check "input length" (get ()).max_input_length n
 
 let check_exponent n =
   check_deadline ();
+  if Telemetry.Metrics.enabled () then Telemetry.Metrics.observe h_exponent (abs n);
   check "scale exponent" (get ()).max_exponent (abs n)
 
 let check_output_digits n =
@@ -91,4 +135,5 @@ let check_output_digits n =
 
 let check_bignum_bits n =
   check_deadline ();
+  if Telemetry.Metrics.enabled () then Telemetry.Metrics.observe h_bignum_bits n;
   check "bignum bits" (get ()).max_bignum_bits n

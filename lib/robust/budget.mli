@@ -92,3 +92,14 @@ val check_input_length : int -> unit
 val check_exponent : int -> unit
 val check_output_digits : int -> unit
 val check_bignum_bits : int -> unit
+
+(** {2 Telemetry} *)
+
+val observe_output_digits : int -> unit
+(** Records one conversion's final emitted-digit count into the
+    [bdprint_budget_output_digits] histogram (a no-op while telemetry
+    is disabled).  Called once per conversion by the digit loops —
+    unlike the other budget dimensions, which are observed directly at
+    their [check_*] sites, the output-digit check runs on every loop
+    iteration and would otherwise record each conversion once per
+    digit. *)

@@ -34,18 +34,32 @@ let probability name =
     (Atomic.get armed_points)
 
 (* Per-point trip counters, atomic so chaos tests can count injections
-   across all worker domains. *)
-let counters = List.map (fun p -> (p, Atomic.make 0)) points
+   across all worker domains.  They live in the telemetry registry
+   (always-on: chaos runs must see them with or without --metrics), so
+   a metrics snapshot can assert injection actually fired. *)
+let counters =
+  List.map
+    (fun p ->
+      ( p,
+        Telemetry.Metrics.counter
+          ~labels:[ ("point", p) ]
+          ~help:"Injected-fault trips per instrumented point."
+          "bdprint_fault_trips_total" ))
+    points
 
 let trip_count name =
   match List.assoc_opt name counters with
-  | Some c -> Atomic.get c
+  | Some c -> Telemetry.Metrics.value c
   | None -> 0
 
-let total_trips () =
-  List.fold_left (fun acc (_, c) -> acc + Atomic.get c) 0 counters
+let trip_counts () =
+  List.map (fun (p, c) -> (p, Telemetry.Metrics.value c)) counters
 
-let reset_trip_counts () = List.iter (fun (_, c) -> Atomic.set c 0) counters
+let total_trips () =
+  List.fold_left (fun acc (_, c) -> acc + Telemetry.Metrics.value c) 0 counters
+
+let reset_trip_counts () =
+  List.iter (fun (_, c) -> Telemetry.Metrics.reset_counter c) counters
 
 (* Probabilistic trips draw from a domain-local generator so worker
    domains never contend (or share a stream).  Seeding is deterministic
@@ -80,7 +94,7 @@ let trip name =
            || Random.State.float (Domain.DLS.get rng) 1.0 < a.probability)
       then begin
         (match List.assoc_opt name counters with
-        | Some c -> Atomic.incr c
+        | Some c -> Telemetry.Metrics.incr c
         | None -> ());
         Error.raise_ (Error.internal ~where:name "injected fault")
       end

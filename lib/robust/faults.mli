@@ -61,6 +61,12 @@ val trip_count : string -> int
 (** Number of injected failures at the point since the last reset
     (summed across all domains). *)
 
+val trip_counts : unit -> (string * int) list
+(** Every instrumented point with its trip count, in {!points} order.
+    The same counts are exported to the telemetry registry as
+    [bdprint_fault_trips_total{point=...}], so chaos runs can assert —
+    from a [--metrics] snapshot — that injection actually fired. *)
+
 val total_trips : unit -> int
 val reset_trip_counts : unit -> unit
 

@@ -4,6 +4,53 @@ let default_policy = { failure_threshold = 8; cooldown_ms = 200 }
 
 type state = Closed | Open of { until : float } | Half_open
 
+(* One-hot state gauges plus transition/trip counters.  Recorded
+   unconditionally: transitions are rare events on the request path, and
+   the chaos tests read trips with telemetry otherwise off.  A process
+   runs one breaker (the CLI supervisor's), so process-global metrics
+   describe it faithfully. *)
+let state_gauge s =
+  Telemetry.Metrics.gauge
+    ~labels:[ ("state", s) ]
+    ~help:"Circuit breaker state as a one-hot set: the current state's \
+           gauge reads 1, the others 0."
+    "bdprint_service_breaker_state"
+
+let g_closed = state_gauge "closed"
+let g_open = state_gauge "open"
+let g_half_open = state_gauge "half-open"
+
+let transition_counter target =
+  Telemetry.Metrics.counter
+    ~labels:[ ("to", target) ]
+    ~help:"Circuit breaker state transitions by target state."
+    "bdprint_service_breaker_transitions_total"
+
+let m_to_closed = transition_counter "closed"
+let m_to_open = transition_counter "open"
+let m_to_half_open = transition_counter "half-open"
+
+let m_trips =
+  Telemetry.Metrics.counter
+    ~help:"Circuit breaker trips (entries into the open state)."
+    "bdprint_service_breaker_trips_total"
+
+let publish_state st =
+  let open Telemetry.Metrics in
+  match st with
+  | Closed ->
+    set_gauge g_closed 1;
+    set_gauge g_open 0;
+    set_gauge g_half_open 0
+  | Open _ ->
+    set_gauge g_closed 0;
+    set_gauge g_open 1;
+    set_gauge g_half_open 0
+  | Half_open ->
+    set_gauge g_closed 0;
+    set_gauge g_open 0;
+    set_gauge g_half_open 1
+
 type t = {
   policy : policy;
   m : Mutex.t;
@@ -15,6 +62,7 @@ type t = {
 let create ?(policy = default_policy) () =
   if policy.failure_threshold < 1 then
     invalid_arg "Breaker.create: failure_threshold < 1";
+  publish_state Closed;
   {
     policy;
     m = Mutex.create ();
@@ -37,6 +85,8 @@ let admit t =
     | Open { until } ->
       if now () >= until then begin
         t.state <- Half_open;
+        publish_state Half_open;
+        Telemetry.Metrics.incr m_to_half_open;
         `Probe
       end
       else `Fallback
@@ -47,13 +97,21 @@ let admit t =
 let record_success t =
   Mutex.lock t.m;
   t.consecutive_failures <- 0;
+  (match t.state with
+  | Closed -> ()
+  | Open _ | Half_open ->
+    publish_state Closed;
+    Telemetry.Metrics.incr m_to_closed);
   t.state <- Closed;
   Mutex.unlock t.m
 
 let open_locked t =
   t.state <-
     Open { until = now () +. (float_of_int t.policy.cooldown_ms /. 1000.) };
-  t.trips <- t.trips + 1
+  t.trips <- t.trips + 1;
+  publish_state t.state;
+  Telemetry.Metrics.incr m_to_open;
+  Telemetry.Metrics.incr m_trips
 
 let record_failure t =
   Mutex.lock t.m;

@@ -15,6 +15,13 @@ type outcome = Done of string | Degraded of string | Failed of Error.t
 
 type reply = { lineno : int; input : string; outcome : outcome; attempts : int }
 
+type worker_stats = {
+  worker : int;
+  processed : int;
+  retried : int;
+  degraded : int;
+}
+
 type stats = {
   submitted : int;
   completed : int;
@@ -30,7 +37,55 @@ type stats = {
   max_in_flight : int;
   capacity : int;
   jobs : int;
+  workers : worker_stats array;
 }
+
+(* Service metrics are recorded unconditionally: one atomic op per
+   reply, dwarfed by the conversion itself, and the service snapshot is
+   the primary [--stats]/[--metrics] payload. *)
+let m_retries =
+  Telemetry.Metrics.counter
+    ~help:"Retry attempts across all requests (attempts beyond the first)."
+    "bdprint_service_retries_total"
+
+let m_deadline_misses =
+  Telemetry.Metrics.counter
+    ~help:"Requests failed with a structured deadline-timeout error."
+    "bdprint_service_deadline_misses_total"
+
+let g_queue_depth =
+  Telemetry.Metrics.gauge
+    ~help:"Requests currently in flight (submitted but not yet emitted)."
+    "bdprint_service_queue_depth"
+
+let g_max_in_flight =
+  Telemetry.Metrics.gauge
+    ~help:"High-water mark of in-flight requests."
+    "bdprint_service_max_in_flight"
+
+let worker_counter name help i =
+  Telemetry.Metrics.counter
+    ~labels:[ ("worker", string_of_int i) ]
+    ~help name
+
+type worker_metrics = {
+  mw_processed : Telemetry.Metrics.counter;
+  mw_retried : Telemetry.Metrics.counter;
+  mw_degraded : Telemetry.Metrics.counter;
+}
+
+let worker_metrics i =
+  {
+    mw_processed =
+      worker_counter "bdprint_service_worker_processed_total"
+        "Replies produced per worker domain." i;
+    mw_retried =
+      worker_counter "bdprint_service_worker_retried_total"
+        "Requests that needed at least one retry, per worker domain." i;
+    mw_degraded =
+      worker_counter "bdprint_service_worker_degraded_total"
+        "Breaker-fallback (degraded) replies per worker domain." i;
+  }
 
 type job = {
   seq : int;
@@ -64,6 +119,10 @@ type t = {
   mutable fail_range : int;
   mutable fail_budget : int;
   mutable fail_internal : int;
+  w_processed : int array;
+  w_retried : int array;
+  w_degraded : int array;
+  w_metrics : worker_metrics array;
   mutable workers : unit Domain.t list;
   mutable collector : unit Domain.t option;
 }
@@ -141,30 +200,44 @@ let process t (job : job) =
     in
     attempt 0 t.retry.backoff_ms
 
-let post t (job : job) reply =
+let post t ~worker (job : job) reply =
+  let wm = t.w_metrics.(worker) in
+  Telemetry.Metrics.incr wm.mw_processed;
   Mutex.lock t.m;
   Hashtbl.replace t.buffer job.seq reply;
+  t.w_processed.(worker) <- t.w_processed.(worker) + 1;
   (match reply.outcome with
   | Done _ -> t.succeeded_n <- t.succeeded_n + 1
-  | Degraded _ -> t.degraded_n <- t.degraded_n + 1
+  | Degraded _ ->
+    t.degraded_n <- t.degraded_n + 1;
+    t.w_degraded.(worker) <- t.w_degraded.(worker) + 1;
+    Telemetry.Metrics.incr wm.mw_degraded
   | Failed e -> (
     match e with
     | Error.Syntax _ -> t.fail_syntax <- t.fail_syntax + 1
     | Error.Range _ -> t.fail_range <- t.fail_range + 1
-    | Error.Budget _ -> t.fail_budget <- t.fail_budget + 1
+    | Error.Budget { what; _ } ->
+      t.fail_budget <- t.fail_budget + 1;
+      if String.equal what Budget.deadline_what then
+        Telemetry.Metrics.incr m_deadline_misses
     | Error.Internal _ -> t.fail_internal <- t.fail_internal + 1));
-  if reply.attempts > 1 then t.retries_n <- t.retries_n + (reply.attempts - 1);
+  if reply.attempts > 1 then begin
+    t.retries_n <- t.retries_n + (reply.attempts - 1);
+    t.w_retried.(worker) <- t.w_retried.(worker) + 1;
+    Telemetry.Metrics.incr wm.mw_retried;
+    Telemetry.Metrics.add m_retries (reply.attempts - 1)
+  end;
   Condition.broadcast t.c_result;
   Mutex.unlock t.m
 
-let rec worker_loop t =
+let rec worker_loop t ~worker =
   match Bqueue.take t.queue with
   | None -> ()
   | Some job ->
     let outcome, attempts = process t job in
-    post t job
+    post t ~worker job
       { lineno = job.job_lineno; input = job.job_input; outcome; attempts };
-    worker_loop t
+    worker_loop t ~worker
 
 (* Single collector: emits replies in submission order (the reorder
    point) and returns each request's backpressure slot afterwards, so
@@ -185,6 +258,7 @@ let rec collector_loop t =
       end
   in
   let step = next () in
+  Telemetry.Metrics.set_gauge g_queue_depth (t.submitted - t.emitted);
   Mutex.unlock t.m;
   match step with
   | `Finished -> ()
@@ -224,11 +298,16 @@ let start ?(jobs = 2) ?(queue_capacity = 64) ?(retry = default_retry)
       fail_range = 0;
       fail_budget = 0;
       fail_internal = 0;
+      w_processed = Array.make jobs 0;
+      w_retried = Array.make jobs 0;
+      w_degraded = Array.make jobs 0;
+      w_metrics = Array.init jobs worker_metrics;
       workers = [];
       collector = None;
     }
   in
-  t.workers <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t.workers <-
+    List.init jobs (fun i -> Domain.spawn (fun () -> worker_loop t ~worker:i));
   t.collector <- Some (Domain.spawn (fun () -> collector_loop t));
   t
 
@@ -244,6 +323,8 @@ let submit t ?deadline_ms ~lineno input =
   t.submitted <- seq + 1;
   let in_flight = t.submitted - t.emitted in
   if in_flight > t.max_in_flight then t.max_in_flight <- in_flight;
+  Telemetry.Metrics.set_gauge g_queue_depth in_flight;
+  Telemetry.Metrics.max_gauge g_max_in_flight in_flight;
   Mutex.unlock t.m;
   let deadline = Option.map (fun ms -> Budget.deadline_after ~ms) deadline_ms in
   (* the semaphore already bounds in-flight work, so this put cannot
@@ -269,6 +350,14 @@ let stats t =
       max_in_flight = t.max_in_flight;
       capacity = t.capacity;
       jobs = t.jobs;
+      workers =
+        Array.init t.jobs (fun i ->
+            {
+              worker = i;
+              processed = t.w_processed.(i);
+              retried = t.w_retried.(i);
+              degraded = t.w_degraded.(i);
+            });
     }
   in
   Mutex.unlock t.m;
@@ -302,4 +391,9 @@ let pp_stats ppf (s : stats) =
      stats: jobs=%d queue-capacity=%d max-in-flight=%d breaker=%s trips=%d"
     s.submitted s.completed s.succeeded s.degraded s.retries s.syntax_failures
     s.range_failures s.budget_failures s.internal_failures s.jobs s.capacity
-    s.max_in_flight s.breaker_state s.breaker_trips
+    s.max_in_flight s.breaker_state s.breaker_trips;
+  Array.iter
+    (fun w ->
+      Format.fprintf ppf "@\nstats: worker[%d] processed=%d retried=%d degraded=%d"
+        w.worker w.processed w.retried w.degraded)
+    s.workers

@@ -49,6 +49,13 @@ type reply = {
   attempts : int;  (** convert attempts made; 0 for breaker fallbacks *)
 }
 
+type worker_stats = {
+  worker : int;  (** worker domain index, [0 .. jobs-1] *)
+  processed : int;  (** replies produced by this worker *)
+  retried : int;  (** requests that needed at least one retry *)
+  degraded : int;  (** breaker-fallback replies *)
+}
+
 type stats = {
   submitted : int;
   completed : int;
@@ -64,6 +71,7 @@ type stats = {
   max_in_flight : int;  (** high-water mark of submitted-not-yet-emitted *)
   capacity : int;
   jobs : int;
+  workers : worker_stats array;  (** per-worker breakdown, indexed by domain *)
 }
 
 type t

@@ -1,0 +1,111 @@
+(** Domain-safe metrics: atomic counters, gauges and fixed-bucket
+    histograms with lock-free recording, grouped in registries.
+
+    Recording operations ({!incr}, {!add}, {!set_gauge}, {!observe})
+    never block: every cell is an [Atomic.t], so the service layer's
+    worker domains can record concurrently and sums stay exact.
+    Registration is mutex-protected and {e idempotent} — registering an
+    already-known (name, labels) series returns the existing metric —
+    so libraries declare their instruments at module toplevel.
+
+    The process-wide {!enabled} flag is the zero-cost-when-disabled
+    gate: hot-loop instrumentation sites check it (one atomic load and
+    a branch) before touching any metric.  Cheap once-per-request
+    sites — the reader tier counters, fault trip counters, service
+    reply accounting — record unconditionally so their public
+    stats contracts hold without telemetry being switched on. *)
+
+type meta = { name : string; help : string; labels : (string * string) list }
+
+type counter
+type gauge
+type histogram
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type registry
+
+val create_registry : unit -> registry
+(** A fresh, empty registry — used by tests that need golden output
+    independent of the process-wide instruments. *)
+
+val default : registry
+(** The process-wide registry all library instrumentation registers
+    into; [bdprint --metrics] and {!Snapshot.take} read it. *)
+
+(** {2 Enable switch} *)
+
+val enabled : unit -> bool
+(** One atomic load; hot paths branch on this before recording. *)
+
+val set_enabled : bool -> unit
+
+(** {2 Registration (idempotent)} *)
+
+val counter :
+  ?registry:registry ->
+  ?labels:(string * string) list ->
+  help:string ->
+  string ->
+  counter
+
+val gauge :
+  ?registry:registry ->
+  ?labels:(string * string) list ->
+  help:string ->
+  string ->
+  gauge
+
+val histogram :
+  ?registry:registry ->
+  ?labels:(string * string) list ->
+  help:string ->
+  bounds:int array ->
+  string ->
+  histogram
+(** [bounds] are strictly increasing inclusive upper bounds; an
+    implicit overflow (+Inf) bucket is appended.
+    @raise Invalid_argument on empty or non-increasing bounds, or when
+    the series exists with different bounds or a different type. *)
+
+(** {2 Recording — lock-free} *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+(** @raise Invalid_argument on a negative increment. *)
+
+val value : counter -> int
+
+val reset_counter : counter -> unit
+(** For tests ({!Robust.Faults.reset_trip_counts}); Prometheus
+    semantics say counters only go up, so production code never calls
+    this. *)
+
+val set_gauge : gauge -> int -> unit
+val gauge_value : gauge -> int
+
+val max_gauge : gauge -> int -> unit
+(** Retains the maximum of the current value and the argument
+    (lock-free CAS loop) — high-water marks like max-in-flight. *)
+
+val observe : histogram -> int -> unit
+(** Adds [v] to the first bucket whose bound is [>= v] (overflow bucket
+    past the last bound) and updates sum and count. *)
+
+(** {2 Introspection} *)
+
+val meta_of : metric -> meta
+
+val list_metrics : ?registry:registry -> unit -> metric list
+(** In registration order. *)
+
+val histogram_bounds : histogram -> int array
+(** The registered upper bounds (a copy), without the implicit +Inf. *)
+
+val histogram_state : histogram -> int array * int * int
+(** [(per_bucket_counts, sum, count)]; counts are per-bucket (not
+    cumulative) and include the trailing overflow bucket. *)
+
+val reset_all : ?registry:registry -> unit -> unit
+(** Zeroes every metric in the registry (tests and benchmarks). *)

@@ -1,0 +1,78 @@
+(* Lightweight span tracing for the conversion pipeline.
+
+   A conversion flows parse -> boundaries -> scale -> generate ->
+   render; each stage is timed into a per-stage nanosecond histogram.
+   Timing every conversion would cost two clock reads per stage — far
+   more than the 2% overhead budget on the sub-microsecond free-format
+   hot loop — so spans are *sampled*: each domain keeps a countdown and
+   only every Nth span (default 32) reads the clock.  The histograms
+   therefore describe the latency distribution, not an exact census;
+   the exact counters live in Metrics.
+
+   Disabled cost: one atomic load and a branch per span site.  Enabled,
+   unsampled cost: a domain-local load, an integer decrement and a
+   branch. *)
+
+type stage = Parse | Boundaries | Scale | Generate | Render
+
+let all = [ Parse; Boundaries; Scale; Generate; Render ]
+
+let stage_name = function
+  | Parse -> "parse"
+  | Boundaries -> "boundaries"
+  | Scale -> "scale"
+  | Generate -> "generate"
+  | Render -> "render"
+
+let index = function
+  | Parse -> 0
+  | Boundaries -> 1
+  | Scale -> 2
+  | Generate -> 3
+  | Render -> 4
+
+let duration_bounds =
+  [| 100; 250; 500; 1_000; 2_500; 5_000; 10_000; 25_000; 50_000; 100_000;
+     1_000_000; 10_000_000 |]
+
+let hists =
+  Array.of_list
+    (List.map
+       (fun s ->
+         Metrics.histogram
+           ~labels:[ ("stage", stage_name s) ]
+           ~help:
+             "Sampled per-stage conversion latency in nanoseconds (parse, \
+              boundaries, scale, generate, render)."
+           ~bounds:duration_bounds "bdprint_stage_duration_ns")
+       all)
+
+let sample_every = Atomic.make 32
+
+let set_sample_every n =
+  if n < 1 then invalid_arg "Trace.set_sample_every: need >= 1";
+  Atomic.set sample_every n
+
+(* Domain-local countdown: worker domains sample independently, no
+   contention.  Starts at 1 so the first span of every domain records. *)
+let countdown = Domain.DLS.new_key (fun () -> ref 1)
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let start () =
+  if not (Metrics.enabled ()) then 0
+  else begin
+    let r = Domain.DLS.get countdown in
+    let n = !r in
+    if n <= 1 then begin
+      r := Atomic.get sample_every;
+      now_ns ()
+    end
+    else begin
+      r := n - 1;
+      0
+    end
+  end
+
+let finish stage t0 =
+  if t0 <> 0 then Metrics.observe hists.(index stage) (max 0 (now_ns () - t0))

@@ -1,0 +1,23 @@
+(** Sampled span tracing of the conversion pipeline stages.
+
+    Stage timings land in the [bdprint_stage_duration_ns] histogram
+    family (one series per stage label).  Spans are sampled one-in-N
+    per domain ({!set_sample_every}, default 32) so the hot loop pays
+    clock reads only on sampled conversions; when telemetry is
+    disabled a span site costs one atomic load and a branch. *)
+
+type stage = Parse | Boundaries | Scale | Generate | Render
+
+val all : stage list
+val stage_name : stage -> string
+
+val set_sample_every : int -> unit
+(** Record every Nth span per domain (default 32); [1] records all.
+    @raise Invalid_argument on [n < 1]. *)
+
+val start : unit -> int
+(** Opens a span: returns a clock token, or [0] when telemetry is
+    disabled or this span is not sampled. *)
+
+val finish : stage -> int -> unit
+(** Closes a span opened by {!start}; a [0] token is a no-op. *)

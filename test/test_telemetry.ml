@@ -1,0 +1,291 @@
+(* Telemetry layer: registry semantics under concurrency, histogram
+   bucket boundaries, Prometheus golden rendering, fault-trip export,
+   and an end-to-end check that [bdprint --stdin --jobs N --metrics]
+   reports exact counters without perturbing stdout. *)
+
+module Metrics = Telemetry.Metrics
+module Snapshot = Telemetry.Snapshot
+module Error = Robust.Error
+module Faults = Robust.Faults
+
+(* ------------------------------------------------------------------ *)
+(* Registry semantics *)
+
+let test_concurrent_counters () =
+  let r = Metrics.create_registry () in
+  let c = Metrics.counter ~registry:r ~help:"test" "test_concurrent_total" in
+  let h =
+    Metrics.histogram ~registry:r ~help:"test" ~bounds:[| 10; 20 |]
+      "test_concurrent_hist"
+  in
+  let per_domain = 25_000 in
+  let domains = 4 in
+  let work () =
+    for i = 1 to per_domain do
+      Metrics.incr c;
+      Metrics.observe h (i mod 30)
+    done
+  in
+  let spawned = List.init domains (fun _ -> Domain.spawn work) in
+  List.iter Domain.join spawned;
+  Alcotest.(check int)
+    "4-domain increments sum exactly" (domains * per_domain)
+    (Metrics.value c);
+  let _, _, count = Metrics.histogram_state h in
+  Alcotest.(check int)
+    "4-domain observations all counted" (domains * per_domain) count
+
+let test_idempotent_registration () =
+  let r = Metrics.create_registry () in
+  let c1 =
+    Metrics.counter ~registry:r
+      ~labels:[ ("k", "v") ]
+      ~help:"test" "test_idem_total"
+  in
+  let c2 =
+    Metrics.counter ~registry:r
+      ~labels:[ ("k", "v") ]
+      ~help:"test" "test_idem_total"
+  in
+  Metrics.incr c1;
+  Alcotest.(check int) "same series, same cell" 1 (Metrics.value c2);
+  (* a different label set is a different series *)
+  let c3 =
+    Metrics.counter ~registry:r
+      ~labels:[ ("k", "other") ]
+      ~help:"test" "test_idem_total"
+  in
+  Alcotest.(check int) "distinct labels, distinct cell" 0 (Metrics.value c3);
+  (* re-registering a histogram with different bounds is a bug, not a
+     silent new series *)
+  let _ =
+    Metrics.histogram ~registry:r ~help:"test" ~bounds:[| 1; 2 |]
+      "test_idem_hist"
+  in
+  Alcotest.check_raises "conflicting bounds rejected"
+    (Invalid_argument
+       "Metrics.histogram: test_idem_hist already registered with other bounds")
+    (fun () ->
+      ignore
+        (Metrics.histogram ~registry:r ~help:"test" ~bounds:[| 1; 3 |]
+           "test_idem_hist"));
+  Alcotest.check_raises "type conflict rejected"
+    (Invalid_argument
+       "Metrics.counter: test_idem_hist already registered as another type")
+    (fun () ->
+      ignore (Metrics.counter ~registry:r ~help:"test" "test_idem_hist"))
+
+(* ------------------------------------------------------------------ *)
+(* Histogram bucket boundaries *)
+
+let test_histogram_buckets () =
+  let r = Metrics.create_registry () in
+  let h =
+    Metrics.histogram ~registry:r ~help:"test" ~bounds:[| 1; 2; 5 |]
+      "test_bucket_hist"
+  in
+  (* bounds are inclusive upper bounds: 0,1 -> le=1; 2 -> le=2;
+     3,4,5 -> le=5; 6,100 -> overflow *)
+  List.iter (Metrics.observe h) [ 0; 1; 2; 3; 4; 5; 6; 100 ];
+  let counts, sum, count = Metrics.histogram_state h in
+  Alcotest.(check (array int)) "per-bucket counts" [| 2; 1; 3; 2 |] counts;
+  Alcotest.(check int) "sum" 121 sum;
+  Alcotest.(check int) "count" 8 count;
+  let snap = Snapshot.take ~registry:r () in
+  match Snapshot.histogram_value snap "test_bucket_hist" with
+  | None -> Alcotest.fail "histogram missing from snapshot"
+  | Some hv ->
+    Alcotest.(check (array int)) "snapshot bounds" [| 1; 2; 5 |] hv.bounds;
+    Alcotest.(check (array int))
+      "snapshot counts" [| 2; 1; 3; 2 |] hv.Snapshot.counts;
+    Alcotest.(check int) "snapshot sum" 121 hv.Snapshot.sum;
+    Alcotest.(check int) "snapshot count" 8 hv.Snapshot.count
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus golden output *)
+
+let test_prometheus_golden () =
+  let r = Metrics.create_registry () in
+  let ok =
+    Metrics.counter ~registry:r
+      ~labels:[ ("result", "ok") ]
+      ~help:"Requests by result." "demo_requests_total"
+  in
+  let err =
+    Metrics.counter ~registry:r
+      ~labels:[ ("result", "error") ]
+      ~help:"Requests by result." "demo_requests_total"
+  in
+  let g = Metrics.gauge ~registry:r ~help:"Queue depth." "demo_queue_depth" in
+  let h =
+    Metrics.histogram ~registry:r ~help:"Sizes." ~bounds:[| 1; 10 |]
+      "demo_sizes"
+  in
+  Metrics.incr ok;
+  Metrics.incr ok;
+  Metrics.incr err;
+  Metrics.set_gauge g 7;
+  List.iter (Metrics.observe h) [ 0; 5; 200 ];
+  let expected =
+    "# HELP demo_requests_total Requests by result.\n\
+     # TYPE demo_requests_total counter\n\
+     demo_requests_total{result=\"ok\"} 2\n\
+     demo_requests_total{result=\"error\"} 1\n\
+     # HELP demo_queue_depth Queue depth.\n\
+     # TYPE demo_queue_depth gauge\n\
+     demo_queue_depth 7\n\
+     # HELP demo_sizes Sizes.\n\
+     # TYPE demo_sizes histogram\n\
+     demo_sizes_bucket{le=\"1\"} 1\n\
+     demo_sizes_bucket{le=\"10\"} 2\n\
+     demo_sizes_bucket{le=\"+Inf\"} 3\n\
+     demo_sizes_sum 205\n\
+     demo_sizes_count 3\n"
+  in
+  Alcotest.(check string)
+    "prometheus text" expected
+    (Snapshot.to_prometheus (Snapshot.take ~registry:r ()))
+
+(* ------------------------------------------------------------------ *)
+(* Fault trip counters surface as metrics *)
+
+let test_fault_trip_metrics () =
+  Faults.disarm_all ();
+  Faults.reset_trip_counts ();
+  let before = List.assoc "nat.divmod" (Faults.trip_counts ()) in
+  (match
+     Error.catch (fun () ->
+         Faults.with_fault "nat.divmod" (fun () -> Faults.trip "nat.divmod"))
+   with
+  | Error (Error.Internal _) -> ()
+  | _ -> Alcotest.fail "armed trip must surface as Internal");
+  Faults.disarm_all ();
+  let after = List.assoc "nat.divmod" (Faults.trip_counts ()) in
+  Alcotest.(check int) "trip_counts delta" 1 (after - before);
+  let snap = Snapshot.take () in
+  Alcotest.(check int) "exported as bdprint_fault_trips_total" after
+    (Snapshot.counter_value
+       ~labels:[ ("point", "nat.divmod") ]
+       snap "bdprint_fault_trips_total");
+  Faults.reset_trip_counts ()
+
+(* ------------------------------------------------------------------ *)
+(* End to end: --metrics on a parallel stream *)
+
+let bdprint_exe () =
+  Filename.concat
+    (Filename.dirname (Filename.dirname Sys.executable_name))
+    "bin/bdprint.exe"
+
+let slurp path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let run_stream ?metrics input_file =
+  let out = Filename.temp_file "telemetry" ".out" in
+  let flags =
+    match metrics with
+    | None -> ""
+    | Some file -> Printf.sprintf "--metrics %s" (Filename.quote file)
+  in
+  let cmd =
+    Printf.sprintf "%s --stdin --jobs 4 %s < %s > %s 2> /dev/null"
+      (bdprint_exe ()) flags
+      (Filename.quote input_file)
+      (Filename.quote out)
+  in
+  let status = Sys.command cmd in
+  let stdout = slurp out in
+  Sys.remove out;
+  (status, stdout)
+
+let prom_counter_line prom name =
+  String.split_on_char '\n' prom
+  |> List.exists (fun l -> String.equal l name)
+
+(* Sum every sample of a counter family in the Prometheus text:
+   "name{...} v" or "name v" lines. *)
+let prom_family_sum prom name =
+  String.split_on_char '\n' prom
+  |> List.fold_left
+       (fun acc l ->
+         let prefixed p = String.length l > String.length p
+                          && String.sub l 0 (String.length p) = p in
+         if prefixed (name ^ "{") || prefixed (name ^ " ") then
+           match String.rindex_opt l ' ' with
+           | Some i ->
+             acc
+             + int_of_string
+                 (String.sub l (i + 1) (String.length l - i - 1))
+           | None -> acc
+         else acc)
+       0
+
+let test_metrics_end_to_end () =
+  let lines = 10_000 in
+  let input = Filename.temp_file "telemetry" ".in" in
+  let oc = open_out input in
+  let st = Random.State.make [| 20260807 |] in
+  for _ = 1 to lines do
+    let x = Random.State.float st 2.0 -. 1.0 in
+    let e = Random.State.int st 60 - 30 in
+    Printf.fprintf oc "%.17ge%d\n" x e
+  done;
+  close_out oc;
+  let mfile = Filename.temp_file "telemetry" ".json" in
+  let pfile = Filename.chop_suffix mfile ".json" ^ ".prom" in
+  let status_m, out_m = run_stream ~metrics:mfile input in
+  let status_p, out_p = run_stream input in
+  let prom = slurp pfile in
+  let json = slurp mfile in
+  List.iter Sys.remove [ input; mfile; pfile ];
+  Alcotest.(check int) "metrics run exits 0" 0 status_m;
+  Alcotest.(check int) "plain run exits 0" 0 status_p;
+  Alcotest.(check string) "stdout is byte-identical with --metrics" out_p
+    out_m;
+  Alcotest.(check bool)
+    "conversions_total = input lines" true
+    (prom_counter_line prom
+       (Printf.sprintf "bdprint_conversions_total %d" lines));
+  Alcotest.(check int) "every line converted ok" lines
+    (prom_family_sum prom "bdprint_conversion_results_total");
+  Alcotest.(check int)
+    "fast path + fallback = reader calls" lines
+    (prom_family_sum prom "bdprint_reader_tier_total");
+  Alcotest.(check bool) "json snapshot mentions conversions_total" true
+    (let needle = "\"bdprint_conversions_total\"" in
+     let n = String.length needle and l = String.length json in
+     let rec go i = i + n <= l && (String.sub json i n = needle || go (i + 1)) in
+     go 0)
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "concurrent increments" `Quick
+            test_concurrent_counters;
+          Alcotest.test_case "idempotent registration" `Quick
+            test_idempotent_registration;
+        ] );
+      ( "histogram",
+        [ Alcotest.test_case "bucket boundaries" `Quick test_histogram_buckets ]
+      );
+      ( "exposition",
+        [
+          Alcotest.test_case "prometheus golden" `Quick test_prometheus_golden;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "trip counters exported" `Quick
+            test_fault_trip_metrics;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "--jobs 4 --metrics exact counters" `Quick
+            test_metrics_end_to_end;
+        ] );
+    ]
