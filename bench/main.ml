@@ -12,6 +12,9 @@
                format, Grisu3-style shortest form; ours, E9)
    - service:  sequential vs supervised parallel streaming (ours, E10)
    - bignum:   substrate microbenchmarks (ours, E8)
+   - kernel:   allocation-free digit loop vs pure-Nat reference
+               (throughput + Gc.minor_words per conversion; writes
+               BENCH_kernel.json)
    - bechamel: per-conversion microbenchmarks, one Test.make per table
 
    Run everything:            dune exec bench/main.exe
@@ -418,6 +421,116 @@ let bignum_bench () =
     Nat.karatsuba_threshold
 
 (* ------------------------------------------------------------------ *)
+(* Kernel: allocation-free digit loop vs the pure-Nat reference *)
+
+let kernel_bench ~size () =
+  Printf.printf
+    "%s\nKernel: in-place digit-loop kernels vs pure-Nat reference\n" line;
+  Printf.printf
+    "(%d Schryer doubles; throughput and Gc.minor_words per conversion)\n\n"
+    size;
+  let values = Array.map decompose_pos (Workloads.Schryer.corpus ~size ()) in
+  let fsize = float_of_int size in
+  let free_pass () =
+    Array.iter
+      (fun v ->
+        let r = Dragon.Free_format.convert b64 v in
+        sink := !sink + Array.length r.Dragon.Free_format.digits)
+      values
+  in
+  let fixed_pass () =
+    Array.iter
+      (fun v ->
+        match
+          Dragon.Fixed_format.convert b64 v (Dragon.Fixed_format.Relative 17)
+        with
+        | Ok t -> sink := !sink + Array.length t.Dragon.Fixed_format.digits
+        | Error _ -> ())
+      values
+  in
+  let sw_pass () =
+    Array.iter
+      (fun v ->
+        sink :=
+          !sink
+          + Array.length
+              (Baselines.Steele_white.convert b64 v).Dragon.Free_format.digits)
+      values
+  in
+  (* Warm up first (power tables, scratch pools), then measure CPU time
+     and the minor-allocation delta of one clean pass. *)
+  let measure pass =
+    pass ();
+    Gc.full_major ();
+    let w0 = Gc.minor_words () in
+    let _, t = time_cpu pass in
+    let w1 = Gc.minor_words () in
+    (t, (w1 -. w0) /. fsize)
+  in
+  let forced_pure f =
+    Dragon.Generate.set_force_pure true;
+    Fun.protect ~finally:(fun () -> Dragon.Generate.set_force_pure false) f
+  in
+  let scr_t, scr_w = measure free_pass in
+  let pure_t, pure_w = forced_pure (fun () -> measure free_pass) in
+  let fx_scr_t, fx_scr_w = measure fixed_pass in
+  let fx_pure_t, fx_pure_w = forced_pure (fun () -> measure fixed_pass) in
+  let sw_t, sw_w = measure sw_pass in
+  (* Fast-path vs scratch-path split (counters record only while
+     telemetry is on). *)
+  let f0 = Dragon.Generate.fastpath_count ()
+  and s0 = Dragon.Generate.scratchpath_count () in
+  Telemetry.set_enabled true;
+  free_pass ();
+  Telemetry.set_enabled false;
+  let fast_hits = Dragon.Generate.fastpath_count () - f0
+  and scratch_hits = Dragon.Generate.scratchpath_count () - s0 in
+  let row name t w =
+    Printf.printf "  %-34s %10.3f s %12.0f conv/s %12.1f minor w/conv\n" name t
+      (fsize /. t) w
+  in
+  row "free format, kernel path" scr_t scr_w;
+  row "free format, pure-Nat path" pure_t pure_w;
+  row "fixed format (17), kernel path" fx_scr_t fx_scr_w;
+  row "fixed format (17), pure-Nat path" fx_pure_t fx_pure_w;
+  row "Steele & White baseline" sw_t sw_w;
+  Printf.printf
+    "\n  free format: %.1fx fewer minor words, %.2fx throughput; digit loop\n\
+    \  paths on this corpus: %d word-sized fast, %d scratch\n"
+    (pure_w /. scr_w)
+    (pure_t /. scr_t) fast_hits scratch_hits;
+  let oc = open_out "BENCH_kernel.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"size\": %d,\n\
+    \  \"free_format\": {\n\
+    \    \"kernel\": { \"time_s\": %.6f, \"conversions_per_s\": %.0f, \
+     \"minor_words_per_conversion\": %.1f },\n\
+    \    \"pure\": { \"time_s\": %.6f, \"conversions_per_s\": %.0f, \
+     \"minor_words_per_conversion\": %.1f },\n\
+    \    \"minor_words_reduction\": %.2f,\n\
+    \    \"speedup\": %.3f\n\
+    \  },\n\
+    \  \"fixed_format_17\": {\n\
+    \    \"kernel\": { \"time_s\": %.6f, \"conversions_per_s\": %.0f, \
+     \"minor_words_per_conversion\": %.1f },\n\
+    \    \"pure\": { \"time_s\": %.6f, \"conversions_per_s\": %.0f, \
+     \"minor_words_per_conversion\": %.1f },\n\
+    \    \"minor_words_reduction\": %.2f,\n\
+    \    \"speedup\": %.3f\n\
+    \  },\n\
+    \  \"steele_white\": { \"time_s\": %.6f, \"conversions_per_s\": %.0f, \
+     \"minor_words_per_conversion\": %.1f },\n\
+    \  \"digit_loop_paths\": { \"fastpath\": %d, \"scratchpath\": %d }\n\
+     }\n"
+    size scr_t (fsize /. scr_t) scr_w pure_t (fsize /. pure_t) pure_w
+    (pure_w /. scr_w) (pure_t /. scr_t) fx_scr_t (fsize /. fx_scr_t) fx_scr_w
+    fx_pure_t (fsize /. fx_pure_t) fx_pure_w (fx_pure_w /. fx_scr_w)
+    (fx_pure_t /. fx_scr_t) sw_t (fsize /. sw_t) sw_w fast_hits scratch_hits;
+  close_out oc;
+  Printf.printf "  wrote BENCH_kernel.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Service layer: sequential vs supervised parallel throughput (E10) *)
 
 let service_bench ~size () =
@@ -624,5 +737,6 @@ let () =
   if has "service" then service_bench ~size:(pick 30_000) ();
   if has "telemetry" then telemetry_bench ~size:(pick 20_000) ();
   if has "bignum" then bignum_bench ();
+  if has "kernel" then kernel_bench ~size:(pick 8_000) ();
   if has "bechamel" then bechamel_benches ();
   ignore !sink

@@ -562,3 +562,13 @@ let of_string s =
   of_base_digits ~base:radix (Array.of_list !digits)
 
 let pp fmt a = Format.pp_print_string fmt (to_string a)
+
+(* Kernel interface: Scratch workspaces share the limb representation
+   and copy limbs across the boundary without re-encoding. *)
+
+let limbs (a : t) : int array = a
+
+let of_limbs_copy a len =
+  if len < 0 || len > Array.length a then
+    invalid_arg "Nat.of_limbs_copy: bad length";
+  normalize (Array.sub a 0 len)

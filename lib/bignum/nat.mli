@@ -133,6 +133,20 @@ val of_string_base : base:int -> string -> t
 
 val pp : Format.formatter -> t -> unit
 
+(** {1 Kernel interface}
+
+    For the in-place {!Scratch} workspaces, which share the 30-bit limb
+    representation.  Not for general use. *)
+
+val limbs : t -> int array
+(** The backing little-endian limb array itself, {e not} a copy.  The
+    caller must never mutate it — [Nat.t] values are shared. *)
+
+val of_limbs_copy : int array -> int -> t
+(** [of_limbs_copy a len] copies the first [len] limbs (each in
+    [0, 2^30)) into a fresh normalized value.
+    @raise Invalid_argument on a bad length. *)
+
 (** {1 Internal checks} *)
 
 val check_invariant : t -> bool

@@ -81,24 +81,23 @@ let absolute ~base ~mode ~tie (fmt : Format_spec.t) (v : Value.finite) j =
        bumping the digit before it keeps the number within the range:
        V + base^(k-m+1) <= high, which over the common denominator reads
        inc*s*base^t + s <= (r_n + m+_n) * base^t with t = m - n - 1. *)
-    let inc = if stop.incremented then Nat.one else Nat.zero in
-    let bound = Nat.add stop.rest stop.m_plus_n in
-    let insignificant t_pow =
-      let lhs =
-        Nat.add (Nat.mul (Nat.mul inc state.s) t_pow) state.s
-      in
-      let rhs = Nat.mul bound t_pow in
-      let c = Nat.compare lhs rhs in
+    (* Track inc*s*base^t and (r_n + m+_n)*base^t incrementally — one
+       single-limb multiply per side per position instead of rebuilding
+       both products from scratch each time. *)
+    let lhs_t = ref (if stop.incremented then state.s else Nat.zero) in
+    let rhs_t = ref (Nat.add stop.rest stop.m_plus_n) in
+    let insignificant () =
+      let c = Nat.compare (Nat.add !lhs_t state.s) !rhs_t in
       if high_ok then c <= 0 else c < 0
     in
-    let t_pow = ref Nat.one in
     let stop_zeros = ref false in
     for m = n to total - 1 do
       if not !stop_zeros then
-        if insignificant !t_pow then stop_zeros := true
+        if insignificant () then stop_zeros := true
         else begin
           digits.(m) <- Digit 0;
-          t_pow := Nat.mul_int !t_pow base
+          lhs_t := Nat.mul_int !lhs_t base;
+          rhs_t := Nat.mul_int !rhs_t base
         end
     done;
     { digits; k }

@@ -171,6 +171,90 @@ let test_fixed_half_quantum () =
     | _ -> () (* inf/nan payloads: skip, not counted *)
   done
 
+(* The in-place digit-loop kernels (word-sized fast path + Scratch
+   workspace) must be byte-identical to the pure-Nat reference: print
+   every corpus/nasty line and a random batch through both, for free
+   format and fixed format, and compare the strings. *)
+let with_pure f =
+  Dragon.Generate.set_force_pure true;
+  Fun.protect ~finally:(fun () -> Dragon.Generate.set_force_pure false) f
+
+let print_opt fmt input =
+  match R.read fmt input with
+  | Error _ -> None
+  | Ok v -> (
+    match Dragon.Printer.print_value fmt v with
+    | Ok s -> Some s
+    | Error e ->
+      Alcotest.failf "print_value failed on %S: %s" (short input)
+        (Robust.Error.to_string e))
+
+let check_paths_agree fmt input =
+  let kernel = print_opt fmt input in
+  let pure = with_pure (fun () -> print_opt fmt input) in
+  if kernel <> pure then
+    Alcotest.failf "scratch/pure mismatch on %S: %s vs %s" (short input)
+      (Option.value kernel ~default:"<unread>")
+      (Option.value pure ~default:"<unread>")
+
+let test_scratch_pure_differential () =
+  Alcotest.(check bool) "force_pure off" false (Dragon.Generate.force_pure ());
+  let corpus_lines =
+    if Sys.file_exists "corpus" && Sys.is_directory "corpus" then
+      Sys.readdir "corpus" |> Array.to_list |> List.sort String.compare
+      |> List.concat_map (fun f ->
+             let ic = open_in (Filename.concat "corpus" f) in
+             let lines = ref [] in
+             (try
+                while true do
+                  lines := input_line ic :: !lines
+                done
+              with End_of_file -> ());
+             close_in ic;
+             List.rev !lines)
+    else []
+  in
+  List.iter
+    (fun input ->
+      check_paths_agree b64 input;
+      check_paths_agree b16 input)
+    (Gen.nasty @ corpus_lines);
+  let st = Random.State.make [| seed; 4 |] in
+  for _ = 1 to max 500 (iters / 4) do
+    check_paths_agree b64 (Gen.any st)
+  done;
+  (* fixed format through both paths on random finite doubles *)
+  let st = Random.State.make [| seed; 5 |] in
+  let done_ = ref 0 in
+  while !done_ < 500 do
+    let payload =
+      Int64.logand (Random.State.int64 st Int64.max_int)
+        0x7FFF_FFFF_FFFF_FFFFL
+    in
+    match Fp.Ieee.decompose (Int64.float_of_bits payload) with
+    | Value.Finite v ->
+      incr done_;
+      let req =
+        if Random.State.bool st then
+          Dragon.Fixed_format.Relative (1 + Random.State.int st 17)
+        else Dragon.Fixed_format.Absolute (Random.State.int st 40 - 20)
+      in
+      let kernel = Dragon.Fixed_format.convert b64 v req in
+      let pure =
+        with_pure (fun () -> Dragon.Fixed_format.convert b64 v req)
+      in
+      let same =
+        match (kernel, pure) with
+        | Ok a, Ok b -> Dragon.Fixed_format.equal a b
+        | Error _, Error _ -> true
+        | _ -> false
+      in
+      if not same then
+        Alcotest.failf "fixed-format scratch/pure mismatch on %h"
+          (Int64.float_of_bits payload)
+    | _ -> ()
+  done
+
 (* With each fault point armed the pipeline must degrade to structured
    errors, never exceptions, and disarming must fully restore it. *)
 let test_fault_totality () =
@@ -206,6 +290,8 @@ let () =
           Alcotest.test_case "nasty list and corpus files" `Quick test_corpus;
           Alcotest.test_case "fixed format within half quantum" `Slow
             test_fixed_half_quantum;
+          Alcotest.test_case "scratch path byte-identical to pure path" `Slow
+            test_scratch_pure_differential;
           Alcotest.test_case "totality under injected faults" `Quick
             test_fault_totality;
         ] );

@@ -1,0 +1,276 @@
+(* Differential tests for the in-place Scratch kernels against the pure
+   Nat substrate: every destructive operation must agree with its
+   immutable counterpart, on random values and on the carry/borrow edge
+   cases at limb boundaries, and the invariant-divisor short division
+   must agree with Nat.divmod wherever its single-limb-quotient
+   precondition holds and raise (leaving the dividend intact) where it
+   does not. *)
+
+module Nat = Bignum.Nat
+module Scratch = Bignum.Scratch
+
+let nat = Alcotest.testable Nat.pp Nat.equal
+let base = 1 lsl 30
+let mask = base - 1
+
+(* ------------------------------------------------------------------ *)
+(* Generators (same shape as test_bignum's) *)
+
+let gen_nat_sized limbs =
+  let open QCheck.Gen in
+  list_size (int_bound limbs) (int_bound mask) >|= fun ds ->
+  List.fold_left
+    (fun acc d -> Nat.add (Nat.shift_left acc 30) (Nat.of_int d))
+    Nat.zero ds
+
+let arb_nat = QCheck.make ~print:Nat.to_string (gen_nat_sized 20)
+
+let arb_pos_nat =
+  QCheck.make ~print:Nat.to_string QCheck.Gen.(gen_nat_sized 20 >|= Nat.succ)
+
+let qtest ?(count = 300) name arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+
+(* Run an in-place kernel in a fresh workspace seeded with [a] and
+   return the Nat snapshot of the result. *)
+let via_scratch a f =
+  let t = Scratch.of_nat a in
+  f t;
+  Alcotest.(check bool) "invariant" true (Scratch.check_invariant t);
+  Scratch.to_nat t
+
+(* ------------------------------------------------------------------ *)
+(* Units: boundary carries and borrows *)
+
+(* 2^(30k) - 1: every limb saturated. *)
+let all_ones k = Nat.pred (Nat.shift_left Nat.one (30 * k))
+
+let test_conversions () =
+  Alcotest.check nat "zero round trip" Nat.zero
+    (Scratch.to_nat (Scratch.of_nat Nat.zero));
+  Alcotest.(check bool) "zero is_zero" true
+    (Scratch.is_zero (Scratch.of_nat Nat.zero));
+  Alcotest.(check int) "zero length" 0
+    (Scratch.length (Scratch.of_nat Nat.zero));
+  let t = Scratch.create 2 in
+  Scratch.set_int t 12345;
+  Alcotest.check nat "set_int" (Nat.of_int 12345) (Scratch.to_nat t);
+  (* growth past the initial capacity preserves the value *)
+  Scratch.set_nat t (all_ones 7);
+  Alcotest.check nat "growth" (all_ones 7) (Scratch.to_nat t);
+  Alcotest.(check bool) "capacity grew" true (Scratch.capacity t >= 7);
+  let d = Scratch.create 1 in
+  Scratch.copy_into ~src:t ~dst:d;
+  Alcotest.check nat "copy_into" (all_ones 7) (Scratch.to_nat d)
+
+let test_carry_edges () =
+  (* +1 on a saturated value carries through every limb *)
+  for k = 1 to 5 do
+    let a = all_ones k in
+    let got = via_scratch a (fun t ->
+        let one = Scratch.of_nat Nat.one in
+        Scratch.add_in_place t one)
+    in
+    Alcotest.check nat
+      (Printf.sprintf "carry chain %d limbs" k)
+      (Nat.succ a) got
+  done;
+  (* aliased doubling of a saturated value *)
+  let a = all_ones 4 in
+  let t = Scratch.of_nat a in
+  Scratch.add_in_place t t;
+  Alcotest.check nat "aliased add" (Nat.add a a) (Scratch.to_nat t);
+  (* multiplying a saturated value by the max limb *)
+  let got = via_scratch a (fun t -> Scratch.mul_int_in_place t mask) in
+  Alcotest.check nat "mul_int carry" (Nat.mul_int a mask) got
+
+let test_borrow_edges () =
+  (* 2^(30k) - (2^(30k) - 1) = 1: borrow through every limb *)
+  for k = 1 to 5 do
+    let hi = Nat.shift_left Nat.one (30 * k) in
+    let got = via_scratch hi (fun t ->
+        let b = Scratch.of_nat (all_ones k) in
+        Scratch.sub_in_place t b)
+    in
+    Alcotest.check nat (Printf.sprintf "borrow chain %d limbs" k) Nat.one got
+  done;
+  (* a - a = 0 clamps down to the empty representation *)
+  let a = all_ones 3 in
+  let t = Scratch.of_nat a in
+  let b = Scratch.of_nat a in
+  Scratch.sub_in_place t b;
+  Alcotest.(check bool) "self sub is zero" true (Scratch.is_zero t);
+  (* negative result: raises before mutating *)
+  let t = Scratch.of_nat (Nat.of_int 5) in
+  let b = Scratch.of_nat (Nat.of_int 7) in
+  (match Scratch.sub_in_place t b with
+  | () -> Alcotest.fail "sub 5 - 7 did not raise"
+  | exception Invalid_argument _ -> ());
+  Alcotest.check nat "minuend unchanged" (Nat.of_int 5) (Scratch.to_nat t)
+
+let test_shift_edges () =
+  (* shifts that straddle limb boundaries on saturated values *)
+  List.iter
+    (fun bits ->
+      let a = all_ones 3 in
+      let got = via_scratch a (fun t -> Scratch.shift_left_in_place t bits) in
+      Alcotest.check nat
+        (Printf.sprintf "shift_left %d" bits)
+        (Nat.shift_left a bits) got)
+    [ 0; 1; 29; 30; 31; 59; 60; 61; 90 ]
+
+let test_quotient_overflow () =
+  (* dividend more than one limb wider than the divisor *)
+  let d = Scratch.create 4 in
+  let _shift = Scratch.normalize_divisor d (Nat.of_int 5) in
+  let big = Nat.shift_left Nat.one 200 in
+  let r = Scratch.of_nat big in
+  (match Scratch.div_digit r d with
+  | (_ : int) -> Alcotest.fail "div by 5 of 2^200 did not overflow"
+  | exception Scratch.Quotient_overflow -> ());
+  Alcotest.check nat "dividend unchanged after overflow" big
+    (Scratch.to_nat r);
+  (* exactly one limb wider but quotient = 2^30 *)
+  let s = Nat.shift_left Nat.one 29 in
+  let d = Scratch.create 4 in
+  let shift = Scratch.normalize_divisor d s in
+  let a = Nat.shift_left Nat.one 59 (* a / s = 2^30 *) in
+  let r = Scratch.of_nat (Nat.shift_left a shift) in
+  (match Scratch.div_digit r d with
+  | (_ : int) -> Alcotest.fail "quotient 2^30 did not overflow"
+  | exception Scratch.Quotient_overflow -> ());
+  Alcotest.check nat "dividend unchanged (tight overflow)"
+    (Nat.shift_left a shift) (Scratch.to_nat r)
+
+(* A workspace reused across operations must not leak stale limbs from
+   a previous, larger value. *)
+let test_reuse_staleness () =
+  let t = Scratch.create 1 in
+  Scratch.set_nat t (all_ones 6);
+  Scratch.set_nat t (Nat.of_int 3);
+  let b = Scratch.of_nat Nat.one in
+  Scratch.add_in_place t b;
+  Alcotest.check nat "shrunk then add" (Nat.of_int 4) (Scratch.to_nat t);
+  Scratch.mul_int_in_place t 0;
+  Alcotest.(check bool) "mul by 0 is zero" true (Scratch.is_zero t);
+  Scratch.add_in_place t b;
+  Alcotest.check nat "zero + 1" Nat.one (Scratch.to_nat t)
+
+(* ------------------------------------------------------------------ *)
+(* Properties: differential against Nat *)
+
+let props =
+  [
+    qtest "to_nat . of_nat = id" arb_nat (fun a ->
+        Nat.equal a (Scratch.to_nat (Scratch.of_nat a)));
+    qtest "compare agrees with Nat.compare" QCheck.(pair arb_nat arb_nat)
+      (fun (a, b) ->
+        Scratch.compare (Scratch.of_nat a) (Scratch.of_nat b)
+        = Nat.compare a b);
+    qtest "add_in_place = Nat.add" QCheck.(pair arb_nat arb_nat)
+      (fun (a, b) ->
+        Nat.equal (Nat.add a b)
+          (via_scratch a (fun t ->
+               Scratch.add_in_place t (Scratch.of_nat b))));
+    qtest "aliased add doubles" arb_nat (fun a ->
+        let t = Scratch.of_nat a in
+        Scratch.add_in_place t t;
+        Nat.equal (Nat.add a a) (Scratch.to_nat t));
+    qtest "sub_in_place = Nat.sub" QCheck.(pair arb_nat arb_nat)
+      (fun (a, b) ->
+        let hi, lo = if Nat.compare a b >= 0 then (a, b) else (b, a) in
+        Nat.equal (Nat.sub hi lo)
+          (via_scratch hi (fun t ->
+               Scratch.sub_in_place t (Scratch.of_nat lo))));
+    qtest "mul_int_in_place = Nat.mul_int"
+      QCheck.(pair arb_nat (int_range 0 mask))
+      (fun (a, m) ->
+        Nat.equal (Nat.mul_int a m)
+          (via_scratch a (fun t -> Scratch.mul_int_in_place t m)));
+    qtest "shift_left_in_place = Nat.shift_left"
+      QCheck.(pair arb_nat (int_range 0 123))
+      (fun (a, k) ->
+        Nat.equal (Nat.shift_left a k)
+          (via_scratch a (fun t -> Scratch.shift_left_in_place t k)));
+    qtest "normalize_divisor scales by 2^shift" arb_pos_nat (fun s ->
+        let d = Scratch.create 4 in
+        let shift = Scratch.normalize_divisor d s in
+        shift >= 0 && shift < 30
+        && Nat.equal (Nat.shift_left s shift) (Scratch.to_nat d));
+    (* planted q*s + rem with q a single limb: div_digit must return q
+       and leave rem (both sides scaled by the normalization shift) *)
+    qtest ~count:500 "div_digit reconstructs planted q, rem"
+      QCheck.(triple arb_pos_nat (int_range 0 mask) arb_nat)
+      (fun (s, q, rem0) ->
+        let rem = snd (Nat.divmod rem0 s) in
+        let a = Nat.add (Nat.mul_int s q) rem in
+        let d = Scratch.create 4 in
+        let shift = Scratch.normalize_divisor d s in
+        let r = Scratch.of_nat (Nat.shift_left a shift) in
+        let got_q = Scratch.div_digit r d in
+        got_q = q
+        && Nat.equal (Nat.shift_left rem shift) (Scratch.to_nat r)
+        && Scratch.check_invariant r);
+    (* and against Nat.divmod on arbitrary in-range dividends *)
+    qtest ~count:500 "div_digit agrees with Nat.divmod"
+      QCheck.(pair arb_pos_nat arb_nat)
+      (fun (s, a0) ->
+        (* clamp the dividend into [0, 2^30 * s) *)
+        let a = snd (Nat.divmod a0 (Nat.shift_left s 30)) in
+        let nq, nr = Nat.divmod a s in
+        let d = Scratch.create 4 in
+        let shift = Scratch.normalize_divisor d s in
+        let r = Scratch.of_nat (Nat.shift_left a shift) in
+        let got_q = Scratch.div_digit r d in
+        got_q = Nat.to_int_exn nq
+        && Nat.equal (Nat.shift_left nr shift) (Scratch.to_nat r));
+    (* a chained sequence of kernels in one reused workspace stays in
+       lockstep with the pure fold: catches stale-limb bugs that single
+       operations cannot *)
+    qtest ~count:200 "reused workspace tracks pure fold"
+      QCheck.(pair arb_nat (small_list (pair (int_range 0 3) (int_range 1 mask))))
+      (fun (a0, ops) ->
+        let t = Scratch.of_nat a0 in
+        let pure =
+          List.fold_left
+            (fun acc (op, x) ->
+              match op with
+              | 0 ->
+                Scratch.add_in_place t (Scratch.of_nat (Nat.of_int x));
+                Nat.add_int acc x
+              | 1 ->
+                let m = x land 0xFFFF in
+                Scratch.mul_int_in_place t m;
+                Nat.mul_int acc m
+              | 2 ->
+                let k = x land 63 in
+                Scratch.shift_left_in_place t k;
+                Nat.shift_left acc k
+              | _ ->
+                let b = snd (Nat.divmod (Nat.of_int x) (Nat.succ acc)) in
+                Scratch.sub_in_place t (Scratch.of_nat b);
+                Nat.sub acc b)
+            a0 ops
+        in
+        Scratch.check_invariant t && Nat.equal pure (Scratch.to_nat t));
+  ]
+
+let () =
+  Alcotest.run "scratch"
+    [
+      ( "units",
+        [
+          Alcotest.test_case "conversions and growth" `Quick test_conversions;
+          Alcotest.test_case "carry edges at limb boundaries" `Quick
+            test_carry_edges;
+          Alcotest.test_case "borrow edges at limb boundaries" `Quick
+            test_borrow_edges;
+          Alcotest.test_case "shifts across limb boundaries" `Quick
+            test_shift_edges;
+          Alcotest.test_case "quotient overflow leaves dividend intact" `Quick
+            test_quotient_overflow;
+          Alcotest.test_case "workspace reuse has no stale limbs" `Quick
+            test_reuse_staleness;
+        ] );
+      ("properties", props);
+    ]
