@@ -1,0 +1,180 @@
+(* bdlint: the project's own static analyzer (docs/STATIC_ANALYSIS.md).
+
+   Walks every [.ml] under the given paths (default: [lib bin]), parses
+   each file with the compiler's parser via ppxlib, and enforces the
+   four invariant families the repository's PRs established:
+
+   - [domain-safety]  toplevel mutable state must be Atomic/DLS/guarded;
+   - [exn-escape]     manifest-listed result boundaries may not leak
+                      exceptions;
+   - [no-alloc]       [@lint.no_alloc] kernels may not syntactically
+                      allocate;
+   - [telemetry-gate] hot-path Metrics recording must sit behind the
+                      enable check.
+
+   Exit codes: 0 clean, 1 findings, 2 usage/IO/parse errors.  [--format
+   json] emits a machine-readable report (CI uploads it as an
+   artifact); [--metrics FILE] additionally exports per-rule finding
+   and suppression counts through the project's own telemetry layer —
+   the analyzer eats the instrumentation it polices. *)
+
+open Cmdliner
+
+let is_ml name =
+  Filename.check_suffix name ".ml"
+  && String.length name > 0
+  && name.[0] <> '.'
+  && name.[0] <> '_'
+
+let skip_dir name =
+  String.length name = 0 || name.[0] = '.' || name.[0] = '_'
+
+(* Depth-first, sorted walk so output order is stable across runs. *)
+let rec collect_ml acc path =
+  if Sys.is_directory path then
+    let entries = Sys.readdir path in
+    Array.sort compare entries;
+    Array.fold_left
+      (fun acc entry ->
+        let full = Filename.concat path entry in
+        if Sys.is_directory full then
+          if skip_dir entry then acc else collect_ml acc full
+        else if is_ml entry then full :: acc
+        else acc)
+      acc entries
+  else if is_ml (Filename.basename path) then path :: acc
+  else acc
+
+let collect paths = List.rev (List.fold_left collect_ml [] paths)
+
+let write_out file contents =
+  match file with
+  | None -> print_string contents
+  | Some f ->
+    let oc = open_out f in
+    output_string oc contents;
+    close_out oc
+
+(* Feed per-rule counts through the telemetry layer and dump the
+   snapshot as JSON plus Prometheus text (FILE with a .prom suffix),
+   mirroring [bdprint --metrics]. *)
+let export_metrics file outcome =
+  let registry = Telemetry.Metrics.create_registry () in
+  let series help name rule n =
+    let c =
+      Telemetry.Metrics.counter ~registry
+        ~labels:[ ("rule", Lint.Finding.rule_id rule) ]
+        ~help name
+    in
+    Telemetry.Metrics.add c n
+  in
+  List.iter
+    (fun (rule, n) ->
+      series "Findings reported by bdlint" "bdlint_findings_total" rule n)
+    (Lint.Engine.finding_counts outcome);
+  List.iter
+    (fun (rule, n) ->
+      series "Findings absorbed by lint annotations" "bdlint_suppressions_total"
+        rule n)
+    outcome.Lint.Engine.suppressed;
+  let files =
+    Telemetry.Metrics.gauge ~registry ~help:"Files scanned by bdlint"
+      "bdlint_files_scanned"
+  in
+  Telemetry.Metrics.set_gauge files outcome.Lint.Engine.files;
+  let snap = Telemetry.Snapshot.take ~registry () in
+  write_out (Some file) (Telemetry.Snapshot.to_json snap);
+  write_out
+    (Some (Filename.remove_extension file ^ ".prom"))
+    (Telemetry.Snapshot.to_prometheus snap)
+
+let run paths manifest_file format output metrics quiet =
+  let manifest_file =
+    match manifest_file with
+    | Some f -> Some f
+    | None -> if Sys.file_exists "bdlint.manifest" then Some "bdlint.manifest" else None
+  in
+  match
+    let manifest =
+      match manifest_file with
+      | None -> Lint.Manifest.empty
+      | Some f -> Lint.Manifest.load f
+    in
+    let files = collect paths in
+    (files, Lint.Engine.analyze_files ~manifest files)
+  with
+  | exception Sys_error msg ->
+    Printf.eprintf "bdlint: %s\n" msg;
+    2
+  | exception Lint.Manifest.Malformed msg ->
+    Printf.eprintf "bdlint: manifest: %s\n" msg;
+    2
+  | exception Lint.Engine.Parse_error msg ->
+    Printf.eprintf "bdlint: parse error: %s\n" msg;
+    2
+  | _files, outcome ->
+    (match format with
+    | `Text ->
+      let body = Lint.Engine.to_text outcome in
+      let report =
+        if quiet then body else body ^ Lint.Engine.summary outcome ^ "\n"
+      in
+      write_out output report
+    | `Json -> write_out output (Lint.Engine.to_json outcome));
+    Option.iter (fun f -> export_metrics f outcome) metrics;
+    if outcome.Lint.Engine.findings = [] then 0 else 1
+
+let paths_arg =
+  Arg.(
+    value
+    & pos_all string [ "lib"; "bin" ]
+    & info [] ~docv:"PATH"
+        ~doc:"Files or directories to analyze (default: lib bin).")
+
+let manifest_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "manifest" ] ~docv:"FILE"
+        ~doc:
+          "Manifest listing exception-boundary modules and telemetry-gated \
+           directories (default: ./bdlint.manifest when present).")
+
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "format" ] ~docv:"FMT" ~doc:"Report format: text or json.")
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE"
+        ~doc:"Write the report to FILE instead of stdout.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Export per-rule finding/suppression counts as a telemetry \
+           snapshot: JSON to FILE and Prometheus text to FILE with a .prom \
+           suffix.")
+
+let quiet_arg =
+  Arg.(
+    value & flag
+    & info [ "q"; "quiet" ] ~doc:"Suppress the trailing summary line.")
+
+let cmd =
+  let doc = "project-specific static analyzer for the bdprint tree" in
+  let term =
+    Term.(
+      const run $ paths_arg $ manifest_arg $ format_arg $ output_arg
+      $ metrics_arg $ quiet_arg)
+  in
+  Cmd.v (Cmd.info "bdlint" ~doc ~exits:[]) term
+
+let () = exit (Cmd.eval' cmd)

@@ -250,6 +250,7 @@ type class_counts = {
   mutable n_budget : int;
   mutable n_internal : int;
 }
+[@@lint.domain_safe "owned by the single collector thread of a stream run"]
 
 let new_counts () = { n_syntax = 0; n_range = 0; n_budget = 0; n_internal = 0 }
 

@@ -3,13 +3,13 @@ module Value = Fp.Value
 
 let b64 = Fp.Format_spec.binary64
 
-let n_fast = ref 0
-let n_fallback = ref 0
+let n_fast = Atomic.make 0
+let n_fallback = Atomic.make 0
 
-let stats () = (!n_fast, !n_fallback)
+let stats () = (Atomic.get n_fast, Atomic.get n_fallback)
 
 let fallback v =
-  incr n_fallback;
+  Atomic.incr n_fallback;
   Dragon.Free_format.convert b64 v
 
 (* Compare c * 10^j against w * 2^t exactly (c, w positive ints).  The
@@ -55,6 +55,7 @@ let digits_of_int m n =
 
 let pow10_int =
   Array.init 18 (fun i -> int_of_float (10. ** float_of_int i))
+  [@@lint.domain_safe "read-only lookup table built at init"]
 
 (* Exact floor(f * 2^e * 10^s): one bignum division; the rare-case backup
    when the extended-precision floor cannot be certified.  Still far
@@ -163,7 +164,7 @@ let convert (v : Value.finite) =
               let c = cmp_scaled ((2 * m) + 1) (!k0 - n) (8 * f) t in
               if c <= 0 then m + 1 else m
           in
-          incr n_fast;
+          Atomic.incr n_fast;
           if m = pow10_int.(n) then
             (* increment cascaded to the next power of ten *)
             { Dragon.Free_format.digits = [| 1 |]; k = !k0 + 1 }

@@ -1,10 +1,10 @@
 module Value = Fp.Value
 
-let hits = ref 0
-let misses = ref 0
+let hits = Atomic.make 0
+let misses = Atomic.make 0
 
-let fast_path_hits () = !hits
-let fallbacks () = !misses
+let fast_path_hits () = Atomic.get hits
+let fallbacks () = Atomic.get misses
 
 (* Accumulated relative error of the fast path: the correctly rounded
    power table contributes 1/2 ulp, the scaling multiplication another
@@ -68,7 +68,7 @@ let convert ~ndigits fmt (v : Value.finite) =
   in
   match certified with
   | Some (n, k) ->
-    incr hits;
+    Atomic.incr hits;
     let digits = Array.make ndigits 0 in
     let rest = ref n in
     for i = ndigits - 1 downto 0 do
@@ -77,5 +77,5 @@ let convert ~ndigits fmt (v : Value.finite) =
     done;
     (digits, k)
   | None ->
-    incr misses;
+    Atomic.incr misses;
     Naive_fixed.convert ~ndigits fmt { v with neg = false }

@@ -10,8 +10,8 @@ let base = 1 lsl base_bits
 let mask = base - 1
 
 let zero : t = [||]
-let one : t = [| 1 |]
-let two : t = [| 2 |]
+let one : t = [| 1 |] [@@lint.domain_safe "write-once constant, never mutated"]
+let two : t = [| 2 |] [@@lint.domain_safe "write-once constant, never mutated"]
 
 let is_zero a = Array.length a = 0
 let is_even a = Array.length a = 0 || a.(0) land 1 = 0

@@ -11,6 +11,7 @@ let base = 1 lsl base_bits
 let mask = base - 1
 
 type t = { mutable limbs : int array; mutable len : int }
+[@@lint.domain_safe "workspaces live in a Domain.DLS pool; never shared across domains"]
 
 exception Quotient_overflow
 
@@ -23,11 +24,14 @@ let is_zero t = t.len = 0
 (* Grow the backing array to hold at least [n] limbs, preserving the
    significant prefix.  Doubling keeps the amortized cost constant. *)
 let ensure t n =
-  if Array.length t.limbs < n then begin
-    let grown = Array.make (max n (2 * Array.length t.limbs)) 0 in
-    Array.blit t.limbs 0 grown 0 t.len;
-    t.limbs <- grown
-  end
+  if Array.length t.limbs < n then
+    (begin
+       let grown = Array.make (max n (2 * Array.length t.limbs)) 0 in
+       Array.blit t.limbs 0 grown 0 t.len;
+       t.limbs <- grown
+     end
+     [@lint.alloc_ok "geometric growth: amortized-constant, settles after warm-up"])
+  [@@lint.no_alloc]
 
 (* Re-establish the no-high-zero-limb invariant after a destructive op
    that may have shortened the value. *)
@@ -35,6 +39,7 @@ let clamp t =
   while t.len > 0 && t.limbs.(t.len - 1) = 0 do
     t.len <- t.len - 1
   done
+  [@@lint.no_alloc]
 
 let set_nat t n =
   let l = Nat.limbs n in
@@ -42,6 +47,7 @@ let set_nat t n =
   ensure t len;
   Array.blit l 0 t.limbs 0 len;
   t.len <- len
+  [@@lint.no_alloc]
 
 let of_nat n =
   let t = create (Array.length (Nat.limbs n) + 2) in
@@ -59,11 +65,13 @@ let set_int t n =
   l.(2) <- n lsr (2 * base_bits);
   t.len <- 3;
   clamp t
+  [@@lint.no_alloc]
 
 let copy_into ~src ~dst =
   ensure dst src.len;
   Array.blit src.limbs 0 dst.limbs 0 src.len;
   dst.len <- src.len
+  [@@lint.no_alloc]
 
 let compare a b =
   if a.len <> b.len then Int.compare a.len b.len
@@ -76,6 +84,7 @@ let compare a b =
     in
     loop (a.len - 1)
   end
+  [@@lint.no_alloc]
 
 (* a := a + b.  Safe under aliasing (a == b doubles the value): within
    each iteration both operand limbs are read before the write. *)
@@ -97,6 +106,7 @@ let add_in_place a b =
     a.len <- l + 1
   end
   else a.len <- l
+  [@@lint.no_alloc]
 
 (* a := a - b; requires a >= b. *)
 let sub_in_place a b =
@@ -116,6 +126,7 @@ let sub_in_place a b =
     end
   done;
   clamp a
+  [@@lint.no_alloc]
 
 let mul_int_in_place a m =
   if m < 0 || m >= base then
@@ -136,6 +147,7 @@ let mul_int_in_place a m =
       a.len <- la + 1
     end
   end
+  [@@lint.no_alloc]
 
 let shift_left_in_place a k =
   if k < 0 then invalid_arg "Scratch.shift_left_in_place: negative";
@@ -166,6 +178,7 @@ let shift_left_in_place a k =
       else a.len <- la + limbs
     end
   end
+  [@@lint.no_alloc]
 
 (* ------------------------------------------------------------------ *)
 (* Invariant-divisor short division *)
@@ -173,6 +186,7 @@ let shift_left_in_place a k =
 let bits_of_limb limb =
   let rec loop n v = if v = 0 then n else loop (n + 1) (v lsr 1) in
   loop 0 limb
+  [@@lint.no_alloc]
 
 let normalize_divisor t s =
   if Nat.is_zero s then raise Division_by_zero;
@@ -180,6 +194,7 @@ let normalize_divisor t s =
   let shift = base_bits - bits_of_limb t.limbs.(t.len - 1) in
   shift_left_in_place t shift;
   shift
+  [@@lint.no_alloc]
 
 (* One step of Knuth TAOCP 4.3.1 Algorithm D against the prepared
    divisor: returns q = floor(r/s) and leaves r := r mod s.  The
@@ -257,6 +272,7 @@ let div_digit r s =
     clamp r;
     !qhat
   end
+  [@@lint.no_alloc]
 
 let check_invariant t =
   t.len >= 0

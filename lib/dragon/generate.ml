@@ -146,6 +146,7 @@ type pool = {
   mutable digits : int array;
   mutable busy : bool;
 }
+[@@lint.domain_safe "one pool per domain via Domain.DLS"]
 
 let pool_key : pool Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
@@ -161,12 +162,15 @@ let pool_key : pool Domain.DLS.key =
 
 let digit_put p i d =
   let n = Array.length p.digits in
-  if i >= n then begin
-    let grown = Array.make (max (2 * n) (i + 1)) 0 in
-    Array.blit p.digits 0 grown 0 n;
-    p.digits <- grown
-  end;
+  if i >= n then
+    (begin
+       let grown = Array.make (max (2 * n) (i + 1)) 0 in
+       Array.blit p.digits 0 grown 0 n;
+       p.digits <- grown
+     end
+     [@lint.alloc_ok "geometric growth: amortized-constant, settles after warm-up"]);
   p.digits.(i) <- d
+  [@@lint.no_alloc]
 
 let pool_capacity p =
   Scratch.capacity p.r + Scratch.capacity p.s + Scratch.capacity p.mp
@@ -209,26 +213,29 @@ let run_scratch ~base ~tie (bnd : Boundaries.t) p =
       Scratch.mul_int_in_place p.mm base;
       loop (n + 1)
     end
-    else begin
-      let last, incremented =
-        if tc1 && not tc2 then (d, false)
-        else if tc2 && not tc1 then (d + 1, true)
-        else begin
-          Scratch.copy_into ~src:p.r ~dst:p.tmp;
-          Scratch.shift_left_in_place p.tmp 1;
-          let up = tie_up tie d (Scratch.compare p.tmp p.s) in
-          ((if up then d + 1 else d), up)
-        end
-      in
-      digit_put p (n - 1) last;
-      observe_finish n;
-      let digits = check_digits ~base (Array.sub p.digits 0 n) in
-      let rest = Nat.shift_right (Scratch.to_nat p.r) shift in
-      let m_plus_n = Nat.shift_right (Scratch.to_nat p.mp) shift in
-      { digits; incremented; rest; m_plus_n }
-    end
+    else
+      (begin
+         let last, incremented =
+           if tc1 && not tc2 then (d, false)
+           else if tc2 && not tc1 then (d + 1, true)
+           else begin
+             Scratch.copy_into ~src:p.r ~dst:p.tmp;
+             Scratch.shift_left_in_place p.tmp 1;
+             let up = tie_up tie d (Scratch.compare p.tmp p.s) in
+             ((if up then d + 1 else d), up)
+           end
+         in
+         digit_put p (n - 1) last;
+         observe_finish n;
+         let digits = check_digits ~base (Array.sub p.digits 0 n) in
+         let rest = Nat.shift_right (Scratch.to_nat p.r) shift in
+         let m_plus_n = Nat.shift_right (Scratch.to_nat p.mp) shift in
+         { digits; incremented; rest; m_plus_n }
+       end
+       [@lint.alloc_ok "one-time exit-path result construction"])
   in
   loop 1
+  [@@lint.no_alloc]
 
 (* ------------------------------------------------------------------ *)
 (* Word-sized fast path: when r, s, m+ and m- all fit comfortably in a
@@ -251,22 +258,25 @@ let run_fast ~base ~tie ~low_ok ~high_ok ~r ~s ~mp ~mm p =
       digit_put p (n - 1) d;
       loop (n + 1) (rest * base) (mp * base) (mm * base)
     end
-    else begin
-      let last, incremented =
-        if tc1 && not tc2 then (d, false)
-        else if tc2 && not tc1 then (d + 1, true)
-        else begin
-          let up = tie_up tie d (Int.compare (2 * rest) s) in
-          ((if up then d + 1 else d), up)
-        end
-      in
-      digit_put p (n - 1) last;
-      observe_finish n;
-      let digits = check_digits ~base (Array.sub p.digits 0 n) in
-      { digits; incremented; rest = Nat.of_int rest; m_plus_n = Nat.of_int mp }
-    end
+    else
+      (begin
+         let last, incremented =
+           if tc1 && not tc2 then (d, false)
+           else if tc2 && not tc1 then (d + 1, true)
+           else begin
+             let up = tie_up tie d (Int.compare (2 * rest) s) in
+             ((if up then d + 1 else d), up)
+           end
+         in
+         digit_put p (n - 1) last;
+         observe_finish n;
+         let digits = check_digits ~base (Array.sub p.digits 0 n) in
+         { digits; incremented; rest = Nat.of_int rest; m_plus_n = Nat.of_int mp }
+       end
+       [@lint.alloc_ok "one-time exit-path result construction"])
   in
   loop 1 r mp mm
+  [@@lint.no_alloc]
 
 (* ------------------------------------------------------------------ *)
 (* Dispatch *)

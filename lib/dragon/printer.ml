@@ -26,6 +26,8 @@ let print_value ?base ?mode ?strategy ?tie ?notation fmt value =
 let print ?base ?mode ?strategy ?tie ?notation x =
   print_value_exn ?base ?mode ?strategy ?tie ?notation Format_spec.binary64
     (Fp.Ieee.decompose x)
+  [@@lint.can_raise Robust.Error.E]
+  (* documented raising convenience; [print_value] is the total variant *)
 
 let print_fixed ?(base = 10) ?mode ?tie ?notation request x =
   match Fp.Ieee.decompose x with
@@ -34,7 +36,9 @@ let print_fixed ?(base = 10) ?mode ?tie ?notation request x =
   | Value.Nan -> Render.nan
   | Value.Finite v ->
     let result =
-      Fixed_format.convert_exn ~base ?mode ?tie Format_spec.binary64 v request
+      (Fixed_format.convert_exn ~base ?mode ?tie Format_spec.binary64 v request)
+      [@lint.can_raise Robust.Error.E]
+      (* documented raising convenience; stream drivers use the catch wrapper *)
     in
     Render.fixed ?notation ~neg:v.neg ~base result
 
@@ -48,7 +52,10 @@ let print_hex x =
   | Value.Finite v ->
     (* canonical binary64: p-exponent e+52, integer part the hidden bit,
        13 hex digits of fraction with trailing zeros stripped *)
-    let f = Bignum.Nat.to_int_exn v.Value.f in
+    let f =
+      (Bignum.Nat.to_int_exn v.Value.f)
+      [@lint.can_raise Invalid_argument] (* binary64 mantissa < 2^53 always fits *)
+    in
     let int_part = f lsr 52 in
     let frac = f land ((1 lsl 52) - 1) in
     let buf = Buffer.create 24 in

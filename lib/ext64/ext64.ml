@@ -121,7 +121,9 @@ let exact_pow10 =
 
 (* seeds for the chunk-composed model table *)
 let pos_seeds = Array.init 9 (fun i -> exact_pow10 (1 lsl i))
+  [@@lint.domain_safe "read-only lookup table built at init"]
 let neg_seeds = Array.init 9 (fun i -> exact_pow10 (-(1 lsl i)))
+  [@@lint.domain_safe "read-only lookup table built at init"]
 
 let pow10 n =
   if n = 0 then of_int 1

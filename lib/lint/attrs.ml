@@ -1,0 +1,71 @@
+(* The annotation vocabulary: [@lint.*] attributes that document a
+   deliberate exemption from a rule, each with the justification the
+   reviewer would otherwise have to re-derive.
+
+     [@lint.domain_safe "reason"]   shared state safe without a guard
+     [@lint.guarded_by "mutex"]     mutable state serialized by a lock
+     [@lint.can_raise Exn]          boundary code that deliberately raises
+     [@lint.no_alloc]               function whose body must not allocate
+     [@lint.alloc_ok "reason"]      cold subtree inside a no_alloc function
+     [@lint.always_on "reason"]     telemetry site that skips the enable gate
+*)
+
+open Ppxlib
+
+let domain_safe = "lint.domain_safe"
+let guarded_by = "lint.guarded_by"
+let can_raise = "lint.can_raise"
+let no_alloc = "lint.no_alloc"
+let alloc_ok = "lint.alloc_ok"
+let always_on = "lint.always_on"
+
+let find name (attrs : attributes) =
+  List.find_opt (fun a -> String.equal a.attr_name.txt name) attrs
+
+let has name attrs = Option.is_some (find name attrs)
+
+let has_any names attrs = List.exists (fun n -> has n attrs) names
+
+(* The justification string of a ["reason"]-payload annotation. *)
+let string_payload (a : attribute) =
+  match a.attr_payload with
+  | PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval
+              ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+    Some s
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Longident helpers shared by the rules *)
+
+let rec flatten_lid = function
+  | Lident s -> Some [ s ]
+  | Ldot (l, s) -> (
+    match flatten_lid l with Some p -> Some (p @ [ s ]) | None -> None)
+  | Lapply _ -> None
+
+(* The dotted path of an application head, e.g.
+   [Telemetry.Metrics.incr c] gives [["Telemetry"; "Metrics"; "incr"]]. *)
+let head_path (e : expression) =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> flatten_lid txt
+  | _ -> None
+
+let path_string p = String.concat "." p
+
+let rec last = function [] -> None | [ x ] -> Some x | _ :: tl -> last tl
+
+(* [ends_with ~suffix path]: the last components of [path] equal
+   [suffix], so ["Telemetry.Metrics.incr"] ends with ["Metrics.incr"]. *)
+let ends_with ~suffix path =
+  let np = List.length path and ns = List.length suffix in
+  ns <= np
+  &&
+  let tail = List.filteri (fun i _ -> i >= np - ns) path in
+  List.for_all2 String.equal suffix tail

@@ -1,0 +1,130 @@
+(* The analyzer driver: parse one [.ml] file with the compiler's own
+   parser (via ppxlib's version-stable AST), run the four rule
+   families, and aggregate findings plus per-rule suppression counts.
+
+   Everything is purely syntactic — no type information — which is
+   what makes the tool fast enough for a per-PR CI gate and keeps it
+   honest: each rule documents the over- and under-approximations it
+   makes, and the annotation vocabulary exists precisely to record the
+   cases the syntax cannot prove. *)
+
+exception Parse_error of string
+
+type outcome = {
+  findings : Finding.t list;  (** sorted by file, line, column *)
+  suppressed : (Finding.rule * int) list;  (** every rule present, in order *)
+  files : int;
+}
+
+let parse ~filename source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf filename;
+  try Ppxlib.Parse.implementation lexbuf
+  with exn ->
+    raise
+      (Parse_error (Printf.sprintf "%s: %s" filename (Printexc.to_string exn)))
+
+let zero_counts () = List.map (fun r -> (r, 0)) Finding.all_rules
+
+let bump counts r =
+  List.map (fun (r', n) -> if r' = r then (r', n + 1) else (r', n)) counts
+
+let analyze_source ?(manifest = Manifest.empty) ~filename source =
+  let str = parse ~filename source in
+  let findings = ref [] in
+  let suppressed = ref (zero_counts ()) in
+  let sink =
+    {
+      Sink.report =
+        (fun rule loc message ->
+          findings := Finding.of_loc ~rule ~message loc :: !findings);
+      suppress = (fun rule -> suppressed := bump !suppressed rule);
+    }
+  in
+  Rule_domain.check sink str;
+  Rule_alloc.check sink str;
+  if Manifest.is_boundary manifest filename then Rule_exn.check sink str;
+  if Manifest.in_telemetry_dir manifest filename then
+    Rule_telemetry.check sink str;
+  {
+    findings = List.sort Finding.compare_locs !findings;
+    suppressed = !suppressed;
+    files = 1;
+  }
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let analyze_file ?manifest path =
+  analyze_source ?manifest ~filename:path (read_file path)
+
+let merge a b =
+  {
+    findings = List.merge Finding.compare_locs a.findings b.findings;
+    suppressed =
+      List.map
+        (fun (r, n) ->
+          (r, n + (try List.assoc r b.suppressed with Not_found -> 0)))
+        a.suppressed;
+    files = a.files + b.files;
+  }
+
+let empty_outcome = { findings = []; suppressed = zero_counts (); files = 0 }
+
+let analyze_files ?manifest paths =
+  List.fold_left
+    (fun acc path -> merge acc (analyze_file ?manifest path))
+    empty_outcome paths
+
+let finding_counts outcome =
+  List.map
+    (fun r ->
+      (r, List.length (List.filter (fun f -> f.Finding.rule = r) outcome.findings)))
+    Finding.all_rules
+
+(* ------------------------------------------------------------------ *)
+(* Renderings *)
+
+let to_text outcome =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun f ->
+      Buffer.add_string buf (Finding.to_string f);
+      Buffer.add_char buf '\n')
+    outcome.findings;
+  Buffer.contents buf
+
+let summary outcome =
+  let counts = finding_counts outcome in
+  let pp (r, n) = Printf.sprintf "%s %d" (Finding.rule_id r) n in
+  Printf.sprintf
+    "bdlint: %d file%s, %d finding%s (%s), %d suppression%s (%s)"
+    outcome.files
+    (if outcome.files = 1 then "" else "s")
+    (List.length outcome.findings)
+    (if List.length outcome.findings = 1 then "" else "s")
+    (String.concat ", " (List.map pp counts))
+    (List.fold_left (fun a (_, n) -> a + n) 0 outcome.suppressed)
+    (if List.fold_left (fun a (_, n) -> a + n) 0 outcome.suppressed = 1 then ""
+     else "s")
+    (String.concat ", " (List.map pp outcome.suppressed))
+
+let counts_json counts =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (r, n) -> Printf.sprintf "\"%s\":%d" (Finding.rule_id r) n)
+         counts)
+  ^ "}"
+
+let to_json outcome =
+  Printf.sprintf
+    {|{"files_scanned":%d,"findings":[%s],"counts":%s,"suppressed":%s}|}
+    outcome.files
+    (String.concat "," (List.map Finding.to_json outcome.findings))
+    (counts_json (finding_counts outcome))
+    (counts_json outcome.suppressed)

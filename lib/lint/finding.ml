@@ -1,0 +1,59 @@
+(* A lint finding: one violated invariant at one source location.
+
+   The four rule families mirror the invariants PRs 1-4 established but
+   the compiler cannot check: exception-free result boundaries,
+   domain-safe shared state under the worker-domain supervisor,
+   allocation-free digit kernels, and zero-cost-when-disabled
+   telemetry. *)
+
+type rule = Domain_safety | Exn_escape | No_alloc | Telemetry_gate
+
+let all_rules = [ Domain_safety; Exn_escape; No_alloc; Telemetry_gate ]
+
+let rule_id = function
+  | Domain_safety -> "domain-safety"
+  | Exn_escape -> "exn-escape"
+  | No_alloc -> "no-alloc"
+  | Telemetry_gate -> "telemetry-gate"
+
+type t = { file : string; line : int; col : int; rule : rule; message : string }
+
+let of_loc ~rule ~message (loc : Ppxlib.Location.t) =
+  let p = loc.loc_start in
+  {
+    file = p.pos_fname;
+    line = p.pos_lnum;
+    col = p.pos_cnum - p.pos_bol;
+    rule;
+    message;
+  }
+
+let compare_locs a b =
+  match String.compare a.file b.file with
+  | 0 -> ( match Int.compare a.line b.line with 0 -> Int.compare a.col b.col | c -> c)
+  | c -> c
+
+(* The CI-greppable rendering: file:line: [rule] message. *)
+let to_string f =
+  Printf.sprintf "%s:%d:%d: [%s] %s" f.file f.line f.col (rule_id f.rule)
+    f.message
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json f =
+  Printf.sprintf
+    {|{"file":"%s","line":%d,"col":%d,"rule":"%s","message":"%s"}|}
+    (json_escape f.file) f.line f.col (rule_id f.rule) (json_escape f.message)

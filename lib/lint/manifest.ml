@@ -1,0 +1,85 @@
+(* The lint manifest: which files are result-returning exception
+   boundaries (rule [exn-escape] applies) and which directories carry
+   the zero-cost-when-disabled telemetry contract (rule
+   [telemetry-gate] applies).  The domain-safety and no-alloc rules are
+   structural — they apply everywhere without a manifest entry.
+
+   File syntax: one directive per line, [#] comments, blank lines
+   ignored.
+
+     exception-boundary lib/reader/exact.ml
+     telemetry-dir lib/dragon
+*)
+
+type t = { boundaries : string list; telemetry_dirs : string list }
+
+let empty = { boundaries = []; telemetry_dirs = [] }
+
+exception Malformed of string
+
+(* Path matching is suffix-based on [/]-separated components, so the
+   manifest works no matter what prefix the tool was invoked with
+   (repo root, dune sandbox, absolute paths). *)
+let normalize path = String.split_on_char '/' path |> List.filter (fun s -> s <> "" && s <> ".")
+
+let suffix_matches ~pat path =
+  let pat = normalize pat and path = normalize path in
+  let np = List.length pat and nf = List.length path in
+  np <= nf
+  &&
+  let tail = List.filteri (fun i _ -> i >= nf - np) path in
+  List.for_all2 String.equal pat tail
+
+let is_boundary t file = List.exists (fun pat -> suffix_matches ~pat file) t.boundaries
+
+(* A telemetry dir entry matches any file whose directory path contains
+   the entry's components in order, e.g. [lib/dragon] matches
+   [_build/default/lib/dragon/generate.ml]. *)
+let in_telemetry_dir t file =
+  let file_dirs = normalize (Filename.dirname file) in
+  List.exists
+    (fun pat ->
+      let pat = normalize pat in
+      let np = List.length pat in
+      let rec windows = function
+        | [] -> false
+        | _ :: rest as l ->
+          (List.length l >= np
+          && List.for_all2 String.equal pat (List.filteri (fun i _ -> i < np) l))
+          || windows rest
+      in
+      windows file_dirs)
+    t.telemetry_dirs
+
+let parse_line lineno t line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  match
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun s -> s <> "")
+  with
+  | [] -> t
+  | [ "exception-boundary"; path ] -> { t with boundaries = path :: t.boundaries }
+  | [ "telemetry-dir"; path ] -> { t with telemetry_dirs = path :: t.telemetry_dirs }
+  | directive :: _ ->
+    raise
+      (Malformed
+         (Printf.sprintf "line %d: unknown or malformed directive %S" lineno
+            directive))
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let t, _ =
+    List.fold_left (fun (t, n) line -> (parse_line n t line, n + 1)) (empty, 1) lines
+  in
+  { boundaries = List.rev t.boundaries; telemetry_dirs = List.rev t.telemetry_dirs }
+
+let load path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  of_string s

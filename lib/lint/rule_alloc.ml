@@ -1,0 +1,207 @@
+(* Rule family 3: no-alloc.
+
+   Functions annotated [@lint.no_alloc] — the Generate word-sized fast
+   path and the Scratch in-place kernels (PR 4) — promise a
+   steady-state loop that allocates nothing.  The rule rejects
+   syntactic allocation sources in their bodies:
+
+   - tuple / record / payload-carrying constructor / variant / array /
+     lazy construction;
+   - closure creation, except named local functions ([let rec loop =
+     fun ... ] directly under the annotated body), whose own bodies are
+     still checked — the standard loop-workhorse shape;
+   - calls into [Nat.*] (immutable bignums allocate per operation);
+   - known allocating stdlib calls (list/array/string/bytes builders,
+     [Printf]/[Format], [^], [@]); local [ref] accumulators are
+     accepted — the carry/borrow idiom is one word-sized cell per call;
+   - float boxing sources ([+.], [Float.of_int], ...): results of float
+     arithmetic are boxed whenever stored or returned.
+
+   Cold subtrees (one-time exit-path result construction, geometric
+   workspace growth) carry [@lint.alloc_ok "reason"], which exempts the
+   whole subtree and counts as a suppression.  Raising paths
+   ([invalid_arg] preconditions, [raise Quotient_overflow]) are not
+   flagged: failure is cold by construction.  Partial applications are
+   approximated by the closure check — a partial application that
+   matters syntactically appears as a [fun]. *)
+
+open Ppxlib
+
+let rule = Finding.No_alloc
+
+let float_ops = [ "+."; "-."; "*."; "/."; "**"; "~-." ]
+
+let allocating_suffixes =
+  [
+    ([ "Array"; "make" ], "Array.make allocates");
+    ([ "Array"; "init" ], "Array.init allocates");
+    ([ "Array"; "create_float" ], "Array.create_float allocates");
+    ([ "Array"; "copy" ], "Array.copy allocates");
+    ([ "Array"; "append" ], "Array.append allocates");
+    ([ "Array"; "sub" ], "Array.sub allocates");
+    ([ "Array"; "of_list" ], "Array.of_list allocates");
+    ([ "Array"; "to_list" ], "Array.to_list allocates");
+    ([ "Array"; "map" ], "Array.map allocates");
+    ([ "Array"; "mapi" ], "Array.mapi allocates");
+    ([ "Array"; "concat" ], "Array.concat allocates");
+    ([ "Bytes"; "create" ], "Bytes.create allocates");
+    ([ "Bytes"; "make" ], "Bytes.make allocates");
+    ([ "Bytes"; "copy" ], "Bytes.copy allocates");
+    ([ "Bytes"; "sub" ], "Bytes.sub allocates");
+    ([ "Bytes"; "of_string" ], "Bytes.of_string allocates");
+    ([ "Bytes"; "to_string" ], "Bytes.to_string allocates");
+    ([ "String"; "make" ], "String.make allocates");
+    ([ "String"; "init" ], "String.init allocates");
+    ([ "String"; "sub" ], "String.sub allocates");
+    ([ "String"; "concat" ], "String.concat allocates");
+    ([ "String"; "cat" ], "String.cat allocates");
+    ([ "Hashtbl"; "create" ], "Hashtbl.create allocates");
+    ([ "Buffer"; "create" ], "Buffer.create allocates");
+    ([ "Buffer"; "contents" ], "Buffer.contents allocates");
+  ]
+
+(* Nat accessors that only read existing structure. *)
+let nat_accessors = [ "limbs"; "is_zero"; "compare"; "length" ]
+
+let classify_head path =
+  match path with
+  (* local [ref] accumulators are the kernels' carry/borrow idiom and
+     deliberately accepted: one word-sized cell per call, not
+     steady-state loop garbage *)
+  | [ ("^" | "@") ] | [ "Stdlib"; ("^" | "@") ] ->
+    Some
+      (if Attrs.ends_with ~suffix:[ "^" ] path then "^ allocates a new string"
+       else "@ allocates a new list")
+  | [ op ] when List.mem op float_ops ->
+    Some (Printf.sprintf "float operator ( %s ) is a boxing source" op)
+  | [ ("float_of_int" | "float_of_string") ]
+  | [ "Stdlib"; ("float_of_int" | "float_of_string") ] ->
+    Some "float conversion is a boxing source"
+  | "Float" :: _ | "Stdlib" :: "Float" :: _ ->
+    Some
+      (Printf.sprintf "%s is a float boxing source" (Attrs.path_string path))
+  | ("Nat" :: _ :: _ | "Bignum" :: "Nat" :: _)
+    when not
+           (match Attrs.last path with
+           | Some l -> List.mem l nat_accessors
+           | None -> false) ->
+    Some
+      (Printf.sprintf "%s allocates immutable bignums"
+         (Attrs.path_string path))
+  | "List" :: _ :: _ | "Stdlib" :: "List" :: _ ->
+    Some (Printf.sprintf "%s allocates list cells" (Attrs.path_string path))
+  | "Printf" :: _ | "Format" :: _ ->
+    Some
+      (Printf.sprintf "%s allocates (formatting)" (Attrs.path_string path))
+  | _ -> (
+    match
+      List.find_opt
+        (fun (s, _) -> Attrs.ends_with ~suffix:s path)
+        allocating_suffixes
+    with
+    | Some (_, what) -> Some what
+    | None -> None)
+
+let advice = "hoist it out of the kernel or mark the cold subtree [@lint.alloc_ok \"<reason>\"]"
+
+(* Scan the body of one [@lint.no_alloc] function. *)
+let scan_no_alloc_body (sink : Sink.t) body =
+  let deliver = ref `Report in
+  let hit loc what =
+    match !deliver with
+    | `Report ->
+      sink.report rule loc
+        (Printf.sprintf "%s inside a [@lint.no_alloc] function; %s" what advice)
+    | `Suppress -> sink.suppress rule
+  in
+  let visitor =
+    object (self)
+      inherit Ast_traverse.iter as super
+
+      method! function_body (fb : function_body) =
+        match fb with
+        | Pfunction_body e -> self#expression e
+        | Pfunction_cases (cases, _, _) -> List.iter self#case cases
+
+      method! expression e =
+        if Attrs.has Attrs.alloc_ok e.pexp_attributes then begin
+          (* one suppression per exempted subtree: walk it counting *)
+          let saved = !deliver in
+          deliver := `Suppress;
+          self#scan_desc e;
+          deliver := saved
+        end
+        else self#scan_desc e
+
+      method scan_desc e =
+        match e.pexp_desc with
+        | Pexp_let (_, vbs, cont) ->
+          List.iter
+            (fun vb ->
+              match vb.pvb_expr.pexp_desc with
+              (* named local function: the loop-workhorse shape; its
+                 one-time closure is allowed, its body is not exempt *)
+              | Pexp_function (_, _, fb) -> self#function_body fb
+              | _ -> self#expression vb.pvb_expr)
+            vbs;
+          self#expression cont
+        | Pexp_function (_, _, fb) ->
+          hit e.pexp_loc "closure construction";
+          self#function_body fb
+        | Pexp_tuple _ ->
+          hit e.pexp_loc "tuple construction";
+          super#expression e
+        | Pexp_record _ ->
+          hit e.pexp_loc "record construction";
+          super#expression e
+        | Pexp_construct (lid, Some _) ->
+          (match Attrs.flatten_lid lid.txt with
+          | Some path ->
+            hit e.pexp_loc
+              (Printf.sprintf "constructor %s carries a payload (allocates)"
+                 (Attrs.path_string path))
+          | None -> hit e.pexp_loc "constructor application allocates");
+          super#expression e
+        | Pexp_variant (_, Some _) ->
+          hit e.pexp_loc "polymorphic variant with payload allocates";
+          super#expression e
+        | Pexp_array (_ :: _) ->
+          hit e.pexp_loc "array literal allocates";
+          super#expression e
+        | Pexp_lazy _ ->
+          hit e.pexp_loc "lazy suspension allocates";
+          super#expression e
+        | Pexp_apply (head, args) -> (
+          match Attrs.head_path head with
+          | Some ([ ("raise" | "raise_notrace" | "failwith" | "invalid_arg") ] as _p)
+            ->
+            (* raising is cold by construction; don't descend into the
+               exception payload either *)
+            ignore args
+          | Some path -> (
+            (match classify_head path with
+            | Some what -> hit e.pexp_loc what
+            | None -> ());
+            List.iter (fun (_, a) -> self#expression a) args)
+          | None -> super#expression e)
+        | _ -> super#expression e
+    end
+  in
+  match body.pexp_desc with
+  (* skip the annotated function's own parameter chain *)
+  | Pexp_function (_, _, fb) -> visitor#function_body fb
+  | _ -> visitor#expression body
+
+(* Find every [@lint.no_alloc] binding, anywhere in the file. *)
+let check (sink : Sink.t) str =
+  let finder =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! value_binding vb =
+        if Attrs.has Attrs.no_alloc vb.pvb_attributes then
+          scan_no_alloc_body sink vb.pvb_expr
+        else super#value_binding vb
+    end
+  in
+  finder#structure str

@@ -1,0 +1,186 @@
+(* Rule family 1: domain-safety.
+
+   The supervisor (PR 2) runs conversions on worker domains, so any
+   mutable state created during module initialisation is shared by all
+   of them.  This rule walks every toplevel binding and flags syntactic
+   constructions of mutable state — [ref], [Hashtbl.create], array
+   literals and array-building calls, [Bytes]/[Buffer]/[Queue]/[Stack]
+   — unless the value is wrapped in [Atomic.make], lives inside a
+   [Domain.DLS.new_key] initialiser, or carries a
+   [@lint.domain_safe]/[@lint.guarded_by] annotation.  Code inside
+   [fun]-abstractions is exempt: local mutable state (the Scratch
+   carry/borrow accumulators, CLI line counters) only exists per call.
+
+   Record type declarations with [mutable] fields are flagged at the
+   declaration unless annotated: values of such a type can escape into
+   shared structures, and the annotation names the mutex (or the
+   domain-locality argument) that makes writes safe. *)
+
+open Ppxlib
+
+let rule = Finding.Domain_safety
+
+let exempt_attrs = [ Attrs.domain_safe; Attrs.guarded_by ]
+
+(* Heads whose result (or whose callback's result) is sanctioned
+   shared-state machinery: the construction below them is the protected
+   pattern itself, not a leak.  [Metrics.histogram] copies its
+   [~bounds] array at registration, so bounds literals are fine. *)
+let sanctioned_suffixes =
+  [
+    [ "Atomic"; "make" ];
+    [ "Domain"; "DLS"; "new_key" ];
+    [ "Mutex"; "create" ];
+    [ "Condition"; "create" ];
+    [ "Semaphore"; "Counting"; "make" ];
+    [ "Semaphore"; "Binary"; "make" ];
+    [ "Metrics"; "histogram" ];
+  ]
+
+(* Constructors of mutable state, matched against the tail of the
+   application head's dotted path. *)
+let mutable_ctor_suffixes =
+  [
+    ([ "ref" ], "a toplevel ref cell");
+    ([ "Hashtbl"; "create" ], "a toplevel Hashtbl");
+    ([ "Array"; "make" ], "a toplevel mutable array");
+    ([ "Array"; "init" ], "a toplevel mutable array");
+    ([ "Array"; "create_float" ], "a toplevel mutable float array");
+    ([ "Array"; "copy" ], "a toplevel mutable array");
+    ([ "Array"; "of_list" ], "a toplevel mutable array");
+    ([ "Array"; "append" ], "a toplevel mutable array");
+    ([ "Array"; "sub" ], "a toplevel mutable array");
+    ([ "Array"; "map" ], "a toplevel mutable array");
+    ([ "Array"; "mapi" ], "a toplevel mutable array");
+    ([ "Array"; "concat" ], "a toplevel mutable array");
+    ([ "Bytes"; "create" ], "a toplevel Bytes buffer");
+    ([ "Bytes"; "make" ], "a toplevel Bytes buffer");
+    ([ "Bytes"; "of_string" ], "a toplevel Bytes buffer");
+    ([ "Buffer"; "create" ], "a toplevel Buffer");
+    ([ "Queue"; "create" ], "a toplevel Queue");
+    ([ "Stack"; "create" ], "a toplevel Stack");
+  ]
+
+let classify_head path =
+  if List.exists (fun s -> Attrs.ends_with ~suffix:s path) sanctioned_suffixes
+  then `Sanctioned
+  else
+    match
+      List.find_opt
+        (fun (s, _) ->
+          (* [ref] must be the bare ident (or Stdlib.ref): a module's own
+             [X.ref] smart constructor is not the stdlib cell. *)
+          match s with
+          | [ "ref" ] -> path = [ "ref" ] || path = [ "Stdlib"; "ref" ]
+          | _ -> Attrs.ends_with ~suffix:s path)
+        mutable_ctor_suffixes
+    with
+    | Some (_, what) -> `Mutable what
+    | None -> `Plain
+
+let advice =
+  "make it Atomic.t or Domain.DLS-local, or annotate \
+   [@lint.guarded_by \"<mutex>\"] / [@lint.domain_safe \"<reason>\"]"
+
+(* Scan one module-initialisation expression.  [deliver] is [`Report]
+   normally, [`Suppress] under an exempting annotation (the same walk
+   then counts what the annotation absorbed). *)
+let scan_init_expr (sink : Sink.t) ~deliver expr =
+  let deliver = ref deliver in
+  let hit loc what =
+    match !deliver with
+    | `Report ->
+      sink.report rule loc (Printf.sprintf "%s is shared by every domain; %s" what advice)
+    | `Suppress -> sink.suppress rule
+  in
+  let visitor =
+    object (self)
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        if Attrs.has_any exempt_attrs e.pexp_attributes then begin
+          let saved = !deliver in
+          deliver := `Suppress;
+          self#scan_desc e;
+          deliver := saved
+        end
+        else self#scan_desc e
+
+      method scan_desc e =
+        match e.pexp_desc with
+        (* function bodies run per call, not at module init *)
+        | Pexp_function (_, _, _) -> ()
+        | Pexp_apply (head, args) -> (
+          match Attrs.head_path head with
+          | Some path -> (
+            match classify_head path with
+            | `Sanctioned -> ()
+            | `Mutable what ->
+              hit e.pexp_loc
+                (Printf.sprintf "%s (%s)" what (Attrs.path_string path));
+              List.iter (fun (_, a) -> self#expression a) args
+            | `Plain -> super#expression e)
+          | None -> super#expression e)
+        | Pexp_array (_ :: _) ->
+          hit e.pexp_loc "a toplevel mutable array (literal)";
+          super#expression e
+        | _ -> super#expression e
+    end
+  in
+  visitor#expression expr
+
+let scan_value_binding sink (vb : value_binding) =
+  let deliver =
+    if Attrs.has_any exempt_attrs vb.pvb_attributes then `Suppress else `Report
+  in
+  scan_init_expr sink ~deliver vb.pvb_expr
+
+let scan_type_decl sink (td : type_declaration) =
+  match td.ptype_kind with
+  | Ptype_record labels ->
+    let mutable_fields =
+      List.filter (fun l -> l.pld_mutable = Mutable) labels
+    in
+    if mutable_fields <> [] then begin
+      let decl_exempt = Attrs.has_any exempt_attrs td.ptype_attributes in
+      List.iter
+        (fun l ->
+          if decl_exempt || Attrs.has_any exempt_attrs l.pld_attributes then
+            sink.Sink.suppress rule
+          else
+            sink.Sink.report rule l.pld_loc
+              (Printf.sprintf
+                 "mutable field %s.%s: values of this type may be shared \
+                  across domains; %s"
+                 td.ptype_name.txt l.pld_name.txt advice))
+        mutable_fields
+    end
+  | Ptype_abstract | Ptype_variant _ | Ptype_open -> ()
+
+(* Structure walk: only positions evaluated at module initialisation.
+   Submodules initialise with their parent, so recurse through them;
+   functor bodies run at application time but their init code still
+   runs once per application against shared state — treat them like
+   modules. *)
+let rec scan_structure sink str = List.iter (scan_item sink) str
+
+and scan_item sink (item : structure_item) =
+  match item.pstr_desc with
+  | Pstr_value (_, vbs) -> List.iter (scan_value_binding sink) vbs
+  | Pstr_type (_, decls) -> List.iter (scan_type_decl sink) decls
+  | Pstr_module mb -> scan_module_expr sink mb.pmb_expr
+  | Pstr_recmodule mbs -> List.iter (fun mb -> scan_module_expr sink mb.pmb_expr) mbs
+  | Pstr_include incl -> scan_module_expr sink incl.pincl_mod
+  | Pstr_eval (e, _) -> scan_init_expr sink ~deliver:`Report e
+  | _ -> ()
+
+and scan_module_expr sink (m : module_expr) =
+  match m.pmod_desc with
+  | Pmod_structure str -> scan_structure sink str
+  | Pmod_constraint (m, _) -> scan_module_expr sink m
+  | Pmod_functor (_, m) -> scan_module_expr sink m
+  | Pmod_ident _ | Pmod_apply _ | Pmod_apply_unit _ | Pmod_unpack _
+  | Pmod_extension _ ->
+    ()
+
+let check sink str = scan_structure sink str

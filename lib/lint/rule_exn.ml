@@ -1,0 +1,115 @@
+(* Rule family 2: exception-safety.
+
+   Modules listed in the manifest as [exception-boundary] present
+   result-returning APIs (PR 1's totality contract): no exception may
+   escape them.  Inside such a module every syntactic raise site —
+   [raise]/[raise_notrace], [failwith], [invalid_arg], [exit],
+   [assert], partial stdlib calls ([Option.get], [List.hd], [List.tl])
+   and [*_exn]-suffixed calls — must sit under a handler that turns it
+   into a structured [Error]: lexically inside a [try]/[with] body or
+   under [Error.catch]/[Robust.Error.catch].  Deliberate raising APIs
+   (documented [@raise] conveniences, precondition checks) carry
+   [@lint.can_raise Exn] with the exception they throw.
+
+   [Error.raise_] is exempt by design: it throws the one structured
+   exception every public boundary converts with [Error.catch], and the
+   fuzz harness pins that totality end to end. *)
+
+open Ppxlib
+
+let rule = Finding.Exn_escape
+
+(* catch-style wrappers: every argument subtree is absorbed *)
+let catcher_suffixes = [ [ "Error"; "catch" ] ]
+
+(* the sanctioned structured-error channel *)
+let sanctioned_suffixes = [ [ "Error"; "raise_" ] ]
+
+let raiser path =
+  match path with
+  | [ ("raise" | "raise_notrace" | "failwith" | "invalid_arg" | "exit") ]
+  | [ "Stdlib"; ("raise" | "raise_notrace" | "failwith" | "invalid_arg" | "exit") ]
+    ->
+    Some (Printf.sprintf "%s escapes the result boundary" (Attrs.path_string path))
+  | _ ->
+    if List.exists (fun s -> Attrs.ends_with ~suffix:s path) sanctioned_suffixes
+    then None
+    else if
+      List.exists
+        (fun s -> Attrs.ends_with ~suffix:s path)
+        [ [ "Option"; "get" ]; [ "List"; "hd" ]; [ "List"; "tl" ] ]
+    then
+      Some
+        (Printf.sprintf "partial call %s raises on the empty case"
+           (Attrs.path_string path))
+    else
+      match Attrs.last path with
+      | Some l
+        when String.length l > 4
+             && String.equal (String.sub l (String.length l - 4) 4) "_exn" ->
+        Some
+          (Printf.sprintf "%s is a raising variant" (Attrs.path_string path))
+      | _ -> None
+
+let advice =
+  "wrap it under Error.catch / try-with, or annotate \
+   [@lint.can_raise <Exn>] with a justification"
+
+let check (sink : Sink.t) str =
+  let guarded = ref false in
+  let deliver = ref `Report in
+  let hit loc what =
+    if not !guarded then
+      match !deliver with
+      | `Report -> sink.report rule loc (Printf.sprintf "%s; %s" what advice)
+      | `Suppress -> sink.suppress rule
+  in
+  let visitor =
+    object (self)
+      inherit Ast_traverse.iter as super
+
+      method scoped ~g ~d f =
+        let saved_g = !guarded and saved_d = !deliver in
+        guarded := g;
+        deliver := d;
+        f ();
+        guarded := saved_g;
+        deliver := saved_d
+
+      method! expression e =
+        let d =
+          if Attrs.has Attrs.can_raise e.pexp_attributes then `Suppress
+          else !deliver
+        in
+        self#scoped ~g:!guarded ~d (fun () ->
+            match e.pexp_desc with
+            | Pexp_try (body, cases) ->
+              (* the body is absorbed; handler code is back outside *)
+              self#scoped ~g:true ~d:!deliver (fun () -> self#expression body);
+              List.iter self#case cases
+            | Pexp_apply (head, args) -> (
+              match Attrs.head_path head with
+              | Some path
+                when List.exists
+                       (fun s -> Attrs.ends_with ~suffix:s path)
+                       catcher_suffixes ->
+                self#scoped ~g:true ~d:!deliver (fun () ->
+                    List.iter (fun (_, a) -> self#expression a) args)
+              | Some path -> (
+                (match raiser path with
+                | Some what -> hit e.pexp_loc what
+                | None -> ());
+                List.iter (fun (_, a) -> self#expression a) args)
+              | None -> super#expression e)
+            | Pexp_assert inner ->
+              hit e.pexp_loc "assert raises Assert_failure";
+              self#expression inner
+            | _ -> super#expression e)
+
+      method! value_binding vb =
+        if Attrs.has Attrs.can_raise vb.pvb_attributes then
+          self#scoped ~g:!guarded ~d:`Suppress (fun () -> super#value_binding vb)
+        else super#value_binding vb
+    end
+  in
+  visitor#structure str

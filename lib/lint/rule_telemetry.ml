@@ -1,0 +1,107 @@
+(* Rule family 4: telemetry-gating.
+
+   PR 3's zero-cost-when-disabled contract: on the conversion hot paths
+   (manifest [telemetry-dir] directories) every Metrics *recording*
+   call — [incr], [add], [observe], [set_gauge], [max_gauge] — must be
+   dominated by the one-atomic-load enable check, i.e. sit in the then
+   branch of an [if] whose condition consults [*.enabled ()].
+
+   Registration ([counter]/[gauge]/[histogram], module-init time) and
+   reads ([value]/[gauge_value], snapshot paths) are not recording and
+   are exempt.  [Trace.start]/[Trace.finish] are exempt by
+   construction: [Trace.start] performs the enabled check itself and
+   returns 0 when telemetry is off, which [finish] re-checks.
+
+   Deliberately ungated sites — the reader tier counters that back the
+   always-available [Reader.Fast.stats] contract — carry
+   [@lint.always_on "reason"]. *)
+
+open Ppxlib
+
+let rule = Finding.Telemetry_gate
+
+let recording = [ "incr"; "add"; "observe"; "set_gauge"; "max_gauge" ]
+
+let is_recording_head path =
+  List.mem "Metrics" path
+  && match Attrs.last path with Some l -> List.mem l recording | None -> false
+
+(* Does this condition consult the enable gate?  Matches
+   [Telemetry.Metrics.enabled ()], [Metrics.enabled ()],
+   [Telemetry.enabled ()] anywhere in the condition (so [e && gate]
+   compositions count). *)
+let consults_enabled cond =
+  let found = ref false in
+  let scanner =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        (match e.pexp_desc with
+        | Pexp_ident { txt; _ } -> (
+          match Attrs.flatten_lid txt with
+          | Some path when Attrs.last path = Some "enabled" -> found := true
+          | _ -> ())
+        | _ -> ());
+        super#expression e
+    end
+  in
+  scanner#expression cond;
+  !found
+
+let advice =
+  "guard it with [if Telemetry.Metrics.enabled () then ...] or annotate \
+   [@lint.always_on \"<reason>\"]"
+
+let check (sink : Sink.t) str =
+  let gated = ref false in
+  let deliver = ref `Report in
+  let hit loc path =
+    if not !gated then
+      match !deliver with
+      | `Report ->
+        sink.report rule loc
+          (Printf.sprintf
+             "%s records outside the telemetry enable gate; %s"
+             (Attrs.path_string path) advice)
+      | `Suppress -> sink.suppress rule
+  in
+  let visitor =
+    object (self)
+      inherit Ast_traverse.iter as super
+
+      method scoped ~g ~d f =
+        let saved_g = !gated and saved_d = !deliver in
+        gated := g;
+        deliver := d;
+        f ();
+        gated := saved_g;
+        deliver := saved_d
+
+      method! expression e =
+        let d =
+          if Attrs.has Attrs.always_on e.pexp_attributes then `Suppress
+          else !deliver
+        in
+        self#scoped ~g:!gated ~d (fun () ->
+            match e.pexp_desc with
+            | Pexp_ifthenelse (cond, then_, else_) ->
+              self#expression cond;
+              self#scoped ~g:(!gated || consults_enabled cond) ~d:!deliver
+                (fun () -> self#expression then_);
+              Option.iter self#expression else_
+            | Pexp_apply (head, args) -> (
+              match Attrs.head_path head with
+              | Some path when is_recording_head path ->
+                hit e.pexp_loc path;
+                List.iter (fun (_, a) -> self#expression a) args
+              | _ -> super#expression e)
+            | _ -> super#expression e)
+
+      method! value_binding vb =
+        if Attrs.has Attrs.always_on vb.pvb_attributes then
+          self#scoped ~g:!gated ~d:`Suppress (fun () -> super#value_binding vb)
+        else super#value_binding vb
+    end
+  in
+  visitor#structure str

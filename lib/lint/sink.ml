@@ -1,0 +1,8 @@
+(* Where rules send their results: a finding, or a tick on the
+   per-rule suppression counter when an annotation deliberately exempts
+   a site that would otherwise have fired. *)
+
+type t = {
+  report : Finding.rule -> Ppxlib.Location.t -> string -> unit;
+  suppress : Finding.rule -> unit;
+}

@@ -153,8 +153,10 @@ let read_ratio ?(mode = Rounding.To_nearest_even) fmt r =
   else begin
     let abs = Ratio.abs r in
     Fp.Softfloat.round_fraction ~mode fmt ~neg:(Ratio.sign r < 0)
-      (Bigint.to_nat_exn (Ratio.num abs))
-      (Bigint.to_nat_exn (Ratio.den abs))
+      ((Bigint.to_nat_exn (Ratio.num abs))
+       [@lint.can_raise Invalid_argument] (* Ratio.abs: num >= 0 *))
+      ((Bigint.to_nat_exn (Ratio.den abs))
+       [@lint.can_raise Invalid_argument] (* Ratio invariant: den > 0 *))
   end
 
 let read_decimal ?(mode = Rounding.To_nearest_even) fmt (d : decimal) =

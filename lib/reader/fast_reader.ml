@@ -28,11 +28,13 @@ let stats () =
    and 5^22 < 2^53. *)
 let exact_pow10 =
   Array.init 23 (fun i -> 10. ** float_of_int i)
+  [@@lint.domain_safe "read-only lookup table built at init"]
 
 let two53 = 9007199254740992 (* 2^53 *)
 
 let fallback (d : Exact.decimal) =
-  Telemetry.Metrics.incr n_fallback;
+  (Telemetry.Metrics.incr n_fallback)
+  [@lint.always_on "tier counters back the always-available stats contract"];
   Fp.Ieee.compose (Exact.read_decimal Fp.Format_spec.binary64 d)
 
 (* Tier 2: extended-precision scaling with certification.  [m] is the
@@ -56,7 +58,8 @@ let extended_tier (d : Exact.decimal) m scale truncated =
       let budget = if truncated then 200 else 6 in
       if abs (dropped - 1024) <= budget then fallback d
       else begin
-        Telemetry.Metrics.incr n_extended;
+        (Telemetry.Metrics.incr n_extended)
+        [@lint.always_on "tier counters back the always-available stats contract"];
         let up = dropped > 1024 in
         let mant = Int64.add kept (if up then 1L else 0L) in
         let x = Float.ldexp (Int64.to_float mant) (y.Ext64.e + 11) in
@@ -71,7 +74,8 @@ let read_decimal (d : Exact.decimal) =
     match Nat.to_int_opt d.Exact.digits with
     | Some m when m <= two53 && abs d.Exact.exp10 <= 22 ->
       (* Tier 1 (Clinger): both operands exact, one IEEE operation *)
-      Telemetry.Metrics.incr n_exact;
+      (Telemetry.Metrics.incr n_exact)
+      [@lint.always_on "tier counters back the always-available stats contract"];
       let x =
         if d.Exact.exp10 >= 0 then
           float_of_int m *. exact_pow10.(d.Exact.exp10)
@@ -86,7 +90,10 @@ let read_decimal (d : Exact.decimal) =
       let len = Array.length digits in
       if len <= 18 then
         (* small digit count but large magnitude: to_int must succeed *)
-        extended_tier d (Nat.to_int_exn d.Exact.digits) d.Exact.exp10 false
+        extended_tier d
+          ((Nat.to_int_exn d.Exact.digits)
+           [@lint.can_raise Invalid_argument] (* <= 18 digits fits an int *))
+          d.Exact.exp10 false
       else begin
         let m = ref 0 in
         for i = 0 to 17 do

@@ -27,6 +27,7 @@ type deadline = { expires_at : float; started_at : float; grant_ms : int }
    layer carries its own budget and per-request deadline, so concurrent
    requests cannot clobber each other's caps. *)
 type slot = { mutable budget : t; mutable deadline : deadline option }
+[@@lint.domain_safe "one slot per domain via Domain.DLS"]
 
 let slot = Domain.DLS.new_key (fun () -> { budget = default; deadline = None })
 

@@ -18,6 +18,7 @@ let budget ~what ~limit ~got = Budget { what; limit; got }
 let internal ~where reason = Internal { where; reason }
 
 let raise_ e = raise (E e)
+  [@@lint.can_raise E] (* the one exception every boundary converts via [catch] *)
 
 (* Depth of nested [catch] regions.  Fault injection consults this so
    that armed faults only fire under a boundary that will absorb them —

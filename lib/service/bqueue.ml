@@ -6,6 +6,7 @@ type 'a t = {
   data : Condition.t;
   mutable closed : bool;
 }
+[@@lint.guarded_by "m"]
 
 exception Closed
 

@@ -58,6 +58,7 @@ type t = {
   mutable consecutive_failures : int;
   mutable trips : int;
 }
+[@@lint.guarded_by "m"]
 
 let create ?(policy = default_policy) () =
   if policy.failure_threshold < 1 then

@@ -126,6 +126,7 @@ type t = {
   mutable workers : unit Domain.t list;
   mutable collector : unit Domain.t option;
 }
+[@@lint.guarded_by "m"]
 
 (* The degraded path must not depend on the (presumed broken) exact
    pipeline: OCaml's own float parsing and %.17g rendering, which is
@@ -269,9 +270,14 @@ let rec collector_loop t =
 
 let start ?(jobs = 2) ?(queue_capacity = 64) ?(retry = default_retry)
     ?(breaker = Breaker.default_policy) ?fallback ~emit convert =
-  if jobs < 1 then invalid_arg "Supervisor.start: jobs < 1";
-  if queue_capacity < 1 then invalid_arg "Supervisor.start: queue_capacity < 1";
-  if retry.max_retries < 0 then invalid_arg "Supervisor.start: max_retries < 0";
+  (* documented preconditions: misconfiguration is a programming error,
+     not a per-request failure, so it raises rather than returns *)
+  (if jobs < 1 then invalid_arg "Supervisor.start: jobs < 1")
+  [@lint.can_raise Invalid_argument];
+  (if queue_capacity < 1 then invalid_arg "Supervisor.start: queue_capacity < 1")
+  [@lint.can_raise Invalid_argument];
+  (if retry.max_retries < 0 then invalid_arg "Supervisor.start: max_retries < 0")
+  [@lint.can_raise Invalid_argument];
   let t =
     {
       jobs;
@@ -317,7 +323,8 @@ let submit t ?deadline_ms ~lineno input =
   if t.closed then begin
     Mutex.unlock t.m;
     Semaphore.Counting.release t.slots;
-    invalid_arg "Supervisor.submit: service is shut down"
+    (invalid_arg "Supervisor.submit: service is shut down")
+    [@lint.can_raise Invalid_argument] (* documented: submit-after-shutdown is a caller bug *)
   end;
   let seq = t.submitted in
   t.submitted <- seq + 1;
@@ -330,7 +337,9 @@ let submit t ?deadline_ms ~lineno input =
   (* the semaphore already bounds in-flight work, so this put cannot
      block; Closed can only race with a concurrent shutdown *)
   try Bqueue.put t.queue { seq; job_lineno = lineno; job_input = input; deadline }
-  with Bqueue.Closed -> invalid_arg "Supervisor.submit: service is shut down"
+  with Bqueue.Closed ->
+    (invalid_arg "Supervisor.submit: service is shut down")
+    [@lint.can_raise Invalid_argument] (* documented: submit/shutdown race is a caller bug *)
 
 let stats t =
   Mutex.lock t.m;

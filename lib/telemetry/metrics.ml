@@ -33,6 +33,7 @@ type histogram = {
 type metric = Counter of counter | Gauge of gauge | Histogram of histogram
 
 type registry = { lock : Mutex.t; mutable items : metric list (* reversed *) }
+[@@lint.guarded_by "lock"]
 
 let create_registry () = { lock = Mutex.create (); items = [] }
 

@@ -34,6 +34,7 @@ let index = function
 let duration_bounds =
   [| 100; 250; 500; 1_000; 2_500; 5_000; 10_000; 25_000; 50_000; 100_000;
      1_000_000; 10_000_000 |]
+  [@@lint.domain_safe "read-only bounds template; Metrics.histogram copies it"]
 
 let hists =
   Array.of_list
@@ -46,6 +47,7 @@ let hists =
               boundaries, scale, generate, render)."
            ~bounds:duration_bounds "bdprint_stage_duration_ns")
        all)
+  [@@lint.domain_safe "array of registered histogram handles; written once at init"]
 
 let sample_every = Atomic.make 32
 

@@ -108,3 +108,4 @@ let hard_cases =
     0.30000000000000004 (* 0.1 + 0.2 *);
     7.038531e-26 (* binary32 hard case, as a double *);
   |]
+  [@@lint.domain_safe "read-only benchmark corpus built at init"]

@@ -1,0 +1,291 @@
+(* Self-tests of the bdlint analyzer (lib/lint): one known-bad fixture
+   per rule family asserting the reported rule ids and locations, clean
+   fixtures proving the sanctioned idioms are accepted, annotation
+   suppression accounting, and the CLI's exit-code contract. *)
+
+(* naive substring search; fixtures are tiny *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  at 0
+
+let manifest =
+  Lint.Manifest.of_string
+    "exception-boundary fixtures/boundary.ml\ntelemetry-dir fixtures/hot"
+
+let run ?(filename = "fixtures/plain.ml") src =
+  Lint.Engine.analyze_source ~manifest ~filename src
+
+let rule_ids (o : Lint.Engine.outcome) =
+  List.map (fun f -> Lint.Finding.rule_id f.Lint.Finding.rule) o.findings
+
+let suppressed_total (o : Lint.Engine.outcome) =
+  List.fold_left (fun a (_, n) -> a + n) 0 o.suppressed
+
+let check_rules name expected outcome =
+  Alcotest.(check (list string)) name expected (rule_ids outcome)
+
+(* ------------------------------------------------------------------ *)
+(* domain-safety *)
+
+let domain_bad =
+  {|
+let cache = Hashtbl.create 16
+let count = ref 0
+let table = [| 1; 2; 3 |]
+let grown = Array.make 8 0
+
+type box = { mutable contents : int }
+|}
+
+let domain_good =
+  {|
+let hits = Atomic.make 0
+let slot = Domain.DLS.new_key (fun () -> Array.make 4 0)
+let lock = Mutex.create ()
+let zero = [||]
+
+let per_call () =
+  let acc = ref 0 in
+  let buf = Array.make 4 0 in
+  (acc, buf)
+
+let annotated = Array.init 9 (fun i -> i)
+  [@@lint.domain_safe "read-only table"]
+
+type guarded = { m : Mutex.t; mutable v : int } [@@lint.guarded_by "m"]
+|}
+
+let test_domain () =
+  check_rules "bad fixture"
+    [ "domain-safety"; "domain-safety"; "domain-safety"; "domain-safety";
+      "domain-safety" ]
+    (run domain_bad);
+  let good = run domain_good in
+  check_rules "good fixture" [] good;
+  Alcotest.(check bool)
+    "annotations counted as suppressions" true
+    (suppressed_total good >= 2)
+
+(* ------------------------------------------------------------------ *)
+(* exn-escape *)
+
+let exn_bad =
+  {|
+let f () = failwith "boom"
+let g x = Option.get x
+let h x = Nat.to_int_exn x
+let i () = assert false
+|}
+
+let exn_good =
+  {|
+let f () = Error.catch (fun () -> failwith "absorbed")
+let g x = try Option.get x with Invalid_argument _ -> 0
+let h x = Error.raise_ x
+let i () = invalid_arg "documented precondition"
+  [@@lint.can_raise Invalid_argument]
+|}
+
+let test_exn () =
+  check_rules "bad fixture"
+    [ "exn-escape"; "exn-escape"; "exn-escape"; "exn-escape" ]
+    (run ~filename:"fixtures/boundary.ml" exn_bad);
+  let good = run ~filename:"fixtures/boundary.ml" exn_good in
+  check_rules "good fixture" [] good;
+  Alcotest.(check bool)
+    "can_raise counted as a suppression" true
+    (suppressed_total good >= 1);
+  (* the rule only applies to manifest-listed boundary modules *)
+  check_rules "non-boundary file exempt" [] (run exn_bad)
+
+(* ------------------------------------------------------------------ *)
+(* no-alloc *)
+
+let alloc_bad =
+  {|
+let kernel a =
+  let pair = (a, a) in
+  let copy = Array.copy a in
+  let n = Nat.of_int 3 in
+  ignore (fun x -> x + 1);
+  (pair, copy, n)
+  [@@lint.no_alloc]
+|}
+
+let alloc_good =
+  {|
+let kernel a b =
+  let carry = ref 0 in
+  let rec loop i acc = if i = 0 then acc else loop (i - 1) (acc + a.(i)) in
+  a.(0) <- b + !carry + loop 3 0;
+  if Array.length a = 0 then
+    (a.(0) <- Array.length (Array.make 4 0))
+    [@lint.alloc_ok "cold growth path"]
+  [@@lint.no_alloc]
+
+let unannotated x = (x, Array.copy x)
+|}
+
+let test_alloc () =
+  let bad = run alloc_bad in
+  (* tuple let, Array.copy, Nat.of_int, anonymous closure, result tuple *)
+  check_rules "bad fixture"
+    [ "no-alloc"; "no-alloc"; "no-alloc"; "no-alloc"; "no-alloc" ]
+    bad;
+  let good = run alloc_good in
+  check_rules "good fixture: refs, named loops, alloc_ok accepted" [] good;
+  Alcotest.(check bool)
+    "alloc_ok counted as a suppression" true
+    (suppressed_total good >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* telemetry-gate *)
+
+let telemetry_bad =
+  {|
+let c = Telemetry.Metrics.counter ~help:"h" "requests"
+
+let record () = Telemetry.Metrics.incr c
+
+let observe_ungated h v = Metrics.observe h v
+|}
+
+let telemetry_good =
+  {|
+let c = Telemetry.Metrics.counter ~help:"h" "requests"
+
+let record () = if Telemetry.Metrics.enabled () then Telemetry.Metrics.incr c
+
+let compound flag = if flag && Metrics.enabled () then Metrics.add c 2
+
+let tier_counter () =
+  (Telemetry.Metrics.incr c) [@lint.always_on "stats contract"]
+
+let read_side () = Telemetry.Metrics.value c
+|}
+
+let test_telemetry () =
+  check_rules "bad fixture"
+    [ "telemetry-gate"; "telemetry-gate" ]
+    (run ~filename:"fixtures/hot/loop.ml" telemetry_bad);
+  let good = run ~filename:"fixtures/hot/loop.ml" telemetry_good in
+  check_rules "good fixture: gated, always_on, reads, registration" [] good;
+  Alcotest.(check bool)
+    "always_on counted as a suppression" true
+    (suppressed_total good >= 1);
+  check_rules "outside telemetry dirs exempt" [] (run telemetry_bad)
+
+(* ------------------------------------------------------------------ *)
+(* engine plumbing *)
+
+let test_engine () =
+  let o = run domain_bad in
+  Alcotest.(check int) "files counted" 1 o.files;
+  let first = List.hd o.findings in
+  Alcotest.(check string) "finding file" "fixtures/plain.ml"
+    first.Lint.Finding.file;
+  Alcotest.(check bool) "line numbers 1-based" true
+    (first.Lint.Finding.line >= 1);
+  (* merged outcomes accumulate counts *)
+  let m = Lint.Engine.merge o (run ~filename:"fixtures/boundary.ml" exn_bad) in
+  Alcotest.(check int) "merge files" 2 m.files;
+  Alcotest.(check int) "merge findings"
+    (List.length o.findings + 4)
+    (List.length m.findings);
+  (* JSON rendering names every rule *)
+  let json = Lint.Engine.to_json m in
+  List.iter
+    (fun r ->
+      let id = Lint.Finding.rule_id r in
+      Alcotest.(check bool)
+        (Printf.sprintf "json mentions %s" id)
+        true (contains json id))
+    Lint.Finding.all_rules;
+  (* a parse error is a structured failure, not a crash *)
+  match run "let = (" with
+  | exception Lint.Engine.Parse_error _ -> ()
+  | _ -> Alcotest.fail "expected Parse_error"
+
+(* ------------------------------------------------------------------ *)
+(* manifest *)
+
+let test_manifest () =
+  Alcotest.(check bool) "boundary suffix match" true
+    (Lint.Manifest.is_boundary manifest
+       "_build/default/fixtures/boundary.ml");
+  Alcotest.(check bool) "non-boundary" false
+    (Lint.Manifest.is_boundary manifest "lib/reader/exact.ml");
+  Alcotest.(check bool) "telemetry dir window match" true
+    (Lint.Manifest.in_telemetry_dir manifest
+       "/root/x/fixtures/hot/inner.ml");
+  Alcotest.(check bool) "telemetry non-match" false
+    (Lint.Manifest.in_telemetry_dir manifest "fixtures/cold/inner.ml");
+  Alcotest.check_raises "malformed directive"
+    (Lint.Manifest.Malformed "line 1: unknown or malformed directive \"bogus\"")
+    (fun () -> ignore (Lint.Manifest.of_string "bogus directive here"))
+
+(* ------------------------------------------------------------------ *)
+(* the installed CLI: exit codes and JSON output *)
+
+let bdlint_exe =
+  Filename.concat
+    (Filename.dirname (Filename.dirname Sys.executable_name))
+    "bin/bdlint.exe"
+
+let in_temp_fixture ~source f =
+  let dir = Filename.temp_file "bdlint" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "fixture.ml" in
+  let oc = open_out path in
+  output_string oc source;
+  close_out oc;
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove path;
+      Unix.rmdir dir)
+    (fun () -> f dir)
+
+let run_cli args =
+  let tmp = Filename.temp_file "bdlint" ".out" in
+  let status =
+    Sys.command (Printf.sprintf "%s %s > %s 2>/dev/null" bdlint_exe args tmp)
+  in
+  let ic = open_in_bin tmp in
+  let out = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove tmp;
+  (status, out)
+
+let test_cli () =
+  in_temp_fixture ~source:"let bad = ref 0\n" (fun dir ->
+      let status, _ = run_cli dir in
+      Alcotest.(check int) "findings exit 1" 1 status;
+      let status, json = run_cli ("--format json " ^ dir) in
+      Alcotest.(check int) "json exit 1" 1 status;
+      Alcotest.(check bool) "json names the rule" true
+        (contains json {|"rule":"domain-safety"|}));
+  in_temp_fixture ~source:"let fine = Atomic.make 0\n" (fun dir ->
+      let status, _ = run_cli ("--quiet " ^ dir) in
+      Alcotest.(check int) "clean exit 0" 0 status);
+  let status, _ = run_cli "--manifest does-not-exist.manifest lib" in
+  Alcotest.(check int) "usage error exit 2" 2 status
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "domain-safety" `Quick test_domain;
+          Alcotest.test_case "exn-escape" `Quick test_exn;
+          Alcotest.test_case "no-alloc" `Quick test_alloc;
+          Alcotest.test_case "telemetry-gate" `Quick test_telemetry;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "outcomes and renderings" `Quick test_engine;
+          Alcotest.test_case "manifest" `Quick test_manifest;
+        ] );
+      ("cli", [ Alcotest.test_case "exit codes" `Quick test_cli ]);
+    ]
