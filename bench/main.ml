@@ -598,6 +598,306 @@ let service_bench ~size () =
     \   service measures supervision overhead, not parallel speedup)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Daemon: open/closed-loop load generator against bdprintd (E11).
+
+   Targets BDPRINTD_ADDR (host:port, an externally started daemon — the
+   CI smoke job's mode) or, absent that, an in-process Net.Server on an
+   ephemeral port.  Every reply is verified against a fault-free
+   client-side conversion (OK must match exactly, DEG must read back to
+   the same value), so a chaos-faulted run proves zero wrong outputs
+   under worker kills.  Latency percentiles and the daemon's
+   shed/degraded/cache counters land in BENCH_service.json; any wrong
+   output makes the bench exit non-zero. *)
+
+let daemon_bench ~size () =
+  Printf.printf "%s\nDaemon: bdprintd load generation (closed loop + burst)\n"
+    line;
+  let module Wire = Net.Wire in
+  let module Server = Net.Server in
+  let module Faults = Robust.Faults in
+  let convert input =
+    match
+      Reader.read ~mode:Fp.Rounding.To_nearest_even Fp.Format_spec.binary64
+        input
+    with
+    | Error _ as e -> e
+    | Ok v ->
+      Dragon.Printer.print_value ~base:10 ~mode:Fp.Rounding.To_nearest_even
+        ~strategy:Dragon.Scaling.Fast_estimate ~notation:Dragon.Render.Auto
+        Fp.Format_spec.binary64 v
+  in
+  (* corpus: random doubles plus a hot set that exercises the cache *)
+  let hot = [| "0.1"; "1"; "0.5"; "1e23"; "-2.5"; "3.75" |] in
+  let corpus =
+    Array.map Dragon.Printer.print (Workloads.Schryer.corpus ~size ())
+  in
+  let inputs =
+    Array.init size (fun i ->
+        if i mod 4 = 0 then hot.(i mod Array.length hot) else corpus.(i))
+  in
+  (* expected outputs, computed fault-free: briefly disarm any ambient
+     fault points (the daemon under test keeps its own arming; in-process
+     servers re-arm right after) *)
+  let armed =
+    List.filter_map
+      (fun p ->
+        match Faults.probability p with
+        | Some pr -> Some (p, pr)
+        | None -> None)
+      Faults.points
+  in
+  Faults.disarm_all ();
+  let expected = Hashtbl.create (2 * size) in
+  Array.iter
+    (fun s -> if not (Hashtbl.mem expected s) then Hashtbl.add expected s (convert s))
+    inputs;
+  List.iter (fun (p, pr) -> Faults.arm ~probability:pr p) armed;
+  let in_process, host, port =
+    match Sys.getenv_opt "BDPRINTD_ADDR" with
+    | Some addr -> (
+      match String.index_opt addr ':' with
+      | Some i ->
+        let h = String.sub addr 0 i in
+        let p = int_of_string (String.sub addr (i + 1) (String.length addr - i - 1)) in
+        (None, (if h = "" then "127.0.0.1" else h), p)
+      | None -> (None, "127.0.0.1", int_of_string addr))
+    | None ->
+      let server =
+        match
+          Server.start
+            ~config:{ Server.default_config with Server.jobs = 3 }
+            ~convert
+            (Server.Tcp ("127.0.0.1", 0))
+        with
+        | Result.Ok s -> s
+        | Result.Error e ->
+          failwith ("daemon bench: " ^ Robust.Error.to_string e)
+      in
+      (Some server, "127.0.0.1", Option.get (Server.port server))
+  in
+  Printf.printf "(%d requests against %s:%d%s)\n\n" size host port
+    (if in_process = None then " [external daemon]" else " [in-process]");
+  (* minimal blocking line client *)
+  let module C = struct
+    type t = {
+      fd : Unix.file_descr;
+      buf : Bytes.t;
+      mutable pos : int;
+      mutable len : int;
+      acc : Buffer.t;
+    }
+
+    let connect () =
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd
+        (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 60.0;
+      { fd; buf = Bytes.create 8192; pos = 0; len = 0; acc = Buffer.create 64 }
+
+    let send t s =
+      let b = Bytes.of_string s in
+      let rec go off len =
+        if len > 0 then begin
+          let n = Unix.write t.fd b off len in
+          go (off + n) (len - n)
+        end
+      in
+      go 0 (Bytes.length b)
+
+    let rec line t =
+      if t.pos >= t.len then begin
+        let n = Unix.read t.fd t.buf 0 (Bytes.length t.buf) in
+        if n = 0 then failwith "daemon closed the connection";
+        t.pos <- 0;
+        t.len <- n;
+        line t
+      end
+      else
+        match Bytes.index_from_opt t.buf t.pos '\n' with
+        | Some i when i < t.len ->
+          Buffer.add_subbytes t.acc t.buf t.pos (i - t.pos);
+          t.pos <- i + 1;
+          let s = Buffer.contents t.acc in
+          Buffer.clear t.acc;
+          s
+        | _ ->
+          Buffer.add_subbytes t.acc t.buf t.pos (t.len - t.pos);
+          t.pos <- t.len;
+          line t
+
+    let close t = try Unix.close t.fd with Unix.Unix_error (_, _, _) -> ()
+  end in
+  let n_ok = Atomic.make 0
+  and n_deg = Atomic.make 0
+  and n_shed = Atomic.make 0
+  and n_err = Atomic.make 0
+  and n_wrong = Atomic.make 0 in
+  let classify input reply_line =
+    match (Wire.parse_reply_line reply_line, Hashtbl.find_opt expected input) with
+    | Ok (Wire.Converted out), Some (Ok e) ->
+      if out = e then Atomic.incr n_ok else Atomic.incr n_wrong
+    | Ok (Wire.Degraded out), Some (Ok e) ->
+      if float_of_string out = float_of_string e then Atomic.incr n_deg
+      else Atomic.incr n_wrong
+    | Ok (Wire.Failed _), Some (Error _) -> Atomic.incr n_err
+    | Ok (Wire.Shed _), _ -> Atomic.incr n_shed
+    | _, _ -> Atomic.incr n_wrong
+  in
+  let threads = 4 in
+  let per_thread = size / threads in
+  (* phase 1 — closed loop: one request in flight per client; per-request
+     round-trip latency in microseconds *)
+  let latencies = Array.make (threads * per_thread) 0.0 in
+  let closed_loop tid () =
+    let c = C.connect () in
+    for i = 0 to per_thread - 1 do
+      let input = inputs.(((tid * per_thread) + i) mod size) in
+      let t0 = Unix.gettimeofday () in
+      C.send c ("CONV " ^ input ^ "\n");
+      let reply = C.line c in
+      latencies.((tid * per_thread) + i) <-
+        (Unix.gettimeofday () -. t0) *. 1e6;
+      classify input reply
+    done;
+    C.close c
+  in
+  let t0 = Unix.gettimeofday () in
+  let ts = List.init threads (fun i -> Thread.create (closed_loop i) ()) in
+  List.iter Thread.join ts;
+  let closed_wall = Unix.gettimeofday () -. t0 in
+  (* phase 2 — burst (open-loop approximation): pipeline a window of
+     requests before reading any reply; induces admission shedding *)
+  let window = 128 in
+  let bursts_per_thread = max 1 (per_thread / window) in
+  let burst tid () =
+    let c = C.connect () in
+    for b = 0 to bursts_per_thread - 1 do
+      let base = ((tid * bursts_per_thread) + b) * window in
+      for k = 0 to window - 1 do
+        C.send c ("CONV " ^ inputs.((base + k) mod size) ^ "\n")
+      done;
+      for k = 0 to window - 1 do
+        classify inputs.((base + k) mod size) (C.line c)
+      done
+    done;
+    C.close c
+  in
+  let t1 = Unix.gettimeofday () in
+  let ts = List.init threads (fun i -> Thread.create (burst i) ()) in
+  List.iter Thread.join ts;
+  let burst_wall = Unix.gettimeofday () -. t1 in
+  let burst_requests = threads * bursts_per_thread * window in
+  (* daemon-side counters over the STATS verb *)
+  let stats_json =
+    let c = C.connect () in
+    C.send c "STATS\n";
+    let header = C.line c in
+    let body =
+      match Wire.payload_length header with
+      | Some n ->
+        let b = Buffer.create n in
+        let rec fill () =
+          if Buffer.length b < n then begin
+            Buffer.add_string b (C.line c);
+            fill ()
+          end
+        in
+        fill ();
+        Buffer.contents b
+      | None -> "{}"
+    in
+    C.close c;
+    body
+  in
+  let counter_of key =
+    (* flat {"key":int,...} extraction; good enough for our own format *)
+    let needle = "\"" ^ key ^ "\":" in
+    match String.index_opt stats_json '{' with
+    | None -> 0
+    | Some _ -> (
+      let rec find i =
+        if i + String.length needle > String.length stats_json then None
+        else if String.sub stats_json i (String.length needle) = needle then
+          Some (i + String.length needle)
+        else find (i + 1)
+      in
+      match find 0 with
+      | None -> 0
+      | Some s ->
+        let e = ref s in
+        while
+          !e < String.length stats_json
+          && (match stats_json.[!e] with '0' .. '9' | '-' -> true | _ -> false)
+        do
+          incr e
+        done;
+        if !e > s then int_of_string (String.sub stats_json s (!e - s)) else 0)
+  in
+  (match in_process with
+  | Some server ->
+    Server.drain server;
+    ignore (Server.wait server)
+  | None -> ());
+  Array.sort compare latencies;
+  let pct p =
+    latencies.(int_of_float (p *. float_of_int (Array.length latencies - 1)))
+  in
+  let mean =
+    Array.fold_left ( +. ) 0.0 latencies /. float_of_int (Array.length latencies)
+  in
+  let total_requests = (threads * per_thread) + burst_requests in
+  Printf.printf "  closed loop : %d requests, %.2f s, %.0f req/s\n"
+    (threads * per_thread) closed_wall
+    (float_of_int (threads * per_thread) /. closed_wall);
+  Printf.printf "  latency us  : p50 %.0f   p90 %.0f   p99 %.0f   mean %.0f\n"
+    (pct 0.50) (pct 0.90) (pct 0.99) mean;
+  Printf.printf "  burst       : %d requests, %.2f s, %.0f req/s\n"
+    burst_requests burst_wall
+    (float_of_int burst_requests /. burst_wall);
+  Printf.printf "  outcomes    : %d ok, %d degraded, %d failed, %d shed, %d WRONG\n"
+    (Atomic.get n_ok) (Atomic.get n_deg) (Atomic.get n_err)
+    (Atomic.get n_shed) (Atomic.get n_wrong);
+  Printf.printf "  daemon      : %d cache hits, %d shed, %d crashes, %d respawns\n"
+    (counter_of "cache_hits")
+    (counter_of "shed_queue_full" + counter_of "shed_draining")
+    (counter_of "sup_crashes") (counter_of "sup_respawns");
+  let oc = open_out "BENCH_service.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "bdprintd load generation",
+  "target": "%s:%d",
+  "mode": "%s",
+  "threads": %d,
+  "requests": %d,
+  "closed_loop": { "requests": %d, "wall_s": %.3f, "rps": %.0f },
+  "burst": { "requests": %d, "window": %d, "wall_s": %.3f, "rps": %.0f },
+  "latency_us": { "p50": %.0f, "p90": %.0f, "p99": %.0f, "mean": %.0f },
+  "outcomes": { "ok": %d, "degraded": %d, "failed": %d, "shed": %d, "wrong": %d },
+  "daemon": { "cache_hits": %d, "shed_queue_full": %d, "shed_draining": %d,
+              "crashes": %d, "respawns": %d, "breaker_trips": %d }
+}
+|}
+    host port
+    (if in_process = None then "external" else "in-process")
+    threads total_requests (threads * per_thread) closed_wall
+    (float_of_int (threads * per_thread) /. closed_wall)
+    burst_requests window burst_wall
+    (float_of_int burst_requests /. burst_wall)
+    (pct 0.50) (pct 0.90) (pct 0.99) mean (Atomic.get n_ok) (Atomic.get n_deg)
+    (Atomic.get n_err) (Atomic.get n_shed) (Atomic.get n_wrong)
+    (counter_of "cache_hits")
+    (counter_of "shed_queue_full")
+    (counter_of "shed_draining")
+    (counter_of "sup_crashes") (counter_of "sup_respawns")
+    (counter_of "sup_breaker_trips");
+  close_out oc;
+  Printf.printf "  wrote BENCH_service.json\n";
+  if Atomic.get n_wrong > 0 then begin
+    Printf.eprintf "daemon bench: %d WRONG outputs\n%!" (Atomic.get n_wrong);
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Telemetry: instrumentation overhead of the metrics/tracing layer *)
 
 let telemetry_bench ~size () =
@@ -735,6 +1035,8 @@ let () =
   if has "sweep" then sweep ();
   if has "reader" then reader_bench ~size:(pick 30_000) ();
   if has "service" then service_bench ~size:(pick 30_000) ();
+  if has "service" || List.mem "daemon" !sections then
+    daemon_bench ~size:(pick 20_000) ();
   if has "telemetry" then telemetry_bench ~size:(pick 20_000) ();
   if has "bignum" then bignum_bench ();
   if has "kernel" then kernel_bench ~size:(pick 8_000) ();

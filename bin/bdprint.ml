@@ -11,7 +11,9 @@
    reports queue/retry/breaker counters on exit and [--metrics FILE]
    dumps the full telemetry registry as JSON (FILE) plus Prometheus text
    (FILE with a .prom suffix).  Streaming exit codes are per failure
-   class: 2 syntax/range, 3 budget (incl. deadline), 4 internal. *)
+   class: 2 syntax/range, 3 budget (incl. deadline), 4 internal — and 5
+   when SIGINT or a closed output pipe cut the stream short (partial
+   results and --metrics still flush). *)
 
 open Cmdliner
 module Error = Robust.Error
@@ -319,8 +321,21 @@ let prom_path json_path =
 
 (* One exit path for both stream drivers: snapshot the registry once,
    render --stats from it (so sequential and parallel print identical
-   fields), dump --metrics files, exit with the class code. *)
-let finish_stream ~counts ~show_stats ~metrics_file =
+   fields), dump --metrics files, exit with the class code — or with the
+   distinct code 5 when the stream was cut short by SIGINT or a closed
+   output pipe, so callers can tell "clean but partial" from "complete".
+   Metrics flush on the interrupted path too: a cut-short run still
+   reports what it converted. *)
+let finish_stream ~counts ~show_stats ~metrics_file ~interrupted =
+  (try flush stdout
+   with Sys_error _ ->
+     (* stdout is a broken pipe and its buffer cannot drain; repoint
+        fd 1 at /dev/null so the exit-time flush cannot raise *)
+     (try
+        let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+        Unix.dup2 null Unix.stdout;
+        Unix.close null
+      with Unix.Unix_error (_, _, _) -> ()));
   let snap = Telemetry.Snapshot.take () in
   if show_stats then Format.eprintf "%a@.%!" Telemetry.Snapshot.pp_stream snap;
   (match metrics_file with
@@ -337,6 +352,13 @@ let finish_stream ~counts ~show_stats ~metrics_file =
   let errors = total_errors counts in
   if errors > 0 then
     Printf.eprintf "error: %d input line(s) failed\n%!" errors;
+  if interrupted then begin
+    Printf.eprintf
+      "error: stream interrupted (signal or closed output); partial results \
+       and metrics flushed\n\
+       %!";
+    exit 5
+  end;
   exit (class_exit_code counts)
 
 (* Sequential deadline support: same pre-flight + cooperative-check
@@ -353,13 +375,28 @@ let with_line_deadline deadline_ms convert input =
         if Budget.expired d then Result.Error (Budget.deadline_error d)
         else convert input)
 
+(* Stream interruption: SIGINT mid-stream (operator ^C) and SIGPIPE
+   (downstream consumer closed the pipe) both stop the stream cleanly —
+   flush whatever converted, flush --metrics, exit 5 — instead of dying
+   with the default signal action and losing the telemetry.  SIGPIPE is
+   ignored so broken-pipe writes surface as catchable [Sys_error]. *)
+let install_stream_signals () =
+  let interrupted = Atomic.make false in
+  let note _ = Atomic.set interrupted true in
+  (try ignore (Sys.signal Sys.sigint (Sys.Signal_handle note))
+   with Invalid_argument _ | Sys_error _ -> ());
+  (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+   with Invalid_argument _ | Sys_error _ -> ());
+  interrupted
+
 let run_stream ~convert ~max_errors ~deadline_ms ~show_stats ~metrics_file =
   let counts = new_counts () in
   let lineno = ref 0 in
   let aborted = ref false in
+  let interrupted = install_stream_signals () in
   Telemetry.Metrics.set_gauge g_jobs 1;
   (try
-     while not !aborted do
+     while (not !aborted) && not (Atomic.get interrupted) do
        let line = input_line stdin in
        incr lineno;
        if String.trim line <> "" then begin
@@ -382,8 +419,13 @@ let run_stream ~convert ~max_errors ~deadline_ms ~show_stats ~metrics_file =
            | _ -> ())
        end
      done
-   with End_of_file -> ());
+   with
+  | End_of_file -> ()
+  | Sys_error _ ->
+    (* broken stdout pipe (SIGPIPE ignored above) or stdin error *)
+    Atomic.set interrupted true);
   finish_stream ~counts ~show_stats ~metrics_file
+    ~interrupted:(Atomic.get interrupted)
 
 (* Parallel streaming through the supervised service.  The collector
    domain owns stdout/stderr during the run (replies arrive in input
@@ -395,18 +437,25 @@ let run_stream_jobs ~convert ~jobs ~max_errors ~deadline_ms ~show_stats
     ~metrics_file =
   let counts = new_counts () in
   let stop = Atomic.make false in
+  let interrupted = install_stream_signals () in
   let emit (reply : Supervisor.reply) =
     Telemetry.Metrics.incr m_conversions;
     match reply.Supervisor.outcome with
-    | Supervisor.Done out ->
+    | Supervisor.Done out -> (
       Telemetry.Metrics.incr m_ok;
-      print_string out;
-      print_newline ()
-    | Supervisor.Degraded out ->
+      try
+        print_string out;
+        print_newline ()
+      with Sys_error _ ->
+        (* downstream consumer closed the pipe: stop submitting; lines
+           already in flight still drain (emitted, writes no-op) *)
+        Atomic.set interrupted true)
+    | Supervisor.Degraded out -> (
       (* breaker-open fallback: correct to 17 significant digits but not
          the pipeline's output — keep the tag machine-visible *)
       Telemetry.Metrics.incr m_degraded;
-      Printf.printf "degraded:%s\n" out
+      try Printf.printf "degraded:%s\n" out
+      with Sys_error _ -> Atomic.set interrupted true)
     | Supervisor.Failed e ->
       count_error counts e;
       record_error e;
@@ -426,18 +475,21 @@ let run_stream_jobs ~convert ~jobs ~max_errors ~deadline_ms ~show_stats
   let service = Supervisor.start ~jobs ~queue_capacity ~emit convert in
   let lineno = ref 0 in
   (try
-     while not (Atomic.get stop) do
+     while (not (Atomic.get stop)) && not (Atomic.get interrupted) do
        let line = input_line stdin in
        incr lineno;
        if String.trim line <> "" then
          Supervisor.submit service ?deadline_ms ~lineno:!lineno
            (String.trim line)
      done
-   with End_of_file -> ());
+   with
+  | End_of_file -> ()
+  | Sys_error _ -> Atomic.set interrupted true);
   let (_ : Supervisor.stats) = Supervisor.shutdown service in
   (* counts was filled by the collector domain; shutdown joined it, so
      the reads below are safely ordered after its writes *)
   finish_stream ~counts ~show_stats ~metrics_file
+    ~interrupted:(Atomic.get interrupted)
 
 let run base mode fmt strategy notation digits places hex_out use_stdin
     max_errors jobs show_stats deadline_ms metrics_file numbers =
@@ -529,7 +581,9 @@ let cmd =
       `P
         "With --stdin the exit code reflects the most severe failure \
          class seen on the stream: 0 clean, 2 syntax/range, 3 budget \
-         (including --deadline-ms timeouts), 4 internal.  With --jobs N \
+         (including --deadline-ms timeouts), 4 internal, 5 interrupted \
+         (SIGINT or closed output pipe; partial results and --metrics \
+         flush before exiting).  With --jobs N \
          the stream runs through a supervised parallel worker pool: \
          bounded submission queue with backpressure, per-line deadlines, \
          automatic retry of transient internal failures with capped \

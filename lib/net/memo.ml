@@ -1,0 +1,122 @@
+type shard = {
+  m : Mutex.t;
+  tbl : (string, string) Hashtbl.t;
+  ring : string array;  (** insertion order, for FIFO eviction *)
+  mutable pos : int;
+  mutable filled : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+[@@lint.guarded_by "m"]
+
+type t = { shards : shard array; per_shard : int }
+[@@lint.domain_safe "each shard is guarded by its own mutex"]
+
+type stats = {
+  hits : int;
+  misses : int;
+  entries : int;
+  evictions : int;
+  shards : int;
+  capacity : int;
+}
+
+let m_hits =
+  Telemetry.Metrics.counter ~help:"Hot-value cache hits."
+    "bdprintd_cache_hits_total"
+
+let m_misses =
+  Telemetry.Metrics.counter ~help:"Hot-value cache misses."
+    "bdprintd_cache_misses_total"
+
+let m_evictions =
+  Telemetry.Metrics.counter
+    ~help:"Hot-value cache FIFO evictions (insertions into a full shard)."
+    "bdprintd_cache_evictions_total"
+
+let create ?(shards = 8) ~capacity () =
+  (if capacity < 1 then invalid_arg "Memo.create: capacity < 1")
+  [@lint.can_raise Invalid_argument];
+  let shards = max 1 shards in
+  let per_shard = max 1 (capacity / shards) in
+  {
+    shards =
+      Array.init shards (fun _ ->
+          {
+            m = Mutex.create ();
+            tbl = Hashtbl.create (min per_shard 64);
+            ring = Array.make per_shard "";
+            pos = 0;
+            filled = 0;
+            hits = 0;
+            misses = 0;
+            evictions = 0;
+          });
+    per_shard;
+  }
+
+let shard_of (t : t) key = t.shards.(Hashtbl.hash key mod Array.length t.shards)
+
+let find t key =
+  let s = shard_of t key in
+  Mutex.lock s.m;
+  let r = Hashtbl.find_opt s.tbl key in
+  (match r with
+  | Some _ -> s.hits <- s.hits + 1
+  | None -> s.misses <- s.misses + 1);
+  Mutex.unlock s.m;
+  (if Telemetry.Metrics.enabled () then
+     Telemetry.Metrics.incr (match r with Some _ -> m_hits | None -> m_misses));
+  r
+
+let add t key value =
+  let s = shard_of t key in
+  Mutex.lock s.m;
+  let evicted =
+    if Hashtbl.mem s.tbl key then begin
+      (* replace in place: the ring slot it already owns stays valid *)
+      Hashtbl.replace s.tbl key value;
+      false
+    end
+    else begin
+      let evict = s.filled = t.per_shard in
+      if evict then begin
+        Hashtbl.remove s.tbl s.ring.(s.pos);
+        s.evictions <- s.evictions + 1
+      end
+      else s.filled <- s.filled + 1;
+      s.ring.(s.pos) <- key;
+      s.pos <- (s.pos + 1) mod t.per_shard;
+      Hashtbl.replace s.tbl key value;
+      evict
+    end
+  in
+  Mutex.unlock s.m;
+  if evicted && Telemetry.Metrics.enabled () then
+    Telemetry.Metrics.incr m_evictions
+
+let stats (t : t) =
+  Array.fold_left
+    (fun acc s ->
+      Mutex.lock s.m;
+      let r =
+        {
+          acc with
+          hits = acc.hits + s.hits;
+          misses = acc.misses + s.misses;
+          entries = acc.entries + Hashtbl.length s.tbl;
+          evictions = acc.evictions + s.evictions;
+        }
+      in
+      Mutex.unlock s.m;
+      r)
+    {
+      hits = 0;
+      misses = 0;
+      entries = 0;
+      evictions = 0;
+      shards = Array.length t.shards;
+      capacity = Array.length t.shards * t.per_shard;
+    }
+    t.shards

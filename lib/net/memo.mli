@@ -1,0 +1,41 @@
+(** A domain-sharded, bounded hot-value cache in front of the
+    conversion pipeline.
+
+    Real traffic prints the same small set of values constantly (0, 1,
+    0.5, small integers — see the Experimental Review survey cited in
+    PAPERS.md), so a memo table turns the common case into one hash
+    probe.  The table is sharded by key hash: each shard has its own
+    mutex, so worker threads and domains contend only when they hit the
+    same shard, and each shard's capacity is fixed — insertion beyond it
+    evicts in FIFO order, keeping the whole cache strictly bounded
+    however hostile the key stream.
+
+    Only exact pipeline outputs belong here: degraded fallbacks and
+    errors are never cached, so a cache hit is always a correct
+    conversion. *)
+
+type t
+
+type stats = {
+  hits : int;
+  misses : int;
+  entries : int;  (** currently cached pairs, summed over shards *)
+  evictions : int;
+  shards : int;
+  capacity : int;  (** total bound, summed over shards *)
+}
+
+val create : ?shards:int -> capacity:int -> unit -> t
+(** [shards] defaults to 8 and is clamped to at least 1; [capacity] is
+    the total entry bound, divided evenly across shards (at least one
+    entry per shard).
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val find : t -> string -> string option
+(** Lookup; counts a hit or a miss. *)
+
+val add : t -> string -> string -> unit
+(** Inserts (evicting the shard's oldest entry when full); replaces any
+    existing binding for the key without growing the shard. *)
+
+val stats : t -> stats

@@ -1,0 +1,123 @@
+type request =
+  | Conv of string
+  | Batch of int
+  | Deadline of int
+  | Ping
+  | Healthz
+  | Stats
+  | Metrics
+  | Quit
+
+type reply =
+  | Converted of string
+  | Degraded of string
+  | Failed of { cls : string; detail : string }
+  | Shed of string
+  | Batch_end of { ok : int; failed : int; shed : int }
+  | Pong
+  | Ready
+  | Draining
+  | Payload of { verb : string; body : string }
+  | Bye
+
+let max_batch = 1024
+let max_deadline_ms = 3_600_000
+
+let strip_cr s =
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+
+(* One-line sanitisation for reply fields that originate in error
+   messages: the framing is newline-based, so embedded line breaks
+   would desynchronise the stream. *)
+let one_line s = String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let split_verb line =
+  match String.index_opt line ' ' with
+  | None -> (line, "")
+  | Some i ->
+    (String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
+
+let parse_request line =
+  let line = strip_cr line in
+  let verb, rest = split_verb line in
+  match verb with
+  | "CONV" ->
+    if String.trim rest = "" then Error "empty-input"
+    else Ok (Conv (String.trim rest))
+  | "BATCH" -> (
+    match int_of_string_opt (String.trim rest) with
+    | Some n when n >= 1 && n <= max_batch -> Ok (Batch n)
+    | Some _ -> Error (Printf.sprintf "bad-count (1..%d)" max_batch)
+    | None -> Error "bad-count")
+  | "DEADLINE" -> (
+    match int_of_string_opt (String.trim rest) with
+    | Some ms when ms >= 0 && ms <= max_deadline_ms -> Ok (Deadline ms)
+    | Some _ -> Error (Printf.sprintf "bad-deadline (0..%d)" max_deadline_ms)
+    | None -> Error "bad-deadline")
+  | "PING" when rest = "" -> Ok Ping
+  | "HEALTHZ" when rest = "" -> Ok Healthz
+  | "STATS" when rest = "" -> Ok Stats
+  | "METRICS" when rest = "" -> Ok Metrics
+  | "QUIT" when rest = "" -> Ok Quit
+  | "" -> Error "empty-frame"
+  | v -> Error (Printf.sprintf "unknown-verb %s" (one_line v))
+
+let render_reply = function
+  | Converted out -> "OK " ^ one_line out ^ "\n"
+  | Degraded out -> "DEG " ^ one_line out ^ "\n"
+  | Failed { cls; detail } ->
+    Printf.sprintf "ERR %s %s\n" (one_line cls) (one_line detail)
+  | Shed reason -> "SHED " ^ one_line reason ^ "\n"
+  | Batch_end { ok; failed; shed } ->
+    Printf.sprintf "END ok=%d failed=%d shed=%d\n" ok failed shed
+  | Pong -> "PONG\n"
+  | Ready -> "READY\n"
+  | Draining -> "DRAINING\n"
+  | Payload { verb; body } ->
+    Printf.sprintf "%s %d\n%s\n" verb (String.length body) body
+  | Bye -> "BYE\n"
+
+let kv_int key pairs =
+  List.find_map
+    (fun p ->
+      match String.index_opt p '=' with
+      | Some i when String.sub p 0 i = key ->
+        int_of_string_opt (String.sub p (i + 1) (String.length p - i - 1))
+      | _ -> None)
+    pairs
+
+let payload_length line =
+  let line = strip_cr line in
+  match split_verb line with
+  | ("STATS" | "METRICS"), rest -> (
+    match int_of_string_opt (String.trim rest) with
+    | Some n when n >= 0 -> Some n
+    | _ -> None)
+  | _ -> None
+
+let parse_reply_line line =
+  let line = strip_cr line in
+  let verb, rest = split_verb line in
+  match verb with
+  | "OK" -> Ok (Converted rest)
+  | "DEG" -> Ok (Degraded rest)
+  | "ERR" ->
+    let cls, detail = split_verb rest in
+    if cls = "" then Error "ERR without a class"
+    else Ok (Failed { cls; detail })
+  | "SHED" -> if rest = "" then Error "SHED without a reason" else Ok (Shed rest)
+  | "END" -> (
+    let pairs = String.split_on_char ' ' rest in
+    match (kv_int "ok" pairs, kv_int "failed" pairs, kv_int "shed" pairs) with
+    | Some ok, Some failed, Some shed -> Ok (Batch_end { ok; failed; shed })
+    | _ -> Error "malformed END counts")
+  | "PONG" -> Ok Pong
+  | "READY" -> Ok Ready
+  | "DRAINING" -> Ok Draining
+  | "BYE" -> Ok Bye
+  | "STATS" | "METRICS" -> (
+    match payload_length line with
+    | Some _ -> Ok (Payload { verb; body = "" })
+    | None -> Error ("malformed payload header: " ^ line))
+  | v -> Error ("unknown reply tag " ^ v)

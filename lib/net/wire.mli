@@ -1,0 +1,76 @@
+(** The bdprintd wire protocol: newline-framed text requests with
+    line- or length-framed replies.  See docs/SERVICE.md for the full
+    specification.
+
+    Requests are single LF-terminated lines (a trailing CR is
+    tolerated).  Conversion replies are single lines tagged with the
+    outcome ([OK] / [DEG] / [ERR] / [SHED]); bulk payloads ([STATS],
+    [METRICS]) are length-framed: a header line carrying the byte count
+    followed by exactly that many bytes.
+
+    This module is pure — parsing and rendering only — so the protocol
+    is testable without sockets, and the load generator and the chaos
+    harness share one grammar with the server. *)
+
+type request =
+  | Conv of string  (** [CONV <input>]: convert one number *)
+  | Batch of int
+      (** [BATCH <n>]: the next [n] lines are inputs; [n] replies follow
+          in order, then an [END] line *)
+  | Deadline of int
+      (** [DEADLINE <ms>]: per-request deadline for subsequent requests
+          on this connection; 0 clears it *)
+  | Ping
+  | Healthz
+  | Stats  (** length-framed JSON service statistics *)
+  | Metrics  (** length-framed Prometheus snapshot *)
+  | Quit
+
+type reply =
+  | Converted of string  (** [OK <output>] *)
+  | Degraded of string
+      (** [DEG <output>]: breaker- or crash-fallback [%.17g] output —
+          reads back to the same value but is not the pipeline's
+          shortest form *)
+  | Failed of { cls : string; detail : string }
+      (** [ERR <class> <detail>], [cls] one of syntax / range / budget /
+          internal / proto *)
+  | Shed of string
+      (** [SHED <reason>]: explicit load-shedding, [reason] one of
+          [queue-full] / [draining]; the request was {e not} converted *)
+  | Batch_end of { ok : int; failed : int; shed : int }
+      (** [END ok=<n> failed=<n> shed=<n>] after a batch's replies *)
+  | Pong
+  | Ready
+  | Draining
+  | Payload of { verb : string; body : string }
+      (** [<verb> <byte-count>] then the body bytes ([STATS],
+          [METRICS]) *)
+  | Bye
+
+val max_batch : int
+(** Upper bound on [BATCH <n>] (1024): bounds per-connection memory. *)
+
+val max_deadline_ms : int
+(** Upper bound on [DEADLINE <ms>] (3_600_000). *)
+
+val parse_request : string -> (request, string) result
+(** Parses one request line (without its newline).  [Error reason]
+    describes the protocol violation ([unknown-verb ...],
+    [bad-count ...], ...); the server reports it as [ERR proto <reason>]
+    and keeps the connection. *)
+
+val render_reply : reply -> string
+(** The exact bytes to write, trailing newline(s) included.  [Payload]
+    renders as the header line followed by the body and a final
+    newline. *)
+
+val parse_reply_line : string -> (reply, string) result
+(** Client-side parse of one reply line (without its newline).
+    [Payload] replies parse with [body = ""] and the byte count in
+    {!payload_length}; the caller must then read that many bytes plus
+    the trailing newline. *)
+
+val payload_length : string -> int option
+(** [payload_length line] is [Some n] when [line] is a length-framed
+    payload header ([STATS <n>] / [METRICS <n>]). *)

@@ -1,4 +1,13 @@
-let points = [ "nat.divmod"; "nat.pow"; "scaling.power"; "scaling.scale" ]
+let pipeline_points = [ "nat.divmod"; "nat.pow"; "scaling.power"; "scaling.scale" ]
+
+(* Network/service-layer points are consumed through {!fires}, which
+   reports the draw to the call site instead of raising, because a
+   network fault is an *effect* (a stalled write, a corrupted frame, a
+   dead worker domain), not a structured pipeline error. *)
+let net_points =
+  [ "service.worker-kill"; "net.slow-client"; "net.partial-write"; "net.malformed-frame" ]
+
+let points = pipeline_points @ net_points
 
 type arming = { point : string; probability : float }
 
@@ -13,11 +22,48 @@ let sync set =
   Atomic.set armed_points set;
   Atomic.set armed_count (List.length set)
 
-let arm ?(probability = 1.0) name =
-  let rest =
-    List.filter (fun a -> not (String.equal a.point name)) (Atomic.get armed_points)
+(* Unknown-point reporting: each unknown name warns exactly once per
+   process however many times it is re-encountered (startup spec
+   parsing, repeated [arm] calls from tests), and the distinct-name
+   total is exported so a metrics snapshot can prove that a typo'd
+   BDPRINT_FAULTS entry was noticed rather than silently ignored. *)
+let m_unknown_points =
+  Telemetry.Metrics.counter
+    ~help:"Distinct unknown fault-point names rejected from BDPRINT_FAULTS \
+           or programmatic arming (each name counted once)."
+    "bdprint_faults_unknown_points"
+
+let warned_unknown : string list Atomic.t = Atomic.make []
+
+let warn_unknown entry =
+  let rec register () =
+    let seen = Atomic.get warned_unknown in
+    if List.mem entry seen then false
+    else if Atomic.compare_and_set warned_unknown seen (entry :: seen) then true
+    else register ()
   in
-  sync ({ point = name; probability } :: rest)
+  if register () then begin
+    Telemetry.Metrics.incr m_unknown_points;
+    Printf.eprintf
+      "bdprint: warning: unknown or malformed fault entry %S ignored (known \
+       points: %s)\n\
+       %!"
+      entry
+      (String.concat ", " points)
+  end
+
+let unknown_points () = List.rev (Atomic.get warned_unknown)
+
+let arm ?(probability = 1.0) name =
+  if not (List.mem name points) then warn_unknown name
+  else begin
+    let rest =
+      List.filter
+        (fun a -> not (String.equal a.point name))
+        (Atomic.get armed_points)
+    in
+    sync ({ point = name; probability } :: rest)
+  end
 
 let disarm name =
   sync
@@ -75,29 +121,44 @@ let rng =
   Domain.DLS.new_key (fun () ->
       Random.State.make [| base_seed; Atomic.fetch_and_add domain_seq 1 |])
 
-(* Only fire under a boundary guard: the instrumented kernels also run
-   during module initialisation of dependent libraries (precomputed
-   constants), where there is no [catch] to absorb the failure and a
-   trip would abort the program before [main]. *)
-let trip name =
-  if Atomic.get armed_count > 0 then
+(* Decision shared by [trip] and [fires]: is the point armed, and does
+   this call's probability draw fire? *)
+let draw name =
+  if Atomic.get armed_count = 0 then false
+  else
     match
       List.find_opt
         (fun a -> String.equal a.point name)
         (Atomic.get armed_points)
     with
-    | None -> ()
+    | None -> false
     | Some a ->
-      if
-        Error.in_guarded_region ()
-        && (a.probability >= 1.0
-           || Random.State.float (Domain.DLS.get rng) 1.0 < a.probability)
-      then begin
-        (match List.assoc_opt name counters with
-        | Some c -> Telemetry.Metrics.incr c
-        | None -> ());
-        Error.raise_ (Error.internal ~where:name "injected fault")
-      end
+      a.probability >= 1.0
+      || Random.State.float (Domain.DLS.get rng) 1.0 < a.probability
+
+let count_trip name =
+  match List.assoc_opt name counters with
+  | Some c -> Telemetry.Metrics.incr c
+  | None -> ()
+
+(* Only fire under a boundary guard: the instrumented kernels also run
+   during module initialisation of dependent libraries (precomputed
+   constants), where there is no [catch] to absorb the failure and a
+   trip would abort the program before [main]. *)
+let trip name =
+  if Error.in_guarded_region () && draw name then begin
+    count_trip name;
+    Error.raise_ (Error.internal ~where:name "injected fault")
+  end
+
+(* Network-layer points report the draw instead of raising: the call
+   site performs the fault itself (stall a write, corrupt a frame, kill
+   a worker domain), so there is no structured error to throw and no
+   boundary guard to require. *)
+let fires name =
+  let fired = draw name in
+  if fired then count_trip name;
+  fired
 
 let with_fault ?probability name f =
   arm ?probability name;
@@ -142,9 +203,4 @@ let () =
   | Some spec ->
     let to_arm, unknown = parse_spec spec in
     List.iter (fun (name, probability) -> arm ~probability name) to_arm;
-    if unknown <> [] then
-      Printf.eprintf
-        "bdprint: warning: BDPRINT_FAULTS: unknown fault point%s %s (known: %s)\n%!"
-        (if List.length unknown > 1 then "s" else "")
-        (String.concat ", " (List.map (Printf.sprintf "%S") unknown))
-        (String.concat ", " points)
+    List.iter warn_unknown unknown

@@ -24,15 +24,28 @@
     reported once on stderr at startup instead of being silently
     ignored. *)
 
+val pipeline_points : string list
+(** The raising points inside the conversion pipeline — ["nat.divmod"],
+    ["nat.pow"], ["scaling.power"], ["scaling.scale"] — instrumented
+    with {!trip}. *)
+
+val net_points : string list
+(** The network/service fault points — ["service.worker-kill"],
+    ["net.slow-client"], ["net.partial-write"], ["net.malformed-frame"]
+    — consumed through {!fires}: the call site enacts the fault (kills a
+    worker domain, stalls or splits a write, corrupts a frame) instead
+    of raising a structured error. *)
+
 val points : string list
-(** The instrumented points: ["nat.divmod"], ["nat.pow"],
-    ["scaling.power"], ["scaling.scale"]. *)
+(** Every instrumented point: {!pipeline_points} followed by
+    {!net_points}. *)
 
 val arm : ?probability:float -> string -> unit
 (** Arms a point.  [probability] defaults to [1.0] (deterministic);
     values below 1 make the point transient: each guarded call trips
     independently with that probability.  Re-arming replaces the
-    point's previous probability. *)
+    point's previous probability.  Arming a name not in {!points} arms
+    nothing and warns once per distinct name (see {!unknown_points}). *)
 
 val disarm : string -> unit
 val disarm_all : unit -> unit
@@ -50,6 +63,15 @@ val trip : string -> unit
     execution is inside an {!Error.catch} region (so startup
     computations and deliberately exception-raising [_exn] entry points
     are not disrupted). *)
+
+val fires : string -> bool
+(** Probe form of {!trip} for network/service fault points: reports
+    whether the (armed, probability-drawn) fault fires on this call —
+    incrementing the point's trip counter when it does — and lets the
+    call site enact the failure itself rather than raising.  Unlike
+    {!trip} it does not require a guarded region: the sites that consult
+    it (socket writers, frame encoders, the worker-domain kill switch)
+    own their failure handling. *)
 
 val with_fault : ?probability:float -> string -> (unit -> 'a) -> 'a
 (** Runs the thunk with the point armed, disarming it afterwards (also
@@ -69,6 +91,13 @@ val trip_counts : unit -> (string * int) list
 
 val total_trips : unit -> int
 val reset_trip_counts : unit -> unit
+
+val unknown_points : unit -> string list
+(** Distinct unknown (or malformed) fault entries seen so far, in first-
+    seen order.  Each warns on stderr exactly once per process — however
+    many times it recurs across spec parsing and programmatic arming —
+    and the distinct-name count is exported to the registry as
+    [bdprint_faults_unknown_points]. *)
 
 (** {2 Specification parsing} *)
 

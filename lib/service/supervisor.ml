@@ -1,5 +1,6 @@
 module Error = Robust.Error
 module Budget = Robust.Budget
+module Faults = Robust.Faults
 
 type retry_policy = {
   max_retries : int;
@@ -32,6 +33,8 @@ type stats = {
   range_failures : int;
   budget_failures : int;
   internal_failures : int;
+  crashes : int;
+  respawns : int;
   breaker_state : string;
   breaker_trips : int;
   max_in_flight : int;
@@ -62,6 +65,17 @@ let g_max_in_flight =
   Telemetry.Metrics.gauge
     ~help:"High-water mark of in-flight requests."
     "bdprint_service_max_in_flight"
+
+let m_crashes =
+  Telemetry.Metrics.counter
+    ~help:"Worker-domain crashes: exceptions that escaped a worker loop \
+           (e.g. an injected service.worker-kill fault)."
+    "bdprint_service_worker_crashes_total"
+
+let m_respawns =
+  Telemetry.Metrics.counter
+    ~help:"Worker domains automatically respawned after a crash."
+    "bdprint_service_worker_respawns_total"
 
 let worker_counter name help i =
   Telemetry.Metrics.counter
@@ -119,6 +133,8 @@ type t = {
   mutable fail_range : int;
   mutable fail_budget : int;
   mutable fail_internal : int;
+  mutable crashes_n : int;
+  mutable respawns_n : int;
   w_processed : int array;
   w_retried : int array;
   w_degraded : int array;
@@ -135,6 +151,22 @@ let default_fallback input =
   match float_of_string_opt (String.trim input) with
   | Some x -> Ok (Printf.sprintf "%.17g" x)
   | None -> Error (Error.syntax ~input "unparseable in degraded mode")
+
+(* The injected worker-domain kill switch (armed via BDPRINT_FAULTS as
+   service.worker-kill).  It deliberately raises *outside* every
+   [Error.catch] region so the exception escapes the worker loop and
+   genuinely terminates the domain — exercising crash detection and
+   respawn, not the structured-error path. *)
+exception Worker_killed
+
+let kill_point = "service.worker-kill"
+
+(* The crash reply must not depend on the worker that just died having
+   been healthy: same degraded channel as the breaker fallback. *)
+let crash_fallback t input =
+  match Error.catch (fun () -> t.fallback input) with
+  | Ok (Ok s) -> Degraded s
+  | Ok (Error e) | Error e -> Failed e
 
 (* No exception may escape a worker: re-guard the user's convert even
    though the public conversion APIs are already result-returning. *)
@@ -235,10 +267,47 @@ let rec worker_loop t ~worker =
   match Bqueue.take t.queue with
   | None -> ()
   | Some job ->
-    let outcome, attempts = process t job in
-    post t ~worker job
-      { lineno = job.job_lineno; input = job.job_input; outcome; attempts };
+    (try
+       if Faults.fires kill_point then raise Worker_killed;
+       let outcome, attempts = process t job in
+       post t ~worker job
+         { lineno = job.job_lineno; input = job.job_input; outcome; attempts }
+     with exn ->
+       (* Worker crash with a request in hand.  Losing the reply would
+          deadlock the collector (it waits for this seq), so the dying
+          worker answers the job through the breaker-backed degraded
+          channel, records the failure against the breaker, and only
+          then lets the exception continue killing the domain — the
+          spawn wrapper below respawns a replacement. *)
+       Breaker.record_failure t.breaker;
+       let outcome = crash_fallback t job.job_input in
+       post t ~worker job
+         {
+           lineno = job.job_lineno;
+           input = job.job_input;
+           outcome;
+           attempts = 0;
+         };
+       Mutex.lock t.m;
+       t.crashes_n <- t.crashes_n + 1;
+       Mutex.unlock t.m;
+       Telemetry.Metrics.incr m_crashes;
+       (raise exn) [@lint.can_raise Worker_killed]);
     worker_loop t ~worker
+
+(* Each worker domain runs under this wrapper: an escaping exception is
+   a domain death, and the dying domain's last act is to spawn and
+   register its replacement — before the body returns, so shutdown's
+   generation-joining loop is guaranteed to observe the new domain. *)
+let rec worker_body t ~worker () =
+  try worker_loop t ~worker
+  with _ ->
+    let d = Domain.spawn (worker_body t ~worker) in
+    Mutex.lock t.m;
+    t.respawns_n <- t.respawns_n + 1;
+    t.workers <- d :: t.workers;
+    Mutex.unlock t.m;
+    Telemetry.Metrics.incr m_respawns
 
 (* Single collector: emits replies in submission order (the reorder
    point) and returns each request's backpressure slot afterwards, so
@@ -304,6 +373,8 @@ let start ?(jobs = 2) ?(queue_capacity = 64) ?(retry = default_retry)
       fail_range = 0;
       fail_budget = 0;
       fail_internal = 0;
+      crashes_n = 0;
+      respawns_n = 0;
       w_processed = Array.make jobs 0;
       w_retried = Array.make jobs 0;
       w_degraded = Array.make jobs 0;
@@ -313,7 +384,7 @@ let start ?(jobs = 2) ?(queue_capacity = 64) ?(retry = default_retry)
     }
   in
   t.workers <-
-    List.init jobs (fun i -> Domain.spawn (fun () -> worker_loop t ~worker:i));
+    List.init jobs (fun i -> Domain.spawn (worker_body t ~worker:i));
   t.collector <- Some (Domain.spawn (fun () -> collector_loop t));
   t
 
@@ -354,6 +425,8 @@ let stats t =
       range_failures = t.fail_range;
       budget_failures = t.fail_budget;
       internal_failures = t.fail_internal;
+      crashes = t.crashes_n;
+      respawns = t.respawns_n;
       breaker_state = Breaker.state_name t.breaker;
       breaker_trips = Breaker.trips t.breaker;
       max_in_flight = t.max_in_flight;
@@ -379,7 +452,21 @@ let shutdown t =
   Mutex.unlock t.m;
   if not already then begin
     Bqueue.close t.queue;
-    List.iter Domain.join t.workers;
+    (* Workers can crash and respawn while draining, so join by
+       generations until no unjoined domain remains: a dying domain
+       registers its replacement before it exits, so once a join
+       returns, any replacement it spawned is already visible. *)
+    let rec join_workers joined =
+      Mutex.lock t.m;
+      let current = t.workers in
+      Mutex.unlock t.m;
+      match List.filter (fun d -> not (List.memq d joined)) current with
+      | [] -> ()
+      | fresh ->
+        List.iter Domain.join fresh;
+        join_workers (fresh @ joined)
+    in
+    join_workers [];
     t.workers <- [];
     (* every dequeued job has been posted; wake the collector so it can
        observe closed && fully-emitted even if nothing was submitted *)
@@ -397,10 +484,11 @@ let pp_stats ppf (s : stats) =
   Format.fprintf ppf
     "stats: submitted=%d completed=%d ok=%d degraded=%d retries=%d@\n\
      stats: errors: syntax=%d range=%d budget=%d internal=%d@\n\
-     stats: jobs=%d queue-capacity=%d max-in-flight=%d breaker=%s trips=%d"
+     stats: jobs=%d queue-capacity=%d max-in-flight=%d breaker=%s trips=%d \
+     crashes=%d respawns=%d"
     s.submitted s.completed s.succeeded s.degraded s.retries s.syntax_failures
     s.range_failures s.budget_failures s.internal_failures s.jobs s.capacity
-    s.max_in_flight s.breaker_state s.breaker_trips;
+    s.max_in_flight s.breaker_state s.breaker_trips s.crashes s.respawns;
   Array.iter
     (fun w ->
       Format.fprintf ppf "@\nstats: worker[%d] processed=%d retried=%d degraded=%d"

@@ -21,6 +21,13 @@
     {- {e Order preservation}: replies are delivered to [emit] (on a
        dedicated collector domain, never concurrently) in exact
        submission order.}
+    {- {e Crash detection and respawn}: an exception that escapes a
+       worker loop (the [service.worker-kill] fault point injects one)
+       kills that domain for real; the dying worker first answers its
+       in-flight request through the breaker-backed degraded fallback,
+       records the failure against the breaker, and spawns its own
+       replacement — so a crash costs one degraded reply, never a lost
+       request or a shrinking pool.}
     {- {e Graceful shutdown}: {!shutdown} drains the queue — every
        submitted request is emitted exactly once — then joins all
        domains and reports final statistics.}} *)
@@ -66,6 +73,12 @@ type stats = {
   range_failures : int;
   budget_failures : int;  (** includes deadline timeouts *)
   internal_failures : int;  (** post-retry, i.e. retries did not mask *)
+  crashes : int;
+      (** worker-domain deaths detected (exceptions escaping a worker
+          loop, e.g. an injected [service.worker-kill] fault); each
+          crash's in-flight request is answered through the degraded
+          fallback channel rather than lost *)
+  respawns : int;  (** replacement worker domains spawned after crashes *)
   breaker_state : string;
   breaker_trips : int;
   max_in_flight : int;  (** high-water mark of submitted-not-yet-emitted *)

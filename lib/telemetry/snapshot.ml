@@ -239,7 +239,8 @@ let pp_stream ppf t =
   Format.fprintf ppf
     "stats: submitted=%d ok=%d degraded=%d retries=%d@\n\
      stats: errors: syntax=%d range=%d budget=%d internal=%d@\n\
-     stats: jobs=%d queue-capacity=%d max-in-flight=%d breaker=%s trips=%d"
+     stats: jobs=%d queue-capacity=%d max-in-flight=%d breaker=%s trips=%d \
+     crashes=%d respawns=%d"
     (c "bdprint_conversions_total")
     (c ~labels:[ ("result", "ok") ] "bdprint_conversion_results_total")
     (c ~labels:[ ("result", "degraded") ] "bdprint_conversion_results_total")
@@ -252,7 +253,9 @@ let pp_stream ppf t =
     (g "bdprint_stream_queue_capacity")
     (g "bdprint_service_max_in_flight")
     breaker
-    (c "bdprint_service_breaker_trips_total");
+    (c "bdprint_service_breaker_trips_total")
+    (c "bdprint_service_worker_crashes_total")
+    (c "bdprint_service_worker_respawns_total");
   let workers =
     List.filter_map
       (fun s ->

@@ -71,7 +71,7 @@ let run_chaos () =
 
   (* 2. arm everything at 1% and stream through the parallel service *)
   Faults.reset_trip_counts ();
-  List.iter (fun p -> Faults.arm ~probability:0.01 p) Faults.points;
+  List.iter (fun p -> Faults.arm ~probability:0.01 p) Faults.pipeline_points;
 
   let replies = ref [] in
   let svc =

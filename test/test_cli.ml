@@ -224,17 +224,24 @@ let test_deadline_flag () =
     [ "0.1"; "1e23" ] out
 
 let test_unknown_fault_point () =
-  (* unknown names in BDPRINT_FAULTS warn once on stderr and are
-     ignored; the conversion itself is untouched *)
+  (* unknown names in BDPRINT_FAULTS warn once per distinct name on
+     stderr and are ignored; the conversion itself is untouched *)
   let status, out, err =
-    bdprint_full ~env:"BDPRINT_FAULTS=no.such.point" ~stdin:"0.1\n" "--stdin"
+    bdprint_full
+      ~env:"BDPRINT_FAULTS=no.such.point,no.such.point,no.such.point"
+      ~stdin:"0.1\n" "--stdin"
   in
   Alcotest.(check int) "unknown point is not fatal" 0 status;
   Alcotest.(check (list string)) "output unaffected" [ "0.1" ] out;
-  Alcotest.(check bool) "warning on stderr" true
-    (List.exists
-       (fun l -> contains l "unknown fault point" && contains l "no.such.point")
-       err);
+  let unknown_warnings =
+    List.filter
+      (fun l ->
+        contains l "unknown or malformed fault entry"
+        && contains l "no.such.point")
+      err
+  in
+  Alcotest.(check int) "warned exactly once per distinct name" 1
+    (List.length unknown_warnings);
   (* valid entries alongside an unknown one still arm *)
   let status, _, err =
     bdprint_full ~env:"BDPRINT_FAULTS=no.such.point,nat.divmod" ~stdin:"0.1\n"
@@ -242,7 +249,7 @@ let test_unknown_fault_point () =
   in
   Alcotest.(check int) "valid entry still arms" 4 status;
   Alcotest.(check bool) "both warning and fault" true
-    (List.exists (fun l -> contains l "unknown fault point") err
+    (List.exists (fun l -> contains l "unknown or malformed fault entry") err
     && List.exists (fun l -> contains l "injected fault") err)
 
 let test_jobs_parallel () =
@@ -296,6 +303,82 @@ let test_stats_flag () =
   let status, _, _ = bdprint_full "--stats 0.1" in
   Alcotest.(check bool) "--stats without --stdin rejected" true (status <> 0)
 
+(* Interrupted streams: SIGINT mid-stream and a downstream consumer
+   closing the pipe (SIGPIPE) must both flush --metrics and exit with
+   the distinct code 5 instead of dying on the default signal action. *)
+
+let cli_exe () =
+  Filename.concat
+    (Filename.dirname (Filename.dirname Sys.executable_name))
+    "bin/bdprint.exe"
+
+let run_script body =
+  let tmp = Filename.temp_file "bdprint_script" ".sh" in
+  let oc = open_out tmp in
+  output_string oc body;
+  close_out oc;
+  let status = Sys.command (Printf.sprintf "sh %s" (Filename.quote tmp)) in
+  Sys.remove tmp;
+  status
+
+let test_sigint_stream () =
+  let script =
+    Printf.sprintf
+      {|
+set -e
+exe=%s
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT
+mkfifo "$dir/in"
+"$exe" --stdin --metrics "$dir/m.json" < "$dir/in" > "$dir/out" 2> "$dir/err" &
+pid=$!
+exec 3> "$dir/in"
+printf '0.1\n0.2\n' >&3
+sleep 0.4
+kill -INT $pid
+sleep 0.3
+exec 3>&-
+set +e
+wait $pid
+code=$?
+[ -s "$dir/m.json" ] || exit 90
+[ -s "$dir/m.prom" ] || exit 92
+grep -q interrupted "$dir/err" || exit 91
+grep -q '^0.1$' "$dir/out" || exit 93
+exit $code
+|}
+      (Filename.quote (cli_exe ()))
+  in
+  Alcotest.(check int) "SIGINT flushes metrics and exits 5" 5
+    (run_script script)
+
+let test_sigpipe_stream () =
+  let one driver_args =
+    Printf.sprintf
+      {|
+set -e
+exe=%s
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT
+mkfifo "$dir/fifo"
+head -2 < "$dir/fifo" > /dev/null &
+reader=$!
+set +e
+yes 0.1 | "$exe" --stdin %s --metrics "$dir/m.json" > "$dir/fifo" 2> "$dir/err"
+code=$?
+wait $reader
+[ -s "$dir/m.json" ] || exit 90
+grep -q interrupted "$dir/err" || exit 91
+exit $code
+|}
+      (Filename.quote (cli_exe ()))
+      driver_args
+  in
+  Alcotest.(check int) "closed pipe exits 5 (sequential)" 5
+    (run_script (one ""));
+  Alcotest.(check int) "closed pipe exits 5 (--jobs)" 5
+    (run_script (one "--jobs 2"))
+
 let () =
   Alcotest.run "cli"
     [
@@ -316,5 +399,9 @@ let () =
           Alcotest.test_case "jobs parallel streaming" `Quick
             test_jobs_parallel;
           Alcotest.test_case "stats flag" `Quick test_stats_flag;
+          Alcotest.test_case "SIGINT interrupts stream" `Quick
+            test_sigint_stream;
+          Alcotest.test_case "SIGPIPE interrupts stream" `Quick
+            test_sigpipe_stream;
         ] );
     ]

@@ -307,7 +307,7 @@ let test_faulty_differential () =
         (point ^ " actually tripped")
         true
         (Robust.Faults.trip_count point > before))
-    Robust.Faults.points;
+    Robust.Faults.pipeline_points;
   (* transient arming: independent draws across the two runs *)
   List.iter
     (fun point ->
@@ -316,7 +316,7 @@ let test_faulty_differential () =
           for _ = 1 to 300 do
             check_faulty ~deterministic:false b64 (Gen.any st)
           done))
-    Robust.Faults.points;
+    Robust.Faults.pipeline_points;
   Alcotest.(check string) "recovered" "0.1" (Dragon.Printer.shortest 0.1)
 
 (* With each fault point armed the pipeline must degrade to structured
@@ -338,7 +338,7 @@ let test_fault_totality () =
       Alcotest.(check bool)
         (point ^ " disarmed after with_fault")
         false (Robust.Faults.armed point))
-    Robust.Faults.points;
+    Robust.Faults.pipeline_points;
   (* and the pipeline is healthy again *)
   Alcotest.(check string) "recovered" "0.1" (Dragon.Printer.shortest 0.1)
 

@@ -1,0 +1,545 @@
+(* Tests for the networked conversion daemon (lib/net): the Wire
+   protocol grammar, the sharded Memo cache (bounds under concurrency),
+   and the Server engine end-to-end over real TCP sockets — verbs,
+   explicit load shedding, protocol-error resynchronisation, graceful
+   drain (no accepted request lost), and a chaos run with the network
+   fault points and worker-kill armed, verifying zero wrong
+   conversions. *)
+
+module Wire = Net.Wire
+module Memo = Net.Memo
+module Server = Net.Server
+module Error = Robust.Error
+module Faults = Robust.Faults
+
+let convert_real input =
+  match
+    Reader.read ~mode:Fp.Rounding.To_nearest_even Fp.Format_spec.binary64 input
+  with
+  | Error _ as e -> e
+  | Ok v ->
+    Dragon.Printer.print_value ~base:10 ~mode:Fp.Rounding.To_nearest_even
+      ~strategy:Dragon.Scaling.Fast_estimate ~notation:Dragon.Render.Auto
+      Fp.Format_spec.binary64 v
+
+(* {2 Wire} *)
+
+let test_wire_requests () =
+  let ok s = Result.get_ok (Wire.parse_request s) in
+  let errs s = Result.is_error (Wire.parse_request s) in
+  Alcotest.(check bool) "conv" true (ok "CONV 0.1" = Wire.Conv "0.1");
+  Alcotest.(check bool) "conv trims" true (ok "CONV   0.1 " = Wire.Conv "0.1");
+  Alcotest.(check bool) "conv cr" true (ok "CONV 0.1\r" = Wire.Conv "0.1");
+  Alcotest.(check bool) "batch" true (ok "BATCH 10" = Wire.Batch 10);
+  Alcotest.(check bool) "deadline" true (ok "DEADLINE 50" = Wire.Deadline 50);
+  Alcotest.(check bool) "ping" true (ok "PING" = Wire.Ping);
+  Alcotest.(check bool) "healthz" true (ok "HEALTHZ" = Wire.Healthz);
+  Alcotest.(check bool) "stats" true (ok "STATS" = Wire.Stats);
+  Alcotest.(check bool) "metrics" true (ok "METRICS" = Wire.Metrics);
+  Alcotest.(check bool) "quit" true (ok "QUIT" = Wire.Quit);
+  Alcotest.(check bool) "empty conv" true (errs "CONV ");
+  Alcotest.(check bool) "batch 0" true (errs "BATCH 0");
+  Alcotest.(check bool) "batch over" true
+    (errs (Printf.sprintf "BATCH %d" (Wire.max_batch + 1)));
+  Alcotest.(check bool) "batch junk" true (errs "BATCH ten");
+  Alcotest.(check bool) "deadline negative" true (errs "DEADLINE -1");
+  Alcotest.(check bool) "deadline over" true
+    (errs (Printf.sprintf "DEADLINE %d" (Wire.max_deadline_ms + 1)));
+  Alcotest.(check bool) "ping junk" true (errs "PING x");
+  Alcotest.(check bool) "unknown" true (errs "FROB 1");
+  Alcotest.(check bool) "empty" true (errs "")
+
+let test_wire_replies () =
+  let round r =
+    let s = Wire.render_reply r in
+    let line = String.sub s 0 (String.length s - 1) in
+    Result.get_ok (Wire.parse_reply_line line)
+  in
+  Alcotest.(check bool) "ok" true (round (Wire.Converted "0.1") = Wire.Converted "0.1");
+  Alcotest.(check bool) "deg" true (round (Wire.Degraded "1.5") = Wire.Degraded "1.5");
+  Alcotest.(check bool) "err" true
+    (round (Wire.Failed { cls = "syntax"; detail = "bad" })
+    = Wire.Failed { cls = "syntax"; detail = "bad" });
+  Alcotest.(check bool) "shed" true
+    (round (Wire.Shed "queue-full") = Wire.Shed "queue-full");
+  Alcotest.(check bool) "end" true
+    (round (Wire.Batch_end { ok = 3; failed = 1; shed = 2 })
+    = Wire.Batch_end { ok = 3; failed = 1; shed = 2 });
+  Alcotest.(check bool) "pong" true (round Wire.Pong = Wire.Pong);
+  Alcotest.(check bool) "bye" true (round Wire.Bye = Wire.Bye);
+  (* newline injection cannot desynchronise the framing *)
+  let s = Wire.render_reply (Wire.Failed { cls = "syntax"; detail = "a\nb" }) in
+  Alcotest.(check int) "one newline" 1
+    (String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 s);
+  (* payload headers *)
+  Alcotest.(check (option int)) "payload len" (Some 12)
+    (Wire.payload_length "STATS 12");
+  Alcotest.(check (option int)) "not payload" None (Wire.payload_length "OK 1")
+
+(* {2 Memo} *)
+
+let test_memo_basic () =
+  let m = Memo.create ~shards:2 ~capacity:8 () in
+  Alcotest.(check (option string)) "miss" None (Memo.find m "a");
+  Memo.add m "a" "1";
+  Alcotest.(check (option string)) "hit" (Some "1") (Memo.find m "a");
+  Memo.add m "a" "2";
+  Alcotest.(check (option string)) "replace" (Some "2") (Memo.find m "a");
+  let s = Memo.stats m in
+  Alcotest.(check int) "hits" 2 s.Memo.hits;
+  Alcotest.(check int) "misses" 1 s.Memo.misses;
+  Alcotest.(check int) "replace does not grow" 1 s.Memo.entries;
+  (* overflow each shard: entries stay bounded, evictions counted *)
+  for i = 0 to 99 do
+    Memo.add m (string_of_int i) (string_of_int i)
+  done;
+  let s = Memo.stats m in
+  Alcotest.(check bool) "bounded" true (s.Memo.entries <= s.Memo.capacity);
+  Alcotest.(check bool) "evicted" true (s.Memo.evictions > 0)
+
+let test_memo_concurrent () =
+  let m = Memo.create ~shards:4 ~capacity:64 () in
+  let worker seed () =
+    let st = Random.State.make [| seed |] in
+    for _ = 1 to 20_000 do
+      let k = string_of_int (Random.State.int st 500) in
+      match Memo.find m k with
+      | Some _ -> ()
+      | None -> Memo.add m k k
+    done
+  in
+  let ds = List.init 4 (fun i -> Domain.spawn (worker i)) in
+  List.iter Domain.join ds;
+  let s = Memo.stats m in
+  Alcotest.(check bool) "bounded under concurrency" true
+    (s.Memo.entries <= s.Memo.capacity);
+  Alcotest.(check int) "accounting closes" (s.Memo.hits + s.Memo.misses) 80_000;
+  (* every cached value is the exact one inserted for its key *)
+  for i = 0 to 499 do
+    let k = string_of_int i in
+    match Memo.find m k with
+    | Some v -> Alcotest.(check string) "value intact" k v
+    | None -> ()
+  done
+
+(* {2 Server client harness} *)
+
+type client = {
+  fd : Unix.file_descr;
+  rbuf : Bytes.t;
+  mutable rpos : int;
+  mutable rlen : int;
+  acc : Buffer.t;
+}
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 30.0;
+  { fd; rbuf = Bytes.create 4096; rpos = 0; rlen = 0; acc = Buffer.create 64 }
+
+let close c = try Unix.close c.fd with Unix.Unix_error (_, _, _) -> ()
+
+let send c s =
+  let b = Bytes.of_string s in
+  let rec go off len =
+    if len > 0 then begin
+      let n = Unix.write c.fd b off len in
+      go (off + n) (len - n)
+    end
+  in
+  go 0 (Bytes.length b)
+
+exception Closed_by_server
+
+let refill c =
+  let n = Unix.read c.fd c.rbuf 0 (Bytes.length c.rbuf) in
+  if n = 0 then raise Closed_by_server;
+  c.rpos <- 0;
+  c.rlen <- n
+
+let rec recv_line c =
+  if c.rpos >= c.rlen then begin
+    refill c;
+    recv_line c
+  end
+  else
+    match Bytes.index_from_opt c.rbuf c.rpos '\n' with
+    | Some i when i < c.rlen ->
+      Buffer.add_subbytes c.acc c.rbuf c.rpos (i - c.rpos);
+      c.rpos <- i + 1;
+      let s = Buffer.contents c.acc in
+      Buffer.clear c.acc;
+      s
+    | _ ->
+      Buffer.add_subbytes c.acc c.rbuf c.rpos (c.rlen - c.rpos);
+      c.rpos <- c.rlen;
+      recv_line c
+
+let rec recv_bytes c n =
+  if n = 0 then ()
+  else if c.rpos < c.rlen then begin
+    let take = min n (c.rlen - c.rpos) in
+    Buffer.add_subbytes c.acc c.rbuf c.rpos take;
+    c.rpos <- c.rpos + take;
+    recv_bytes c (n - take)
+  end
+  else begin
+    refill c;
+    recv_bytes c n
+  end
+
+let recv_reply c =
+  let line = recv_line c in
+  match Wire.parse_reply_line line with
+  | Error e -> Alcotest.failf "unparseable reply %S: %s" line e
+  | Ok (Wire.Payload { verb; _ }) ->
+    let n =
+      match Wire.payload_length line with
+      | Some n -> n
+      | None -> Alcotest.failf "payload header without length: %S" line
+    in
+    recv_bytes c n;
+    let body = Buffer.contents c.acc in
+    Buffer.clear c.acc;
+    let nl = recv_line c in
+    Alcotest.(check string) "payload trailing newline" "" nl;
+    Wire.Payload { verb; body }
+  | Ok r -> r
+
+let with_server ?config ?(convert = convert_real) f =
+  let server =
+    match Server.start ?config ~convert (Server.Tcp ("127.0.0.1", 0)) with
+    | Result.Ok s -> s
+    | Result.Error e -> Alcotest.failf "server start: %s" (Error.to_string e)
+  in
+  let port = Option.get (Server.port server) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.drain server;
+      ignore (Server.wait server))
+    (fun () -> f server port)
+
+(* {2 Server tests} *)
+
+let test_server_verbs () =
+  with_server (fun server port ->
+      let c = connect port in
+      send c "PING\n";
+      Alcotest.(check bool) "pong" true (recv_reply c = Wire.Pong);
+      send c "HEALTHZ\n";
+      Alcotest.(check bool) "ready" true (recv_reply c = Wire.Ready);
+      send c "CONV 0.1\n";
+      Alcotest.(check bool) "conv" true (recv_reply c = Wire.Converted "0.1");
+      send c "CONV 0.1\n";
+      Alcotest.(check bool) "conv cached" true
+        (recv_reply c = Wire.Converted "0.1");
+      send c "CONV 1e23\n";
+      Alcotest.(check bool) "conv sci" true (recv_reply c = Wire.Converted "1e23");
+      send c "CONV bogus\n";
+      (match recv_reply c with
+      | Wire.Failed { cls = "syntax"; _ } -> ()
+      | r -> Alcotest.failf "expected syntax error, got %s" (Wire.render_reply r));
+      send c "DEADLINE 5000\n";
+      Alcotest.(check bool) "deadline ack" true
+        (recv_reply c = Wire.Converted "deadline=5000");
+      send c "BATCH 3\n1.5\n2.5\nnope\n";
+      Alcotest.(check bool) "b1" true (recv_reply c = Wire.Converted "1.5");
+      Alcotest.(check bool) "b2" true (recv_reply c = Wire.Converted "2.5");
+      (match recv_reply c with
+      | Wire.Failed _ -> ()
+      | r -> Alcotest.failf "expected failure, got %s" (Wire.render_reply r));
+      (match recv_reply c with
+      | Wire.Batch_end { ok = 2; failed = 1; shed = 0 } -> ()
+      | r -> Alcotest.failf "bad END: %s" (Wire.render_reply r));
+      send c "STATS\n";
+      (match recv_reply c with
+      | Wire.Payload { verb = "STATS"; body } ->
+        Alcotest.(check bool) "stats json" true
+          (String.length body > 2 && body.[0] = '{')
+      | r -> Alcotest.failf "bad STATS: %s" (Wire.render_reply r));
+      send c "METRICS\n";
+      (match recv_reply c with
+      | Wire.Payload { verb = "METRICS"; _ } -> ()
+      | r -> Alcotest.failf "bad METRICS: %s" (Wire.render_reply r));
+      send c "QUIT\n";
+      Alcotest.(check bool) "bye" true (recv_reply c = Wire.Bye);
+      close c;
+      let s = Server.stats server in
+      Alcotest.(check int) "requests" 7 s.Server.requests;
+      Alcotest.(check int) "cache hit" 1 s.Server.cache_hits;
+      Alcotest.(check int) "proto clean" 0 s.Server.proto_errors)
+
+let test_server_proto_resync () =
+  with_server (fun server port ->
+      let c = connect port in
+      send c "FROB 1\n";
+      (match recv_reply c with
+      | Wire.Failed { cls = "proto"; _ } -> ()
+      | r -> Alcotest.failf "expected proto error, got %s" (Wire.render_reply r));
+      (* an oversized frame is discarded up to its newline and the
+         stream stays in sync *)
+      let budget = Robust.Budget.get () in
+      let huge = String.make (budget.Robust.Budget.max_input_length + 256) 'x' in
+      send c ("CONV " ^ huge ^ "\n");
+      (match recv_reply c with
+      | Wire.Failed { cls = "proto"; detail } ->
+        Alcotest.(check string) "too long" "frame-too-long" detail
+      | r -> Alcotest.failf "expected proto error, got %s" (Wire.render_reply r));
+      send c "CONV 0.5\n";
+      Alcotest.(check bool) "resynced" true (recv_reply c = Wire.Converted "0.5");
+      close c;
+      let s = Server.stats server in
+      Alcotest.(check int) "proto errors" 2 s.Server.proto_errors)
+
+let test_server_shedding () =
+  (* one worker, one admission slot, slow conversions: concurrent
+     clients must get explicit SHED queue-full replies, never silence *)
+  let slow input =
+    Unix.sleepf 0.15;
+    convert_real input
+  in
+  let config =
+    {
+      Server.default_config with
+      Server.jobs = 1;
+      admission_capacity = 1;
+      cache_capacity = 0;
+    }
+  in
+  with_server ~config ~convert:slow (fun server port ->
+      let n = 6 in
+      let replies = Array.make n Wire.Pong in
+      let threads =
+        List.init n (fun i ->
+            Thread.create
+              (fun () ->
+                let c = connect port in
+                send c "CONV 0.125\n";
+                replies.(i) <- recv_reply c;
+                close c)
+              ())
+      in
+      List.iter Thread.join threads;
+      let ok = ref 0 and shed = ref 0 in
+      Array.iter
+        (function
+          | Wire.Converted "0.125" -> incr ok
+          | Wire.Shed "queue-full" -> incr shed
+          | r -> Alcotest.failf "unexpected reply %s" (Wire.render_reply r))
+        replies;
+      Alcotest.(check int) "every request answered" n (!ok + !shed);
+      Alcotest.(check bool) "some converted" true (!ok >= 1);
+      Alcotest.(check bool) "some shed" true (!shed >= 1);
+      let s = Server.stats server in
+      Alcotest.(check int) "sheds counted" !shed s.Server.shed_queue_full)
+
+let test_server_drain_loses_nothing () =
+  let slowish input =
+    Unix.sleepf 0.02;
+    convert_real input
+  in
+  let config =
+    { Server.default_config with Server.jobs = 2; cache_capacity = 0 }
+  in
+  with_server ~config ~convert:slowish (fun server port ->
+      let n_threads = 4 in
+      let sent = Array.make n_threads 0 in
+      let answered = Array.make n_threads 0 in
+      let shed = Array.make n_threads 0 in
+      let wrong = Array.make n_threads 0 in
+      let threads =
+        List.init n_threads (fun i ->
+            Thread.create
+              (fun () ->
+                let c = connect port in
+                (try
+                   for _ = 1 to 200 do
+                     send c "CONV 0.375\n";
+                     sent.(i) <- sent.(i) + 1;
+                     match recv_reply c with
+                     | Wire.Converted "0.375" | Wire.Degraded _ ->
+                       answered.(i) <- answered.(i) + 1
+                     | Wire.Shed _ -> shed.(i) <- shed.(i) + 1
+                     | _ -> wrong.(i) <- wrong.(i) + 1
+                   done
+                 with Closed_by_server | Unix.Unix_error (_, _, _) -> ());
+                close c)
+              ())
+      in
+      Thread.delay 0.3;
+      Server.drain server;
+      let final = Server.wait server in
+      List.iter Thread.join threads;
+      let total a = Array.fold_left ( + ) 0 a in
+      (* serial request/reply per connection: every request either got a
+         reply or hit EOF after drain shut the connection down — but a
+         request the server ADMITTED always got its reply first *)
+      Alcotest.(check int) "no wrong replies" 0 (total wrong);
+      Alcotest.(check bool) "work happened before drain" true
+        (total answered > 0);
+      Alcotest.(check int) "server answered every admitted request"
+        (final.Server.replies_ok + final.Server.replies_degraded
+       + final.Server.replies_failed + final.Server.shed_queue_full
+        + final.Server.shed_draining)
+        final.Server.requests;
+      (* the client-observed gap (sent but unanswered) is only ever the
+         last in-flight request of each connection, cut by EOF *)
+      Alcotest.(check bool) "bounded loss at EOF" true
+        (total sent - (total answered + total shed) <= n_threads))
+
+let test_server_chaos () =
+  let requests =
+    match Sys.getenv_opt "NET_CHAOS_REQUESTS" with
+    | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 10_000)
+    | None -> 10_000
+  in
+  Faults.arm ~probability:0.01 "service.worker-kill";
+  Faults.arm ~probability:0.01 "net.slow-client";
+  Faults.arm ~probability:0.02 "net.partial-write";
+  Fun.protect ~finally:Faults.disarm_all @@ fun () ->
+  let config =
+    {
+      Server.default_config with
+      Server.jobs = 3;
+      admission_capacity = 64;
+      cache_capacity = 512;
+    }
+  in
+  with_server ~config (fun server port ->
+      (* hot values exercise the cache; random doubles exercise the
+         pipeline; expected outputs are computed fault-free in this
+         thread (the armed points only fire in workers / write paths) *)
+      let hot = [| "0"; "1"; "0.5"; "0.1"; "1e23"; "-2.5" |] in
+      let st = Random.State.make [| 0xbdc0de; requests |] in
+      let fresh_input () =
+        if Random.State.int st 4 = 0 then hot.(Random.State.int st 6)
+        else
+          let f = Int64.float_of_bits (Random.State.int64 st Int64.max_int) in
+          match classify_float f with
+          | FP_nan | FP_infinite -> "0.25"
+          | _ -> Printf.sprintf "%.17g" f
+      in
+      let n_threads = 4 in
+      let per_thread = requests / n_threads in
+      let wrong = Atomic.make 0 in
+      let ok = Atomic.make 0 in
+      let deg = Atomic.make 0 in
+      let shed = Atomic.make 0 in
+      let failed = Atomic.make 0 in
+      let proto = Atomic.make 0 in
+      let check_outcome input reply =
+        let expected = convert_real input in
+        match (reply, expected) with
+        | Wire.Converted out, Ok e ->
+          if out <> e then Atomic.incr wrong else Atomic.incr ok
+        | Wire.Degraded out, Ok e ->
+          (* crash/breaker fallback: different spelling, same value *)
+          if float_of_string out <> float_of_string e then Atomic.incr wrong
+          else Atomic.incr deg
+        | Wire.Failed _, Error _ -> Atomic.incr failed
+        | Wire.Shed _, _ -> Atomic.incr shed
+        | Wire.Failed { cls; detail }, Ok _ ->
+          (* a degraded-fallback failure is only legal for inputs the
+             host fallback cannot parse; for plain doubles it is wrong *)
+          ignore (cls, detail);
+          Atomic.incr wrong
+        | _, _ -> Atomic.incr wrong
+      in
+      let client_loop tid () =
+        let c = connect port in
+        let stc = Random.State.make [| tid; 42 |] in
+        for i = 1 to per_thread do
+          let input = fresh_input () in
+          (* the malformed-frame fault: inject garbage, expect ERR proto,
+             stream stays usable *)
+          if Faults.fires "net.malformed-frame" then begin
+            send c "GARBAGE ###\n";
+            match recv_reply c with
+            | Wire.Failed { cls = "proto"; _ } -> Atomic.incr proto
+            | r ->
+              Alcotest.failf "malformed frame got %s" (Wire.render_reply r)
+          end;
+          send c ("CONV " ^ input ^ "\n");
+          check_outcome input (recv_reply c);
+          if i mod 500 = 0 then ignore (Random.State.int stc 2)
+        done;
+        send c "QUIT\n";
+        (match recv_reply c with
+        | Wire.Bye -> ()
+        | r -> Alcotest.failf "bad BYE: %s" (Wire.render_reply r));
+        close c
+      in
+      (* arm the client-side fault too *)
+      Faults.arm ~probability:0.01 "net.malformed-frame";
+      let threads =
+        List.init n_threads (fun i -> Thread.create (client_loop i) ())
+      in
+      List.iter Thread.join threads;
+      (* the daemon survived: still answering *)
+      let c = connect port in
+      send c "PING\n";
+      Alcotest.(check bool) "daemon alive" true (recv_reply c = Wire.Pong);
+      close c;
+      Alcotest.(check int) "zero wrong conversions" 0 (Atomic.get wrong);
+      let answered =
+        Atomic.get ok + Atomic.get deg + Atomic.get shed + Atomic.get failed
+      in
+      Alcotest.(check int) "every request answered explicitly"
+        (n_threads * per_thread) answered;
+      let s = Server.stats server in
+      Alcotest.(check int) "proto errors counted" (Atomic.get proto)
+        s.Server.proto_errors;
+      Alcotest.(check bool) "chaos actually happened" true
+        (s.Server.supervisor.Service.Supervisor.crashes > 0
+        || Atomic.get proto > 0);
+      Alcotest.(check int) "respawn healed every crash"
+        s.Server.supervisor.Service.Supervisor.crashes
+        s.Server.supervisor.Service.Supervisor.respawns)
+
+let test_server_deadline () =
+  (* a 1 ms deadline on a slow conversion fails with a budget error *)
+  let slow input =
+    Unix.sleepf 0.05;
+    Robust.Budget.check_deadline ();
+    convert_real input
+  in
+  let config = { Server.default_config with Server.cache_capacity = 0 } in
+  with_server ~config ~convert:slow (fun _server port ->
+      let c = connect port in
+      send c "DEADLINE 1\nCONV 0.1\n";
+      Alcotest.(check bool) "ack" true (recv_reply c = Wire.Converted "deadline=1");
+      (match recv_reply c with
+      | Wire.Failed { cls = "budget"; _ } -> ()
+      | r -> Alcotest.failf "expected budget timeout, got %s" (Wire.render_reply r));
+      send c "DEADLINE 0\nCONV 0.1\n";
+      Alcotest.(check bool) "clear ack" true
+        (recv_reply c = Wire.Converted "deadline=0");
+      Alcotest.(check bool) "no deadline converts" true
+        (recv_reply c = Wire.Converted "0.1");
+      close c)
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "requests" `Quick test_wire_requests;
+          Alcotest.test_case "replies" `Quick test_wire_replies;
+        ] );
+      ( "memo",
+        [
+          Alcotest.test_case "basic" `Quick test_memo_basic;
+          Alcotest.test_case "concurrent" `Quick test_memo_concurrent;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "verbs" `Quick test_server_verbs;
+          Alcotest.test_case "proto-resync" `Quick test_server_proto_resync;
+          Alcotest.test_case "shedding" `Quick test_server_shedding;
+          Alcotest.test_case "deadline" `Quick test_server_deadline;
+          Alcotest.test_case "drain-loses-nothing" `Quick
+            test_server_drain_loses_nothing;
+          Alcotest.test_case "chaos" `Slow test_server_chaos;
+        ] );
+    ]

@@ -405,6 +405,116 @@ let test_breaker_fallback_unparseable () =
   Alcotest.(check string) "stuck open without a probe window" "open"
     stats.S.breaker_state
 
+(* Direct concurrency tests of the breaker state machine: transitions
+   are mutex-serialised, so races between domains must never produce
+   more than one half-open probe, an invalid state name, or a lost
+   trip. *)
+
+let test_breaker_concurrent_trips () =
+  let b =
+    Service.Breaker.create
+      ~policy:{ Service.Breaker.failure_threshold = 4; cooldown_ms = 10_000 }
+      ()
+  in
+  (* 4 domains x 25 failures: however the threshold crossing interleaves,
+     the breaker ends open having tripped at least once — and with no
+     successes, consecutive-failure counting can never reset, so exactly
+     one trip is observable (the cooldown far exceeds the test) *)
+  let ds =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 25 do
+              Service.Breaker.record_failure b
+            done))
+  in
+  List.iter Domain.join ds;
+  Alcotest.(check string) "open after concurrent trips" "open"
+    (Service.Breaker.state_name b);
+  Alcotest.(check int) "one trip" 1 (Service.Breaker.trips b);
+  Alcotest.(check bool) "admission degrades" true
+    (Service.Breaker.admit b = `Fallback)
+
+let test_breaker_single_probe_race () =
+  let b =
+    Service.Breaker.create
+      ~policy:{ Service.Breaker.failure_threshold = 1; cooldown_ms = 20 }
+      ()
+  in
+  Service.Breaker.record_failure b;
+  Alcotest.(check string) "opened" "open" (Service.Breaker.state_name b);
+  Unix.sleepf 0.05;
+  (* the cooldown has elapsed: 8 domains race admit; exactly one may win
+     the half-open probe, everyone else must be diverted to the fallback *)
+  let outcomes = Array.make 8 `Fallback in
+  let ds =
+    List.init 8 (fun i ->
+        Domain.spawn (fun () -> outcomes.(i) <- Service.Breaker.admit b))
+  in
+  List.iter Domain.join ds;
+  let probes =
+    Array.fold_left
+      (fun n o -> match o with `Probe -> n + 1 | _ -> n)
+      0 outcomes
+  in
+  let proceeds =
+    Array.fold_left
+      (fun n o -> match o with `Proceed -> n + 1 | _ -> n)
+      0 outcomes
+  in
+  Alcotest.(check int) "exactly one probe" 1 probes;
+  Alcotest.(check int) "no one proceeds past an open breaker" 0 proceeds;
+  Alcotest.(check string) "half-open while probing" "half-open"
+    (Service.Breaker.state_name b);
+  (* probe outcome closes it; a concurrent failure recorded later
+     re-opens — transitions stay coherent *)
+  Service.Breaker.record_success b;
+  Alcotest.(check string) "probe success closes" "closed"
+    (Service.Breaker.state_name b)
+
+let test_breaker_concurrent_cycle () =
+  (* mixed success/failure traffic from several domains through full
+     open -> half-open -> closed cycles: state must always be one of the
+     three names and admit must never raise *)
+  let b =
+    Service.Breaker.create
+      ~policy:{ Service.Breaker.failure_threshold = 2; cooldown_ms = 2 }
+      ()
+  in
+  let bad_state = Atomic.make 0 in
+  let ds =
+    List.init 4 (fun seed ->
+        Domain.spawn (fun () ->
+            let st = Random.State.make [| seed; 7 |] in
+            for _ = 1 to 2_000 do
+              (match Service.Breaker.admit b with
+              | `Proceed | `Probe ->
+                if Random.State.int st 3 = 0 then
+                  Service.Breaker.record_failure b
+                else Service.Breaker.record_success b
+              | `Fallback -> ());
+              match Service.Breaker.state_name b with
+              | "closed" | "open" | "half-open" -> ()
+              | _ -> Atomic.incr bad_state
+            done))
+  in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "state always coherent" 0 (Atomic.get bad_state);
+  Alcotest.(check bool) "cycled under contention" true
+    (Service.Breaker.trips b >= 1);
+  (* converges: drive it closed deterministically from one domain *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let rec close_it () =
+    if Service.Breaker.state_name b <> "closed" then begin
+      (match Service.Breaker.admit b with
+      | `Probe | `Proceed -> Service.Breaker.record_success b
+      | `Fallback -> Unix.sleepf 0.005);
+      if Unix.gettimeofday () < deadline then close_it ()
+    end
+  in
+  close_it ();
+  Alcotest.(check string) "recovers to closed" "closed"
+    (Service.Breaker.state_name b)
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -445,5 +555,11 @@ let () =
             test_breaker_cycle;
           Alcotest.test_case "fallback on unparseable input" `Quick
             test_breaker_fallback_unparseable;
+          Alcotest.test_case "concurrent trips" `Quick
+            test_breaker_concurrent_trips;
+          Alcotest.test_case "single probe under race" `Quick
+            test_breaker_single_probe_race;
+          Alcotest.test_case "concurrent open/close cycle" `Quick
+            test_breaker_concurrent_cycle;
         ] );
     ]
