@@ -653,14 +653,22 @@ let daemon_bench ~size () =
     inputs;
   List.iter (fun (p, pr) -> Faults.arm ~probability:pr p) armed;
   let in_process, host, port =
+    (* the address is vetted through the client's typed parser before
+       any socket is opened: a malformed BDPRINTD_ADDR exits 2 with a
+       structured range error instead of a late Failure mid-bench *)
     match Sys.getenv_opt "BDPRINTD_ADDR" with
     | Some addr -> (
-      match String.index_opt addr ':' with
-      | Some i ->
-        let h = String.sub addr 0 i in
-        let p = int_of_string (String.sub addr (i + 1) (String.length addr - i - 1)) in
-        (None, (if h = "" then "127.0.0.1" else h), p)
-      | None -> (None, "127.0.0.1", int_of_string addr))
+      match Net.Client.parse_addr addr with
+      | Result.Ok (Net.Client.Tcp (h, p)) -> (None, h, p)
+      | Result.Ok (Net.Client.Unix_path _) ->
+        Printf.eprintf "error: %s\n%!"
+          (Robust.Error.to_string
+             (Robust.Error.range ~what:"BDPRINTD_ADDR"
+                "the daemon bench needs a TCP address (HOST:PORT)"));
+        exit 2
+      | Result.Error e ->
+        Printf.eprintf "error: %s\n%!" (Robust.Error.to_string e);
+        exit 2)
     | None ->
       let server =
         match

@@ -19,6 +19,7 @@ open Cmdliner
 module Error = Robust.Error
 module Budget = Robust.Budget
 module Supervisor = Service.Supervisor
+module Client = Net.Client
 
 let mode_conv =
   let parse = function
@@ -174,6 +175,34 @@ let deadline_ms =
            wall-clock deadline, enforced cooperatively inside the digit \
            loops; an expired line fails with a structured budget \
            (timeout) error.")
+
+let connect_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"ADDR[,ADDR...]"
+        ~doc:
+          "Convert through running bdprintd daemon(s) instead of \
+           in-process: a comma-separated endpoint list (HOST:PORT, :PORT, \
+           PORT or unix:PATH) used with reconnection, retries, failover, \
+           endpoint ejection/readmission and honored SHED retry-after \
+           hints.  When every endpoint is unreachable the conversion \
+           falls back to the local in-process pipeline, so the stream \
+           still completes.  A malformed address is a typed range error \
+           (exit 2) reported before any socket is opened.  Remote \
+           degraded replies are printed with the same 'degraded:' prefix \
+           as $(b,--jobs) in $(b,--stdin) mode.")
+
+let hedge_ms_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "hedge-ms" ] ~docv:"MS"
+        ~doc:
+          "With $(b,--connect) and at least two endpoints: duplicate a \
+           request that has not answered within $(docv) milliseconds to a \
+           second endpoint and take the first answer.  Safe because \
+           conversions are pure — the worst case is wasted work.")
 
 let metrics_file =
   Arg.(
@@ -491,8 +520,38 @@ let run_stream_jobs ~convert ~jobs ~max_errors ~deadline_ms ~show_stats
   finish_stream ~counts ~show_stats ~metrics_file
     ~interrupted:(Atomic.get interrupted)
 
+(* Route conversions through the resilient daemon client.  The address
+   list is vetted before any socket is opened: a malformed address is a
+   typed range error with exit code 2, matching the streaming exit-code
+   taxonomy.  The locally-built pipeline rides along as the client's
+   final fallback tier. *)
+let connect_client ~local ~hedge_ms ~show_stats spec =
+  let addrs =
+    match Client.parse_addrs spec with
+    | Result.Ok addrs -> addrs
+    | Result.Error e ->
+      Printf.eprintf "error: %s\n%!" (Error.to_string e);
+      exit 2
+  in
+  let config = { Client.default_config with Client.hedge_ms } in
+  let client = Client.create ~config ~local addrs in
+  if show_stats then
+    at_exit (fun () ->
+        let s = Client.stats client in
+        Printf.eprintf
+          "client: requests=%d remote-ok=%d degraded=%d local-fallbacks=%d \
+           errors=%d retries=%d sheds-honored=%d hedges=%d hedge-wins=%d \
+           ejections=%d readmissions=%d reconnects=%d\n\
+           %!"
+          s.Client.requests s.Client.remote_ok s.Client.remote_degraded
+          s.Client.local_fallbacks s.Client.typed_errors s.Client.retries
+          s.Client.sheds_honored s.Client.hedges s.Client.hedge_wins
+          s.Client.ejections s.Client.readmissions s.Client.reconnects);
+  client
+
 let run base mode fmt strategy notation digits places hex_out use_stdin
-    max_errors jobs show_stats deadline_ms metrics_file numbers =
+    max_errors jobs show_stats deadline_ms metrics_file connect hedge_ms
+    numbers =
   if base < 2 || base > 36 then
     `Error
       ( false,
@@ -514,6 +573,13 @@ let run base mode fmt strategy notation digits places hex_out use_stdin
     `Error (false, "--stats requires --stdin")
   else if (not use_stdin) && metrics_file <> None then
     `Error (false, "--metrics requires --stdin")
+  else if connect = None && hedge_ms <> None then
+    `Error (false, "--hedge-ms requires --connect")
+  else if (match hedge_ms with Some h -> h < 1 | None -> false) then
+    `Error
+      ( false,
+        Error.to_string (Error.range ~what:"--hedge-ms" "must be at least 1")
+      )
   else begin
     (* Flip the registry on before the service spawns workers so every
        domain observes the same switch state from its first conversion. *)
@@ -533,6 +599,27 @@ let run base mode fmt strategy notation digits places hex_out use_stdin
       | None -> (
         let convert =
           convert_one ~base ~mode ~fmt ~strategy ~notation ~request ~hex_out
+        in
+        (* --connect swaps the conversion function for the resilient
+           client (remote tiers first, this pipeline as local fallback)
+           and moves deadline enforcement into the client, where it also
+           bounds socket timeouts, retries and shed waits *)
+        let convert, deadline_ms =
+          match connect with
+          | None -> (convert, deadline_ms)
+          | Some spec ->
+            let client =
+              connect_client ~local:convert ~hedge_ms ~show_stats spec
+            in
+            let remote input =
+              match Client.convert client ?deadline_ms input with
+              | Result.Ok { Client.output; degraded = true; _ }
+                when use_stdin ->
+                Result.Ok ("degraded:" ^ output)
+              | Result.Ok o -> Result.Ok o.Client.output
+              | Result.Error _ as e -> e
+            in
+            (remote, None)
         in
         match (use_stdin, numbers) with
         | true, _ :: _ ->
@@ -609,6 +696,6 @@ let cmd =
       ret
         (const run $ base $ mode $ fmt $ strategy $ notation $ digits $ places
        $ hex_out $ stdin_flag $ max_errors $ jobs_flag $ stats_flag
-       $ deadline_ms $ metrics_file $ numbers))
+       $ deadline_ms $ metrics_file $ connect_arg $ hedge_ms_arg $ numbers))
 
 let () = exit (Cmd.eval cmd)

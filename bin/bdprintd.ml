@@ -101,6 +101,19 @@ let deadline_arg =
           "Default per-request deadline applied to connections that do not \
            set their own with $(b,DEADLINE).")
 
+let stuck_ms_arg =
+  Arg.(
+    value
+    & opt int Service.Supervisor.default_watchdog.Service.Supervisor.stuck_ms
+    & info [ "stuck-ms" ] ~docv:"MS"
+        ~doc:
+          "Watchdog threshold for deadline-less requests: a worker still \
+           busy on one request after $(docv) ms is declared wedged — the \
+           request is answered with a structured timeout and the worker \
+           is replaced.  Requests carrying a deadline are declared wedged \
+           shortly after it expires regardless of this setting.  0 \
+           disables the watchdog entirely.")
+
 let stats_arg =
   Arg.(
     value & flag
@@ -137,30 +150,38 @@ let flush_metrics metrics_file =
 let print_final_stats (s : Server.stats) =
   Printf.eprintf
     "bdprintd: served %d requests on %d connections: %d ok (%d cached), %d \
-     degraded, %d failed, %d shed (%d queue-full, %d draining), %d protocol \
-     errors\n\
-     bdprintd: workers: %d submitted, %d crashes, %d respawns, breaker=%s \
-     trips=%d\n\
+     degraded, %d failed, %d shed (%d queue-full, %d overload, %d \
+     draining), %d protocol errors\n\
+     bdprintd: workers: %d submitted, %d crashes, %d wedges, %d respawns, \
+     breaker=%s trips=%d\n\
      %!"
     s.Server.requests s.Server.connections s.Server.replies_ok
     s.Server.cache_hits s.Server.replies_degraded s.Server.replies_failed
-    (s.Server.shed_queue_full + s.Server.shed_draining)
-    s.Server.shed_queue_full s.Server.shed_draining s.Server.proto_errors
-    s.Server.supervisor.Service.Supervisor.submitted
+    (s.Server.shed_queue_full + s.Server.shed_overload + s.Server.shed_draining)
+    s.Server.shed_queue_full s.Server.shed_overload s.Server.shed_draining
+    s.Server.proto_errors s.Server.supervisor.Service.Supervisor.submitted
     s.Server.supervisor.Service.Supervisor.crashes
+    s.Server.supervisor.Service.Supervisor.wedges
     s.Server.supervisor.Service.Supervisor.respawns
     s.Server.supervisor.Service.Supervisor.breaker_state
     s.Server.supervisor.Service.Supervisor.breaker_trips
 
-let run listen jobs admission cache_size cache_shards deadline_ms show_stats
-    metrics_file =
+let run listen jobs admission cache_size cache_shards deadline_ms stuck_ms
+    show_stats metrics_file =
   if jobs < 1 then `Error (false, "--jobs must be at least 1")
   else if admission < 1 then `Error (false, "--admission must be at least 1")
   else if cache_size < 0 then `Error (false, "--cache-size must be >= 0")
   else if (match deadline_ms with Some ms -> ms < 0 | None -> false) then
     `Error (false, "--deadline-ms must be >= 0")
+  else if stuck_ms < 0 then `Error (false, "--stuck-ms must be >= 0")
   else begin
     if show_stats || metrics_file <> None then Telemetry.set_enabled true;
+    let watchdog =
+      if stuck_ms = 0 then None
+      else
+        Some
+          { Service.Supervisor.default_watchdog with Service.Supervisor.stuck_ms }
+    in
     let config =
       {
         Server.default_config with
@@ -169,6 +190,7 @@ let run listen jobs admission cache_size cache_shards deadline_ms show_stats
         cache_capacity = cache_size;
         cache_shards;
         default_deadline_ms = deadline_ms;
+        watchdog;
       }
     in
     match Server.start ~config ~convert listen with
@@ -217,6 +239,7 @@ let cmd =
     Term.(
       ret
         (const run $ listen_arg $ jobs_arg $ admission_arg $ cache_arg
-       $ cache_shards_arg $ deadline_arg $ stats_arg $ metrics_arg))
+       $ cache_shards_arg $ deadline_arg $ stuck_ms_arg $ stats_arg
+       $ metrics_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -7,6 +7,8 @@ type shard = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable insertions : int;  (** new-key inserts (grew or evicted) *)
+  mutable replacements : int;  (** in-place updates of an existing key *)
 }
 [@@lint.guarded_by "m"]
 
@@ -18,6 +20,8 @@ type stats = {
   misses : int;
   entries : int;
   evictions : int;
+  insertions : int;
+  replacements : int;
   shards : int;
   capacity : int;
 }
@@ -52,6 +56,8 @@ let create ?(shards = 8) ~capacity () =
             hits = 0;
             misses = 0;
             evictions = 0;
+            insertions = 0;
+            replacements = 0;
           });
     per_shard;
   }
@@ -77,6 +83,7 @@ let add t key value =
     if Hashtbl.mem s.tbl key then begin
       (* replace in place: the ring slot it already owns stays valid *)
       Hashtbl.replace s.tbl key value;
+      s.replacements <- s.replacements + 1;
       false
     end
     else begin
@@ -86,6 +93,7 @@ let add t key value =
         s.evictions <- s.evictions + 1
       end
       else s.filled <- s.filled + 1;
+      s.insertions <- s.insertions + 1;
       s.ring.(s.pos) <- key;
       s.pos <- (s.pos + 1) mod t.per_shard;
       Hashtbl.replace s.tbl key value;
@@ -107,6 +115,8 @@ let stats (t : t) =
           misses = acc.misses + s.misses;
           entries = acc.entries + Hashtbl.length s.tbl;
           evictions = acc.evictions + s.evictions;
+          insertions = acc.insertions + s.insertions;
+          replacements = acc.replacements + s.replacements;
         }
       in
       Mutex.unlock s.m;
@@ -116,7 +126,23 @@ let stats (t : t) =
       misses = 0;
       entries = 0;
       evictions = 0;
+      insertions = 0;
+      replacements = 0;
       shards = Array.length t.shards;
       capacity = Array.length t.shards * t.per_shard;
     }
+    t.shards
+
+let per_shard_capacity (t : t) = t.per_shard
+
+(* Per-shard live entry counts, each read under its shard's mutex: the
+   concurrency invariant tests assert every element stays within
+   [per_shard_capacity]. *)
+let shard_entries (t : t) =
+  Array.map
+    (fun s ->
+      Mutex.lock s.m;
+      let n = Hashtbl.length s.tbl in
+      Mutex.unlock s.m;
+      n)
     t.shards

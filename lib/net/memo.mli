@@ -21,6 +21,8 @@ type stats = {
   misses : int;
   entries : int;  (** currently cached pairs, summed over shards *)
   evictions : int;
+  insertions : int;  (** new-key inserts; [insertions = entries + evictions] *)
+  replacements : int;  (** in-place updates of an existing key *)
   shards : int;
   capacity : int;  (** total bound, summed over shards *)
 }
@@ -39,3 +41,15 @@ val add : t -> string -> string -> unit
     existing binding for the key without growing the shard. *)
 
 val stats : t -> stats
+(** Aggregated over all shards; each shard is read under its own mutex,
+    so the counters reconcile exactly once writers are quiescent:
+    [hits + misses] = total finds, [insertions = entries + evictions],
+    and [insertions + replacements] = total adds. *)
+
+val per_shard_capacity : t -> int
+(** The fixed per-shard entry bound. *)
+
+val shard_entries : t -> int array
+(** Live entry count of each shard — never exceeds
+    {!per_shard_capacity}, which the concurrency tests assert under
+    multi-domain load. *)

@@ -13,6 +13,7 @@ type config = {
   default_deadline_ms : int option;
   retry : Supervisor.retry_policy;
   breaker : Service.Breaker.policy;
+  watchdog : Supervisor.watchdog_policy option;
 }
 
 let default_config =
@@ -24,6 +25,7 @@ let default_config =
     default_deadline_ms = None;
     retry = Supervisor.default_retry;
     breaker = Service.Breaker.default_policy;
+    watchdog = Some Supervisor.default_watchdog;
   }
 
 type stats = {
@@ -35,6 +37,7 @@ type stats = {
   replies_degraded : int;
   replies_failed : int;
   shed_queue_full : int;
+  shed_overload : int;
   shed_draining : int;
   proto_errors : int;
   cache : Memo.stats;
@@ -70,8 +73,14 @@ type core = {
   mutable n_deg : int;
   mutable n_failed : int;
   mutable n_shed_full : int;
+  mutable n_shed_overload : int;
   mutable n_shed_drain : int;
   mutable n_proto : int;
+  mutable ewma_ms : float;
+      (** exponentially-weighted mean admitted-request service time,
+          admission to reply — feeds the adaptive admission controller
+          and the [retry-after-ms] hints, so it is always maintained,
+          independent of telemetry *)
 }
 [@@lint.guarded_by "m"]
 
@@ -231,6 +240,36 @@ let rec await w =
 let count_shed () =
   if Telemetry.Metrics.enabled () then Telemetry.Metrics.incr m_shed
 
+(* [retry-after-ms] hints from the service-time EWMA.  A [queue-full]
+   shed clears once some in-flight request finishes: about one mean
+   service time.  An [overload] shed clears once the projected queue
+   wait has drained back under the deadline.  [draining] sheds carry no
+   hint — the right client response is failover, not retry. *)
+let shed_drain c =
+  c.n_shed_drain <- c.n_shed_drain + 1;
+  count_shed ();
+  Wire.Shed { reason = "draining"; retry_after_ms = None }
+
+let shed_full t c =
+  c.n_shed_full <- c.n_shed_full + 1;
+  count_shed ();
+  let hint = max 1. (c.ewma_ms /. float (max 1 t.cfg.jobs)) in
+  Wire.Shed
+    { reason = "queue-full"; retry_after_ms = Some (int_of_float (ceil hint)) }
+
+(* Projected wait before a request admitted now would start converting:
+   the requests ahead of it, spread over the worker pool, each costing
+   one mean service time. *)
+let projected_wait_ms t c =
+  float c.in_flight *. c.ewma_ms /. float (max 1 t.cfg.jobs)
+
+let shed_overload c ~deadline_ms:d ~projected =
+  c.n_shed_overload <- c.n_shed_overload + 1;
+  count_shed ();
+  let hint = max 1. (projected -. float d) in
+  Wire.Shed
+    { reason = "overload"; retry_after_ms = Some (int_of_float (ceil hint)) }
+
 (* One conversion request, through shedding, cache, supervisor and
    accounting.  Returns the reply to write plus whether the request
    holds an admission slot; the caller must {!release} the slot only
@@ -243,10 +282,9 @@ let convert_one t ~deadline_ms input : Wire.reply * bool =
   Mutex.lock c.m;
   c.n_requests <- c.n_requests + 1;
   if c.phase <> Running then begin
-    c.n_shed_drain <- c.n_shed_drain + 1;
-    count_shed ();
+    let reply = shed_drain c in
     Mutex.unlock c.m;
-    (Wire.Shed "draining", false)
+    (reply, false)
   end
   else begin
     Mutex.unlock c.m;
@@ -259,20 +297,33 @@ let convert_one t ~deadline_ms input : Wire.reply * bool =
       (Wire.Converted out, false)
     | None ->
       Mutex.lock c.m;
+      let projected = projected_wait_ms t c in
       if c.phase <> Running then begin
         (* drain began between the two checks: still shed explicitly *)
-        c.n_shed_drain <- c.n_shed_drain + 1;
-        count_shed ();
+        let reply = shed_drain c in
         Mutex.unlock c.m;
-        (Wire.Shed "draining", false)
+        (reply, false)
       end
       else if c.in_flight >= t.cfg.admission_capacity then begin
-        c.n_shed_full <- c.n_shed_full + 1;
-        count_shed ();
+        let reply = shed_full t c in
         Mutex.unlock c.m;
-        (Wire.Shed "queue-full", false)
+        (reply, false)
       end
       else begin
+        (* adaptive admission: shed when the projected queue wait alone
+           already exceeds the request's deadline — converting would
+           only burn a worker on a reply that arrives dead *)
+        let overloaded =
+          match deadline_ms with
+          | Some d when projected > float d -> Some d
+          | Some _ | None -> None
+        in
+        match overloaded with
+        | Some d ->
+          let reply = shed_overload c ~deadline_ms:d ~projected in
+          Mutex.unlock c.m;
+          (reply, false)
+        | None ->
         c.in_flight <- c.in_flight + 1;
         let seq = c.next_seq in
         c.next_seq <- seq + 1;
@@ -309,10 +360,9 @@ let convert_one t ~deadline_ms input : Wire.reply * bool =
                rules out — defensive, not expected) *)
             Mutex.lock c.m;
             Hashtbl.remove c.pending seq;
-            c.n_shed_drain <- c.n_shed_drain + 1;
-            count_shed ();
+            let reply = shed_drain c in
             Mutex.unlock c.m;
-            Wire.Shed "draining"
+            reply
         in
         (reply, true)
       end
@@ -325,15 +375,27 @@ let release_admission t =
   Condition.broadcast c.cv;
   Mutex.unlock c.m
 
+(* Latency is measured unconditionally: beyond the (gated) histogram it
+   feeds the admission controller's EWMA, which must stay live with
+   telemetry off.  Only admitted requests update the EWMA — sheds and
+   cache hits say nothing about service time. *)
+let ewma_alpha = 0.2
+
 let timed_convert t ~deadline_ms input =
-  if Telemetry.Metrics.enabled () then begin
-    let t0 = Unix.gettimeofday () in
-    let reply = convert_one t ~deadline_ms input in
-    Telemetry.Metrics.observe m_latency
-      (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6));
-    reply
-  end
-  else convert_one t ~deadline_ms input
+  let t0 = Unix.gettimeofday () in
+  let ((_, admitted) as reply) = convert_one t ~deadline_ms input in
+  let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  if admitted then begin
+    let c = t.core in
+    Mutex.lock c.m;
+    c.ewma_ms <-
+      (if c.ewma_ms <= 0. then elapsed_ms
+       else c.ewma_ms +. (ewma_alpha *. (elapsed_ms -. c.ewma_ms)));
+    Mutex.unlock c.m
+  end;
+  if Telemetry.Metrics.enabled () then
+    Telemetry.Metrics.observe m_latency (int_of_float (elapsed_ms *. 1e3));
+  reply
 
 (* Write a conversion reply, then release its admission slot (write
    failures to a vanished client release too — the reply was produced
@@ -349,7 +411,17 @@ let write_conv_reply t fd (reply, admitted) =
 (* {2 Statistics} *)
 
 let empty_cache_stats =
-  Memo.{ hits = 0; misses = 0; entries = 0; evictions = 0; shards = 0; capacity = 0 }
+  Memo.
+    {
+      hits = 0;
+      misses = 0;
+      entries = 0;
+      evictions = 0;
+      insertions = 0;
+      replacements = 0;
+      shards = 0;
+      capacity = 0;
+    }
 
 let stats t =
   let c = t.core in
@@ -365,6 +437,7 @@ let stats t =
       replies_degraded = c.n_deg;
       replies_failed = c.n_failed;
       shed_queue_full = c.n_shed_full;
+      shed_overload = c.n_shed_overload;
       shed_draining = c.n_shed_drain;
       proto_errors = c.n_proto;
       cache = empty_cache_stats;
@@ -393,6 +466,7 @@ let stats_json t =
   field "replies_degraded" s.replies_degraded;
   field "replies_failed" s.replies_failed;
   field "shed_queue_full" s.shed_queue_full;
+  field "shed_overload" s.shed_overload;
   field "shed_draining" s.shed_draining;
   field "proto_errors" s.proto_errors;
   field "cache_entries" s.cache.Memo.entries;
@@ -404,6 +478,7 @@ let stats_json t =
   field "sup_retries" s.supervisor.Supervisor.retries;
   field "sup_crashes" s.supervisor.Supervisor.crashes;
   field "sup_respawns" s.supervisor.Supervisor.respawns;
+  field "sup_wedges" s.supervisor.Supervisor.wedges;
   field "sup_breaker_trips" s.supervisor.Supervisor.breaker_trips;
   field "jobs" s.supervisor.Supervisor.jobs;
   Printf.bprintf b "\"breaker_state\":\"%s\"," s.supervisor.Supervisor.breaker_state;
@@ -623,14 +698,17 @@ let start ?(config = default_config) ~convert spec =
         n_deg = 0;
         n_failed = 0;
         n_shed_full = 0;
+        n_shed_overload = 0;
         n_shed_drain = 0;
         n_proto = 0;
+        ewma_ms = 0.;
       }
     in
     let sup =
       Supervisor.start ~jobs:(max 1 config.jobs)
         ~queue_capacity:(max 1 config.admission_capacity)
         ~retry:config.retry ~breaker:config.breaker
+        ?watchdog:config.watchdog
         ~emit:(route_reply core) convert
     in
     let memo =

@@ -14,7 +14,18 @@
        [admission_capacity] conversion requests are in flight across all
        connections.  A request beyond the bound is answered
        [SHED queue-full] {e immediately} — the daemon never queues
-       unboundedly and never silently drops.}
+       unboundedly and never silently drops.  An {e adaptive} controller
+       additionally sheds ([SHED overload]) a deadline-carrying request
+       whose projected queue wait (in-flight depth × the live
+       service-time EWMA ÷ workers) already exceeds its deadline —
+       refusing fast beats converting a reply that arrives dead.  Both
+       sheds carry a machine-readable [retry-after-ms] hint derived from
+       the same EWMA.}
+    {- {e Wedge detection}: the supervisor's watchdog domain (see
+       {!Service.Supervisor.watchdog_policy}; on by default here)
+       answers any request stuck past its deadline on a live-but-wedged
+       worker with a structured timeout and replaces the worker, so one
+       pathological request cannot capture a worker domain forever.}
     {- {e Per-client deadlines and budgets}: each connection can set a
        wall-clock deadline ([DEADLINE <ms>]) enforced through
        {!Robust.Budget}'s cooperative check sites; input frames are
@@ -47,11 +58,13 @@ type config = {
       (** deadline applied until a connection overrides it *)
   retry : Service.Supervisor.retry_policy;
   breaker : Service.Breaker.policy;
+  watchdog : Service.Supervisor.watchdog_policy option;
+      (** wedge-detection monitor; [None] disables it *)
 }
 
 val default_config : config
 (** 2 jobs, 256 admissions, 4096-entry cache in 8 shards, no default
-    deadline, default supervisor retry/breaker policies. *)
+    deadline, default supervisor retry/breaker/watchdog policies. *)
 
 type stats = {
   connections : int;  (** accepted since start *)
@@ -62,6 +75,8 @@ type stats = {
   replies_degraded : int;
   replies_failed : int;
   shed_queue_full : int;
+  shed_overload : int;
+      (** adaptive-admission sheds: projected wait exceeded the deadline *)
   shed_draining : int;
   proto_errors : int;  (** malformed frames answered [ERR proto ...] *)
   cache : Memo.stats;

@@ -12,7 +12,7 @@ type reply =
   | Converted of string
   | Degraded of string
   | Failed of { cls : string; detail : string }
-  | Shed of string
+  | Shed of { reason : string; retry_after_ms : int option }
   | Batch_end of { ok : int; failed : int; shed : int }
   | Pong
   | Ready
@@ -68,7 +68,9 @@ let render_reply = function
   | Degraded out -> "DEG " ^ one_line out ^ "\n"
   | Failed { cls; detail } ->
     Printf.sprintf "ERR %s %s\n" (one_line cls) (one_line detail)
-  | Shed reason -> "SHED " ^ one_line reason ^ "\n"
+  | Shed { reason; retry_after_ms = None } -> "SHED " ^ one_line reason ^ "\n"
+  | Shed { reason; retry_after_ms = Some ms } ->
+    Printf.sprintf "SHED %s retry-after-ms=%d\n" (one_line reason) ms
   | Batch_end { ok; failed; shed } ->
     Printf.sprintf "END ok=%d failed=%d shed=%d\n" ok failed shed
   | Pong -> "PONG\n"
@@ -106,7 +108,14 @@ let parse_reply_line line =
     let cls, detail = split_verb rest in
     if cls = "" then Error "ERR without a class"
     else Ok (Failed { cls; detail })
-  | "SHED" -> if rest = "" then Error "SHED without a reason" else Ok (Shed rest)
+  | "SHED" ->
+    if rest = "" then Error "SHED without a reason"
+    else
+      let reason, attrs = split_verb rest in
+      let retry_after_ms =
+        kv_int "retry-after-ms" (String.split_on_char ' ' attrs)
+      in
+      Ok (Shed { reason; retry_after_ms })
   | "END" -> (
     let pairs = String.split_on_char ' ' rest in
     match (kv_int "ok" pairs, kv_int "failed" pairs, kv_int "shed" pairs) with

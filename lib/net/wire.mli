@@ -35,9 +35,14 @@ type reply =
   | Failed of { cls : string; detail : string }
       (** [ERR <class> <detail>], [cls] one of syntax / range / budget /
           internal / proto *)
-  | Shed of string
-      (** [SHED <reason>]: explicit load-shedding, [reason] one of
-          [queue-full] / [draining]; the request was {e not} converted *)
+  | Shed of { reason : string; retry_after_ms : int option }
+      (** [SHED <reason> [retry-after-ms=<n>]]: explicit load-shedding,
+          [reason] one of [queue-full] / [overload] / [draining]; the
+          request was {e not} converted.  [retry_after_ms] is the
+          server's machine-readable hint of when retrying is likely to
+          succeed — clients should honor it in place of their default
+          backoff.  [draining] sheds carry no hint: the right response
+          is failover, not retry. *)
   | Batch_end of { ok : int; failed : int; shed : int }
       (** [END ok=<n> failed=<n> shed=<n>] after a batch's replies *)
   | Pong

@@ -5,11 +5,25 @@ let pipeline_points = [ "nat.divmod"; "nat.pow"; "scaling.power"; "scaling.scale
    network fault is an *effect* (a stalled write, a corrupted frame, a
    dead worker domain), not a structured pipeline error. *)
 let net_points =
-  [ "service.worker-kill"; "net.slow-client"; "net.partial-write"; "net.malformed-frame" ]
+  [
+    "service.worker-kill";
+    "service.worker-wedge";
+    "net.slow-client";
+    "net.partial-write";
+    "net.malformed-frame";
+    "net.daemon-restart";
+  ]
 
 let points = pipeline_points @ net_points
 
-type arming = { point : string; probability : float }
+(* A point fires either probabilistically (each consult draws
+   independently) or on a fixed schedule: [At_call k] fires exactly on
+   the k-th consult of that point since process start (or the last
+   {!reset_call_counts}), making a chaos failure replayable without any
+   RNG state — the schedule IS the reproduction recipe. *)
+type schedule = Probability of float | At_call of int
+
+type arming = { point : string; schedule : schedule }
 
 (* The armed set is tiny and read from every domain on every trip-site
    call; an atomic holding an immutable list keeps the disarmed-path
@@ -54,7 +68,7 @@ let warn_unknown entry =
 
 let unknown_points () = List.rev (Atomic.get warned_unknown)
 
-let arm ?(probability = 1.0) name =
+let set_schedule name schedule =
   if not (List.mem name points) then warn_unknown name
   else begin
     let rest =
@@ -62,8 +76,14 @@ let arm ?(probability = 1.0) name =
         (fun a -> not (String.equal a.point name))
         (Atomic.get armed_points)
     in
-    sync ({ point = name; probability } :: rest)
+    sync ({ point = name; schedule } :: rest)
   end
+
+let arm ?(probability = 1.0) name = set_schedule name (Probability probability)
+
+let arm_at ~call name =
+  if call < 1 then warn_unknown (Printf.sprintf "%s@req=%d" name call)
+  else set_schedule name (At_call call)
 
 let disarm name =
   sync
@@ -76,8 +96,29 @@ let armed name =
 
 let probability name =
   List.find_map
-    (fun a -> if String.equal a.point name then Some a.probability else None)
+    (fun a ->
+      match a with
+      | { point; schedule = Probability p } when String.equal point name ->
+        Some p
+      | _ -> None)
     (Atomic.get armed_points)
+
+let schedule_of name =
+  List.find_map
+    (fun a -> if String.equal a.point name then Some a.schedule else None)
+    (Atomic.get armed_points)
+
+(* Render the armed set back into the BDPRINT_FAULTS grammar, so a
+   chaos harness can log (or upload as an artifact) the exact schedule
+   that produced a failure. *)
+let spec_string () =
+  Atomic.get armed_points
+  |> List.rev_map (fun a ->
+         match a.schedule with
+         | Probability p when p >= 1.0 -> a.point
+         | Probability p -> Printf.sprintf "%s:%g" a.point p
+         | At_call k -> Printf.sprintf "%s@req=%d" a.point k)
+  |> String.concat ","
 
 (* Per-point trip counters, atomic so chaos tests can count injections
    across all worker domains.  They live in the telemetry registry
@@ -107,22 +148,44 @@ let total_trips () =
 let reset_trip_counts () =
   List.iter (fun (_, c) -> Telemetry.Metrics.reset_counter c) counters
 
+(* Per-point consult counters drive the [At_call k] schedules: every
+   {!trip}/{!fires} consult of a scheduled point increments its counter
+   atomically, and the fault fires exactly when the counter reaches k.
+   Unlike the RNG draws these are shared across domains, so a schedule
+   replays identically as long as the request order it keys on does. *)
+let call_counters = List.map (fun p -> (p, Atomic.make 0)) points
+
+let call_count name =
+  match List.assoc_opt name call_counters with
+  | Some c -> Atomic.get c
+  | None -> 0
+
+let reset_call_counts () =
+  List.iter (fun (_, c) -> Atomic.set c 0) call_counters
+
 (* Probabilistic trips draw from a domain-local generator so worker
    domains never contend (or share a stream).  Seeding is deterministic
-   per domain-spawn order; BDPRINT_FAULT_SEED perturbs the whole run. *)
-let base_seed =
-  match Sys.getenv_opt "BDPRINT_FAULT_SEED" with
-  | Some s -> ( match int_of_string_opt s with Some n -> n | None -> 0x6bd)
-  | None -> 0x6bd
+   per domain-spawn order; BDPRINT_FAULTS_SEED (or its legacy alias
+   BDPRINT_FAULT_SEED) perturbs the whole run — chaos harnesses print
+   it, so a failing run can be replayed exactly. *)
+let seed =
+  let parse s = match int_of_string_opt s with Some n -> Some n | None -> None in
+  match
+    ( Option.bind (Sys.getenv_opt "BDPRINT_FAULTS_SEED") parse,
+      Option.bind (Sys.getenv_opt "BDPRINT_FAULT_SEED") parse )
+  with
+  | Some n, _ -> n
+  | None, Some n -> n
+  | None, None -> 0x6bd
 
 let domain_seq = Atomic.make 0
 
 let rng =
   Domain.DLS.new_key (fun () ->
-      Random.State.make [| base_seed; Atomic.fetch_and_add domain_seq 1 |])
+      Random.State.make [| seed; Atomic.fetch_and_add domain_seq 1 |])
 
 (* Decision shared by [trip] and [fires]: is the point armed, and does
-   this call's probability draw fire? *)
+   this consult's probability draw (or call-count schedule) fire? *)
 let draw name =
   if Atomic.get armed_count = 0 then false
   else
@@ -132,9 +195,12 @@ let draw name =
         (Atomic.get armed_points)
     with
     | None -> false
-    | Some a ->
-      a.probability >= 1.0
-      || Random.State.float (Domain.DLS.get rng) 1.0 < a.probability
+    | Some { schedule = Probability p; _ } ->
+      p >= 1.0 || Random.State.float (Domain.DLS.get rng) 1.0 < p
+    | Some { schedule = At_call k; _ } -> (
+      match List.assoc_opt name call_counters with
+      | Some c -> 1 + Atomic.fetch_and_add c 1 = k
+      | None -> false)
 
 let count_trip name =
   match List.assoc_opt name counters with
@@ -164,10 +230,11 @@ let with_fault ?probability name f =
   arm ?probability name;
   Fun.protect ~finally:(fun () -> disarm name) f
 
-(* BDPRINT_FAULTS grammar: comma-separated entries, each either a bare
-   point name (deterministic, probability 1) or name:probability for
-   transient faults.  Unknown names and malformed probabilities are
-   collected rather than silently dropped. *)
+(* BDPRINT_FAULTS grammar: comma-separated entries, each a bare point
+   name (deterministic, probability 1), name:probability for transient
+   faults, or name@req=k for a replayable schedule (fire exactly on the
+   k-th consult of the point).  Unknown names, malformed probabilities
+   and malformed schedules are collected rather than silently dropped. *)
 let parse_spec spec =
   let entries =
     String.split_on_char ',' spec
@@ -177,21 +244,30 @@ let parse_spec spec =
   let armed, bad =
     List.fold_left
       (fun (armed, bad) entry ->
-        let name, prob =
-          match String.index_opt entry ':' with
-          | None -> (entry, Some 1.0)
-          | Some i ->
+        let name, sched =
+          match (String.index_opt entry ':', String.index_opt entry '@') with
+          | _, Some i ->
+            let name = String.sub entry 0 i in
+            let s = String.sub entry (i + 1) (String.length entry - i - 1) in
+            ( name,
+              if String.length s > 4 && String.sub s 0 4 = "req=" then
+                match int_of_string_opt (String.sub s 4 (String.length s - 4)) with
+                | Some k when k >= 1 -> Some (At_call k)
+                | _ -> None
+              else None )
+          | Some i, None ->
             let name = String.sub entry 0 i in
             let p = String.sub entry (i + 1) (String.length entry - i - 1) in
             ( name,
               match float_of_string_opt p with
-              | Some p when p >= 0.0 && p <= 1.0 -> Some p
+              | Some p when p >= 0.0 && p <= 1.0 -> Some (Probability p)
               | _ -> None )
+          | None, None -> (entry, Some (Probability 1.0))
         in
-        match prob with
+        match sched with
         | None -> (armed, entry :: bad)
-        | Some p ->
-          if List.mem name points then ((name, p) :: armed, bad)
+        | Some s ->
+          if List.mem name points then ((name, s) :: armed, bad)
           else (armed, entry :: bad))
       ([], []) entries
   in
@@ -202,5 +278,5 @@ let () =
   | None | Some "" -> ()
   | Some spec ->
     let to_arm, unknown = parse_spec spec in
-    List.iter (fun (name, probability) -> arm ~probability name) to_arm;
+    List.iter (fun (name, schedule) -> set_schedule name schedule) to_arm;
     List.iter warn_unknown unknown

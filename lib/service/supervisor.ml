@@ -12,6 +12,10 @@ type retry_policy = {
 let default_retry =
   { max_retries = 4; backoff_ms = 1.0; backoff_multiplier = 2.0; backoff_cap_ms = 50.0 }
 
+type watchdog_policy = { poll_ms : int; grace_ms : int; stuck_ms : int }
+
+let default_watchdog = { poll_ms = 20; grace_ms = 100; stuck_ms = 10_000 }
+
 type outcome = Done of string | Degraded of string | Failed of Error.t
 
 type reply = { lineno : int; input : string; outcome : outcome; attempts : int }
@@ -35,6 +39,7 @@ type stats = {
   internal_failures : int;
   crashes : int;
   respawns : int;
+  wedges : int;
   breaker_state : string;
   breaker_trips : int;
   max_in_flight : int;
@@ -77,6 +82,13 @@ let m_respawns =
     ~help:"Worker domains automatically respawned after a crash."
     "bdprint_service_worker_respawns_total"
 
+let m_wedges =
+  Telemetry.Metrics.counter
+    ~help:"Live-but-wedged workers detected by the watchdog: the stuck \
+           request was answered with a structured timeout and the worker \
+           abandoned and replaced."
+    "bdprint_service_worker_wedges_total"
+
 let worker_counter name help i =
   Telemetry.Metrics.counter
     ~labels:[ ("worker", string_of_int i) ]
@@ -108,6 +120,19 @@ type job = {
   deadline : Budget.deadline option;
 }
 
+(* Heartbeat slot for one dequeued request: registered when a worker
+   takes the job, removed when its reply is posted.  The watchdog scans
+   these; marking [cancelled] means the watchdog has already answered
+   the request and replaced the worker, so the wedged worker's eventual
+   reply must be dropped and the worker must exit instead of looping. *)
+type running = {
+  r_job : job;
+  r_worker : int;
+  r_started : float;
+  mutable r_cancelled : bool;
+}
+[@@lint.guarded_by "m"]
+
 type t = {
   jobs : int;
   capacity : int;
@@ -135,12 +160,16 @@ type t = {
   mutable fail_internal : int;
   mutable crashes_n : int;
   mutable respawns_n : int;
+  mutable wedges_n : int;
+  running : (int, running) Hashtbl.t;  (** seq -> heartbeat slot *)
+  wd_stop : bool Atomic.t;
   w_processed : int array;
   w_retried : int array;
   w_degraded : int array;
   w_metrics : worker_metrics array;
   mutable workers : unit Domain.t list;
   mutable collector : unit Domain.t option;
+  mutable wd_domain : unit Domain.t option;
 }
 [@@lint.guarded_by "m"]
 
@@ -233,10 +262,26 @@ let process t (job : job) =
     in
     attempt 0 t.retry.backoff_ms
 
-let post t ~worker (job : job) reply =
+let register_running t ~worker (job : job) =
+  Mutex.lock t.m;
+  Hashtbl.replace t.running job.seq
+    {
+      r_job = job;
+      r_worker = worker;
+      r_started = Unix.gettimeofday ();
+      r_cancelled = false;
+    };
+  Mutex.unlock t.m
+
+(* Delivers a worker's reply — unless the watchdog already cancelled the
+   request (answered it and replaced the worker), in which case the late
+   reply is dropped and [post] returns [false]: the abandoned worker
+   must exit instead of looping, since its replacement is already
+   running. *)
+(* Reply accounting; called with [t.m] held. *)
+let deliver_locked t ~worker (job : job) reply =
   let wm = t.w_metrics.(worker) in
   Telemetry.Metrics.incr wm.mw_processed;
-  Mutex.lock t.m;
   Hashtbl.replace t.buffer job.seq reply;
   t.w_processed.(worker) <- t.w_processed.(worker) + 1;
   (match reply.outcome with
@@ -260,40 +305,80 @@ let post t ~worker (job : job) reply =
     Telemetry.Metrics.incr wm.mw_retried;
     Telemetry.Metrics.add m_retries (reply.attempts - 1)
   end;
-  Condition.broadcast t.c_result;
-  Mutex.unlock t.m
+  Condition.broadcast t.c_result
+
+(* Delivers a worker's reply — unless the watchdog already cancelled the
+   request (answered it with a structured timeout and replaced the
+   worker), in which case the late reply is dropped and [post] returns
+   [false]: the abandoned worker must exit instead of looping, since its
+   replacement is already running. *)
+let post t ~worker (job : job) reply =
+  Mutex.lock t.m;
+  let cancelled =
+    match Hashtbl.find_opt t.running job.seq with
+    | Some r when r.r_cancelled -> true
+    | _ -> false
+  in
+  Hashtbl.remove t.running job.seq;
+  if not cancelled then deliver_locked t ~worker job reply;
+  Mutex.unlock t.m;
+  not cancelled
+
+(* The injected live-but-wedged worker (service.worker-wedge): holds the
+   dequeued request without progressing for far longer than any test
+   deadline, but in bounded slices so shutdown can always join the
+   domain.  The watchdog — not this sleep ending — is what answers the
+   request. *)
+let wedge_point = "service.worker-wedge"
+
+let wedge_stall () =
+  for _ = 1 to 40 do
+    Unix.sleepf 0.01
+  done
 
 let rec worker_loop t ~worker =
   match Bqueue.take t.queue with
   | None -> ()
   | Some job ->
-    (try
-       if Faults.fires kill_point then raise Worker_killed;
-       let outcome, attempts = process t job in
-       post t ~worker job
-         { lineno = job.job_lineno; input = job.job_input; outcome; attempts }
-     with exn ->
-       (* Worker crash with a request in hand.  Losing the reply would
-          deadlock the collector (it waits for this seq), so the dying
-          worker answers the job through the breaker-backed degraded
-          channel, records the failure against the breaker, and only
-          then lets the exception continue killing the domain — the
-          spawn wrapper below respawns a replacement. *)
-       Breaker.record_failure t.breaker;
-       let outcome = crash_fallback t job.job_input in
-       post t ~worker job
-         {
-           lineno = job.job_lineno;
-           input = job.job_input;
-           outcome;
-           attempts = 0;
-         };
-       Mutex.lock t.m;
-       t.crashes_n <- t.crashes_n + 1;
-       Mutex.unlock t.m;
-       Telemetry.Metrics.incr m_crashes;
-       (raise exn) [@lint.can_raise Worker_killed]);
-    worker_loop t ~worker
+    register_running t ~worker job;
+    let continue =
+      try
+        if Faults.fires kill_point then raise Worker_killed;
+        if Faults.fires wedge_point then wedge_stall ();
+        let outcome, attempts = process t job in
+        post t ~worker job
+          { lineno = job.job_lineno; input = job.job_input; outcome; attempts }
+      with exn ->
+        (* Worker crash with a request in hand.  Losing the reply would
+           deadlock the collector (it waits for this seq), so the dying
+           worker answers the job through the breaker-backed degraded
+           channel, records the failure against the breaker, and only
+           then lets the exception continue killing the domain — the
+           spawn wrapper below respawns a replacement.  If the watchdog
+           cancelled the request first, the reply is already delivered
+           and a replacement already running: die quietly instead, or
+           the pool would grow by one domain per wedge-then-crash. *)
+        Breaker.record_failure t.breaker;
+        let outcome = crash_fallback t job.job_input in
+        let delivered =
+          post t ~worker job
+            {
+              lineno = job.job_lineno;
+              input = job.job_input;
+              outcome;
+              attempts = 0;
+            }
+        in
+        if delivered then begin
+          Mutex.lock t.m;
+          t.crashes_n <- t.crashes_n + 1;
+          Mutex.unlock t.m;
+          Telemetry.Metrics.incr m_crashes;
+          (raise exn) [@lint.can_raise Worker_killed]
+        end;
+        false
+    in
+    if continue then worker_loop t ~worker
 
 (* Each worker domain runs under this wrapper: an escaping exception is
    a domain death, and the dying domain's last act is to spawn and
@@ -308,6 +393,66 @@ let rec worker_body t ~worker () =
     t.workers <- d :: t.workers;
     Mutex.unlock t.m;
     Telemetry.Metrics.incr m_respawns
+
+(* {2 Watchdog} *)
+
+(* A request is wedged when its worker is still alive (the crash path
+   would have answered it) yet it has been held past its deadline plus
+   [grace_ms] — or past [stuck_ms] when it carries no deadline.  OCaml
+   domains cannot be killed, so "cancel" means: answer the request with
+   a structured timeout, mark the slot so the worker's eventual late
+   reply is dropped and the worker exits on wake, and spawn a
+   replacement so the pool never shrinks. *)
+let wedged now (p : watchdog_policy) (r : running) =
+  (not r.r_cancelled)
+  &&
+  match r.r_job.deadline with
+  | Some d -> now > d.Budget.expires_at +. (float p.grace_ms /. 1000.)
+  | None -> now -. r.r_started > float p.stuck_ms /. 1000.
+
+let wedge_error (r : running) =
+  match r.r_job.deadline with
+  | Some d -> Budget.deadline_error d
+  | None ->
+    Error.internal ~where:"service.watchdog"
+      "request abandoned: worker wedged past the stuck threshold"
+
+let rec watchdog_loop t (p : watchdog_policy) =
+  if not (Atomic.get t.wd_stop) then begin
+    let now = Unix.gettimeofday () in
+    Mutex.lock t.m;
+    let victims =
+      Hashtbl.fold
+        (fun _ r acc -> if wedged now p r then r :: acc else acc)
+        t.running []
+    in
+    List.iter
+      (fun r ->
+        r.r_cancelled <- true;
+        t.wedges_n <- t.wedges_n + 1;
+        Telemetry.Metrics.incr m_wedges;
+        deliver_locked t ~worker:r.r_worker r.r_job
+          {
+            lineno = r.r_job.job_lineno;
+            input = r.r_job.job_input;
+            outcome = Failed (wedge_error r);
+            attempts = 0;
+          })
+      victims;
+    Mutex.unlock t.m;
+    (* replacements outside the lock: Domain.spawn is heavyweight *)
+    List.iter
+      (fun r ->
+        let d = Domain.spawn (worker_body t ~worker:r.r_worker) in
+        Mutex.lock t.m;
+        t.respawns_n <- t.respawns_n + 1;
+        t.workers <- d :: t.workers;
+        Mutex.unlock t.m;
+        Telemetry.Metrics.incr m_respawns)
+      victims;
+    Unix.sleepf (float p.poll_ms /. 1000.);
+    watchdog_loop t p
+  end
 
 (* Single collector: emits replies in submission order (the reorder
    point) and returns each request's backpressure slot afterwards, so
@@ -338,7 +483,7 @@ let rec collector_loop t =
     collector_loop t
 
 let start ?(jobs = 2) ?(queue_capacity = 64) ?(retry = default_retry)
-    ?(breaker = Breaker.default_policy) ?fallback ~emit convert =
+    ?(breaker = Breaker.default_policy) ?watchdog ?fallback ~emit convert =
   (* documented preconditions: misconfiguration is a programming error,
      not a per-request failure, so it raises rather than returns *)
   (if jobs < 1 then invalid_arg "Supervisor.start: jobs < 1")
@@ -375,17 +520,25 @@ let start ?(jobs = 2) ?(queue_capacity = 64) ?(retry = default_retry)
       fail_internal = 0;
       crashes_n = 0;
       respawns_n = 0;
+      wedges_n = 0;
+      running = Hashtbl.create 32;
+      wd_stop = Atomic.make false;
       w_processed = Array.make jobs 0;
       w_retried = Array.make jobs 0;
       w_degraded = Array.make jobs 0;
       w_metrics = Array.init jobs worker_metrics;
       workers = [];
       collector = None;
+      wd_domain = None;
     }
   in
   t.workers <-
     List.init jobs (fun i -> Domain.spawn (worker_body t ~worker:i));
   t.collector <- Some (Domain.spawn (fun () -> collector_loop t));
+  (match watchdog with
+  | Some p when p.poll_ms >= 1 ->
+    t.wd_domain <- Some (Domain.spawn (fun () -> watchdog_loop t p))
+  | _ -> ());
   t
 
 let submit t ?deadline_ms ~lineno input =
@@ -427,6 +580,7 @@ let stats t =
       internal_failures = t.fail_internal;
       crashes = t.crashes_n;
       respawns = t.respawns_n;
+      wedges = t.wedges_n;
       breaker_state = Breaker.state_name t.breaker;
       breaker_trips = Breaker.trips t.breaker;
       max_in_flight = t.max_in_flight;
@@ -451,6 +605,11 @@ let shutdown t =
   t.closed <- true;
   Mutex.unlock t.m;
   if not already then begin
+    (* stop the watchdog first: a cancellation after the generation-join
+       below would spawn a replacement no one joins *)
+    Atomic.set t.wd_stop true;
+    Option.iter Domain.join t.wd_domain;
+    t.wd_domain <- None;
     Bqueue.close t.queue;
     (* Workers can crash and respawn while draining, so join by
        generations until no unjoined domain remains: a dying domain
@@ -485,10 +644,11 @@ let pp_stats ppf (s : stats) =
     "stats: submitted=%d completed=%d ok=%d degraded=%d retries=%d@\n\
      stats: errors: syntax=%d range=%d budget=%d internal=%d@\n\
      stats: jobs=%d queue-capacity=%d max-in-flight=%d breaker=%s trips=%d \
-     crashes=%d respawns=%d"
+     crashes=%d respawns=%d wedges=%d"
     s.submitted s.completed s.succeeded s.degraded s.retries s.syntax_failures
     s.range_failures s.budget_failures s.internal_failures s.jobs s.capacity
-    s.max_in_flight s.breaker_state s.breaker_trips s.crashes s.respawns;
+    s.max_in_flight s.breaker_state s.breaker_trips s.crashes s.respawns
+    s.wedges;
   Array.iter
     (fun w ->
       Format.fprintf ppf "@\nstats: worker[%d] processed=%d retried=%d degraded=%d"

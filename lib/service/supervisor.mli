@@ -28,6 +28,16 @@
        records the failure against the breaker, and spawns its own
        replacement — so a crash costs one degraded reply, never a lost
        request or a shrinking pool.}
+    {- {e Wedge detection (watchdog)}: with a {!watchdog_policy}, a
+       monitor domain heartbeats every dequeued request.  A request held
+       past its deadline plus [grace_ms] (or past [stuck_ms] without a
+       deadline) on a live-but-wedged worker — the
+       [service.worker-wedge] fault point injects one — is {e cancelled}:
+       answered immediately with a structured timeout, its worker
+       abandoned (OCaml domains cannot be killed; the worker's late
+       reply is dropped and the worker exits when it finally wakes) and
+       a replacement spawned, so a wedge costs one timed-out reply and
+       one domain spawn, never a stuck connection or a shrinking pool.}
     {- {e Graceful shutdown}: {!shutdown} drains the queue — every
        submitted request is emitted exactly once — then joins all
        domains and reports final statistics.}} *)
@@ -41,6 +51,19 @@ type retry_policy = {
 
 val default_retry : retry_policy
 (** 4 retries, 1 ms initial backoff, doubling, capped at 50 ms. *)
+
+type watchdog_policy = {
+  poll_ms : int;  (** scan interval of the monitor domain *)
+  grace_ms : int;
+      (** slack past a request's deadline before its worker is declared
+          wedged — covers the cooperative check-site latency of a
+          healthy worker *)
+  stuck_ms : int;
+      (** wedge threshold for requests carrying no deadline *)
+}
+
+val default_watchdog : watchdog_policy
+(** 20 ms poll, 100 ms grace, 10 s stuck threshold. *)
 
 type outcome =
   | Done of string  (** converted by the real pipeline *)
@@ -78,7 +101,12 @@ type stats = {
           loop, e.g. an injected [service.worker-kill] fault); each
           crash's in-flight request is answered through the degraded
           fallback channel rather than lost *)
-  respawns : int;  (** replacement worker domains spawned after crashes *)
+  respawns : int;
+      (** replacement worker domains spawned after crashes or wedges *)
+  wedges : int;
+      (** live-but-wedged workers the watchdog cancelled: the stuck
+          request was answered with a structured timeout and the worker
+          abandoned and replaced *)
   breaker_state : string;
   breaker_trips : int;
   max_in_flight : int;  (** high-water mark of submitted-not-yet-emitted *)
@@ -94,12 +122,14 @@ val start :
   ?queue_capacity:int ->
   ?retry:retry_policy ->
   ?breaker:Breaker.policy ->
+  ?watchdog:watchdog_policy ->
   ?fallback:(string -> (string, Robust.Error.t) result) ->
   emit:(reply -> unit) ->
   (string -> (string, Robust.Error.t) result) ->
   t
 (** [start ~emit convert] spawns [jobs] worker domains (default 2) and
-    one collector domain.  [convert] runs on worker domains — it must be
+    one collector domain.  [watchdog] (default: none) additionally
+    spawns the wedge-detection monitor domain.  [convert] runs on worker domains — it must be
     safe to call concurrently — and is re-guarded with
     {!Robust.Error.catch}, so even an exception-throwing convert cannot
     kill a worker.  [emit] receives every reply in submission order on

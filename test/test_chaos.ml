@@ -72,6 +72,10 @@ let run_chaos () =
   (* 2. arm everything at 1% and stream through the parallel service *)
   Faults.reset_trip_counts ();
   List.iter (fun p -> Faults.arm ~probability:0.01 p) Faults.pipeline_points;
+  (* any failure below reproduces with this exact seed and schedule *)
+  Printf.printf
+    "chaos: reproduce with BDPRINT_FAULTS_SEED=%d BDPRINT_FAULTS=%S\n%!"
+    Faults.seed (Faults.spec_string ());
 
   let replies = ref [] in
   let svc =

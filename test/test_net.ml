@@ -61,7 +61,14 @@ let test_wire_replies () =
     (round (Wire.Failed { cls = "syntax"; detail = "bad" })
     = Wire.Failed { cls = "syntax"; detail = "bad" });
   Alcotest.(check bool) "shed" true
-    (round (Wire.Shed "queue-full") = Wire.Shed "queue-full");
+    (round (Wire.Shed { reason = "queue-full"; retry_after_ms = None })
+    = Wire.Shed { reason = "queue-full"; retry_after_ms = None });
+  Alcotest.(check bool) "shed retry-after" true
+    (round (Wire.Shed { reason = "overload"; retry_after_ms = Some 40 })
+    = Wire.Shed { reason = "overload"; retry_after_ms = Some 40 });
+  Alcotest.(check string) "shed rendering" "SHED overload retry-after-ms=40\n"
+    (Wire.render_reply
+       (Wire.Shed { reason = "overload"; retry_after_ms = Some 40 }));
   Alcotest.(check bool) "end" true
     (round (Wire.Batch_end { ok = 3; failed = 1; shed = 2 })
     = Wire.Batch_end { ok = 3; failed = 1; shed = 2 });
@@ -121,6 +128,61 @@ let test_memo_concurrent () =
     | Some v -> Alcotest.(check string) "value intact" k v
     | None -> ()
   done
+
+(* Invariants under 8-domain contention: the per-shard bound must hold
+   at every moment (sampled live by a prowler domain while writers
+   hammer the cache), and once writers are quiescent the counters must
+   reconcile exactly: finds = hits + misses, adds = insertions +
+   replacements, insertions = entries + evictions. *)
+let test_memo_invariants_concurrent () =
+  let m = Memo.create ~shards:4 ~capacity:32 () in
+  let cap = Memo.per_shard_capacity m in
+  let writers = 8 in
+  let per_writer = 25_000 in
+  let finds = Atomic.make 0 in
+  let adds = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let overflow_seen = Atomic.make 0 in
+  let prowler =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          Array.iter
+            (fun n -> if n > cap then Atomic.incr overflow_seen)
+            (Memo.shard_entries m)
+        done)
+  in
+  let worker seed () =
+    let st = Random.State.make [| seed; 0xca5e |] in
+    for _ = 1 to per_writer do
+      (* mixed workload: ~half repeats (hits + replacements), ~half a
+         wide keyspace (misses + insertions + evictions) *)
+      let k = string_of_int (Random.State.int st 2_000) in
+      Atomic.incr finds;
+      match Memo.find m k with
+      | Some _ ->
+        if Random.State.bool st then begin
+          Atomic.incr adds;
+          Memo.add m k (k ^ "'")
+        end
+      | None ->
+        Atomic.incr adds;
+        Memo.add m k k
+    done
+  in
+  let ds = List.init writers (fun i -> Domain.spawn (worker i)) in
+  List.iter Domain.join ds;
+  Atomic.set stop true;
+  Domain.join prowler;
+  Alcotest.(check int) "per-shard bound held at every sample" 0
+    (Atomic.get overflow_seen);
+  let s = Memo.stats m in
+  Alcotest.(check int) "finds reconcile" (Atomic.get finds)
+    (s.Memo.hits + s.Memo.misses);
+  Alcotest.(check int) "adds reconcile" (Atomic.get adds)
+    (s.Memo.insertions + s.Memo.replacements);
+  Alcotest.(check int) "insertions reconcile" s.Memo.insertions
+    (s.Memo.entries + s.Memo.evictions);
+  Alcotest.(check int) "full at quiescence" (4 * cap) s.Memo.entries
 
 (* {2 Server client harness} *)
 
@@ -292,6 +354,121 @@ let test_server_proto_resync () =
       let s = Server.stats server in
       Alcotest.(check int) "proto errors" 2 s.Server.proto_errors)
 
+(* Regression (stream resync with pipelined requests): buffered
+   requests sitting behind a malformed frame must each get their own
+   reply, one-for-one and in order — the ERR proto answer must not eat,
+   duplicate or reorder the replies of the requests queued after it. *)
+let test_server_pipelined_proto_resync () =
+  with_server (fun server port ->
+      let c = connect port in
+      (* one write, five frames: good, bad verb, good, bad again, good *)
+      send c "CONV 0.1\nFROB 1\nCONV 0.5\nGARBAGE ###\nCONV 1.5\nPING\n";
+      Alcotest.(check bool) "r1" true (recv_reply c = Wire.Converted "0.1");
+      (match recv_reply c with
+      | Wire.Failed { cls = "proto"; _ } -> ()
+      | r -> Alcotest.failf "expected proto error, got %s" (Wire.render_reply r));
+      Alcotest.(check bool) "r3" true (recv_reply c = Wire.Converted "0.5");
+      (match recv_reply c with
+      | Wire.Failed { cls = "proto"; _ } -> ()
+      | r -> Alcotest.failf "expected proto error, got %s" (Wire.render_reply r));
+      Alcotest.(check bool) "r5" true (recv_reply c = Wire.Converted "1.5");
+      Alcotest.(check bool) "r6" true (recv_reply c = Wire.Pong);
+      (* nothing further is buffered: a fresh request gets exactly one
+         fresh reply *)
+      send c "CONV 2.5\n";
+      Alcotest.(check bool) "r7" true (recv_reply c = Wire.Converted "2.5");
+      close c;
+      let s = Server.stats server in
+      Alcotest.(check int) "both proto errors counted" 2 s.Server.proto_errors)
+
+(* Adaptive admission: with a known-slow service and a deadline shorter
+   than the projected queue wait, the daemon refuses up front with
+   [SHED overload] and a retry-after hint instead of converting a reply
+   that would arrive dead. *)
+let test_server_overload_shed () =
+  let slow input =
+    Unix.sleepf 0.1;
+    convert_real input
+  in
+  let config =
+    {
+      Server.default_config with
+      Server.jobs = 1;
+      admission_capacity = 64;
+      cache_capacity = 0;
+    }
+  in
+  with_server ~config ~convert:slow (fun server port ->
+      let a = connect port in
+      (* warm the service-time EWMA with one completed conversion *)
+      send a "CONV 0.1\n";
+      Alcotest.(check bool) "warmup" true (recv_reply a = Wire.Converted "0.1");
+      (* occupy the only worker... *)
+      send a "CONV 0.5\n";
+      Thread.delay 0.02;
+      (* ...then ask for a 30 ms answer while ~100 ms of work is queued *)
+      let b = connect port in
+      send b "DEADLINE 30\nCONV 1.5\n";
+      Alcotest.(check bool) "ack" true (recv_reply b = Wire.Converted "deadline=30");
+      (match recv_reply b with
+      | Wire.Shed { reason = "overload"; retry_after_ms = Some ms } ->
+        Alcotest.(check bool) "positive hint" true (ms >= 1)
+      | r -> Alcotest.failf "expected SHED overload, got %s" (Wire.render_reply r));
+      Alcotest.(check bool) "queued conv fine" true
+        (recv_reply a = Wire.Converted "0.5");
+      close a;
+      close b;
+      let s = Server.stats server in
+      Alcotest.(check bool) "overload shed counted" true
+        (s.Server.shed_overload >= 1))
+
+(* Watchdog: a wedged worker (alive but stalled far past the request's
+   deadline) must not capture its request forever — the watchdog answers
+   with a structured budget timeout, replaces the worker, and the next
+   request converts normally. *)
+let test_server_worker_wedge () =
+  Faults.reset_call_counts ();
+  Faults.arm_at ~call:1 "service.worker-wedge";
+  Fun.protect
+    ~finally:(fun () ->
+      Faults.disarm_all ();
+      Faults.reset_call_counts ())
+  @@ fun () ->
+  let config =
+    {
+      Server.default_config with
+      Server.jobs = 1;
+      cache_capacity = 0;
+      watchdog =
+        Some
+          {
+            Service.Supervisor.poll_ms = 10;
+            grace_ms = 50;
+            stuck_ms = 10_000;
+          };
+    }
+  in
+  with_server ~config (fun server port ->
+      let c = connect port in
+      send c "DEADLINE 100\nCONV 0.1\n";
+      Alcotest.(check bool) "ack" true
+        (recv_reply c = Wire.Converted "deadline=100");
+      (match recv_reply c with
+      | Wire.Failed { cls = "budget"; _ } -> ()
+      | r ->
+        Alcotest.failf "expected budget timeout from the watchdog, got %s"
+          (Wire.render_reply r));
+      (* the wedged worker was replaced: the stream keeps working *)
+      send c "DEADLINE 0\nCONV 0.5\n";
+      Alcotest.(check bool) "clear ack" true
+        (recv_reply c = Wire.Converted "deadline=0");
+      Alcotest.(check bool) "replacement converts" true
+        (recv_reply c = Wire.Converted "0.5");
+      close c;
+      let s = Server.stats server in
+      Alcotest.(check bool) "wedge detected" true
+        (s.Server.supervisor.Service.Supervisor.wedges >= 1))
+
 let test_server_shedding () =
   (* one worker, one admission slot, slow conversions: concurrent
      clients must get explicit SHED queue-full replies, never silence *)
@@ -325,7 +502,11 @@ let test_server_shedding () =
       Array.iter
         (function
           | Wire.Converted "0.125" -> incr ok
-          | Wire.Shed "queue-full" -> incr shed
+          | Wire.Shed { reason = "queue-full"; retry_after_ms } ->
+            (* the shed must carry a machine-readable retry hint *)
+            Alcotest.(check bool) "retry-after present" true
+              (match retry_after_ms with Some ms -> ms >= 1 | None -> false);
+            incr shed
           | r -> Alcotest.failf "unexpected reply %s" (Wire.render_reply r))
         replies;
       Alcotest.(check int) "every request answered" n (!ok + !shed);
@@ -381,7 +562,7 @@ let test_server_drain_loses_nothing () =
       Alcotest.(check int) "server answered every admitted request"
         (final.Server.replies_ok + final.Server.replies_degraded
        + final.Server.replies_failed + final.Server.shed_queue_full
-        + final.Server.shed_draining)
+        + final.Server.shed_overload + final.Server.shed_draining)
         final.Server.requests;
       (* the client-observed gap (sent but unanswered) is only ever the
          last in-flight request of each connection, cut by EOF *)
@@ -397,6 +578,9 @@ let test_server_chaos () =
   Faults.arm ~probability:0.01 "service.worker-kill";
   Faults.arm ~probability:0.01 "net.slow-client";
   Faults.arm ~probability:0.02 "net.partial-write";
+  (* any failure below reproduces with this line's seed + schedule *)
+  Printf.printf "chaos: reproduce with BDPRINT_FAULTS_SEED=%d BDPRINT_FAULTS=%S\n%!"
+    Faults.seed (Faults.spec_string ());
   Fun.protect ~finally:Faults.disarm_all @@ fun () ->
   let config =
     {
@@ -411,7 +595,7 @@ let test_server_chaos () =
          pipeline; expected outputs are computed fault-free in this
          thread (the armed points only fire in workers / write paths) *)
       let hot = [| "0"; "1"; "0.5"; "0.1"; "1e23"; "-2.5" |] in
-      let st = Random.State.make [| 0xbdc0de; requests |] in
+      let st = Random.State.make [| Faults.seed; 0xbdc0de; requests |] in
       let fresh_input () =
         if Random.State.int st 4 = 0 then hot.(Random.State.int st 6)
         else
@@ -531,12 +715,18 @@ let () =
         [
           Alcotest.test_case "basic" `Quick test_memo_basic;
           Alcotest.test_case "concurrent" `Quick test_memo_concurrent;
+          Alcotest.test_case "invariants-8-domains" `Quick
+            test_memo_invariants_concurrent;
         ] );
       ( "server",
         [
           Alcotest.test_case "verbs" `Quick test_server_verbs;
           Alcotest.test_case "proto-resync" `Quick test_server_proto_resync;
+          Alcotest.test_case "pipelined-proto-resync" `Quick
+            test_server_pipelined_proto_resync;
           Alcotest.test_case "shedding" `Quick test_server_shedding;
+          Alcotest.test_case "overload-shed" `Quick test_server_overload_shed;
+          Alcotest.test_case "worker-wedge" `Quick test_server_worker_wedge;
           Alcotest.test_case "deadline" `Quick test_server_deadline;
           Alcotest.test_case "drain-loses-nothing" `Quick
             test_server_drain_loses_nothing;

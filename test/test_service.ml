@@ -43,25 +43,79 @@ let fast_retry =
 (* ------------------------------------------------------------------ *)
 (* Faults: spec parsing, warning list, counters, probabilistic arming *)
 
+let schedule_t : Faults.schedule Alcotest.testable =
+  Alcotest.testable
+    (fun ppf -> function
+      | Faults.Probability p -> Format.fprintf ppf "Probability %g" p
+      | Faults.At_call k -> Format.fprintf ppf "At_call %d" k)
+    (fun a b ->
+      match (a, b) with
+      | Faults.Probability x, Faults.Probability y -> Float.abs (x -. y) < 1e-9
+      | Faults.At_call x, Faults.At_call y -> x = y
+      | _ -> false)
+
 let test_parse_spec () =
   let check name spec armed bad =
     let a, b = Faults.parse_spec spec in
-    Alcotest.(check (list (pair string (float 1e-9)))) (name ^ " armed") armed a;
+    Alcotest.(check (list (pair string schedule_t))) (name ^ " armed") armed a;
     Alcotest.(check (list string)) (name ^ " rejected") bad b
   in
-  check "bare point" "nat.divmod" [ ("nat.divmod", 1.0) ] [];
-  check "probability" "nat.divmod:0.01" [ ("nat.divmod", 0.01) ] [];
+  let p x = Faults.Probability x in
+  check "bare point" "nat.divmod" [ ("nat.divmod", p 1.0) ] [];
+  check "probability" "nat.divmod:0.01" [ ("nat.divmod", p 0.01) ] [];
   check "mixed" "nat.divmod:0.5,scaling.scale"
-    [ ("nat.divmod", 0.5); ("scaling.scale", 1.0) ]
+    [ ("nat.divmod", p 0.5); ("scaling.scale", p 1.0) ]
     [];
   check "unknown point" "bogus" [] [ "bogus" ];
   check "unknown among known" "nat.pow,bogus,scaling.power"
-    [ ("nat.pow", 1.0); ("scaling.power", 1.0) ]
+    [ ("nat.pow", p 1.0); ("scaling.power", p 1.0) ]
     [ "bogus" ];
   check "malformed probability" "nat.pow:banana" [] [ "nat.pow:banana" ];
   check "probability out of range" "nat.pow:1.5" [] [ "nat.pow:1.5" ];
-  check "empty entries skipped" ", ,nat.divmod," [ ("nat.divmod", 1.0) ] [];
-  check "unknown with probability" "no.such:0.5" [] [ "no.such:0.5" ]
+  check "empty entries skipped" ", ,nat.divmod," [ ("nat.divmod", p 1.0) ] [];
+  check "unknown with probability" "no.such:0.5" [] [ "no.such:0.5" ];
+  (* replayable schedules: point@req=k *)
+  check "at-call schedule" "net.partial-write@req=500"
+    [ ("net.partial-write", Faults.At_call 500) ]
+    [];
+  check "at-call mixed" "nat.divmod:0.5,service.worker-kill@req=3"
+    [ ("nat.divmod", p 0.5); ("service.worker-kill", Faults.At_call 3) ]
+    [];
+  check "at-call zero rejected" "nat.divmod@req=0" [] [ "nat.divmod@req=0" ];
+  check "at-call malformed" "nat.divmod@req=x" [] [ "nat.divmod@req=x" ];
+  check "at-call bad keyword" "nat.divmod@call=3" [] [ "nat.divmod@call=3" ];
+  check "at-call unknown point" "no.such@req=2" [] [ "no.such@req=2" ]
+
+let test_at_call_schedule () =
+  Faults.disarm_all ();
+  Faults.reset_trip_counts ();
+  Faults.reset_call_counts ();
+  Faults.arm_at ~call:3 "net.malformed-frame";
+  Alcotest.(check (option schedule_t))
+    "schedule readable"
+    (Some (Faults.At_call 3))
+    (Faults.schedule_of "net.malformed-frame");
+  Alcotest.(check (option (float 1e-9)))
+    "no probability for scheduled point" None
+    (Faults.probability "net.malformed-frame");
+  Alcotest.(check string)
+    "spec round-trips" "net.malformed-frame@req=3" (Faults.spec_string ());
+  let fired = List.init 6 (fun _ -> Faults.fires "net.malformed-frame") in
+  Alcotest.(check (list bool))
+    "fires exactly on the 3rd consult"
+    [ false; false; true; false; false; false ]
+    fired;
+  Alcotest.(check int) "consults counted" 6
+    (Faults.call_count "net.malformed-frame");
+  Alcotest.(check int) "one trip" 1 (Faults.trip_count "net.malformed-frame");
+  (* resetting the consult counters replays the schedule exactly *)
+  Faults.reset_call_counts ();
+  let replay = List.init 3 (fun _ -> Faults.fires "net.malformed-frame") in
+  Alcotest.(check (list bool))
+    "replay after reset" [ false; false; true ] replay;
+  Faults.disarm_all ();
+  Faults.reset_trip_counts ();
+  Faults.reset_call_counts ()
 
 let test_trip_counters () =
   Faults.disarm_all ();
@@ -524,6 +578,7 @@ let () =
       ( "faults",
         [
           Alcotest.test_case "parse_spec" `Quick test_parse_spec;
+          Alcotest.test_case "at-call schedule" `Quick test_at_call_schedule;
           Alcotest.test_case "trip counters" `Quick test_trip_counters;
           Alcotest.test_case "probabilistic arming" `Quick
             test_probabilistic_arming;
