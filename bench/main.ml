@@ -920,31 +920,74 @@ let telemetry_bench ~size () =
         sink := !sink + Array.length r.Dragon.Free_format.digits)
       values
   in
+  (* the tracing pass mirrors what the CLI does per request: sample a
+     trace id (1-in-64 by default), run the conversion inside the
+     request span, close it *)
+  let traced_pass () =
+    Array.iter
+      (fun v ->
+        let tid = Telemetry.Tracing.begin_request () in
+        let r = Dragon.Free_format.convert b64 v in
+        sink := !sink + Array.length r.Dragon.Free_format.digits;
+        Telemetry.Tracing.end_request tid)
+      values
+  in
   pass () (* warm up; fills the power tables *);
-  let reps = 9 in
-  let t_off = Array.make reps 0. and t_on = Array.make reps 0. in
-  (* alternate enabled/disabled passes so clock drift and GC phase hit
-     both sides equally; compare medians, not means *)
+  let reps = 25 in
+  let t_off = Array.make reps 0.
+  and t_on = Array.make reps 0.
+  and t_trace = Array.make reps 0. in
+  (* alternate enabled/disabled/traced passes so clock drift and GC
+     phase hit all sides equally *)
   for i = 0 to reps - 1 do
     Telemetry.set_enabled false;
+    Telemetry.Tracing.set_enabled false;
     t_off.(i) <- snd (time_cpu pass);
     Telemetry.set_enabled true;
-    t_on.(i) <- snd (time_cpu pass)
+    t_on.(i) <- snd (time_cpu pass);
+    Telemetry.Tracing.set_enabled true;
+    Telemetry.Tracing.set_sample_every 64;
+    Telemetry.Tracing.clear ();
+    t_trace.(i) <- snd (time_cpu traced_pass);
+    Telemetry.Tracing.set_enabled false
   done;
   Telemetry.set_enabled false;
+  Telemetry.Tracing.clear ();
   let median a =
     let b = Array.copy a in
     Array.sort compare b;
-    b.(reps / 2)
+    b.(Array.length b / 2)
   in
-  let m_off = median t_off and m_on = median t_on in
+  let m_off = median t_off
+  and m_on = median t_on
+  and m_trace = median t_trace in
   let ns t = t /. float_of_int size *. 1e9 in
-  let overhead = (m_on -. m_off) /. m_off *. 100. in
+  (* overhead is the median of per-rep paired ratios: the three passes
+     of one rep are adjacent in time, so machine noise (frequency
+     scaling, neighbour load) hits the pair together and cancels in the
+     ratio, where a ratio of independent medians would keep it *)
+  let paired_overhead base t =
+    median (Array.init reps (fun i -> (t.(i) -. base.(i)) /. base.(i)))
+    *. 100.
+  in
+  let overhead = paired_overhead t_off t_on in
+  let overhead_trace = paired_overhead t_off t_trace in
+  (* what tracing itself costs: traced pass against the adjacent
+     metrics-enabled pass, so the budget judges the tracing layer and
+     not the (pre-existing) stage histograms under it *)
+  let marginal_trace = paired_overhead t_on t_trace in
   Printf.printf "  %-28s %10.3f s %10.1f ns/conversion\n"
     "telemetry disabled" m_off (ns m_off);
   Printf.printf "  %-28s %10.3f s %10.1f ns/conversion\n"
     "telemetry enabled" m_on (ns m_on);
-  Printf.printf "  overhead: %.2f%% (budget: <= 2%% median)\n" overhead;
+  Printf.printf "  %-28s %10.3f s %10.1f ns/conversion\n"
+    "+ tracing (1-in-64)" m_trace (ns m_trace);
+  Printf.printf
+    "  overhead vs disabled: metrics %.2f%%, metrics+tracing %.2f%%\n"
+    overhead overhead_trace;
+  Printf.printf
+    "  tracing marginal: %.2f%% over metrics alone (budget: <= 2%% median)\n"
+    marginal_trace;
   let oc = open_out "BENCH_telemetry.json" in
   Printf.fprintf oc
     "{\n\
@@ -952,11 +995,17 @@ let telemetry_bench ~size () =
     \  \"repetitions\": %d,\n\
     \  \"median_disabled_s\": %.6f,\n\
     \  \"median_enabled_s\": %.6f,\n\
+    \  \"median_traced_s\": %.6f,\n\
     \  \"ns_per_conversion_disabled\": %.1f,\n\
     \  \"ns_per_conversion_enabled\": %.1f,\n\
-    \  \"overhead_percent\": %.2f\n\
+    \  \"ns_per_conversion_traced\": %.1f,\n\
+    \  \"trace_sample_every\": 64,\n\
+    \  \"overhead_percent\": %.2f,\n\
+    \  \"overhead_traced_percent\": %.2f,\n\
+    \  \"tracing_marginal_percent\": %.2f\n\
      }\n"
-    size reps m_off m_on (ns m_off) (ns m_on) overhead;
+    size reps m_off m_on m_trace (ns m_off) (ns m_on) (ns m_trace) overhead
+    overhead_trace marginal_trace;
   close_out oc;
   Printf.printf "  wrote BENCH_telemetry.json\n"
 

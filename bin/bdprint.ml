@@ -216,6 +216,42 @@ let metrics_file =
            on exit, plus a Prometheus text rendering next to it ($(docv) \
            with its .json suffix replaced by .prom).")
 
+let trace_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Enable request tracing and write the sampled spans as Chrome \
+           trace-event JSON to $(docv) on exit, loadable in \
+           chrome://tracing or Perfetto (ui.perfetto.dev).  One request \
+           in 64 is traced; BDPRINT_TRACE_SAMPLE=N overrides the \
+           interval (1 traces every request).  Each traced request is \
+           its own thread track, so its spans — parse, scale, generate, \
+           render, and with $(b,--connect) or $(b,--jobs) the \
+           client-attempt, backoff, queue-wait and worker spans — nest \
+           by time containment.")
+
+(* Tracing rides the same at_exit flush discipline as --metrics: even a
+   stream cut short by SIGINT still leaves a loadable trace file. *)
+let install_trace = function
+  | None -> ()
+  | Some file ->
+    Telemetry.Tracing.set_enabled true;
+    (match Sys.getenv_opt "BDPRINT_TRACE_SAMPLE" with
+    | Some n -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 -> Telemetry.Tracing.set_sample_every n
+      | _ -> ())
+    | None -> ());
+    at_exit (fun () ->
+        try
+          let oc = open_out file in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> output_string oc (Telemetry.Tracing.to_chrome_json ()))
+        with Sys_error _ -> ())
+
 let is_hex_literal s =
   let s =
     if String.length s > 0 && (s.[0] = '-' || s.[0] = '+') then
@@ -430,7 +466,8 @@ let run_stream ~convert ~max_errors ~deadline_ms ~show_stats ~metrics_file =
        incr lineno;
        if String.trim line <> "" then begin
          Telemetry.Metrics.incr m_conversions;
-         match with_line_deadline deadline_ms convert (String.trim line) with
+         let tid = Telemetry.Tracing.begin_request () in
+         (match with_line_deadline deadline_ms convert (String.trim line) with
          | Ok out ->
            Telemetry.Metrics.incr m_ok;
            print_string out;
@@ -445,7 +482,8 @@ let run_stream ~convert ~max_errors ~deadline_ms ~show_stats ~metrics_file =
                "error: aborting after %d failed line(s) (--max-errors %d)\n%!"
                (total_errors counts) cap;
              aborted := true
-           | _ -> ())
+           | _ -> ()));
+         Telemetry.Tracing.end_request tid
        end
      done
    with
@@ -507,9 +545,13 @@ let run_stream_jobs ~convert ~jobs ~max_errors ~deadline_ms ~show_stats
      while (not (Atomic.get stop)) && not (Atomic.get interrupted) do
        let line = input_line stdin in
        incr lineno;
-       if String.trim line <> "" then
-         Supervisor.submit service ?deadline_ms ~lineno:!lineno
+       if String.trim line <> "" then begin
+         (* the worker that dequeues the job adopts this id, so the
+            sampling decision happens here on the submitting domain *)
+         let tid = Telemetry.Tracing.sample () in
+         Supervisor.submit service ?deadline_ms ~tid ~lineno:!lineno
            (String.trim line)
+       end
      done
    with
   | End_of_file -> ()
@@ -535,7 +577,16 @@ let connect_client ~local ~hedge_ms ~show_stats spec =
   in
   let config = { Client.default_config with Client.hedge_ms } in
   let client = Client.create ~config ~local addrs in
-  if show_stats then
+  (* The client-stats exit line is opt-in — --stats, or the
+     BDPRINT_CLIENT_STATS environment variable for wrapper scripts that
+     cannot reach the flag — so plumbing that parses stderr never meets
+     an unexpected trailer. *)
+  let stats_env =
+    match Sys.getenv_opt "BDPRINT_CLIENT_STATS" with
+    | None | Some "" | Some "0" -> false
+    | Some _ -> true
+  in
+  if show_stats || stats_env then
     at_exit (fun () ->
         let s = Client.stats client in
         Printf.eprintf
@@ -551,7 +602,7 @@ let connect_client ~local ~hedge_ms ~show_stats spec =
 
 let run base mode fmt strategy notation digits places hex_out use_stdin
     max_errors jobs show_stats deadline_ms metrics_file connect hedge_ms
-    numbers =
+    trace numbers =
   if base < 2 || base > 36 then
     `Error
       ( false,
@@ -569,8 +620,8 @@ let run base mode fmt strategy notation digits places hex_out use_stdin
     `Error (false, "--jobs requires --stdin")
   else if (not use_stdin) && deadline_ms <> None then
     `Error (false, "--deadline-ms requires --stdin")
-  else if (not use_stdin) && show_stats then
-    `Error (false, "--stats requires --stdin")
+  else if (not use_stdin) && show_stats && connect = None then
+    `Error (false, "--stats requires --stdin or --connect")
   else if (not use_stdin) && metrics_file <> None then
     `Error (false, "--metrics requires --stdin")
   else if connect = None && hedge_ms <> None then
@@ -584,6 +635,7 @@ let run base mode fmt strategy notation digits places hex_out use_stdin
     (* Flip the registry on before the service spawns workers so every
        domain observes the same switch state from its first conversion. *)
     if show_stats || metrics_file <> None then Telemetry.set_enabled true;
+    install_trace trace;
     let request =
       match (digits, places) with
       | Some _, Some _ -> Result.Error "use only one of --digits and --places"
@@ -687,7 +739,8 @@ let cmd =
         \  printf '0.1\\n1e23\\nbogus\\n' | bdprint --stdin --max-errors 5\n\
         \  bdprint --stdin --jobs 4 --stats < corpus.txt\n\
         \  bdprint --stdin --jobs 4 --metrics metrics.json < corpus.txt\n\
-        \  bdprint --stdin --deadline-ms 50 < corpus.txt";
+        \  bdprint --stdin --deadline-ms 50 < corpus.txt\n\
+        \  BDPRINT_TRACE_SAMPLE=1 bdprint --stdin --trace trace.json < corpus.txt";
     ]
   in
   Cmd.v
@@ -696,6 +749,7 @@ let cmd =
       ret
         (const run $ base $ mode $ fmt $ strategy $ notation $ digits $ places
        $ hex_out $ stdin_flag $ max_errors $ jobs_flag $ stats_flag
-       $ deadline_ms $ metrics_file $ connect_arg $ hedge_ms_arg $ numbers))
+       $ deadline_ms $ metrics_file $ connect_arg $ hedge_ms_arg $ trace_file
+       $ numbers))
 
 let () = exit (Cmd.eval cmd)

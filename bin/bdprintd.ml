@@ -128,6 +128,33 @@ let metrics_arg =
           "On exit, dump the telemetry registry as JSON to $(docv) and \
            Prometheus text to $(docv) with a .prom suffix.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Enable request tracing and write the sampled spans as Chrome \
+           trace-event JSON to $(docv) on drain (loadable in \
+           chrome://tracing or Perfetto).  One request in 64 is traced; \
+           BDPRINTD_TRACE_SAMPLE=N overrides the interval.  Clients that \
+           send a TID token tie their spans to the same trace; the TRACE \
+           protocol verb exports the live ring without waiting for \
+           drain.")
+
+let flight_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight" ] ~docv:"FILE"
+        ~doc:
+          "Enable the flight recorder: a fixed-size in-memory ring of \
+           structured events (admissions, sheds, fault trips, breaker \
+           transitions, worker service start/end).  When a worker \
+           crashes, wedges, or the breaker opens, the ring is appended \
+           to $(docv) as JSONL — a black-box dump identifying the \
+           poisoned request.")
+
 let prom_path json_path =
   if Filename.check_suffix json_path ".json" then
     Filename.chop_suffix json_path ".json" ^ ".prom"
@@ -167,7 +194,7 @@ let print_final_stats (s : Server.stats) =
     s.Server.supervisor.Service.Supervisor.breaker_trips
 
 let run listen jobs admission cache_size cache_shards deadline_ms stuck_ms
-    show_stats metrics_file =
+    show_stats metrics_file trace_file flight_file =
   if jobs < 1 then `Error (false, "--jobs must be at least 1")
   else if admission < 1 then `Error (false, "--admission must be at least 1")
   else if cache_size < 0 then `Error (false, "--cache-size must be >= 0")
@@ -176,6 +203,21 @@ let run listen jobs admission cache_size cache_shards deadline_ms stuck_ms
   else if stuck_ms < 0 then `Error (false, "--stuck-ms must be >= 0")
   else begin
     if show_stats || metrics_file <> None then Telemetry.set_enabled true;
+    (match trace_file with
+    | None -> ()
+    | Some _ ->
+      Telemetry.Tracing.set_enabled true;
+      (match Sys.getenv_opt "BDPRINTD_TRACE_SAMPLE" with
+      | Some n -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 -> Telemetry.Tracing.set_sample_every n
+        | _ -> ())
+      | None -> ()));
+    (match flight_file with
+    | None -> ()
+    | Some file ->
+      Telemetry.Flight.set_enabled true;
+      Telemetry.Flight.set_dump_path (Some file));
     let watchdog =
       if stuck_ms = 0 then None
       else
@@ -205,6 +247,15 @@ let run listen jobs admission cache_size cache_shards deadline_ms stuck_ms
       let final = Server.wait server in
       if show_stats then print_final_stats final;
       flush_metrics metrics_file;
+      (match trace_file with
+      | None -> ()
+      | Some file -> (
+        try
+          let oc = open_out file in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> output_string oc (Telemetry.Tracing.to_chrome_json ()))
+        with Sys_error _ -> ()));
       Printf.eprintf "bdprintd: drained cleanly\n%!";
       `Ok ()
   end
@@ -240,6 +291,6 @@ let cmd =
       ret
         (const run $ listen_arg $ jobs_arg $ admission_arg $ cache_arg
        $ cache_shards_arg $ deadline_arg $ stuck_ms_arg $ stats_arg
-       $ metrics_arg))
+       $ metrics_arg $ trace_arg $ flight_arg))
 
 let () = exit (Cmd.eval cmd)

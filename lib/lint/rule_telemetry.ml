@@ -12,6 +12,17 @@
    construction: [Trace.start] performs the enabled check itself and
    returns 0 when telemetry is off, which [finish] re-checks.
 
+   [Flight.record] is recording too: the call is internally gated, but
+   its [detail] argument is almost always a [Printf.sprintf] that
+   allocates before the gate is consulted, so hot-path sites must wrap
+   the whole call in [if Telemetry.Flight.enabled () then ...].
+
+   The family also checks span pairing: a top-level definition that
+   calls [Trace.start] without [Trace.finish] leaks an open span (the
+   stage histogram never observes it), and a [finish] without a [start]
+   observes a token from someone else's clock — both are flagged unless
+   the binding carries [@lint.always_on "reason"].
+
    Deliberately ungated sites — the reader tier counters that back the
    always-available [Reader.Fast.stats] contract — carry
    [@lint.always_on "reason"]. *)
@@ -20,11 +31,17 @@ open Ppxlib
 
 let rule = Finding.Telemetry_gate
 
-let recording = [ "incr"; "add"; "observe"; "set_gauge"; "max_gauge" ]
+let recording = [ "incr"; "add"; "observe"; "observe_ex"; "set_gauge"; "max_gauge" ]
 
-let is_recording_head path =
+let is_metrics_recording path =
   List.mem "Metrics" path
   && match Attrs.last path with Some l -> List.mem l recording | None -> false
+
+let is_flight_recording path =
+  List.mem "Flight" path && Attrs.last path = Some "record"
+
+let is_recording_head path =
+  is_metrics_recording path || is_flight_recording path
 
 (* Does this condition consult the enable gate?  Matches
    [Telemetry.Metrics.enabled ()], [Metrics.enabled ()],
@@ -52,6 +69,56 @@ let consults_enabled cond =
 let advice =
   "guard it with [if Telemetry.Metrics.enabled () then ...] or annotate \
    [@lint.always_on \"<reason>\"]"
+
+(* Span pairing, per top-level value binding.  Purely syntactic and
+   deliberately coarse: a definition that [start]s must also [finish]
+   (any stage, any count) and vice versa.  Helpers that intentionally
+   hold a token across definitions carry [@lint.always_on]. *)
+let count_spans expr =
+  let starts = ref 0 and finishes = ref 0 in
+  let scanner =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        (match e.pexp_desc with
+        | Pexp_apply (head, _) -> (
+          match Attrs.head_path head with
+          | Some path when List.mem "Trace" path -> (
+            match Attrs.last path with
+            | Some "start" -> incr starts
+            | Some "finish" -> incr finishes
+            | _ -> ())
+          | _ -> ())
+        | _ -> ());
+        super#expression e
+    end
+  in
+  scanner#expression expr;
+  (!starts, !finishes)
+
+let check_span_pairing (sink : Sink.t) str =
+  List.iter
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) ->
+        List.iter
+          (fun vb ->
+            let starts, finishes = count_spans vb.pvb_expr in
+            if (starts > 0) <> (finishes > 0) then
+              if Attrs.has Attrs.always_on vb.pvb_attributes then
+                sink.suppress rule
+              else
+                sink.report rule vb.pvb_loc
+                  (Printf.sprintf
+                     "unpaired span: %d Trace.start against %d Trace.finish \
+                      in this definition; a started span must be finished \
+                      (or the binding annotated [@lint.always_on \
+                      \"<reason>\"])"
+                     starts finishes))
+          vbs
+      | _ -> ())
+    str
 
 let check (sink : Sink.t) str =
   let gated = ref false in
@@ -104,4 +171,5 @@ let check (sink : Sink.t) str =
         else super#value_binding vb
     end
   in
-  visitor#structure str
+  visitor#structure str;
+  check_span_pairing sink str

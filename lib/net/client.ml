@@ -397,7 +397,7 @@ let probe t ep =
       (try
          send conn "HEALTHZ\n";
          match recv_reply conn with
-         | Wire.Ready -> Some conn
+         | Wire.Ready _ -> Some conn
          | _ ->
            close_fd conn.fd;
            None
@@ -496,7 +496,7 @@ let remaining_s deadline =
   | None -> infinity
   | Some (d : Budget.deadline) -> d.Budget.expires_at -. Unix.gettimeofday ()
 
-let attempt t ep ~deadline input =
+let attempt_once t ep ~deadline ~tid input =
   match take_conn t ep with
   | exception Transport msg -> R_transport msg
   | conn -> (
@@ -524,7 +524,7 @@ let attempt t ep ~deadline input =
       let needs_deadline = dl_ms <> conn.conn_deadline_ms in
       let frame =
         (if needs_deadline then Printf.sprintf "DEADLINE %d\n" dl_ms else "")
-        ^ "CONV " ^ input ^ "\n"
+        ^ Wire.render_conv ~tid input
       in
       send conn frame;
       conn.conn_deadline_ms <- dl_ms;
@@ -560,10 +560,33 @@ let attempt t ep ~deadline input =
         pool_conn t ep conn;
         reward t ep;
         R_shed retry_after_ms
-      | Wire.Pong | Wire.Ready | Wire.Draining | Wire.Batch_end _
+      | Wire.Pong | Wire.Ready _ | Wire.Draining _ | Wire.Batch_end _
       | Wire.Payload _ | Wire.Bye ->
         finish_transport "unexpected reply tag"
     with Transport msg -> finish_transport msg)
+
+(* A [Client_attempt] span brackets each network attempt.  The trace id
+   travels explicitly — never through Domain.DLS — because hedged
+   attempts run on a helper {e thread} of the same domain and would
+   otherwise clobber each other's ambient id. *)
+let attempt t ep ~deadline ~tid input =
+  if tid = 0 then attempt_once t ep ~deadline ~tid input
+  else begin
+    let t0 = Telemetry.Tracing.span_of tid in
+    let r = attempt_once t ep ~deadline ~tid input in
+    let note =
+      match r with
+      | R_ok { degraded = false; _ } -> "ok"
+      | R_ok { degraded = true; _ } -> "degraded"
+      | R_err _ -> "error"
+      | R_shed _ -> "shed"
+      | R_drain -> "drain"
+      | R_retryable _ -> "retryable"
+      | R_transport _ -> "transport"
+    in
+    Telemetry.Tracing.emit ~note ~tid Telemetry.Tracing.Client_attempt t0;
+    r
+  end
 
 (* {2 Hedging}
 
@@ -587,18 +610,18 @@ let hedge_read box =
 (* Returns the result paired with the endpoint that produced it, so the
    caller attributes the outcome (and any penalty) to the actual
    answerer rather than the primary pick. *)
-let attempt_maybe_hedged t ep ~deadline input =
+let attempt_maybe_hedged t ep ~deadline ~tid input =
   match t.cfg.hedge_ms with
-  | None -> (attempt t ep ~deadline input, ep)
+  | None -> (attempt t ep ~deadline ~tid input, ep)
   | Some h -> (
     match pick t ~avoid:(Some ep) with
-    | None -> (attempt t ep ~deadline input, ep)
+    | None -> (attempt t ep ~deadline ~tid input, ep)
     | Some ep2 -> (
       let box = { hm = Mutex.create (); hres = None } in
       let th =
         Thread.create
           (fun () ->
-            let r = attempt t ep ~deadline input in
+            let r = attempt t ep ~deadline ~tid input in
             Mutex.lock box.hm;
             box.hres <- Some r;
             Mutex.unlock box.hm)
@@ -624,7 +647,10 @@ let attempt_maybe_hedged t ep ~deadline input =
         t.s_hedges <- t.s_hedges + 1;
         bump m_hedges;
         Mutex.unlock t.m;
-        let r2 = attempt t ep2 ~deadline input in
+        (* the hedge span covers the secondary attempt from launch *)
+        let h0 = Telemetry.Tracing.span_of tid in
+        let r2 = attempt t ep2 ~deadline ~tid input in
+        Telemetry.Tracing.emit ~tid Telemetry.Tracing.Client_hedge h0;
         match (hedge_read box, r2) with
         | Some (R_ok _ as r1), _ ->
           (* primary finished while the hedge ran: prefer it (its
@@ -648,7 +674,14 @@ let attempt_maybe_hedged t ep ~deadline input =
 
 (* {2 The request loop} *)
 
-let jittered_backoff t ~attempt ~deadline =
+let traced_delay ~tid ?note s =
+  if s > 0. then begin
+    let t0 = Telemetry.Tracing.span_of tid in
+    Thread.delay s;
+    Telemetry.Tracing.emit ?note ~tid Telemetry.Tracing.Client_backoff t0
+  end
+
+let jittered_backoff t ~attempt ~deadline ~tid =
   let base =
     t.cfg.backoff_ms *. (t.cfg.backoff_multiplier ** float_of_int attempt)
   in
@@ -657,16 +690,16 @@ let jittered_backoff t ~attempt ~deadline =
   let jitter = 0.5 +. Random.State.float t.rng 1.0 in
   Mutex.unlock t.m;
   let s = Float.min (capped *. jitter /. 1000.) (remaining_s deadline) in
-  if s > 0. then Thread.delay s
+  traced_delay ~tid s
 
-let shed_wait t ~hint ~deadline =
+let shed_wait t ~hint ~deadline ~tid =
   let ms =
     match hint with
     | Some ms -> min ms t.cfg.max_shed_wait_ms
     | None -> int_of_float t.cfg.backoff_cap_ms
   in
   let s = Float.min (float ms /. 1000.) (remaining_s deadline) in
-  if s > 0. then Thread.delay s
+  traced_delay ~tid ~note:"shed" s
 
 let count_result t r =
   Mutex.lock t.m;
@@ -690,6 +723,14 @@ let convert t ?deadline_ms input =
     Result.Error (Error.internal ~where:"net.client" "client is closed")
   else begin
     let deadline = Option.map (fun ms -> Budget.deadline_after ~ms) deadline_ms in
+    (* Adopt the caller's ambient trace id (the CLI's per-line request
+       root) when present; otherwise make a fresh sampling decision, so
+       library users of [convert] still get traced requests. *)
+    let tid =
+      match Telemetry.Tracing.current () with
+      | 0 -> Telemetry.Tracing.sample ()
+      | ambient -> ambient
+    in
     let local_tier ~attempts last_err =
       match t.local with
       | Some f ->
@@ -721,7 +762,7 @@ let convert t ?deadline_ms input =
           match pick t ~avoid:None with
           | None -> local_tier ~attempts:n last_err
           | Some ep -> (
-            let result, won = attempt_maybe_hedged t ep ~deadline input in
+            let result, won = attempt_maybe_hedged t ep ~deadline ~tid input in
             match result with
             | R_ok { out; degraded } ->
               count_result t
@@ -738,7 +779,7 @@ let convert t ?deadline_ms input =
               t.s_sheds <- t.s_sheds + 1;
               bump m_sheds_honored;
               Mutex.unlock t.m;
-              shed_wait t ~hint ~deadline;
+              shed_wait t ~hint ~deadline ~tid;
               loop (n + 1)
                 (Some (Error.internal ~where:"net.client" "remote shed"))
             | R_drain ->
@@ -746,11 +787,11 @@ let convert t ?deadline_ms input =
               (* immediate failover: the endpoint told us it is dying *)
               loop (n + 1) last_err
             | R_retryable e ->
-              jittered_backoff t ~attempt:n ~deadline;
+              jittered_backoff t ~attempt:n ~deadline ~tid;
               loop (n + 1) (Some e)
             | R_transport msg ->
               penalize t won;
-              jittered_backoff t ~attempt:n ~deadline;
+              jittered_backoff t ~attempt:n ~deadline ~tid;
               loop (n + 1)
                 (Some (Error.internal ~where:"net.client" msg)))
         end

@@ -93,6 +93,7 @@ type t = {
   tcp_port : int option;
   sup : Supervisor.t;
   memo : Memo.t option;
+  started : float;  (** wall-clock start time, for uptime reporting *)
   stop : bool Atomic.t;  (** drain request flag; async-signal-safe *)
   mutable accept_thread : Thread.t option;
       (** set once before [start] returns, read only by [wait] *)
@@ -102,11 +103,13 @@ type t = {
   "accept_thread is written once before the value escapes start; final_sup \
    is written and read under core.m"]
 
+(* Daemon protocol/build version, reported in HEALTHZ and STATS. *)
+let version = "1.0.0"
+
 let m_latency =
   Telemetry.Metrics.histogram
     ~help:"Conversion request latency in microseconds, admission to reply."
-    ~bounds:
-      [| 50; 100; 250; 500; 1000; 2500; 5000; 10_000; 25_000; 100_000; 500_000 |]
+    ~bounds:(Telemetry.Metrics.log_linear ~lo:10 ~hi:1_000_000 ())
     "bdprintd_request_latency_us"
 
 let m_shed =
@@ -248,11 +251,15 @@ let count_shed () =
 let shed_drain c =
   c.n_shed_drain <- c.n_shed_drain + 1;
   count_shed ();
+  if Telemetry.Flight.enabled () then
+    Telemetry.Flight.record ~kind:"shed" "draining";
   Wire.Shed { reason = "draining"; retry_after_ms = None }
 
 let shed_full t c =
   c.n_shed_full <- c.n_shed_full + 1;
   count_shed ();
+  if Telemetry.Flight.enabled () then
+    Telemetry.Flight.record ~kind:"shed" "queue-full";
   let hint = max 1. (c.ewma_ms /. float (max 1 t.cfg.jobs)) in
   Wire.Shed
     { reason = "queue-full"; retry_after_ms = Some (int_of_float (ceil hint)) }
@@ -266,6 +273,8 @@ let projected_wait_ms t c =
 let shed_overload c ~deadline_ms:d ~projected =
   c.n_shed_overload <- c.n_shed_overload + 1;
   count_shed ();
+  if Telemetry.Flight.enabled () then
+    Telemetry.Flight.record ~kind:"shed" "overload";
   let hint = max 1. (projected -. float d) in
   Wire.Shed
     { reason = "overload"; retry_after_ms = Some (int_of_float (ceil hint)) }
@@ -277,7 +286,7 @@ let shed_overload c ~deadline_ms:d ~projected =
    releasing before the write would let drain shut the client down
    between computing a reply and delivering it (losing an accepted
    request).  Never raises. *)
-let convert_one t ~deadline_ms input : Wire.reply * bool =
+let convert_one t ~deadline_ms ~tid input : Wire.reply * bool =
   let c = t.core in
   Mutex.lock c.m;
   c.n_requests <- c.n_requests + 1;
@@ -288,14 +297,17 @@ let convert_one t ~deadline_ms input : Wire.reply * bool =
   end
   else begin
     Mutex.unlock c.m;
+    let mt0 = Telemetry.Tracing.span_of tid in
     match Option.bind t.memo (fun memo -> Memo.find memo input) with
     | Some out ->
+      Telemetry.Tracing.emit ~note:"hit" ~tid Telemetry.Tracing.Memo_lookup mt0;
       Mutex.lock c.m;
       c.n_ok <- c.n_ok + 1;
       c.n_cache_hits <- c.n_cache_hits + 1;
       Mutex.unlock c.m;
       (Wire.Converted out, false)
     | None ->
+      Telemetry.Tracing.emit ~note:"miss" ~tid Telemetry.Tracing.Memo_lookup mt0;
       Mutex.lock c.m;
       let projected = projected_wait_ms t c in
       if c.phase <> Running then begin
@@ -330,8 +342,10 @@ let convert_one t ~deadline_ms input : Wire.reply * bool =
         let w = { wm = Mutex.create (); wc = Condition.create (); result = None } in
         Hashtbl.replace c.pending seq w;
         Mutex.unlock c.m;
+        if Telemetry.Flight.enabled () then
+          Telemetry.Flight.record ~req:seq ~kind:"admit" input;
         let reply =
-          match Supervisor.submit t.sup ?deadline_ms ~lineno:seq input with
+          match Supervisor.submit t.sup ?deadline_ms ~tid ~lineno:seq input with
           | () ->
             Mutex.lock w.wm;
             let r = await w in
@@ -381,9 +395,9 @@ let release_admission t =
    cache hits say nothing about service time. *)
 let ewma_alpha = 0.2
 
-let timed_convert t ~deadline_ms input =
+let timed_convert t ~deadline_ms ~tid input =
   let t0 = Unix.gettimeofday () in
-  let ((_, admitted) as reply) = convert_one t ~deadline_ms input in
+  let ((_, admitted) as reply) = convert_one t ~deadline_ms ~tid input in
   let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
   if admitted then begin
     let c = t.core in
@@ -394,18 +408,21 @@ let timed_convert t ~deadline_ms input =
     Mutex.unlock c.m
   end;
   if Telemetry.Metrics.enabled () then
-    Telemetry.Metrics.observe m_latency (int_of_float (elapsed_ms *. 1e3));
+    Telemetry.Metrics.observe_ex m_latency ~trace_id:tid
+      (int_of_float (elapsed_ms *. 1e3));
   reply
 
 (* Write a conversion reply, then release its admission slot (write
    failures to a vanished client release too — the reply was produced
    and delivery attempted, which is all drain can wait for). *)
-let write_conv_reply t fd (reply, admitted) =
+let write_conv_reply t fd ~tid (reply, admitted) =
+  let wt0 = Telemetry.Tracing.span_of tid in
   if admitted then
     Fun.protect
       ~finally:(fun () -> release_admission t)
       (fun () -> write_all fd (Wire.render_reply reply))
   else write_all fd (Wire.render_reply reply);
+  Telemetry.Tracing.emit ~tid Telemetry.Tracing.Wire_write wt0;
   reply
 
 (* {2 Statistics} *)
@@ -453,11 +470,20 @@ let stats t =
   in
   { partial with cache; supervisor }
 
+(* Memo hit rate over all finds so far; 0. before any traffic. *)
+let hit_rate (cache : Memo.stats) =
+  let total = cache.Memo.hits + cache.Memo.misses in
+  if total = 0 then 0. else float cache.Memo.hits /. float total
+
+let uptime_s t = Unix.gettimeofday () -. t.started
+
 let stats_json t =
   let s = stats t in
   let b = Buffer.create 512 in
   let field name v = Printf.bprintf b "\"%s\":%d," name v in
   Buffer.add_char b '{';
+  Printf.bprintf b "\"version\":\"%s\"," version;
+  Printf.bprintf b "\"uptime_s\":%.3f," (uptime_s t);
   field "connections" s.connections;
   field "active_connections" s.active_connections;
   field "requests" s.requests;
@@ -470,8 +496,10 @@ let stats_json t =
   field "shed_draining" s.shed_draining;
   field "proto_errors" s.proto_errors;
   field "cache_entries" s.cache.Memo.entries;
+  field "cache_misses" s.cache.Memo.misses;
   field "cache_evictions" s.cache.Memo.evictions;
   field "cache_capacity" s.cache.Memo.capacity;
+  Printf.bprintf b "\"cache_hit_rate\":%.3f," (hit_rate s.cache);
   field "sup_submitted" s.supervisor.Supervisor.submitted;
   field "sup_completed" s.supervisor.Supervisor.completed;
   field "sup_degraded" s.supervisor.Supervisor.degraded;
@@ -496,14 +524,36 @@ let proto_error t fd reason =
   if Telemetry.Metrics.enabled () then Telemetry.Metrics.incr m_proto_errors;
   write_all fd (Wire.render_reply (Wire.Failed { cls = "proto"; detail = reason }))
 
+(* HEALTHZ attributes: uptime, version, watchdog wedge count and memo
+   hit rate — enough for a probe (or an operator with netcat) to see a
+   daemon's identity and recent health in one line.  Old clients parse
+   only the leading READY/DRAINING tag and ignore the rest. *)
+let health_info t =
+  let sup = Supervisor.stats t.sup in
+  let cache =
+    match t.memo with Some memo -> Memo.stats memo | None -> empty_cache_stats
+  in
+  Printf.sprintf "uptime-s=%d version=%s wedges=%d memo-hit-rate=%.3f"
+    (int_of_float (uptime_s t))
+    version sup.Supervisor.wedges (hit_rate cache)
+
+(* The trace id a conversion runs under: the wire TID when the client
+   is tracing (so both processes' spans share a track), else a locally
+   sampled id when this daemon traces on its own. *)
+let conv_tid ~wire_tid =
+  if wire_tid <> 0 then wire_tid else Telemetry.Tracing.sample ()
+
 let handle_request t fd reader deadline_ms quit req =
   match req with
-  | Wire.Conv input ->
+  | Wire.Conv { input; tid = wire_tid } ->
+    let tid = conv_tid ~wire_tid in
+    let rt0 = Telemetry.Tracing.span_of tid in
     let (_ : Wire.reply) =
-      write_conv_reply t fd (timed_convert t ~deadline_ms:!deadline_ms input)
+      write_conv_reply t fd ~tid
+        (timed_convert t ~deadline_ms:!deadline_ms ~tid input)
     in
-    ()
-  | Wire.Batch n ->
+    Telemetry.Tracing.emit ~tid Telemetry.Tracing.Request rt0
+  | Wire.Batch { count = n; tid = wire_tid } ->
     let max_len = (Budget.get ()).Budget.max_input_length + 64 in
     let ok = ref 0 and failed = ref 0 and shed = ref 0 in
     let aborted = ref false in
@@ -518,9 +568,10 @@ let handle_request t fd reader deadline_ms quit req =
         incr failed;
         proto_error t fd "frame-too-long"
       | Line input -> (
+        let tid = conv_tid ~wire_tid in
         match
-          write_conv_reply t fd
-            (timed_convert t ~deadline_ms:!deadline_ms (String.trim input))
+          write_conv_reply t fd ~tid
+            (timed_convert t ~deadline_ms:!deadline_ms ~tid (String.trim input))
         with
         | Wire.Converted _ | Wire.Degraded _ -> incr ok
         | Wire.Shed _ -> incr shed
@@ -535,13 +586,18 @@ let handle_request t fd reader deadline_ms quit req =
   | Wire.Ping -> write_all fd (Wire.render_reply Wire.Pong)
   | Wire.Healthz ->
     let ready = not (Atomic.get t.stop) in
-    write_all fd (Wire.render_reply (if ready then Wire.Ready else Wire.Draining))
+    let info = health_info t in
+    write_all fd
+      (Wire.render_reply (if ready then Wire.Ready info else Wire.Draining info))
   | Wire.Stats ->
     write_all fd
       (Wire.render_reply (Wire.Payload { verb = "STATS"; body = stats_json t }))
   | Wire.Metrics ->
     let body = Telemetry.Snapshot.to_prometheus (Telemetry.Snapshot.take ()) in
     write_all fd (Wire.render_reply (Wire.Payload { verb = "METRICS"; body }))
+  | Wire.Trace_dump ->
+    let body = Telemetry.Tracing.to_chrome_json () in
+    write_all fd (Wire.render_reply (Wire.Payload { verb = "TRACE"; body }))
   | Wire.Quit ->
     write_all fd (Wire.render_reply Wire.Bye);
     quit := true
@@ -728,6 +784,7 @@ let start ?(config = default_config) ~convert spec =
         tcp_port;
         sup;
         memo;
+        started = Unix.gettimeofday ();
         stop = Atomic.make false;
         accept_thread = None;
         final_sup = None;

@@ -1,11 +1,12 @@
 type request =
-  | Conv of string
-  | Batch of int
+  | Conv of { input : string; tid : int }
+  | Batch of { count : int; tid : int }
   | Deadline of int
   | Ping
   | Healthz
   | Stats
   | Metrics
+  | Trace_dump
   | Quit
 
 type reply =
@@ -15,8 +16,8 @@ type reply =
   | Shed of { reason : string; retry_after_ms : int option }
   | Batch_end of { ok : int; failed : int; shed : int }
   | Pong
-  | Ready
-  | Draining
+  | Ready of string
+  | Draining of string
   | Payload of { verb : string; body : string }
   | Bye
 
@@ -38,18 +39,43 @@ let split_verb line =
   | Some i ->
     (String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
 
+(* The optional TID token carries a request-scoped trace id (see
+   Telemetry.Tracing) so daemon-side spans land on the same trace track
+   as the client spans that caused them.  Tracing is off by default and
+   clients only emit the token for requests they are actually tracing,
+   so a pre-TID server never sees it unless tracing is deliberately
+   enabled against it. *)
+let tid_prefix = "TID="
+
+let split_tid rest =
+  let rest = String.trim rest in
+  let lp = String.length tid_prefix in
+  if String.length rest > lp && String.sub rest 0 lp = tid_prefix then begin
+    let tok, after = split_verb rest in
+    match int_of_string_opt (String.sub tok lp (String.length tok - lp)) with
+    | Some tid when tid >= 1 -> Ok (tid, String.trim after)
+    | _ -> Error "bad-tid"
+  end
+  else Ok (0, rest)
+
 let parse_request line =
   let line = strip_cr line in
   let verb, rest = split_verb line in
   match verb with
-  | "CONV" ->
-    if String.trim rest = "" then Error "empty-input"
-    else Ok (Conv (String.trim rest))
+  | "CONV" -> (
+    match split_tid rest with
+    | Error e -> Error e
+    | Ok (tid, input) ->
+      if input = "" then Error "empty-input" else Ok (Conv { input; tid }))
   | "BATCH" -> (
-    match int_of_string_opt (String.trim rest) with
-    | Some n when n >= 1 && n <= max_batch -> Ok (Batch n)
-    | Some _ -> Error (Printf.sprintf "bad-count (1..%d)" max_batch)
-    | None -> Error "bad-count")
+    let count_str, attrs = split_verb (String.trim rest) in
+    match (int_of_string_opt count_str, split_tid attrs) with
+    | _, Error e -> Error e
+    | Some n, Ok (tid, "") when n >= 1 && n <= max_batch ->
+      Ok (Batch { count = n; tid })
+    | Some n, Ok _ when n >= 1 && n <= max_batch -> Error "bad-count"
+    | Some _, Ok _ -> Error (Printf.sprintf "bad-count (1..%d)" max_batch)
+    | None, Ok _ -> Error "bad-count")
   | "DEADLINE" -> (
     match int_of_string_opt (String.trim rest) with
     | Some ms when ms >= 0 && ms <= max_deadline_ms -> Ok (Deadline ms)
@@ -59,6 +85,7 @@ let parse_request line =
   | "HEALTHZ" when rest = "" -> Ok Healthz
   | "STATS" when rest = "" -> Ok Stats
   | "METRICS" when rest = "" -> Ok Metrics
+  | "TRACE" when rest = "" -> Ok Trace_dump
   | "QUIT" when rest = "" -> Ok Quit
   | "" -> Error "empty-frame"
   | v -> Error (Printf.sprintf "unknown-verb %s" (one_line v))
@@ -74,8 +101,10 @@ let render_reply = function
   | Batch_end { ok; failed; shed } ->
     Printf.sprintf "END ok=%d failed=%d shed=%d\n" ok failed shed
   | Pong -> "PONG\n"
-  | Ready -> "READY\n"
-  | Draining -> "DRAINING\n"
+  | Ready "" -> "READY\n"
+  | Ready info -> "READY " ^ one_line info ^ "\n"
+  | Draining "" -> "DRAINING\n"
+  | Draining info -> "DRAINING " ^ one_line info ^ "\n"
   | Payload { verb; body } ->
     Printf.sprintf "%s %d\n%s\n" verb (String.length body) body
   | Bye -> "BYE\n"
@@ -89,10 +118,20 @@ let kv_int key pairs =
       | _ -> None)
     pairs
 
+(* Request-side rendering for the client and the tests.  The TID token
+   goes first so a server can route on it before looking at the input. *)
+let render_conv ?(tid = 0) input =
+  if tid = 0 then "CONV " ^ one_line input ^ "\n"
+  else Printf.sprintf "CONV %s%d %s\n" tid_prefix tid (one_line input)
+
+let render_batch ?(tid = 0) count =
+  if tid = 0 then Printf.sprintf "BATCH %d\n" count
+  else Printf.sprintf "BATCH %d %s%d\n" count tid_prefix tid
+
 let payload_length line =
   let line = strip_cr line in
   match split_verb line with
-  | ("STATS" | "METRICS"), rest -> (
+  | ("STATS" | "METRICS" | "TRACE"), rest -> (
     match int_of_string_opt (String.trim rest) with
     | Some n when n >= 0 -> Some n
     | _ -> None)
@@ -122,10 +161,10 @@ let parse_reply_line line =
     | Some ok, Some failed, Some shed -> Ok (Batch_end { ok; failed; shed })
     | _ -> Error "malformed END counts")
   | "PONG" -> Ok Pong
-  | "READY" -> Ok Ready
-  | "DRAINING" -> Ok Draining
+  | "READY" -> Ok (Ready rest)
+  | "DRAINING" -> Ok (Draining rest)
   | "BYE" -> Ok Bye
-  | "STATS" | "METRICS" -> (
+  | "STATS" | "METRICS" | "TRACE" -> (
     match payload_length line with
     | Some _ -> Ok (Payload { verb; body = "" })
     | None -> Error ("malformed payload header: " ^ line))

@@ -13,10 +13,16 @@
     harness share one grammar with the server. *)
 
 type request =
-  | Conv of string  (** [CONV <input>]: convert one number *)
-  | Batch of int
-      (** [BATCH <n>]: the next [n] lines are inputs; [n] replies follow
-          in order, then an [END] line *)
+  | Conv of { input : string; tid : int }
+      (** [CONV [TID=<t>] <input>]: convert one number.  The optional
+          TID token carries a request-scoped trace id
+          (see {!Telemetry.Tracing}); [tid = 0] means absent.  Clients
+          only emit it for requests they are actually tracing, so the
+          token never reaches a pre-TID server unless tracing is
+          deliberately enabled against it. *)
+  | Batch of { count : int; tid : int }
+      (** [BATCH <n> [TID=<t>]]: the next [n] lines are inputs; [n]
+          replies follow in order, then an [END] line *)
   | Deadline of int
       (** [DEADLINE <ms>]: per-request deadline for subsequent requests
           on this connection; 0 clears it *)
@@ -24,6 +30,9 @@ type request =
   | Healthz
   | Stats  (** length-framed JSON service statistics *)
   | Metrics  (** length-framed Prometheus snapshot *)
+  | Trace_dump
+      (** [TRACE]: length-framed Chrome trace-event JSON of the
+          daemon's span ring *)
   | Quit
 
 type reply =
@@ -46,11 +55,15 @@ type reply =
   | Batch_end of { ok : int; failed : int; shed : int }
       (** [END ok=<n> failed=<n> shed=<n>] after a batch's replies *)
   | Pong
-  | Ready
-  | Draining
+  | Ready of string
+      (** [READY [<attrs>]]: healthy.  [attrs] is a space-separated
+          [key=value] list — [uptime-s], [version], [wedges],
+          [memo-hit-rate] — empty on old servers; clients must ignore
+          keys they do not know. *)
+  | Draining of string  (** [DRAINING [<attrs>]]: shutting down *)
   | Payload of { verb : string; body : string }
       (** [<verb> <byte-count>] then the body bytes ([STATS],
-          [METRICS]) *)
+          [METRICS], [TRACE]) *)
   | Bye
 
 val max_batch : int
@@ -70,6 +83,13 @@ val render_reply : reply -> string
     renders as the header line followed by the body and a final
     newline. *)
 
+val render_conv : ?tid:int -> string -> string
+(** The [CONV] request frame, newline included; [tid] (default 0 =
+    untraced) emits the TID token. *)
+
+val render_batch : ?tid:int -> int -> string
+(** The [BATCH] request frame, newline included. *)
+
 val parse_reply_line : string -> (reply, string) result
 (** Client-side parse of one reply line (without its newline).
     [Payload] replies parse with [body = ""] and the byte count in
@@ -78,4 +98,4 @@ val parse_reply_line : string -> (reply, string) result
 
 val payload_length : string -> int option
 (** [payload_length line] is [Some n] when [line] is a length-framed
-    payload header ([STATS <n>] / [METRICS <n>]). *)
+    payload header ([STATS <n>] / [METRICS <n>] / [TRACE <n>]). *)

@@ -203,9 +203,11 @@ let draw name =
       | None -> false)
 
 let count_trip name =
-  match List.assoc_opt name counters with
+  (match List.assoc_opt name counters with
   | Some c -> Telemetry.Metrics.incr c
-  | None -> ()
+  | None -> ());
+  if Telemetry.Flight.enabled () then
+    Telemetry.Flight.record ~kind:"fault-trip" name
 
 (* Only fire under a boundary guard: the instrumented kernels also run
    during module initialisation of dependent libraries (precomputed

@@ -88,6 +88,8 @@ let admit t =
         t.state <- Half_open;
         publish_state Half_open;
         Telemetry.Metrics.incr m_to_half_open;
+        if Telemetry.Flight.enabled () then
+          Telemetry.Flight.record ~kind:"breaker" "half-open probe";
         `Probe
       end
       else `Fallback
@@ -102,7 +104,9 @@ let record_success t =
   | Closed -> ()
   | Open _ | Half_open ->
     publish_state Closed;
-    Telemetry.Metrics.incr m_to_closed);
+    Telemetry.Metrics.incr m_to_closed;
+    if Telemetry.Flight.enabled () then
+      Telemetry.Flight.record ~kind:"breaker" "closed");
   t.state <- Closed;
   Mutex.unlock t.m
 
@@ -112,10 +116,14 @@ let open_locked t =
   t.trips <- t.trips + 1;
   publish_state t.state;
   Telemetry.Metrics.incr m_to_open;
-  Telemetry.Metrics.incr m_trips
+  Telemetry.Metrics.incr m_trips;
+  if Telemetry.Flight.enabled () then
+    Telemetry.Flight.record ~kind:"breaker"
+      (Printf.sprintf "open trip=%d failures=%d" t.trips t.consecutive_failures)
 
 let record_failure t =
   Mutex.lock t.m;
+  let trips_before = t.trips in
   t.consecutive_failures <- t.consecutive_failures + 1;
   (match t.state with
   | Half_open ->
@@ -128,7 +136,13 @@ let record_failure t =
        cooldown rather than double-counting a trip *)
     t.state <-
       Open { until = now () +. (float_of_int t.policy.cooldown_ms /. 1000.) });
-  Mutex.unlock t.m
+  let tripped = t.trips > trips_before in
+  Mutex.unlock t.m;
+  (* The dump does file I/O, so it runs outside the lock: the trip
+     evidence (the recent requests that burned the failure budget) is on
+     disk before any half-open probe can reshape the ring. *)
+  if tripped && Telemetry.Flight.enabled () then
+    Telemetry.Flight.dump ~reason:"breaker-open"
 
 let state_name t =
   Mutex.lock t.m;

@@ -118,6 +118,8 @@ type job = {
   job_lineno : int;
   job_input : string;
   deadline : Budget.deadline option;
+  job_tid : int;  (* trace id (0 = untraced); see Telemetry.Tracing *)
+  job_t0 : int;  (* queue-wait span token captured at submit *)
 }
 
 (* Heartbeat slot for one dequeued request: registered when a worker
@@ -341,11 +343,29 @@ let rec worker_loop t ~worker =
   | None -> ()
   | Some job ->
     register_running t ~worker job;
+    (* the queue-wait span closes at dequeue; the worker then adopts
+       the job's trace id so the pipeline spans inside [process] land
+       on the request's trace *)
+    Telemetry.Tracing.adopt job.job_tid;
+    Telemetry.Tracing.emit ~tid:job.job_tid Telemetry.Tracing.Queue_wait
+      job.job_t0;
+    if Telemetry.Flight.enabled () then
+      Telemetry.Flight.record ~req:job.seq ~kind:"service-start"
+        (Printf.sprintf "worker=%d input=%s" worker job.job_input);
     let continue =
       try
         if Faults.fires kill_point then raise Worker_killed;
         if Faults.fires wedge_point then wedge_stall ();
+        let st0 = Telemetry.Trace.start () in
         let outcome, attempts = process t job in
+        Telemetry.Trace.finish Telemetry.Trace.Worker_service st0;
+        if Telemetry.Flight.enabled () then
+          Telemetry.Flight.record ~req:job.seq ~kind:"service-end"
+            (match outcome with
+            | Done _ -> "ok"
+            | Degraded _ -> "degraded"
+            | Failed e -> "failed " ^ Error.category e);
+        Telemetry.Tracing.adopt 0;
         post t ~worker job
           { lineno = job.job_lineno; input = job.job_input; outcome; attempts }
       with exn ->
@@ -374,6 +394,14 @@ let rec worker_loop t ~worker =
           t.crashes_n <- t.crashes_n + 1;
           Mutex.unlock t.m;
           Telemetry.Metrics.incr m_crashes;
+          (* the post-mortem: name the request the worker died holding,
+             then dump every ring before the domain unwinds *)
+          if Telemetry.Flight.enabled () then begin
+            Telemetry.Flight.record ~req:job.seq ~kind:"crash"
+              (Printf.sprintf "worker=%d exn=%s input=%s" worker
+                 (Printexc.to_string exn) job.job_input);
+            Telemetry.Flight.dump ~reason:"worker-crash"
+          end;
           (raise exn) [@lint.can_raise Worker_killed]
         end;
         false
@@ -431,6 +459,10 @@ let rec watchdog_loop t (p : watchdog_policy) =
         r.r_cancelled <- true;
         t.wedges_n <- t.wedges_n + 1;
         Telemetry.Metrics.incr m_wedges;
+        if Telemetry.Flight.enabled () then
+          Telemetry.Flight.record ~req:r.r_job.seq ~kind:"wedge"
+            (Printf.sprintf "worker=%d held-s=%.3f input=%s" r.r_worker
+               (now -. r.r_started) r.r_job.job_input);
         deliver_locked t ~worker:r.r_worker r.r_job
           {
             lineno = r.r_job.job_lineno;
@@ -440,6 +472,11 @@ let rec watchdog_loop t (p : watchdog_policy) =
           })
       victims;
     Mutex.unlock t.m;
+    (* the dump does file I/O: after the lock, before the respawns, so
+       the recording that names the wedged request is already on disk
+       if a respawn itself goes wrong *)
+    if victims <> [] && Telemetry.Flight.enabled () then
+      Telemetry.Flight.dump ~reason:"worker-wedge";
     (* replacements outside the lock: Domain.spawn is heavyweight *)
     List.iter
       (fun r ->
@@ -541,7 +578,7 @@ let start ?(jobs = 2) ?(queue_capacity = 64) ?(retry = default_retry)
   | _ -> ());
   t
 
-let submit t ?deadline_ms ~lineno input =
+let submit t ?deadline_ms ?(tid = 0) ~lineno input =
   Semaphore.Counting.acquire t.slots;
   Mutex.lock t.m;
   if t.closed then begin
@@ -558,9 +595,15 @@ let submit t ?deadline_ms ~lineno input =
   Telemetry.Metrics.max_gauge g_max_in_flight in_flight;
   Mutex.unlock t.m;
   let deadline = Option.map (fun ms -> Budget.deadline_after ~ms) deadline_ms in
+  (* the queue-wait span opens here, on the submitting thread; the
+     dequeuing worker closes it *)
+  let job_t0 = Telemetry.Tracing.span_of tid in
   (* the semaphore already bounds in-flight work, so this put cannot
      block; Closed can only race with a concurrent shutdown *)
-  try Bqueue.put t.queue { seq; job_lineno = lineno; job_input = input; deadline }
+  try
+    Bqueue.put t.queue
+      { seq; job_lineno = lineno; job_input = input; deadline;
+        job_tid = tid; job_t0 }
   with Bqueue.Closed ->
     (invalid_arg "Supervisor.submit: service is shut down")
     [@lint.can_raise Invalid_argument] (* documented: submit/shutdown race is a caller bug *)

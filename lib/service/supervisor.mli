@@ -138,11 +138,15 @@ val start :
     every worker.  [fallback] defaults to host [float_of_string] +
     [%.17g]. *)
 
-val submit : t -> ?deadline_ms:int -> lineno:int -> string -> unit
+val submit : t -> ?deadline_ms:int -> ?tid:int -> lineno:int -> string -> unit
 (** Enqueues a request.  Blocks while [queue_capacity] requests are in
     flight (backpressure).  [deadline_ms] grants a wall-clock budget
     measured from submission — queue wait counts, so a 0 ms deadline
-    fails with a structured timeout without converting.
+    fails with a structured timeout without converting.  [tid]
+    (default 0 = untraced) is the request's {!Telemetry.Tracing} id:
+    the queue-wait span opens at submission, and the worker that
+    dequeues the job adopts the id so its pipeline spans land on the
+    request's trace.
     @raise Invalid_argument after {!shutdown}. *)
 
 val shutdown : t -> stats

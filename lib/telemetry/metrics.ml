@@ -22,12 +22,16 @@ type counter = { c_meta : meta; c_cell : int Atomic.t }
 
 type gauge = { g_meta : meta; g_cell : int Atomic.t }
 
+type exemplar = { ex_value : int; ex_trace : int }
+
 type histogram = {
   h_meta : meta;
   bounds : int array;  (* strictly increasing inclusive upper bounds *)
   buckets : int Atomic.t array;  (* length bounds + 1; last is overflow *)
   h_sum : int Atomic.t;
   h_count : int Atomic.t;
+  h_exemplar : exemplar option Atomic.t;
+      (* the max-valued traced observation; immutable record, CAS swap *)
 }
 
 type metric = Counter of counter | Gauge of gauge | Histogram of histogram
@@ -90,6 +94,29 @@ let gauge ?(registry = default) ?(labels = []) ~help name =
     registry.items <- Gauge g :: registry.items;
     g
 
+(* Log-linear bucket bounds: [lo] itself, then within each decade
+   [b, 10b) the bounds [b * i * 10 / per_decade] for i = 1..per_decade,
+   up to and including [hi].  per_decade = 5 from lo = 100 gives
+   100, 200, 400, 600, 800, 1000, 2000, ... — round numbers, relative
+   resolution roughly constant across five orders of magnitude, and a
+   bucket count that grows with log(hi/lo) instead of hi/lo. *)
+let log_linear ?(per_decade = 5) ~lo ~hi () =
+  if lo < 1 then invalid_arg "Metrics.log_linear: need lo >= 1";
+  if hi <= lo then invalid_arg "Metrics.log_linear: need hi > lo";
+  if per_decade < 1 || per_decade > 10 then
+    invalid_arg "Metrics.log_linear: need 1 <= per_decade <= 10";
+  let acc = ref [ lo ] in
+  let b = ref lo in
+  while !b < hi do
+    for i = 1 to per_decade do
+      let v = !b * i * 10 / per_decade in
+      if v > lo && v <= hi && not (List.mem v !acc) then acc := v :: !acc
+    done;
+    b := !b * 10
+  done;
+  if not (List.mem hi !acc) then acc := hi :: !acc;
+  Array.of_list (List.sort compare !acc)
+
 let check_bounds name bounds =
   let n = Array.length bounds in
   if n = 0 then
@@ -123,6 +150,7 @@ let histogram ?(registry = default) ?(labels = []) ~help ~bounds name =
         buckets = Array.init (Array.length bounds + 1) (fun _ -> Atomic.make 0);
         h_sum = Atomic.make 0;
         h_count = Atomic.make 0;
+        h_exemplar = Atomic.make None;
       }
     in
     registry.items <- Histogram h :: registry.items;
@@ -159,6 +187,27 @@ let observe h v =
   ignore (Atomic.fetch_and_add h.h_sum v);
   Atomic.incr h.h_count
 
+(* Keep the max-valued traced observation as the exemplar: a CAS loop
+   over an immutable record, so concurrent observers can only lose the
+   race to a *larger* value. *)
+let rec update_exemplar h ~trace_id v =
+  let cur = Atomic.get h.h_exemplar in
+  let beats = match cur with None -> true | Some e -> v > e.ex_value in
+  if beats
+     && not
+          (Atomic.compare_and_set h.h_exemplar cur
+             (Some { ex_value = v; ex_trace = trace_id }))
+  then update_exemplar h ~trace_id v
+
+let observe_ex h ~trace_id v =
+  observe h v;
+  if trace_id <> 0 then update_exemplar h ~trace_id v
+
+let exemplar_of h =
+  match Atomic.get h.h_exemplar with
+  | None -> None
+  | Some e -> Some (e.ex_value, e.ex_trace)
+
 (* ------------------------------------------------------------------ *)
 (* Introspection for snapshots *)
 
@@ -185,5 +234,6 @@ let reset_all ?(registry = default) () =
       | Histogram h ->
         Array.iter (fun b -> Atomic.set b 0) h.buckets;
         Atomic.set h.h_sum 0;
-        Atomic.set h.h_count 0)
+        Atomic.set h.h_count 0;
+        Atomic.set h.h_exemplar None)
     registry.items

@@ -68,6 +68,16 @@ val histogram :
     @raise Invalid_argument on empty or non-increasing bounds, or when
     the series exists with different bounds or a different type. *)
 
+val log_linear : ?per_decade:int -> lo:int -> hi:int -> unit -> int array
+(** Log-linear bucket bounds for {!histogram}: [lo], then within each
+    decade [b, 10b) the bounds [b*i*10/per_decade] for
+    [i = 1..per_decade], through [hi] (always included).  Resolution is
+    roughly constant {e relative} error, and the bucket count grows
+    with [log (hi/lo)].  [per_decade] defaults to 5 — with [lo] a
+    power of ten that yields 100, 200, 400, 600, 800, 1000, 2000, ...
+    @raise Invalid_argument unless [1 <= lo < hi] and
+    [1 <= per_decade <= 10]. *)
+
 (** {2 Recording — lock-free} *)
 
 val incr : counter -> unit
@@ -92,6 +102,16 @@ val max_gauge : gauge -> int -> unit
 val observe : histogram -> int -> unit
 (** Adds [v] to the first bucket whose bound is [>= v] (overflow bucket
     past the last bound) and updates sum and count. *)
+
+val observe_ex : histogram -> trace_id:int -> int -> unit
+(** {!observe}, and when [trace_id <> 0] also offers [(v, trace_id)]
+    as the histogram's exemplar — kept only if [v] exceeds the current
+    exemplar's value (lock-free CAS), so the exemplar always points a
+    trace at the worst observed latency. *)
+
+val exemplar_of : histogram -> (int * int) option
+(** The current [(value, trace_id)] exemplar, if any traced
+    observation has been recorded. *)
 
 (** {2 Introspection} *)
 

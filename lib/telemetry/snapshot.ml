@@ -7,6 +7,7 @@ type histogram_value = {
   counts : int array;  (* per-bucket (non-cumulative), incl. overflow *)
   sum : int;
   count : int;
+  exemplar : (int * int) option;  (* (value, trace_id) of the max sample *)
 }
 
 type value = Counter of int | Gauge of int | Histogram of histogram_value
@@ -33,7 +34,9 @@ let take ?registry () =
           | Metrics.Gauge g -> Gauge (Metrics.gauge_value g)
           | Metrics.Histogram h ->
             let counts, sum, count = Metrics.histogram_state h in
-            Histogram { bounds = Metrics.histogram_bounds h; counts; sum; count }
+            Histogram
+              { bounds = Metrics.histogram_bounds h; counts; sum; count;
+                exemplar = Metrics.exemplar_of h }
         in
         { name = meta.Metrics.name; help = meta.Metrics.help;
           labels = meta.Metrics.labels; value })
@@ -130,6 +133,19 @@ let to_prometheus t =
             Buffer.add_string buf
               (Printf.sprintf "%s%s %d\n" s.name (label_block s.labels) v)
           | Histogram h ->
+            (* OpenMetrics-style exemplar, attached to the first bucket
+               wide enough to hold the exemplar's value. *)
+            let ex_bucket =
+              match h.exemplar with
+              | None -> -1
+              | Some (v, _) ->
+                let n = Array.length h.bounds in
+                let i = ref 0 in
+                while !i < n && v > h.bounds.(!i) do
+                  incr i
+                done;
+                !i
+            in
             let cum = ref 0 in
             Array.iteri
               (fun i c ->
@@ -139,10 +155,16 @@ let to_prometheus t =
                     string_of_int h.bounds.(i)
                   else "+Inf"
                 in
+                let ex =
+                  match h.exemplar with
+                  | Some (v, tid) when i = ex_bucket ->
+                    Printf.sprintf " # {trace_id=\"%d\"} %d" tid v
+                  | _ -> ""
+                in
                 Buffer.add_string buf
-                  (Printf.sprintf "%s_bucket%s %d\n" s.name
+                  (Printf.sprintf "%s_bucket%s %d%s\n" s.name
                      (label_block (s.labels @ [ ("le", le) ]))
-                     !cum))
+                     !cum ex))
               h.counts;
             Buffer.add_string buf
               (Printf.sprintf "%s_sum%s %d\n" s.name (label_block s.labels)
@@ -209,7 +231,13 @@ let to_json t =
               (Printf.sprintf "{\"le\": %s, \"count\": %d}" le !cum))
           h.counts;
         Buffer.add_string buf
-          (Printf.sprintf "], \"sum\": %d, \"count\": %d" h.sum h.count));
+          (Printf.sprintf "], \"sum\": %d, \"count\": %d" h.sum h.count);
+        match h.exemplar with
+        | Some (v, tid) ->
+          Buffer.add_string buf
+            (Printf.sprintf ", \"exemplar\": {\"value\": %d, \"trace_id\": %d}"
+               v tid)
+        | None -> ());
       Buffer.add_char buf '}')
     t.samples;
   Buffer.add_string buf "\n  ]\n}\n";

@@ -9,6 +9,12 @@ type histogram_value = {
       (** per-bucket (non-cumulative) counts, overflow bucket last *)
   sum : int;
   count : int;
+  exemplar : (int * int) option;
+      (** [(value, trace_id)] of the max-valued traced observation —
+          rendered OpenMetrics-style on its bucket in Prometheus
+          output and as an ["exemplar"] object in JSON; absent until a
+          traced observation lands, so exemplar-free renderings are
+          byte-identical to the pre-exemplar format. *)
 }
 
 type value = Counter of int | Gauge of int | Histogram of histogram_value

@@ -7,6 +7,8 @@
 
 module Metrics = Metrics
 module Trace = Trace
+module Tracing = Tracing
+module Flight = Flight
 module Snapshot = Snapshot
 
 let enabled = Metrics.enabled

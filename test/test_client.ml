@@ -382,7 +382,7 @@ let start_vandal () =
                     Buffer.clear acc;
                     Buffer.add_string acc piece;
                     match Wire.parse_request line with
-                    | Ok (Wire.Conv input) ->
+                    | Ok (Wire.Conv { input; tid = _ }) ->
                       if Faults.fires "net.malformed-frame" then
                         write cfd "BOGUS ???\n"
                       else begin
@@ -415,7 +415,8 @@ let start_vandal () =
                       write cfd
                         (Wire.render_reply
                            (Wire.Converted ("deadline=" ^ string_of_int ms)))
-                    | Ok Wire.Healthz -> write cfd (Wire.render_reply Wire.Ready)
+                    | Ok Wire.Healthz ->
+                      write cfd (Wire.render_reply (Wire.Ready ""))
                     | Ok Wire.Ping -> write cfd (Wire.render_reply Wire.Pong)
                     | Ok _ | Error _ ->
                       write cfd

@@ -165,6 +165,44 @@ let tier_counter () =
 let read_side () = Telemetry.Metrics.value c
 |}
 
+(* the flight recorder's [record] allocates its detail string before the
+   internal gate, so hot-path sites must gate the whole call *)
+let flight_bad =
+  {|
+let shed reason = Telemetry.Flight.record ~kind:"shed" reason
+|}
+
+let flight_good =
+  {|
+let shed reason =
+  if Telemetry.Flight.enabled () then Telemetry.Flight.record ~kind:"shed" reason
+
+let dump_on_crash () = Telemetry.Flight.dump ~reason:"worker-crash"
+|}
+
+(* span pairing: Trace.start without finish leaks an open span; finish
+   without start observes someone else's clock *)
+let spans_bad =
+  {|
+let leak x =
+  let t0 = Telemetry.Trace.start () in
+  t0 + x
+
+let orphan t0 = Telemetry.Trace.finish Telemetry.Trace.Parse t0
+|}
+
+let spans_good =
+  {|
+let staged x =
+  let t0 = Telemetry.Trace.start () in
+  let r = x * 2 in
+  Telemetry.Trace.finish Telemetry.Trace.Parse t0;
+  r
+
+let deliberate_handoff () = Telemetry.Trace.start ()
+[@@lint.always_on "token finished by caller"]
+|}
+
 let test_telemetry () =
   check_rules "bad fixture"
     [ "telemetry-gate"; "telemetry-gate" ]
@@ -174,7 +212,16 @@ let test_telemetry () =
   Alcotest.(check bool)
     "always_on counted as a suppression" true
     (suppressed_total good >= 1);
-  check_rules "outside telemetry dirs exempt" [] (run telemetry_bad)
+  check_rules "outside telemetry dirs exempt" [] (run telemetry_bad);
+  check_rules "ungated flight record" [ "telemetry-gate" ]
+    (run ~filename:"fixtures/hot/loop.ml" flight_bad);
+  check_rules "gated flight record; dump exempt" []
+    (run ~filename:"fixtures/hot/loop.ml" flight_good);
+  check_rules "unpaired spans"
+    [ "telemetry-gate"; "telemetry-gate" ]
+    (run ~filename:"fixtures/hot/loop.ml" spans_bad);
+  check_rules "paired and annotated spans" []
+    (run ~filename:"fixtures/hot/loop.ml" spans_good)
 
 (* ------------------------------------------------------------------ *)
 (* engine plumbing *)

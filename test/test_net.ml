@@ -27,10 +27,23 @@ let convert_real input =
 let test_wire_requests () =
   let ok s = Result.get_ok (Wire.parse_request s) in
   let errs s = Result.is_error (Wire.parse_request s) in
-  Alcotest.(check bool) "conv" true (ok "CONV 0.1" = Wire.Conv "0.1");
-  Alcotest.(check bool) "conv trims" true (ok "CONV   0.1 " = Wire.Conv "0.1");
-  Alcotest.(check bool) "conv cr" true (ok "CONV 0.1\r" = Wire.Conv "0.1");
-  Alcotest.(check bool) "batch" true (ok "BATCH 10" = Wire.Batch 10);
+  Alcotest.(check bool) "conv" true
+    (ok "CONV 0.1" = Wire.Conv { input = "0.1"; tid = 0 });
+  Alcotest.(check bool) "conv trims" true
+    (ok "CONV   0.1 " = Wire.Conv { input = "0.1"; tid = 0 });
+  Alcotest.(check bool) "conv cr" true
+    (ok "CONV 0.1\r" = Wire.Conv { input = "0.1"; tid = 0 });
+  Alcotest.(check bool) "conv tid" true
+    (ok "CONV TID=7 0.1" = Wire.Conv { input = "0.1"; tid = 7 });
+  Alcotest.(check bool) "conv tid trims" true
+    (ok "CONV  TID=7  0.1" = Wire.Conv { input = "0.1"; tid = 7 });
+  Alcotest.(check bool) "conv tid-like input" true
+    (ok "CONV TID" = Wire.Conv { input = "TID"; tid = 0 });
+  Alcotest.(check bool) "batch" true
+    (ok "BATCH 10" = Wire.Batch { count = 10; tid = 0 });
+  Alcotest.(check bool) "batch tid" true
+    (ok "BATCH 10 TID=9" = Wire.Batch { count = 10; tid = 9 });
+  Alcotest.(check bool) "trace" true (ok "TRACE" = Wire.Trace_dump);
   Alcotest.(check bool) "deadline" true (ok "DEADLINE 50" = Wire.Deadline 50);
   Alcotest.(check bool) "ping" true (ok "PING" = Wire.Ping);
   Alcotest.(check bool) "healthz" true (ok "HEALTHZ" = Wire.Healthz);
@@ -38,6 +51,17 @@ let test_wire_requests () =
   Alcotest.(check bool) "metrics" true (ok "METRICS" = Wire.Metrics);
   Alcotest.(check bool) "quit" true (ok "QUIT" = Wire.Quit);
   Alcotest.(check bool) "empty conv" true (errs "CONV ");
+  Alcotest.(check bool) "bad tid" true (errs "CONV TID=x 0.1");
+  Alcotest.(check bool) "tid zero" true (errs "CONV TID=0 0.1");
+  Alcotest.(check bool) "tid alone" true (errs "CONV TID=5");
+  Alcotest.(check bool) "batch trailing junk" true (errs "BATCH 10 extra");
+  Alcotest.(check bool) "trace junk" true (errs "TRACE x");
+  (* render/parse round-trip of the request frames the client emits *)
+  Alcotest.(check string) "render conv" "CONV 0.1\n" (Wire.render_conv "0.1");
+  Alcotest.(check string) "render conv tid" "CONV TID=7 0.1\n"
+    (Wire.render_conv ~tid:7 "0.1");
+  Alcotest.(check string) "render batch tid" "BATCH 10 TID=9\n"
+    (Wire.render_batch ~tid:9 10);
   Alcotest.(check bool) "batch 0" true (errs "BATCH 0");
   Alcotest.(check bool) "batch over" true
     (errs (Printf.sprintf "BATCH %d" (Wire.max_batch + 1)));
@@ -74,6 +98,15 @@ let test_wire_replies () =
     = Wire.Batch_end { ok = 3; failed = 1; shed = 2 });
   Alcotest.(check bool) "pong" true (round Wire.Pong = Wire.Pong);
   Alcotest.(check bool) "bye" true (round Wire.Bye = Wire.Bye);
+  (* READY/DRAINING attrs round-trip; the bare forms stay byte-identical
+     to the pre-attr protocol *)
+  Alcotest.(check string) "ready bare" "READY\n"
+    (Wire.render_reply (Wire.Ready ""));
+  Alcotest.(check bool) "ready attrs" true
+    (round (Wire.Ready "uptime-s=3 version=1.0.0 wedges=0")
+    = Wire.Ready "uptime-s=3 version=1.0.0 wedges=0");
+  Alcotest.(check bool) "draining attrs" true
+    (round (Wire.Draining "uptime-s=3") = Wire.Draining "uptime-s=3");
   (* newline injection cannot desynchronise the framing *)
   let s = Wire.render_reply (Wire.Failed { cls = "syntax"; detail = "a\nb" }) in
   Alcotest.(check int) "one newline" 1
@@ -290,7 +323,19 @@ let test_server_verbs () =
       send c "PING\n";
       Alcotest.(check bool) "pong" true (recv_reply c = Wire.Pong);
       send c "HEALTHZ\n";
-      Alcotest.(check bool) "ready" true (recv_reply c = Wire.Ready);
+      (match recv_reply c with
+      | Wire.Ready attrs ->
+        (* attr soup must carry the documented keys *)
+        List.iter
+          (fun key ->
+            Alcotest.(check bool) ("healthz " ^ key) true
+              (List.exists
+                 (fun p ->
+                   String.length p > String.length key
+                   && String.sub p 0 (String.length key + 1) = key ^ "=")
+                 (String.split_on_char ' ' attrs)))
+          [ "uptime-s"; "version"; "wedges"; "memo-hit-rate" ]
+      | r -> Alcotest.failf "expected READY, got %s" (Wire.render_reply r));
       send c "CONV 0.1\n";
       Alcotest.(check bool) "conv" true (recv_reply c = Wire.Converted "0.1");
       send c "CONV 0.1\n";

@@ -570,6 +570,60 @@ let test_breaker_concurrent_cycle () =
     (Service.Breaker.state_name b)
 
 (* ------------------------------------------------------------------ *)
+(* Flight recorder: a worker crash dumps the ring naming the poisoned
+   request *)
+
+let slurp path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  at 0
+
+let test_flight_dump_on_crash () =
+  let dump_file = Filename.temp_file "bdflight" ".jsonl" in
+  Sys.remove dump_file;
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.Flight.set_enabled false;
+      Telemetry.Flight.set_dump_path None;
+      Telemetry.Flight.clear ();
+      Faults.disarm_all ();
+      Faults.reset_trip_counts ();
+      Faults.reset_call_counts ();
+      if Sys.file_exists dump_file then Sys.remove dump_file)
+    (fun () ->
+      Telemetry.Flight.clear ();
+      Telemetry.Flight.set_enabled true;
+      Telemetry.Flight.set_dump_path (Some dump_file);
+      let dumps_before = Telemetry.Flight.dump_count () in
+      (* one worker, kill on its 3rd dequeue: the poisoned request is
+         deterministically the third input *)
+      Faults.disarm_all ();
+      Faults.reset_call_counts ();
+      Faults.arm_at ~call:3 "service.worker-kill";
+      let inputs = [ "0.1"; "0.2"; "0.3"; "0.4" ] in
+      let replies, stats = collect ~jobs:1 convert_real inputs in
+      Alcotest.(check int) "all inputs answered" 4 (List.length replies);
+      Alcotest.(check int) "one crash" 1 stats.S.crashes;
+      Alcotest.(check int) "one respawn" 1 stats.S.respawns;
+      Alcotest.(check int) "one dump written" (dumps_before + 1)
+        (Telemetry.Flight.dump_count ());
+      let dump = slurp dump_file in
+      Alcotest.(check bool) "dump names its reason" true
+        (contains dump {|"reason":"worker-crash"|});
+      Alcotest.(check bool) "crash event names the poisoned request" true
+        (contains dump "exn=Service__Supervisor.Worker_killed input=0.3");
+      Alcotest.(check bool) "service-start for the poisoned request" true
+        (contains dump {|"kind":"service-start","detail":"worker=0 input=0.3"|});
+      Alcotest.(check bool) "fault trip recorded" true
+        (contains dump {|"kind":"fault-trip","detail":"service.worker-kill"|}))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Faults.disarm_all ();
@@ -616,5 +670,10 @@ let () =
             test_breaker_single_probe_race;
           Alcotest.test_case "concurrent open/close cycle" `Quick
             test_breaker_concurrent_cycle;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "crash dumps the poisoned request" `Quick
+            test_flight_dump_on_crash;
         ] );
     ]

@@ -8,6 +8,13 @@ module Snapshot = Telemetry.Snapshot
 module Error = Robust.Error
 module Faults = Robust.Faults
 
+let slurp path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
 (* ------------------------------------------------------------------ *)
 (* Registry semantics *)
 
@@ -102,6 +109,197 @@ let test_histogram_buckets () =
     Alcotest.(check int) "snapshot count" 8 hv.Snapshot.count
 
 (* ------------------------------------------------------------------ *)
+(* Log-linear bucket generator *)
+
+let test_log_linear () =
+  Alcotest.(check (array int))
+    "one decade, 5 per decade"
+    [| 100; 200; 400; 600; 800; 1000 |]
+    (Metrics.log_linear ~lo:100 ~hi:1000 ());
+  Alcotest.(check (array int))
+    "two decades, 2 per decade"
+    [| 10; 50; 100; 500; 1000 |]
+    (Metrics.log_linear ~per_decade:2 ~lo:10 ~hi:1000 ());
+  Alcotest.(check (array int))
+    "hi off the grid is still the last bound" [| 1; 10; 25 |]
+    (Metrics.log_linear ~per_decade:1 ~lo:1 ~hi:25 ());
+  Alcotest.check_raises "lo < 1 rejected"
+    (Invalid_argument "Metrics.log_linear: need lo >= 1") (fun () ->
+      ignore (Metrics.log_linear ~lo:0 ~hi:10 ()));
+  Alcotest.check_raises "hi <= lo rejected"
+    (Invalid_argument "Metrics.log_linear: need hi > lo") (fun () ->
+      ignore (Metrics.log_linear ~lo:10 ~hi:10 ()));
+  (* the generated array passes histogram bound validation, and the same
+     call yields the same array — registration stays idempotent *)
+  let r = Metrics.create_registry () in
+  let mk () =
+    Metrics.histogram ~registry:r ~help:"test"
+      ~bounds:(Metrics.log_linear ~lo:100 ~hi:10_000_000 ())
+      "test_ll_hist"
+  in
+  let h1 = mk () and h2 = mk () in
+  Metrics.observe h1 500;
+  let _, _, count = Metrics.histogram_state h2 in
+  Alcotest.(check int) "same series" 1 count
+
+(* ------------------------------------------------------------------ *)
+(* Exemplars *)
+
+let test_exemplars () =
+  let r = Metrics.create_registry () in
+  let h =
+    Metrics.histogram ~registry:r ~help:"Latency." ~bounds:[| 10; 100 |]
+      "demo_latency"
+  in
+  Metrics.observe h 3;
+  Alcotest.(check bool)
+    "no exemplar before a traced observation" true
+    (Metrics.exemplar_of h = None);
+  Metrics.observe_ex h ~trace_id:7 42;
+  Metrics.observe_ex h ~trace_id:9 17;
+  (* lower-valued traced sample does not displace the max *)
+  Alcotest.(check bool)
+    "exemplar keeps the max traced sample" true
+    (Metrics.exemplar_of h = Some (42, 7));
+  Metrics.observe_ex h ~trace_id:0 10_000;
+  Alcotest.(check bool)
+    "trace_id 0 never becomes an exemplar" true
+    (Metrics.exemplar_of h = Some (42, 7));
+  let prom = Snapshot.to_prometheus (Snapshot.take ~registry:r ()) in
+  let expected =
+    "# HELP demo_latency Latency.\n\
+     # TYPE demo_latency histogram\n\
+     demo_latency_bucket{le=\"10\"} 1\n\
+     demo_latency_bucket{le=\"100\"} 3 # {trace_id=\"7\"} 42\n\
+     demo_latency_bucket{le=\"+Inf\"} 4\n\
+     demo_latency_sum 10062\n\
+     demo_latency_count 4\n"
+  in
+  Alcotest.(check string) "exemplar on the containing bucket" expected prom;
+  let json = Snapshot.to_json (Snapshot.take ~registry:r ()) in
+  let contains needle hay =
+    let n = String.length needle and l = String.length hay in
+    let rec go i = i + n <= l && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool)
+    "json carries the exemplar" true
+    (contains {|"exemplar": {"value": 42, "trace_id": 7}|} json);
+  (* an overflow-bucket exemplar lands on +Inf *)
+  Metrics.observe_ex h ~trace_id:11 5_000;
+  let prom = Snapshot.to_prometheus (Snapshot.take ~registry:r ()) in
+  Alcotest.(check bool)
+    "overflow exemplar on +Inf" true
+    (contains "demo_latency_bucket{le=\"+Inf\"} 5 # {trace_id=\"11\"} 5000\n"
+       prom)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event golden output *)
+
+let test_chrome_golden () =
+  Telemetry.Tracing.clear ();
+  Telemetry.Tracing.inject ~tid:3 ~stage:Telemetry.Tracing.Parse
+    ~start_ns:1_000_000 ~dur_ns:2_500 ();
+  Telemetry.Tracing.inject ~tid:3 ~stage:Telemetry.Tracing.Request
+    ~start_ns:1_000_000 ~dur_ns:10_000 ~dom:2 ~note:{|a"b|} ();
+  Telemetry.Tracing.inject ~tid:5 ~stage:Telemetry.Tracing.Queue_wait
+    ~start_ns:990_123 ~dur_ns:7 ();
+  let expected =
+    "{\"traceEvents\":[\n\
+     {\"name\":\"queue-wait\",\"cat\":\"bdprint\",\"ph\":\"X\",\"ts\":990.123,\"dur\":0.007,\"pid\":42,\"tid\":5,\"args\":{\"dom\":0}},\n\
+     {\"name\":\"parse\",\"cat\":\"bdprint\",\"ph\":\"X\",\"ts\":1000.000,\"dur\":2.500,\"pid\":42,\"tid\":3,\"args\":{\"dom\":0}},\n\
+     {\"name\":\"request\",\"cat\":\"bdprint\",\"ph\":\"X\",\"ts\":1000.000,\"dur\":10.000,\"pid\":42,\"tid\":3,\"args\":{\"dom\":2,\"note\":\"a\\\"b\"}}\n\
+     ],\"displayTimeUnit\":\"ns\",\"otherData\":{\"dropped\":0}}\n"
+  in
+  Alcotest.(check string)
+    "chrome trace-event golden" expected
+    (Telemetry.Tracing.to_chrome_json ~pid:42 ());
+  Alcotest.(check int) "ring holds 3" 3 (Telemetry.Tracing.events_recorded ());
+  Telemetry.Tracing.clear ();
+  Alcotest.(check int) "clear empties" 0 (Telemetry.Tracing.events_recorded ())
+
+let test_tracing_lifecycle () =
+  Telemetry.Tracing.clear ();
+  Telemetry.Tracing.set_enabled true;
+  Telemetry.Tracing.set_sample_every 1;
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.Tracing.set_enabled false;
+      Telemetry.Tracing.set_sample_every 64;
+      Telemetry.Tracing.clear ())
+    (fun () ->
+      let tid = Telemetry.Tracing.begin_request () in
+      Alcotest.(check bool) "sampled at 1-in-1" true (tid <> 0);
+      Alcotest.(check int) "current follows begin_request" tid
+        (Telemetry.Tracing.current ());
+      let t0 = Telemetry.Tracing.span () in
+      Telemetry.Tracing.emit Telemetry.Tracing.Parse t0;
+      Telemetry.Tracing.end_request tid;
+      Alcotest.(check int) "current cleared" 0 (Telemetry.Tracing.current ());
+      (* parse span + request root span *)
+      Alcotest.(check int) "two spans" 2
+        (Telemetry.Tracing.events_recorded ());
+      (* a disabled sampler yields 0 and spans become no-ops *)
+      Telemetry.Tracing.set_enabled false;
+      Alcotest.(check int) "disabled sample" 0 (Telemetry.Tracing.sample ());
+      Alcotest.(check int) "span against untraced" 0
+        (Telemetry.Tracing.span_of 0))
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder *)
+
+let test_flight_recorder () =
+  Telemetry.Flight.clear ();
+  Telemetry.Flight.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.Flight.set_enabled false;
+      Telemetry.Flight.set_dump_path None;
+      Telemetry.Flight.clear ())
+    (fun () ->
+      Telemetry.Flight.record ~req:12 ~kind:"admit" "0.1";
+      Telemetry.Flight.record ~req:12 ~kind:"crash" {|worker=0 exn="boom"|};
+      Alcotest.(check int) "two events" 2
+        (Telemetry.Flight.events_recorded ());
+      let jsonl = Telemetry.Flight.to_jsonl ~reason:"unit-test" () in
+      let lines =
+        String.split_on_char '\n' jsonl
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      Alcotest.(check int) "header + 2 events" 3 (List.length lines);
+      let contains needle hay =
+        let n = String.length needle and l = String.length hay in
+        let rec go i =
+          i + n <= l && (String.sub hay i n = needle || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) "header names the reason" true
+        (contains {|"flight_dump":true,"reason":"unit-test"|}
+           (List.nth lines 0));
+      Alcotest.(check bool) "event carries request id" true
+        (contains {|"req":12,"kind":"admit","detail":"0.1"|}
+           (List.nth lines 1));
+      Alcotest.(check bool) "detail quotes escaped" true
+        (contains {|\"boom\"|} (List.nth lines 2));
+      (* dumps append to the configured path *)
+      let path = Filename.temp_file "flight" ".jsonl" in
+      Telemetry.Flight.set_dump_path (Some path);
+      Telemetry.Flight.dump ~reason:"first";
+      Telemetry.Flight.dump ~reason:"second";
+      let dumped = slurp path in
+      Sys.remove path;
+      Alcotest.(check bool) "both dumps appended" true
+        (contains {|"reason":"first"|} dumped
+        && contains {|"reason":"second"|} dumped);
+      Alcotest.(check int) "dump_count" 2 (Telemetry.Flight.dump_count ());
+      (* disabled recorder drops events *)
+      Telemetry.Flight.set_enabled false;
+      Telemetry.Flight.record ~kind:"admit" "late";
+      Alcotest.(check int) "disabled record is a no-op" 2
+        (Telemetry.Flight.events_recorded ()))
+
+(* ------------------------------------------------------------------ *)
 (* Prometheus golden output *)
 
 let test_prometheus_golden () =
@@ -176,13 +374,6 @@ let bdprint_exe () =
   Filename.concat
     (Filename.dirname (Filename.dirname Sys.executable_name))
     "bin/bdprint.exe"
-
-let slurp path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
 
 let run_stream ?metrics input_file =
   let out = Filename.temp_file "telemetry" ".out" in
@@ -272,11 +463,25 @@ let () =
             test_idempotent_registration;
         ] );
       ( "histogram",
-        [ Alcotest.test_case "bucket boundaries" `Quick test_histogram_buckets ]
-      );
+        [
+          Alcotest.test_case "bucket boundaries" `Quick test_histogram_buckets;
+          Alcotest.test_case "log-linear bounds" `Quick test_log_linear;
+          Alcotest.test_case "exemplars" `Quick test_exemplars;
+        ] );
       ( "exposition",
         [
           Alcotest.test_case "prometheus golden" `Quick test_prometheus_golden;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "chrome trace-event golden" `Quick
+            test_chrome_golden;
+          Alcotest.test_case "request lifecycle" `Quick test_tracing_lifecycle;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "ring, jsonl and dumps" `Quick
+            test_flight_recorder;
         ] );
       ( "faults",
         [
