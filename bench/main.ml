@@ -471,17 +471,49 @@ let kernel_bench ~size () =
     Dragon.Generate.set_force_pure true;
     Fun.protect ~finally:(fun () -> Dragon.Generate.set_force_pure false) f
   in
-  let scr_t, scr_w = measure free_pass in
+  let without_fastpath f =
+    Dragon.Printer.set_fastpath_enabled false;
+    Fun.protect ~finally:(fun () -> Dragon.Printer.set_fastpath_enabled true) f
+  in
+  (* The table-driven fast path finishes a pass in single-digit
+     milliseconds at this corpus size, so repeat it to get a clock
+     reading that dwarfs timer resolution. *)
+  let fast_reps = 50 in
+  let fast_t, fast_w =
+    free_pass ();
+    Gc.full_major ();
+    let w0 = Gc.minor_words () in
+    let _, t =
+      time_cpu (fun () ->
+          for _ = 1 to fast_reps do
+            free_pass ()
+          done)
+    in
+    let w1 = Gc.minor_words () in
+    let reps = float_of_int fast_reps in
+    (t /. reps, (w1 -. w0) /. (fsize *. reps))
+  in
+  let scr_t, scr_w = without_fastpath (fun () -> measure free_pass) in
   let pure_t, pure_w = forced_pure (fun () -> measure free_pass) in
   let fx_scr_t, fx_scr_w = measure fixed_pass in
   let fx_pure_t, fx_pure_w = forced_pure (fun () -> measure fixed_pass) in
   let sw_t, sw_w = measure sw_pass in
-  (* Fast-path vs scratch-path split (counters record only while
-     telemetry is on). *)
+  (* Dispatch splits (counters record only while telemetry is on): the
+     fast path's hit/fallback division of one pass, then the word/scratch
+     division of the exact kernels with the fast path off. *)
+  let h0, fb0 = Dragon.Printer.fastpath_stats () in
+  Telemetry.set_enabled true;
+  free_pass ();
+  Telemetry.set_enabled false;
+  let h1, fb1 = Dragon.Printer.fastpath_stats () in
+  let fp_hits = h1 - h0 and fp_fallbacks = fb1 - fb0 in
+  let fallback_rate =
+    float_of_int fp_fallbacks /. float_of_int (max 1 (fp_hits + fp_fallbacks))
+  in
   let f0 = Dragon.Generate.fastpath_count ()
   and s0 = Dragon.Generate.scratchpath_count () in
   Telemetry.set_enabled true;
-  free_pass ();
+  without_fastpath free_pass;
   Telemetry.set_enabled false;
   let fast_hits = Dragon.Generate.fastpath_count () - f0
   and scratch_hits = Dragon.Generate.scratchpath_count () - s0 in
@@ -489,6 +521,7 @@ let kernel_bench ~size () =
     Printf.printf "  %-34s %10.3f s %12.0f conv/s %12.1f minor w/conv\n" name t
       (fsize /. t) w
   in
+  row "free format, table fast path" fast_t fast_w;
   row "free format, kernel path" scr_t scr_w;
   row "free format, pure-Nat path" pure_t pure_w;
   row "fixed format (17), kernel path" fx_scr_t fx_scr_w;
@@ -499,11 +532,20 @@ let kernel_bench ~size () =
     \  paths on this corpus: %d word-sized fast, %d scratch\n"
     (pure_w /. scr_w)
     (pure_t /. scr_t) fast_hits scratch_hits;
+  Printf.printf
+    "  table fast path: %.2fx over the exact kernels (%.2fx over pure), %d \
+     hits / %d fallbacks (%.3f%% fallback)\n"
+    (scr_t /. fast_t) (pure_t /. fast_t) fp_hits fp_fallbacks
+    (100.0 *. fallback_rate);
   let oc = open_out "BENCH_kernel.json" in
   Printf.fprintf oc
     "{\n\
     \  \"size\": %d,\n\
     \  \"free_format\": {\n\
+    \    \"fastpath\": { \"time_s\": %.6f, \"conversions_per_s\": %.0f, \
+     \"minor_words_per_conversion\": %.1f, \"hits\": %d, \"fallbacks\": %d, \
+     \"fallback_rate\": %.5f, \"speedup_vs_kernel\": %.3f, \
+     \"speedup_vs_pure\": %.3f },\n\
     \    \"kernel\": { \"time_s\": %.6f, \"conversions_per_s\": %.0f, \
      \"minor_words_per_conversion\": %.1f },\n\
     \    \"pure\": { \"time_s\": %.6f, \"conversions_per_s\": %.0f, \
@@ -523,12 +565,23 @@ let kernel_bench ~size () =
      \"minor_words_per_conversion\": %.1f },\n\
     \  \"digit_loop_paths\": { \"fastpath\": %d, \"scratchpath\": %d }\n\
      }\n"
-    size scr_t (fsize /. scr_t) scr_w pure_t (fsize /. pure_t) pure_w
-    (pure_w /. scr_w) (pure_t /. scr_t) fx_scr_t (fsize /. fx_scr_t) fx_scr_w
-    fx_pure_t (fsize /. fx_pure_t) fx_pure_w (fx_pure_w /. fx_scr_w)
-    (fx_pure_t /. fx_scr_t) sw_t (fsize /. sw_t) sw_w fast_hits scratch_hits;
+    size fast_t (fsize /. fast_t) fast_w fp_hits fp_fallbacks fallback_rate
+    (scr_t /. fast_t) (pure_t /. fast_t) scr_t (fsize /. scr_t) scr_w pure_t
+    (fsize /. pure_t) pure_w (pure_w /. scr_w) (pure_t /. scr_t) fx_scr_t
+    (fsize /. fx_scr_t) fx_scr_w fx_pure_t (fsize /. fx_pure_t) fx_pure_w
+    (fx_pure_w /. fx_scr_w) (fx_pure_t /. fx_scr_t) sw_t (fsize /. sw_t) sw_w
+    fast_hits scratch_hits;
   close_out oc;
-  Printf.printf "  wrote BENCH_kernel.json\n"
+  Printf.printf "  wrote BENCH_kernel.json\n";
+  (* Acceptance floor: the table fast path must clear 3x the exact
+     kernels on this corpus, with margin to spare; regressing below
+     that fails the bench (and the CI bench step) loudly. *)
+  if scr_t /. fast_t < 3.0 then begin
+    Printf.eprintf
+      "FAIL: fast-path speedup %.2fx below the 3x acceptance floor\n"
+      (scr_t /. fast_t);
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Service layer: sequential vs supervised parallel throughput (E10) *)
@@ -1082,6 +1135,13 @@ let () =
       parse rest
   in
   parse (List.tl args);
+  (* [bench -- all]: regenerate every committed BENCH_*.json in one run
+     (kernel, telemetry, daemon) — the CI bench step drives this and
+     uploads the refreshed files as artifacts; any bench that fails its
+     own acceptance check (wrong daemon outputs, fast-path speedup
+     under the floor) exits nonzero and fails the step loudly. *)
+  if List.mem "all" !sections then
+    sections := [ "kernel"; "telemetry"; "daemon" ];
   let has s = !sections = [] || List.mem s !sections in
   let pick default = if !size > 0 then !size else default in
   if has "table2" then table2 ~size:(pick 8_000) ();

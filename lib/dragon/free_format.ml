@@ -15,9 +15,70 @@ let h_digits =
                1024; 8192 |]
     "bdprint_free_format_digits"
 
+(* Table-driven fast path (see {!Fastpath}): attempted before any Nat
+   work when the conversion matches what the Q4.112 kernel certifies —
+   decimal output, the default Fast_estimate strategy, a binary format
+   with a mantissa in 53 bits, a to-nearest rounding mode, an exponent
+   inside the power-of-ten table.  The tie strategy does not gate
+   dispatch: exact ties are never certifiable, so every input whose
+   output could depend on [tie] falls back to the exact kernels.  The
+   fast path stands aside while faults are armed (it has no bignum trip
+   sites to mirror) and under force-pure (it is not the differential
+   anchor).  Bignum-bit budgets are deliberately not consulted on this
+   path — it allocates no bignum at all — while deadlines and the
+   output-digit budget keep the reference loop's per-digit cadence
+   inside the kernel. *)
+let try_fastpath ~base ~mode ~strategy fmt v =
+  if
+    base = 10
+    && (match strategy with Scaling.Fast_estimate -> true | _ -> false)
+    && fmt.Fp.Format_spec.b = 2
+    && Fastpath.enabled ()
+    && (not (Generate.force_pure ()))
+    && (not (Robust.Faults.any_armed ()))
+    && Fp.Rounding.is_nearest mode
+  then begin
+    let f_nat = v.Fp.Value.f in
+    match Nat.to_int_opt f_nat with
+    | Some f when f > 0 && f < 1 lsl 53 ->
+      let bits = Nat.bit_length f_nat in
+      let est = Scaling.fast_estimate_b10 ~bits ~e:v.Fp.Value.e in
+      (* [Rounding.boundary_ok]'s high flag, without the tuple. *)
+      let high_ok =
+        match mode with
+        | Fp.Rounding.To_nearest_even -> f land 1 = 0
+        | Fp.Rounding.To_nearest_away -> false
+        | _ -> true (* To_nearest_toward_zero; is_nearest already held *)
+      in
+      (* [Gaps.gap_low_is_narrow] in machine integers: the low gap is
+         halved iff f sits on the normalization boundary b^(p-1), which
+         for b = 2 and f < 2^53 can only happen when p <= 54. *)
+      let narrow =
+        v.Fp.Value.e > fmt.Fp.Format_spec.emin
+        && fmt.Fp.Format_spec.p <= 54
+        && f = 1 lsl (fmt.Fp.Format_spec.p - 1)
+      in
+      let t0 = Trace.start () in
+      let r =
+        Fastpath.convert_shortest ~f ~e:v.Fp.Value.e ~mantissa_bits:bits
+          ~narrow ~high_ok ~est
+      in
+      Trace.finish Trace.Fastpath t0;
+      r
+    | _ -> None
+  end
+  else None
+
 let convert ?(base = 10) ?(mode = Fp.Rounding.To_nearest_even)
     ?(strategy = Scaling.Fast_estimate) ?(tie = Generate.Closer_up) fmt v =
   if base < 2 || base > 36 then invalid_arg "Free_format.convert: base";
+  match try_fastpath ~base ~mode ~strategy fmt v with
+  | Some (digits, k) ->
+    Generate.observe_finish (Array.length digits);
+    if Telemetry.Metrics.enabled () then
+      Telemetry.Metrics.observe h_digits (Array.length digits);
+    { digits; k }
+  | None ->
   let t0 = Trace.start () in
   let bnd = Boundaries.of_finite ~mode fmt v in
   Trace.finish Trace.Boundaries t0;

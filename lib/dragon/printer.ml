@@ -6,6 +6,16 @@ let check_base base =
     Robust.Error.raise_
       (Robust.Error.range ~what:"base" (Printf.sprintf "%d not in 2..36" base))
 
+(* The free-format pipeline behind every entry point below dispatches
+   through the table-driven fast path first (see {!Free_format} and
+   {!Fastpath}); these forwarders give printer-level callers (bench,
+   the daemon, tests) one place to steer and observe that dispatch
+   without reaching into the fastpath library. *)
+let set_fastpath_enabled = Fastpath.set_enabled
+let fastpath_enabled = Fastpath.enabled
+
+let fastpath_stats () = (Fastpath.hit_count (), Fastpath.fallback_count ())
+
 let print_value_exn ?(base = 10) ?mode ?strategy ?tie ?notation fmt value =
   check_base base;
   match value with

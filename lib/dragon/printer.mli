@@ -68,3 +68,19 @@ val print_value_exn :
 (** {!print_value} for call sites with statically valid arguments (the
     float convenience API and the examples).
     @raise Robust.Error.E on what {!print_value} reports as [Error]. *)
+
+(** {2 Fast-path dispatch}
+
+    Free-format conversions try the table-driven Q4.112 fast path
+    ({!Fastpath}) before the exact kernels; an uncertain verdict falls
+    back with byte-identical output either way. *)
+
+val set_fastpath_enabled : bool -> unit
+(** Steer the dispatch (benchmarks time the exact kernels by turning it
+    off; [BDPRINT_NO_FASTPATH=1] does the same at startup). *)
+
+val fastpath_enabled : unit -> bool
+
+val fastpath_stats : unit -> int * int
+(** [(hits, fallbacks)] from the [bdprint_fastpath_{hit,fallback}_total]
+    counters; recorded only while telemetry is enabled. *)

@@ -109,6 +109,18 @@ let fast_estimate ~base ~b ~f ~e =
   let log2_v_floor = (float_of_int e *. log2_b) +. float_of_int (Nat.bit_length f - 1) in
   int_of_float (Float.ceil ((log2_v_floor *. inv_log2_of_base) -. 1e-10))
 
+(* Monomorphized Figure 3 for the base-10 / b=2 fast path: the hoisted
+   constant and the pre-taken bit length leave two float multiplies and
+   a ceil, with no transcendental calls or allocation per conversion.
+   The operations are the same ones [fast_estimate] performs (for b = 2
+   [log2_b] is exactly 1.0 and multiplying by it is the identity), so
+   the result is bit-identical; test_fastpath checks the agreement. *)
+let inv_log2_of_10 = 1. /. log2 (float_of_int 10)
+
+let fast_estimate_b10 ~bits ~e =
+  let log2_v_floor = float_of_int e +. float_of_int (bits - 1) in
+  int_of_float (Float.ceil ((log2_v_floor *. inv_log2_of_10) -. 1e-10))
+
 (* Figure 2: the floating-point logarithm of v itself.  v can exceed the
    double range for wide formats, so the logarithm is assembled from
    frexp of the mantissa instead of computed on a converted double. *)

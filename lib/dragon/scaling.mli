@@ -35,6 +35,13 @@ val estimate :
     [None] for {!Iterative}, which has no estimation step.  Exposed for
     the estimator-accuracy ablation (bench E7). *)
 
+val fast_estimate_b10 : bits:int -> e:int -> int
+(** [estimate Fast_estimate ~base:10 ~b:2] monomorphized for the
+    table fast path's dispatcher: [bits] is the mantissa bit length.
+    Performs the same float operations as the general estimator, so the
+    result is bit-identical — but without allocating an option or
+    recomputing [1/log2 10] per conversion. *)
+
 val scale :
   strategy ->
   base:int ->

@@ -13,6 +13,13 @@ type t = private {
   e : int;  (** value is [m × 2^e] *)
 }
 
+val umul128 : int64 -> int64 -> int64 * int64
+(** [(high, low)] halves of the full unsigned 64x64→128-bit product of
+    two int64 bit patterns — the shared 128-bit primitive under {!mul}
+    and the cross-check tests for the fast path's 28-bit-limb products
+    ({!Fastpath.convert_shortest} carves its Q4.112 frame out of the
+    same product computed limbwise in native ints). *)
+
 val of_float : float -> t
 (** Exact embedding of a positive finite double. *)
 

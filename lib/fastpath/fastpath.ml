@@ -1,0 +1,328 @@
+(* Table-driven fixed-precision shortest-digit fast path.
+
+   The Burger-Dybvig loop proves each digit and the stopping decision
+   with exact rational comparisons; this module runs the same loop on a
+   128-bit fixed-point approximation and only keeps the answer when the
+   approximation's error interval cannot change any comparison.  The
+   verdict is three-valued — every comparison is {e certainly true},
+   {e certainly false}, or {e uncertain} — and any uncertainty aborts
+   the whole attempt so the caller falls back to the exact scratch/word
+   kernels.  Hits are therefore byte-identical to the pure reference by
+   construction, not by testing alone.
+
+   Number frame.  For v = f·2^e (f < 2^53) and the reference estimate
+   [est] of ceil(log10 v), all quantities live in Q4.112 fixed point:
+   X = v·10^(-est)·2^112, held as two native-int limbs (hi = integer
+   part and top 56 fraction bits, lo = low 56 fraction bits).  X is
+   carved out of the exact product P = f·c(-est) of the mantissa and a
+   128-bit truncated power of ten (see {!Pow10_table}), computed in
+   28-bit limbs so every partial product fits a native int.  The
+   boundaries m± = 2^(e-1)·10^(-est)·2^112 (m⁻ halved again for
+   mantissas on a power-of-two boundary) come straight from the table
+   entry by shifting.
+
+   Error discipline.  The table entry and every window extraction
+   UNDERestimate (truncate), so each approximation a of a true value A
+   satisfies a ≤ A < a + err with a one-sided error counted in units of
+   2^(-112): err starts at 2 per quantity and is multiplied by ten per
+   emitted digit, staying below 2·10^17 < 2^62 for the at-most-17
+   digits a binary64 shortest form can need.  A comparison is certified
+   only when it holds for {e every} pair of true values inside the two
+   intervals; exact equality is never certifiable, which is precisely
+   the correctly-rounded boundary case the exact fallback exists for.
+
+   Faults and budgets.  The fast path stands aside entirely while any
+   fault point is armed ({!Robust.Faults.any_armed} is checked by the
+   dispatcher) because it cannot reproduce the reference pipeline's
+   trip sites; it {e does} honor per-request deadlines and digit
+   budgets by consulting {!Robust.Budget.check_output_digits} with the
+   same per-digit cadence as the reference loop. *)
+
+module Metrics = Telemetry.Metrics
+module Pow10_table = Pow10_table
+module T = Pow10_table
+
+let mask28 = (1 lsl 28) - 1
+let mask56 = (1 lsl 56) - 1
+let mask60 = (1 lsl 60) - 1
+
+(* The fixed-point one: 2^112 in frame units, as a (hi, lo) pair with
+   lo = 0. *)
+let one_hi = 1 lsl 56
+
+(* A shortest binary64 form needs at most 17 significant digits; if the
+   certified loop has not stopped by then the error terms have swamped
+   the margins and the exact kernels should take over (also keeps every
+   err·10^n below 2^62). *)
+let max_digits = 17
+
+let enabled_flag =
+  Atomic.make
+    (match Sys.getenv_opt "BDPRINT_NO_FASTPATH" with
+    | Some ("1" | "true" | "yes" | "on") -> false
+    | _ -> true)
+
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+let m_hit =
+  Metrics.counter
+    ~help:"Free-format conversions answered by the table-driven fast path."
+    "bdprint_fastpath_hit_total"
+
+let m_fallback =
+  Metrics.counter
+    ~help:"Fast-path attempts that returned an uncertain verdict and fell \
+           back to the exact kernels."
+    "bdprint_fastpath_fallback_total"
+
+let hit_count () = Metrics.value m_hit
+let fallback_count () = Metrics.value m_fallback
+
+(* Per-domain scratch: two 8-limb windows (table entry and product) and
+   the digit buffer, reused across conversions so a hit allocates
+   nothing.  [busy] guards against re-entrant use from the same domain
+   (metrics callbacks, nested printing): the inner attempt just reports
+   uncertain and takes the exact path. *)
+type pool = {
+  winc : int array;  (* 5 table limbs + zero padding *)
+  winp : int array;  (* 7 product limbs + zero padding *)
+  digits : int array;
+  mutable busy : bool;
+}
+[@@lint.domain_safe
+  "only reachable through Domain.DLS; [busy] guards same-domain \
+   reentrancy (metrics callbacks), not cross-domain sharing"]
+
+let pool_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        winc = Array.make 8 0;
+        winp = Array.make 8 0;
+        digits = Array.make (max_digits + 2) 0;
+        busy = false;
+      })
+
+(* Bits [pos, pos+56) of the little-endian 28-bit-limb number in [win].
+   The byte-widest read touches limbs pos/28 .. pos/28+2, so callers
+   keep zero padding above the populated limbs. *)
+let[@lint.no_alloc] window56 win pos =
+  let w = pos / 28 and b = pos mod 28 in
+  (Array.unsafe_get win w lsr b)
+  lor (Array.unsafe_get win (w + 1) lsl (28 - b))
+  lor (Array.unsafe_get win (w + 2) lsl (56 - b))
+  land mask56
+
+(* Bits [pos, pos+60): the hi limb carries four integer bits on top of
+   its 56 fraction bits.  The fourth source limb only contributes when
+   the in-limb offset pushes past three limbs' worth of bits. *)
+let[@lint.no_alloc] window60 win pos =
+  let w = pos / 28 and b = pos mod 28 in
+  (Array.unsafe_get win w lsr b)
+  lor (Array.unsafe_get win (w + 1) lsl (28 - b))
+  lor (Array.unsafe_get win (w + 2) lsl (56 - b))
+  lor (if b >= 25 then Array.unsafe_get win (w + 3) lsl (84 - b) else 0)
+  land mask60
+
+(* winp <- f · c, exactly, in 28-bit limbs: f = f1·2^28 + f0 against the
+   five limbs of c already loaded in [winc].  Splitting f keeps every
+   partial product at or below 2^56 with carry headroom to spare. *)
+let[@lint.no_alloc] fill_product winp winc f =
+  let c0 = Array.unsafe_get winc 0
+  and c1 = Array.unsafe_get winc 1
+  and c2 = Array.unsafe_get winc 2
+  and c3 = Array.unsafe_get winc 3
+  and c4 = Array.unsafe_get winc 4 in
+  let f0 = f land mask28 and f1 = f lsr 28 in
+  let x0 = f0 * c0 in
+  let x1 = (f0 * c1) + (x0 lsr 28) in
+  let x2 = (f0 * c2) + (x1 lsr 28) in
+  let x3 = (f0 * c3) + (x2 lsr 28) in
+  let x4 = (f0 * c4) + (x3 lsr 28) in
+  let y0 = f1 * c0 in
+  let y1 = (f1 * c1) + (y0 lsr 28) in
+  let y2 = (f1 * c2) + (y1 lsr 28) in
+  let y3 = (f1 * c3) + (y2 lsr 28) in
+  let y4 = (f1 * c4) + (y3 lsr 28) in
+  let s1 = (x1 land mask28) + (y0 land mask28) in
+  let s2 = (x2 land mask28) + (y1 land mask28) + (s1 lsr 28) in
+  let s3 = (x3 land mask28) + (y2 land mask28) + (s2 lsr 28) in
+  let s4 = (x4 land mask28) + (y3 land mask28) + (s3 lsr 28) in
+  let s5 = (x4 lsr 28) + (y4 land mask28) + (s4 lsr 28) in
+  let s6 = (y4 lsr 28) + (s5 lsr 28) in
+  Array.unsafe_set winp 0 (x0 land mask28);
+  Array.unsafe_set winp 1 (s1 land mask28);
+  Array.unsafe_set winp 2 (s2 land mask28);
+  Array.unsafe_set winp 3 (s3 land mask28);
+  Array.unsafe_set winp 4 (s4 land mask28);
+  Array.unsafe_set winp 5 (s5 land mask28);
+  Array.unsafe_set winp 6 s6
+
+(* The certified digit loop.  Returns (n lsl 12) lor (k + 1024) with
+   the n digits in [p.digits], or [-1] for an uncertain verdict.  All
+   comparisons are between one-sided intervals [a, a+err): "a_true op
+   b_true certainly" demands the op hold across both intervals. *)
+let[@lint.no_alloc] run p ~f ~lf ~e ~narrow ~high_ok ~est =
+  let q = -est in
+  if q < T.q_min || q > T.q_max then -1
+  else begin
+    let gamma = Array.unsafe_get T.exps (q - T.q_min) in
+    (* X = floor(P / 2^t) in frame units: P·2^(-t) = f·c·2^(e+gamma+112). *)
+    let t = -(e + gamma + 112) in
+    (* t ≥ lf+12 bounds the table error below one frame unit AND proves
+       P < 2^(t+116), so the 60-bit hi window captures every product
+       bit; t ≤ 81 keeps all window reads inside the padded limbs.  A
+       reference estimate within one digit of the true scaling always
+       lands here (t ≈ lf + 14). *)
+    if t < lf + 12 || t > 81 then -1
+    else begin
+      let winc = p.winc and winp = p.winp and digits = p.digits in
+      let base = T.limbs_per_entry * (q - T.q_min) in
+      Array.unsafe_set winc 0 (Array.unsafe_get T.limbs base);
+      Array.unsafe_set winc 1 (Array.unsafe_get T.limbs (base + 1));
+      Array.unsafe_set winc 2 (Array.unsafe_get T.limbs (base + 2));
+      Array.unsafe_set winc 3 (Array.unsafe_get T.limbs (base + 3));
+      Array.unsafe_set winc 4 (Array.unsafe_get T.limbs (base + 4));
+      fill_product winp winc f;
+      let xh = window60 winp (t + 56) and xl = window56 winp t in
+      (* m⁺ = 2^(e-1)·10^q = c·2^(-(t+1)); m⁻ shifts once more when the
+         mantissa sits on a power-of-two boundary (narrow low gap). *)
+      let mph = window60 winc (t + 57) and mpl = window56 winc (t + 1) in
+      let mmh = if narrow then window60 winc (t + 58) else mph
+      and mml = if narrow then window56 winc (t + 2) else mpl in
+      (* a + err ≤ b on (hi, lo) frames with a scalar error on the left. *)
+      let le2p ah al err bh bl =
+        let l = al + err in
+        let h = ah + (l lsr 56) in
+        let l = l land mask56 in
+        h < bh || (h = bh && l <= bl)
+      in
+      let gt2 ah al bh bl = ah > bh || (ah = bh && al > bl) in
+      let ge2 ah al bh bl = ah > bh || (ah = bh && al >= bl) in
+      (* Initial one-sided errors: one unit of window truncation plus
+         less than one unit of table truncation (t ≥ lf keeps f·θ·2^-t
+         below a unit). *)
+      let err0 = 2 in
+      (* Estimate fixup, certified: too_low ⟺ X + m⁺ ≥ 1 (or > without
+         high_ok), mirroring Scaling.scale_estimated. *)
+      let sl0 = xl + mpl in
+      let sh0 = xh + mph + (sl0 lsr 56) in
+      let sl0 = sl0 land mask56 in
+      let too_low_true =
+        if high_ok then ge2 sh0 sl0 one_hi 0 else gt2 sh0 sl0 one_hi 0
+      and too_low_false = le2p sh0 sl0 (2 * err0) one_hi 0 in
+      if not (too_low_true || too_low_false) then -1
+      else begin
+        let k = if too_low_true then est + 1 else est in
+        let rec loop n yh yl mph mpl mmh mml errv errm =
+          Robust.Budget.check_output_digits n;
+          let d = yh lsr 56 in
+          if d > 9 then -1
+          else begin
+            let fh = yh land mask56 and fl = yl in
+            (* The emitted digit is certain only if the true fraction
+               cannot reach the next integer. *)
+            if not (le2p fh fl errv one_hi 0) then -1
+            else begin
+              let tc1_true = le2p fh fl errv mmh mml
+              and tc1_false = le2p mmh mml errm fh fl in
+              let sl = fl + mpl in
+              let sh = fh + mph + (sl lsr 56) in
+              let sl = sl land mask56 in
+              let tc2_true =
+                if high_ok then ge2 sh sl one_hi 0 else gt2 sh sl one_hi 0
+              and tc2_false = le2p sh sl (errv + errm) one_hi 0 in
+              if not ((tc1_true || tc1_false) && (tc2_true || tc2_false))
+              then -1
+              else if tc1_false && tc2_false then begin
+                if n >= max_digits then -1
+                else begin
+                  Array.unsafe_set digits (n - 1) d;
+                  let l10 = fl * 10 in
+                  let yh = (fh * 10) + (l10 lsr 56) and yl = l10 land mask56 in
+                  let p10 = mpl * 10 in
+                  let mph = (mph * 10) + (p10 lsr 56)
+                  and mpl = p10 land mask56 in
+                  let m10 = mml * 10 in
+                  let mmh = (mmh * 10) + (m10 lsr 56)
+                  and mml = m10 land mask56 in
+                  loop (n + 1) yh yl mph mpl mmh mml (10 * errv) (10 * errm)
+                end
+              end
+              else begin
+                let last =
+                  if tc1_true && not tc2_true then d
+                  else if tc2_true && not tc1_true then d + 1
+                  else begin
+                    (* Both endpoints in range: the reference breaks the
+                       tie by comparing 2·frac with one; equality (an
+                       exact tie) is never certifiable and falls back,
+                       so the caller's tie strategy is moot on hits. *)
+                    let t2l = (fl lsl 1) land mask56 in
+                    let t2h = (fh lsl 1) + (fl lsr 55) in
+                    if le2p t2h t2l (2 * errv) one_hi 0 then d
+                    else if gt2 t2h t2l one_hi 0 then d + 1
+                    else -2
+                  end
+                in
+                if last < 0 || last > 9 then -1
+                else begin
+                  Array.unsafe_set digits (n - 1) last;
+                  (n lsl 12) lor (k + 1024)
+                end
+              end
+            end
+          end
+        in
+        (* Premultiplied convention: the loop state starts at
+           Y = v·10^(1-k)·2^112 so the first digit is floor(Y).  The two
+           branches call [loop] directly instead of binding a start-state
+           tuple — the kernel is [@lint.no_alloc] and means it. *)
+        if too_low_true then loop 1 xh xl mph mpl mmh mml err0 err0
+        else begin
+          let l10 = xl * 10 in
+          let yh = (xh * 10) + (l10 lsr 56) and yl = l10 land mask56 in
+          let p10 = mpl * 10 in
+          let mph = (mph * 10) + (p10 lsr 56) and mpl = p10 land mask56 in
+          let m10 = mml * 10 in
+          let mmh = (mmh * 10) + (m10 lsr 56) and mml = m10 land mask56 in
+          loop 1 yh yl mph mpl mmh mml (10 * err0) (10 * err0)
+        end
+      end
+    end
+  end
+
+(* Attempt a certified shortest conversion of v = f·2^e.  [mantissa_bits]
+   is bit_length f, [est] the caller's Fast_estimate of ceil(log10 v) —
+   passed in (not recomputed) so the fixup arithmetic is grounded in the
+   {e same} estimate the reference path would use.  Returns the digits
+   (most significant first, no trailing zeros beyond what the loop
+   emitted) and the decimal point position k, or [None] when any step
+   is uncertain. *)
+let convert_shortest ~f ~e ~mantissa_bits ~narrow ~high_ok ~est =
+  let p = Domain.DLS.get pool_key in
+  if p.busy then None
+  else begin
+    p.busy <- true;
+    (* Not [Fun.protect]: the two closures it allocates are measurable
+       at this call rate.  [run] only raises via the budget hooks. *)
+    let r =
+      match run p ~f ~lf:mantissa_bits ~e ~narrow ~high_ok ~est with
+      | r ->
+        p.busy <- false;
+        r
+      | exception ex ->
+        let bt = Printexc.get_raw_backtrace () in
+        p.busy <- false;
+        Printexc.raise_with_backtrace ex bt
+    in
+    if r < 0 then begin
+      if Metrics.enabled () then Metrics.incr m_fallback;
+      None
+    end
+    else begin
+      if Metrics.enabled () then Metrics.incr m_hit;
+      let n = r lsr 12 and k = (r land 0xfff) - 1024 in
+      Some (Array.sub p.digits 0 n, k)
+    end
+  end

@@ -10,6 +10,7 @@ type config = {
   admission_capacity : int;
   cache_capacity : int;
   cache_shards : int;
+  memo_min_us : float;
   default_deadline_ms : int option;
   retry : Supervisor.retry_policy;
   breaker : Service.Breaker.policy;
@@ -22,6 +23,7 @@ let default_config =
     admission_capacity = 256;
     cache_capacity = 4096;
     cache_shards = 8;
+    memo_min_us = 0.;
     default_deadline_ms = None;
     retry = Supervisor.default_retry;
     breaker = Service.Breaker.default_policy;
@@ -34,6 +36,7 @@ type stats = {
   requests : int;
   replies_ok : int;
   cache_hits : int;
+  cache_skips : int;
   replies_degraded : int;
   replies_failed : int;
   shed_queue_full : int;
@@ -70,6 +73,7 @@ type core = {
   mutable n_requests : int;
   mutable n_ok : int;
   mutable n_cache_hits : int;
+  mutable n_cache_skips : int;
   mutable n_deg : int;
   mutable n_failed : int;
   mutable n_shed_full : int;
@@ -120,6 +124,12 @@ let m_shed =
 let m_connections =
   Telemetry.Metrics.counter ~help:"Connections accepted."
     "bdprintd_connections_total"
+
+let m_cache_skips =
+  Telemetry.Metrics.counter
+    ~help:"Memoization skipped: the conversion completed faster than \
+           memo_min_us, so recomputing is cheaper than caching."
+    "bdprintd_cache_skips_total"
 
 let m_proto_errors =
   Telemetry.Metrics.counter
@@ -345,6 +355,7 @@ let convert_one t ~deadline_ms ~tid input : Wire.reply * bool =
         if Telemetry.Flight.enabled () then
           Telemetry.Flight.record ~req:seq ~kind:"admit" input;
         let reply =
+          let ct0 = Unix.gettimeofday () in
           match Supervisor.submit t.sup ?deadline_ms ~tid ~lineno:seq input with
           | () ->
             Mutex.lock w.wm;
@@ -352,9 +363,26 @@ let convert_one t ~deadline_ms ~tid input : Wire.reply * bool =
             Mutex.unlock w.wm;
             (match r.Supervisor.outcome with
             | Supervisor.Done out ->
-              Option.iter (fun memo -> Memo.add memo input out) t.memo;
+              (* Requests the table fast path answers in ~1 us are
+                 cheaper to recompute than to cache (a memo insert costs
+                 a hash, a mutex and eviction pressure on genuinely slow
+                 entries), so sub-threshold conversions skip
+                 memoization.  The clock starts at submit, so queue wait
+                 counts: under load everything memoizes again, which is
+                 exactly when the cache pays. *)
+              let skip =
+                Option.is_some t.memo
+                && t.cfg.memo_min_us > 0.
+                && (Unix.gettimeofday () -. ct0) *. 1e6 < t.cfg.memo_min_us
+              in
+              if skip then begin
+                if Telemetry.Metrics.enabled () then
+                  Telemetry.Metrics.incr m_cache_skips
+              end
+              else Option.iter (fun memo -> Memo.add memo input out) t.memo;
               Mutex.lock c.m;
               c.n_ok <- c.n_ok + 1;
+              if skip then c.n_cache_skips <- c.n_cache_skips + 1;
               Mutex.unlock c.m;
               Wire.Converted out
             | Supervisor.Degraded out ->
@@ -451,6 +479,7 @@ let stats t =
       requests = c.n_requests;
       replies_ok = c.n_ok;
       cache_hits = c.n_cache_hits;
+      cache_skips = c.n_cache_skips;
       replies_degraded = c.n_deg;
       replies_failed = c.n_failed;
       shed_queue_full = c.n_shed_full;
@@ -495,6 +524,7 @@ let stats_json t =
   field "shed_overload" s.shed_overload;
   field "shed_draining" s.shed_draining;
   field "proto_errors" s.proto_errors;
+  field "cache_skips" s.cache_skips;
   field "cache_entries" s.cache.Memo.entries;
   field "cache_misses" s.cache.Memo.misses;
   field "cache_evictions" s.cache.Memo.evictions;
@@ -751,6 +781,7 @@ let start ?(config = default_config) ~convert spec =
         n_requests = 0;
         n_ok = 0;
         n_cache_hits = 0;
+        n_cache_skips = 0;
         n_deg = 0;
         n_failed = 0;
         n_shed_full = 0;

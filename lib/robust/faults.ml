@@ -94,6 +94,8 @@ let disarm_all () = sync []
 let armed name =
   List.exists (fun a -> String.equal a.point name) (Atomic.get armed_points)
 
+let any_armed () = Atomic.get armed_count > 0
+
 let probability name =
   List.find_map
     (fun a ->

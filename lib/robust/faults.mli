@@ -79,6 +79,13 @@ val disarm_all : unit -> unit
 val armed : string -> bool
 (** True if the point is armed with any schedule. *)
 
+val any_armed : unit -> bool
+(** True if {e any} point is armed — a single atomic load, cheap enough
+    to consult on every conversion.  Fast paths that cannot reproduce
+    the reference pipeline's trip sites byte-for-byte use this to stand
+    aside while fault injection is active, so differential chaos runs
+    always exercise the instrumented kernels. *)
+
 val probability : string -> float option
 (** The armed probability of a point, or [None] if disarmed or armed
     with an [At_call] schedule. *)

@@ -36,6 +36,7 @@ type stage = Tracing.stage =
   | Worker_service
   | Memo_lookup
   | Request
+  | Fastpath
 
 let all = Tracing.all
 
@@ -56,6 +57,7 @@ let index = function
   | Worker_service -> 11
   | Memo_lookup -> 12
   | Request -> 13
+  | Fastpath -> 14
 
 (* Log-linear nanosecond bounds, 100ns to 10ms: the pipeline stages
    sit under a microsecond, a queued service round trip reaches

@@ -28,6 +28,7 @@ type stage = Tracing.stage =
   | Worker_service
   | Memo_lookup
   | Request
+  | Fastpath
 
 val all : stage list
 val stage_name : stage -> string

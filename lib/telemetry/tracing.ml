@@ -40,11 +40,12 @@ type stage =
   | Worker_service
   | Memo_lookup
   | Request
+  | Fastpath
 
 let all =
   [ Parse; Boundaries; Scale; Generate; Render; Client_attempt;
     Client_backoff; Client_hedge; Wire_read; Wire_write; Queue_wait;
-    Worker_service; Memo_lookup; Request ]
+    Worker_service; Memo_lookup; Request; Fastpath ]
 
 let stage_name = function
   | Parse -> "parse"
@@ -61,6 +62,7 @@ let stage_name = function
   | Worker_service -> "worker-service"
   | Memo_lookup -> "memo-lookup"
   | Request -> "request"
+  | Fastpath -> "fastpath"
 
 type event = {
   ev_tid : int;

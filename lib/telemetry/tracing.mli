@@ -33,6 +33,7 @@ type stage =
   | Worker_service
   | Memo_lookup
   | Request
+  | Fastpath
 
 val all : stage list
 val stage_name : stage -> string

@@ -189,13 +189,26 @@ let print_opt fmt input =
       Alcotest.failf "print_value failed on %S: %s" (short input)
         (Robust.Error.to_string e))
 
+let without_fastpath f =
+  let was = Dragon.Printer.fastpath_enabled () in
+  Dragon.Printer.set_fastpath_enabled false;
+  Fun.protect ~finally:(fun () -> Dragon.Printer.set_fastpath_enabled was) f
+
+(* Three-way agreement: the default dispatch (table-driven fast path
+   with exact fallback), the exact kernels alone (fast path off, so the
+   scratch/word paths keep their own differential coverage), and the
+   pure-Nat reference. *)
 let check_paths_agree fmt input =
-  let kernel = print_opt fmt input in
+  let fast = print_opt fmt input in
+  let kernel = without_fastpath (fun () -> print_opt fmt input) in
   let pure = with_pure (fun () -> print_opt fmt input) in
+  let str o = Option.value o ~default:"<unread>" in
   if kernel <> pure then
     Alcotest.failf "scratch/pure mismatch on %S: %s vs %s" (short input)
-      (Option.value kernel ~default:"<unread>")
-      (Option.value pure ~default:"<unread>")
+      (str kernel) (str pure);
+  if fast <> pure then
+    Alcotest.failf "fastpath/pure mismatch on %S: %s vs %s" (short input)
+      (str fast) (str pure)
 
 let test_scratch_pure_differential () =
   Alcotest.(check bool) "force_pure off" false (Dragon.Generate.force_pure ());
@@ -252,6 +265,45 @@ let test_scratch_pure_differential () =
       if not same then
         Alcotest.failf "fixed-format scratch/pure mismatch on %h"
           (Int64.float_of_bits payload)
+    | _ -> ()
+  done
+
+(* The fast path only dispatches on free-format conversions, so fixed
+   format and the %e/%f/%g renderings must be bit-for-bit invariant
+   under the dispatch gate — printed with the fast path enabled and
+   disabled, every format agrees (and free format additionally agrees
+   with the pure reference via check_paths_agree above). *)
+let test_fastpath_format_invariance () =
+  let st = Random.State.make [| seed; 9 |] in
+  let done_ = ref 0 in
+  while !done_ < 400 do
+    let payload =
+      Int64.logand (Random.State.int64 st Int64.max_int) 0x7FFF_FFFF_FFFF_FFFFL
+    in
+    let x = Int64.float_of_bits payload in
+    match Fp.Ieee.decompose x with
+    | Value.Finite v ->
+      incr done_;
+      let precision = Random.State.int st 18 in
+      let check what f =
+        let fast = f () in
+        let slow = without_fastpath f in
+        if fast <> slow then
+          Alcotest.failf "%s differs under fastpath gate on %h: %S vs %S" what
+            x fast slow
+      in
+      check "%e" (fun () -> Dragon.Cformat.e ~precision x);
+      check "%f" (fun () -> Dragon.Cformat.f ~precision x);
+      check "%g" (fun () -> Dragon.Cformat.g ~precision x);
+      let req = Dragon.Fixed_format.Relative (1 + Random.State.int st 17) in
+      let fixed () =
+        match Dragon.Fixed_format.convert b64 v req with
+        | Ok r -> Dragon.Render.fixed ~neg:v.Fp.Value.neg ~base:10 r
+        | Error e -> "error: " ^ Robust.Error.to_string e
+      in
+      let fast = fixed () and slow = without_fastpath fixed in
+      if fast <> slow then
+        Alcotest.failf "fixed format differs under fastpath gate on %h" x
     | _ -> ()
   done
 
@@ -386,6 +438,8 @@ let () =
               test_fixed_half_quantum;
             Alcotest.test_case "scratch path byte-identical to pure path" `Slow
               test_scratch_pure_differential;
+            Alcotest.test_case "formats invariant under fastpath gate" `Quick
+              test_fastpath_format_invariance;
             Alcotest.test_case "totality under injected faults" `Quick
               test_fault_totality;
             Alcotest.test_case "kernel/pure agree under injected faults" `Quick

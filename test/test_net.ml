@@ -467,6 +467,34 @@ let test_server_overload_shed () =
       Alcotest.(check bool) "overload shed counted" true
         (s.Server.shed_overload >= 1))
 
+(* Memoization skip: with memo_min_us set above any realistic service
+   time, every conversion is "too fast to be worth caching" — repeats
+   recompute (no cache hits), the skip counter advances, and the STATS
+   dump carries the new field.  The inverse (memo_min_us = 0 memoizes
+   everything) is the library default every other test runs under. *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_server_memo_skip () =
+  let config = { Server.default_config with Server.memo_min_us = 1e9 } in
+  with_server ~config (fun server port ->
+      let c = connect port in
+      send c "CONV 0.1\nCONV 0.1\n";
+      Alcotest.(check bool) "a" true (recv_reply c = Wire.Converted "0.1");
+      Alcotest.(check bool) "b" true (recv_reply c = Wire.Converted "0.1");
+      send c "STATS\n";
+      (match recv_reply c with
+      | Wire.Payload { verb = "STATS"; body } ->
+        Alcotest.(check bool) "stats carries cache_skips" true
+          (contains body "\"cache_skips\":2")
+      | r -> Alcotest.failf "bad STATS: %s" (Wire.render_reply r));
+      close c;
+      let s = Server.stats server in
+      Alcotest.(check int) "no cache hits" 0 s.Server.cache_hits;
+      Alcotest.(check int) "both skipped" 2 s.Server.cache_skips)
+
 (* Watchdog: a wedged worker (alive but stalled far past the request's
    deadline) must not capture its request forever — the watchdog answers
    with a structured budget timeout, replaces the worker, and the next
@@ -771,6 +799,7 @@ let () =
             test_server_pipelined_proto_resync;
           Alcotest.test_case "shedding" `Quick test_server_shedding;
           Alcotest.test_case "overload-shed" `Quick test_server_overload_shed;
+          Alcotest.test_case "memo-skip" `Quick test_server_memo_skip;
           Alcotest.test_case "worker-wedge" `Quick test_server_worker_wedge;
           Alcotest.test_case "deadline" `Quick test_server_deadline;
           Alcotest.test_case "drain-loses-nothing" `Quick
