@@ -28,6 +28,10 @@ let print_value_exn ?(base = 10) ?mode ?strategy ?tie ?notation fmt value =
     let s = Render.free ?notation ~neg:v.neg ~base result in
     Telemetry.Trace.finish Telemetry.Trace.Render t0;
     s
+[@@lint.can_raise
+  Robust.Error.E
+  (* the [_exn] suffix is the contract: budget/range failures raise;
+     [print_value] is the total variant *)]
 
 let print_value ?base ?mode ?strategy ?tie ?notation fmt value =
   Robust.Error.catch (fun () ->
@@ -51,8 +55,12 @@ let print_fixed ?(base = 10) ?mode ?tie ?notation request x =
       (* documented raising convenience; stream drivers use the catch wrapper *)
     in
     Render.fixed ?notation ~neg:v.neg ~base result
+[@@lint.can_raise
+  Robust.Error.E
+  (* documented raising convenience; stream drivers use the catch wrapper *)]
 
 let shortest x = print x
+  [@@lint.can_raise Robust.Error.E] (* forwards [print]'s contract *)
 
 let print_hex x =
   match Fp.Ieee.decompose x with
@@ -90,6 +98,10 @@ let print_hex x =
     end;
     Buffer.add_string buf (Printf.sprintf "p%+d" (v.Value.e + 52));
     Buffer.contents buf
+[@@lint.can_raise
+  Invalid_argument
+  (* [decompose] validates its bit pattern; any float is in range, so
+     this never fires from the public signature *)]
 
 let print_exact ?(base = 10) ?notation x =
   match Fp.Ieee.decompose x with
@@ -102,3 +114,7 @@ let print_exact ?(base = 10) ?notation x =
         { v with neg = false }
     in
     Render.free ?notation ~neg:v.neg ~base { Free_format.digits; k }
+[@@lint.can_raise
+  Invalid_argument
+  (* documented raising convenience: base validation and the exact
+     oracle raise on misuse; daemon paths pre-validate the base *)]

@@ -46,6 +46,15 @@ let mask28 = (1 lsl 28) - 1
 let mask56 = (1 lsl 56) - 1
 let mask60 = (1 lsl 60) - 1
 
+(* Identity masks for the width certifier (see docs/STATIC_ANALYSIS.md):
+   each is applied where the mathematical invariant (stated at the use
+   site) keeps the value strictly below the mask, so the [land] never
+   clears a set bit at runtime — it only lets the abstract interpreter
+   carry the invariant across an operation it cannot derive itself. *)
+let mask57 = (1 lsl 57) - 1
+let mask58 = (1 lsl 58) - 1
+let mask61 = (1 lsl 61) - 1
+
 (* The fixed-point one: 2^112 in frame units, as a (hi, lo) pair with
    lo = 0. *)
 let one_hi = 1 lsl 56
@@ -106,28 +115,31 @@ let pool_key =
 (* Bits [pos, pos+56) of the little-endian 28-bit-limb number in [win].
    The byte-widest read touches limbs pos/28 .. pos/28+2, so callers
    keep zero padding above the populated limbs. *)
-let[@lint.no_alloc] window56 win pos =
+let[@lint.no_alloc] window56 (win [@lint.width 28]) (pos [@lint.width 8]) =
   let w = pos / 28 and b = pos mod 28 in
   (Array.unsafe_get win w lsr b)
   lor (Array.unsafe_get win (w + 1) lsl (28 - b))
   lor (Array.unsafe_get win (w + 2) lsl (56 - b))
   land mask56
+[@@lint.certified_width 62]
 
 (* Bits [pos, pos+60): the hi limb carries four integer bits on top of
    its 56 fraction bits.  The fourth source limb only contributes when
    the in-limb offset pushes past three limbs' worth of bits. *)
-let[@lint.no_alloc] window60 win pos =
+let[@lint.no_alloc] window60 (win [@lint.width 28]) (pos [@lint.width 8]) =
   let w = pos / 28 and b = pos mod 28 in
   (Array.unsafe_get win w lsr b)
   lor (Array.unsafe_get win (w + 1) lsl (28 - b))
   lor (Array.unsafe_get win (w + 2) lsl (56 - b))
   lor (if b >= 25 then Array.unsafe_get win (w + 3) lsl (84 - b) else 0)
   land mask60
+[@@lint.certified_width 62]
 
 (* winp <- f · c, exactly, in 28-bit limbs: f = f1·2^28 + f0 against the
    five limbs of c already loaded in [winc].  Splitting f keeps every
    partial product at or below 2^56 with carry headroom to spare. *)
-let[@lint.no_alloc] fill_product winp winc f =
+let[@lint.no_alloc] fill_product (winp [@lint.width 28]) (winc [@lint.width 28])
+    (f [@lint.width 53]) =
   let c0 = Array.unsafe_get winc 0
   and c1 = Array.unsafe_get winc 1
   and c2 = Array.unsafe_get winc 2
@@ -157,12 +169,15 @@ let[@lint.no_alloc] fill_product winp winc f =
   Array.unsafe_set winp 4 (s4 land mask28);
   Array.unsafe_set winp 5 (s5 land mask28);
   Array.unsafe_set winp 6 s6
+[@@lint.certified_width 62]
 
 (* The certified digit loop.  Returns (n lsl 12) lor (k + 1024) with
    the n digits in [p.digits], or [-1] for an uncertain verdict.  All
    comparisons are between one-sided intervals [a, a+err): "a_true op
    b_true certainly" demands the op hold across both intervals. *)
-let[@lint.no_alloc] run p ~f ~lf ~e ~narrow ~high_ok ~est =
+let[@lint.no_alloc] run p ~f:(f [@lint.width 53]) ~lf:(lf [@lint.width 6])
+    ~e:(e [@lint.width_signed 12]) ~narrow ~high_ok
+    ~est:(est [@lint.width_signed 11]) =
   let q = -est in
   if q < T.q_min || q > T.q_max then -1
   else begin
@@ -176,7 +191,9 @@ let[@lint.no_alloc] run p ~f ~lf ~e ~narrow ~high_ok ~est =
        lands here (t ≈ lf + 14). *)
     if t < lf + 12 || t > 81 then -1
     else begin
-      let winc = p.winc and winp = p.winp and digits = p.digits in
+      let (winc [@lint.width 28]) = p.winc
+      and (winp [@lint.width 28]) = p.winp
+      and (digits [@lint.width 4]) = p.digits in
       let base = T.limbs_per_entry * (q - T.q_min) in
       Array.unsafe_set winc 0 (Array.unsafe_get T.limbs base);
       Array.unsafe_set winc 1 (Array.unsafe_get T.limbs (base + 1));
@@ -191,14 +208,21 @@ let[@lint.no_alloc] run p ~f ~lf ~e ~narrow ~high_ok ~est =
       let mmh = if narrow then window60 winc (t + 58) else mph
       and mml = if narrow then window56 winc (t + 2) else mpl in
       (* a + err ≤ b on (hi, lo) frames with a scalar error on the left. *)
-      let le2p ah al err bh bl =
+      let le2p (ah [@lint.width 61]) (al [@lint.width 56])
+          (err [@lint.width 60]) (bh [@lint.width 61]) (bl [@lint.width 56]) =
         let l = al + err in
         let h = ah + (l lsr 56) in
         let l = l land mask56 in
         h < bh || (h = bh && l <= bl)
       in
-      let gt2 ah al bh bl = ah > bh || (ah = bh && al > bl) in
-      let ge2 ah al bh bl = ah > bh || (ah = bh && al >= bl) in
+      let gt2 (ah [@lint.width 61]) (al [@lint.width 56])
+          (bh [@lint.width 61]) (bl [@lint.width 56]) =
+        ah > bh || (ah = bh && al > bl)
+      in
+      let ge2 (ah [@lint.width 61]) (al [@lint.width 56])
+          (bh [@lint.width 61]) (bl [@lint.width 56]) =
+        ah > bh || (ah = bh && al >= bl)
+      in
       (* Initial one-sided errors: one unit of window truncation plus
          less than one unit of table truncation (t ≥ lf keeps f·θ·2^-t
          below a unit). *)
@@ -214,7 +238,10 @@ let[@lint.no_alloc] run p ~f ~lf ~e ~narrow ~high_ok ~est =
       if not (too_low_true || too_low_false) then -1
       else begin
         let k = if too_low_true then est + 1 else est in
-        let rec loop n yh yl mph mpl mmh mml errv errm =
+        let rec loop (n [@lint.width 5]) (yh [@lint.width 61])
+            (yl [@lint.width 56]) (mph [@lint.width 61]) (mpl [@lint.width 56])
+            (mmh [@lint.width 61]) (mml [@lint.width 56])
+            (errv [@lint.width 58]) (errm [@lint.width 58]) =
           Robust.Budget.check_output_digits n;
           let d = yh lsr 56 in
           if d > 9 then -1
@@ -227,7 +254,8 @@ let[@lint.no_alloc] run p ~f ~lf ~e ~narrow ~high_ok ~est =
               let tc1_true = le2p fh fl errv mmh mml
               and tc1_false = le2p mmh mml errm fh fl in
               let sl = fl + mpl in
-              let sh = fh + mph + (sl lsr 56) in
+              (* fraction + m⁺ < 2 frame units ≪ 2^61: mask61 is identity *)
+              let sh = (fh + mph + (sl lsr 56)) land mask61 in
               let sl = sl land mask56 in
               let tc2_true =
                 if high_ok then ge2 sh sl one_hi 0 else gt2 sh sl one_hi 0
@@ -238,15 +266,22 @@ let[@lint.no_alloc] run p ~f ~lf ~e ~narrow ~high_ok ~est =
                 if n >= max_digits then -1
                 else begin
                   Array.unsafe_set digits (n - 1) d;
+                  (* On the continue branch tc2 is certainly false:
+                     fraction + m⁺ < 1 frame unit, so each scaled hi part
+                     is below 2^57 (mask57 identities) and the errors stay
+                     below 2·10^17 < 2^58 (mask58 identities, see the
+                     header's error discipline). *)
                   let l10 = fl * 10 in
                   let yh = (fh * 10) + (l10 lsr 56) and yl = l10 land mask56 in
                   let p10 = mpl * 10 in
-                  let mph = (mph * 10) + (p10 lsr 56)
+                  let mph = ((mph land mask57) * 10) + (p10 lsr 56)
                   and mpl = p10 land mask56 in
                   let m10 = mml * 10 in
-                  let mmh = (mmh * 10) + (m10 lsr 56)
+                  let mmh = ((mmh land mask57) * 10) + (m10 lsr 56)
                   and mml = m10 land mask56 in
-                  loop (n + 1) yh yl mph mpl mmh mml (10 * errv) (10 * errm)
+                  loop (n + 1) yh yl mph mpl mmh mml
+                    ((10 * errv) land mask58)
+                    ((10 * errm) land mask58)
                 end
               end
               else begin
@@ -280,17 +315,23 @@ let[@lint.no_alloc] run p ~f ~lf ~e ~narrow ~high_ok ~est =
            tuple — the kernel is [@lint.no_alloc] and means it. *)
         if too_low_true then loop 1 xh xl mph mpl mmh mml err0 err0
         else begin
+          (* Estimate not too low: X + m⁺ < 1 frame unit, so every hi
+             part here is below 2^57 and the mask57s are identities. *)
           let l10 = xl * 10 in
-          let yh = (xh * 10) + (l10 lsr 56) and yl = l10 land mask56 in
+          let yh = ((xh land mask57) * 10) + (l10 lsr 56)
+          and yl = l10 land mask56 in
           let p10 = mpl * 10 in
-          let mph = (mph * 10) + (p10 lsr 56) and mpl = p10 land mask56 in
+          let mph = ((mph land mask57) * 10) + (p10 lsr 56)
+          and mpl = p10 land mask56 in
           let m10 = mml * 10 in
-          let mmh = (mmh * 10) + (m10 lsr 56) and mml = m10 land mask56 in
+          let mmh = ((mmh land mask57) * 10) + (m10 lsr 56)
+          and mml = m10 land mask56 in
           loop 1 yh yl mph mpl mmh mml (10 * err0) (10 * err0)
         end
       end
     end
   end
+[@@lint.certified_width 62]
 
 (* Attempt a certified shortest conversion of v = f·2^e.  [mantissa_bits]
    is bit_length f, [est] the caller's Fast_estimate of ceil(log10 v) —

@@ -8,6 +8,15 @@
      [@lint.no_alloc]               function whose body must not allocate
      [@lint.alloc_ok "reason"]      cold subtree inside a no_alloc function
      [@lint.always_on "reason"]     telemetry site that skips the enable gate
+     [@lint.blocking_ok "reason"]   deliberate blocking call under a held lock
+     [@lint.lock_order "a<b"]       declares a sanctioned acquisition order
+     [@@lint.certified_width N]     function whose int arithmetic the width
+                                    certifier must prove stays within N bits
+     [@lint.width N]                pattern attribute: this variable (or the
+                                    elements of this array) fits in N unsigned
+                                    bits — a trusted input declaration the
+                                    certifier checks at every internal call
+     [@lint.width_signed N]         same, for N-bit two's-complement values
 *)
 
 open Ppxlib
@@ -18,6 +27,11 @@ let can_raise = "lint.can_raise"
 let no_alloc = "lint.no_alloc"
 let alloc_ok = "lint.alloc_ok"
 let always_on = "lint.always_on"
+let blocking_ok = "lint.blocking_ok"
+let lock_order = "lint.lock_order"
+let certified_width = "lint.certified_width"
+let width = "lint.width"
+let width_signed = "lint.width_signed"
 
 let find name (attrs : attributes) =
   List.find_opt (fun a -> String.equal a.attr_name.txt name) attrs
@@ -40,6 +54,24 @@ let string_payload (a : attribute) =
       ] ->
     Some s
   | _ -> None
+
+(* The integer payload of a width annotation, [@lint.certified_width 62]. *)
+let int_payload (a : attribute) =
+  match a.attr_payload with
+  | PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval
+              ({ pexp_desc = Pexp_constant (Pconst_integer (s, None)); _ }, _);
+          _;
+        };
+      ] ->
+    int_of_string_opt s
+  | _ -> None
+
+let find_int name attrs =
+  match find name attrs with Some a -> int_payload a | None -> None
 
 (* ------------------------------------------------------------------ *)
 (* Longident helpers shared by the rules *)

@@ -1,0 +1,828 @@
+(* The whole-program call graph.
+
+   Every file is parsed once; each compilation unit contributes a table
+   of module-level functions keyed by their (possibly submodule-dotted)
+   name.  Calls are resolved purely syntactically:
+
+   - an unqualified head resolves to a module-level function of the
+     same unit (locally [let]-bound names shadow and are skipped — the
+     facts inside a local function's body are already attributed to the
+     enclosing module-level function, since the local may run whenever
+     it does);
+   - a qualified head [A.B.f] is resolved by trying the last module
+     component as a unit name ([B] -> b.ml, value [f]), then the first
+     component as a unit with a submodule path ([A] -> a.ml, value
+     [B.f]).  [module X = A.B] aliases are expanded first, and [open]ed
+     modules are tried for unqualified heads;
+   - a head whose first module component names a known unit but whose
+     value cannot be found is [Opaque] — the conservative
+     unknown-callee answer; anything else is [External] (stdlib or
+     another library, classified by the per-site tables instead).
+
+   While walking each function body the builder records, per call
+   site, the lexical context the interprocedural rules need: whether
+   the site is under an exception handler, under a suppressing
+   annotation scope, and which mutexes are held.  Lock tracking is
+   branch-aware: the branches of an [if]/[match] are each walked from
+   the entry lock multiset and the continuation resumes from their
+   intersection (a lock released on every path is released; a lock
+   released on only some paths is conservatively dropped as well,
+   which under-approximates held sets but never invents a hold).
+
+   On top of the per-function facts the builder runs three Kleene
+   fixpoints — [may_raise], [blocks] (any blocking operation,
+   including mutex acquisition, for the no-alloc kernels) and
+   [hard_blocks] (unbounded I/O-style blocking only, for the
+   blocking-under-lock rule) — plus the transitive lock-acquisition
+   set used by the lock-order pass. *)
+
+open Ppxlib
+
+type call = {
+  c_loc : Location.t;
+  c_path : string list;  (** alias-expanded head path *)
+  c_guarded : bool;  (** under try/with, Error.catch, or match-exception *)
+  c_sup_exn : bool;  (** under a [@lint.can_raise] scope *)
+  c_sup_alloc : bool;  (** under a [@lint.alloc_ok] scope *)
+  c_sup_block : bool;  (** under a [@lint.blocking_ok] scope *)
+  c_locks : string list;  (** mutexes held at the site, outermost first *)
+}
+
+type raise_site = {
+  r_loc : Location.t;
+  r_what : string;
+  r_guarded : bool;
+  r_suppressed : bool;
+}
+
+type block_site = {
+  b_loc : Location.t;
+  b_what : string;
+  b_wait_on : string option;  (** [Some m] for [Condition.wait _ m] *)
+  b_locks : string list;
+  b_suppressed : bool;
+}
+
+type acquire = { a_lock : string; a_loc : Location.t; a_held : string list }
+
+type fn = {
+  fn_unit : string;
+  fn_name : string;  (** dotted within the unit, e.g. ["Sub.f"] *)
+  fn_file : string;
+  fn_loc : Location.t;
+  fn_attrs : attributes;
+  fn_body : expression;  (** the whole binding RHS, parameter chain included *)
+  fn_calls : call list;
+  fn_raises : raise_site list;
+  fn_block_sites : block_site list;
+  fn_acquires : acquire list;
+}
+
+type unit_info = {
+  u_name : string;
+  u_file : string;
+  u_aliases : (string * string list) list;
+  u_opens : string list list;
+  u_fns : (string, fn) Hashtbl.t;
+  u_consts : (string, expression) Hashtbl.t;
+      (** module-level non-function bindings, for the width pass *)
+}
+
+type resolution = Fn of fn | Opaque | External
+
+(* A raise/blocking witness: either a primitive site in this very
+   function, or a call that reaches one transitively. *)
+type 'a witness = Site of Location.t * 'a | Via of call * string (* fn key *)
+
+type t = {
+  units : (string, unit_info) Hashtbl.t;
+  fn_keys : string list;  (** all "Unit.name" keys, deterministic order *)
+  lock_order_attrs : (string * string) list;
+      (** [@lint.lock_order "a<b"] declarations found on bindings *)
+  may_raise : (string, string witness) Hashtbl.t;
+  blocks : (string, string witness) Hashtbl.t;
+  hard_blocks : (string, string witness) Hashtbl.t;
+  acq_sets : (string, string list) Hashtbl.t;
+}
+
+let fn_key fn = fn.fn_unit ^ "." ^ fn.fn_name
+
+let unit_of_filename file =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename file))
+
+(* ------------------------------------------------------------------ *)
+(* Lock names *)
+
+(* A mutex argument rendered as written — [c.m], [t.core.m],
+   [dump_lock] — prefixed by the lowercased unit for cross-module
+   identity.  Aliased bindings ([let c = t.core]) render differently
+   from the path they alias; the rule docs call this out as an
+   under-approximation. *)
+let rec render_lock_expr (e : expression) =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+    match Attrs.flatten_lid txt with
+    | Some p -> Some (String.concat "." p)
+    | None -> None)
+  | Pexp_field (base, { txt; _ }) -> (
+    match (render_lock_expr base, Attrs.flatten_lid txt) with
+    | Some b, Some p -> Some (b ^ "." ^ String.concat "." p)
+    | _ -> None)
+  | _ -> None
+
+let lock_name ~unit_ e =
+  match render_lock_expr e with
+  | Some s -> String.lowercase_ascii unit_ ^ ":" ^ s
+  | None -> String.lowercase_ascii unit_ ^ ":<expr>"
+
+(* ------------------------------------------------------------------ *)
+(* Building one unit *)
+
+type ctx = {
+  guarded : bool;
+  sup_exn : bool;
+  sup_alloc : bool;
+  sup_block : bool;
+  locals : string list;
+}
+
+type acc = {
+  mutable calls : call list;
+  mutable raises : raise_site list;
+  mutable block_sites : block_site list;
+  mutable acquires : acquire list;
+}
+[@@lint.domain_safe
+  "per-function scratch of a single-domain analysis run, never shared"]
+
+let is_module_component s =
+  String.length s > 0 && s.[0] >= 'A' && s.[0] <= 'Z'
+
+let pattern_names p =
+  let names = ref [] in
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! pattern p =
+        (match p.ppat_desc with
+        | Ppat_var { txt; _ } -> names := txt :: !names
+        | _ -> ());
+        super#pattern p
+    end
+  in
+  it#pattern p;
+  !names
+
+let case_has_exception_pattern (c : case) =
+  let found = ref false in
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! pattern p =
+        (match p.ppat_desc with Ppat_exception _ -> found := true | _ -> ());
+        super#pattern p
+    end
+  in
+  it#pattern c.pc_lhs;
+  !found
+
+let remove_last_occurrence x l =
+  let rec remove_first = function
+    | [] -> []
+    | y :: tl -> if y = x then tl else y :: remove_first tl
+  in
+  List.rev (remove_first (List.rev l))
+
+let intersect_locks a b = List.filter (fun x -> List.mem x b) a
+
+(* The per-function fact walker.  Returns the lock multiset after the
+   expression; records calls/raises/blocking/acquisitions in [acc].
+   [attrs0] is the binding's own attribute list, so a
+   [@@lint.can_raise] / [@@lint.alloc_ok] / [@@lint.blocking_ok] on
+   the function scopes its whole body.  [local_catchers] is the set of
+   same-unit forwarding catchers ([let guarded f = Result.join
+   (Error.catch f)]): applying one guards its arguments exactly like
+   [Error.catch] itself. *)
+let walk_fn ~unit_ ~aliases ~local_catchers ~acc ~attrs0 body0 =
+  let is_catcher path =
+    Classify.is_catcher path
+    || match path with [ n ] -> List.mem n local_catchers | _ -> false
+  in
+  let expand_alias path =
+    match path with
+    | m :: rest when is_module_component m -> (
+      match List.assoc_opt m aliases with
+      | Some target -> target @ rest
+      | None -> path)
+    | _ -> path
+  in
+  let scoped_ctx ctx attrs =
+    let ctx =
+      if Attrs.has Attrs.can_raise attrs then { ctx with sup_exn = true } else ctx
+    in
+    let ctx =
+      if Attrs.has Attrs.alloc_ok attrs then { ctx with sup_alloc = true } else ctx
+    in
+    if Attrs.has Attrs.blocking_ok attrs then { ctx with sup_block = true }
+    else ctx
+  in
+  let record_call ctx locks loc path =
+    acc.calls <-
+      {
+        c_loc = loc;
+        c_path = path;
+        c_guarded = ctx.guarded;
+        c_sup_exn = ctx.sup_exn;
+        c_sup_alloc = ctx.sup_alloc;
+        c_sup_block = ctx.sup_block;
+        c_locks = locks;
+      }
+      :: acc.calls
+  in
+  let record_raise ctx loc what =
+    acc.raises <-
+      {
+        r_loc = loc;
+        r_what = what;
+        r_guarded = ctx.guarded;
+        r_suppressed = ctx.sup_exn;
+      }
+      :: acc.raises
+  in
+  let record_block ctx locks loc what wait_on =
+    acc.block_sites <-
+      {
+        b_loc = loc;
+        b_what = what;
+        b_wait_on = wait_on;
+        b_locks = locks;
+        b_suppressed = ctx.sup_block;
+      }
+      :: acc.block_sites
+  in
+  let rec walk ctx locks (e : expression) =
+    let ctx = scoped_ctx ctx e.pexp_attributes in
+    match e.pexp_desc with
+    | Pexp_ident _ | Pexp_constant _ | Pexp_unreachable | Pexp_extension _
+    | Pexp_new _ | Pexp_override _ | Pexp_object _ | Pexp_pack _ ->
+      locks
+    | Pexp_let (_, vbs, cont) ->
+      let locks =
+        List.fold_left
+          (fun locks vb -> walk ctx locks vb.pvb_expr)
+          locks vbs
+      in
+      let bound = List.concat_map (fun vb -> pattern_names vb.pvb_pat) vbs in
+      walk { ctx with locals = bound @ ctx.locals } locks cont
+    | Pexp_function (params, _, fb) ->
+      (* a closure body runs with whatever the creator held when it is
+         invoked in place (the common immediate-callback shape); walk
+         it in the current context *)
+      let bound =
+        List.concat_map
+          (fun p ->
+            match p.pparam_desc with
+            | Pparam_val (_, _, pat) -> pattern_names pat
+            | Pparam_newtype _ -> [])
+          params
+      in
+      let ctx = { ctx with locals = bound @ ctx.locals } in
+      (match fb with
+      | Pfunction_body b -> ignore (walk ctx locks b)
+      | Pfunction_cases (cases, _, _) ->
+        List.iter (fun c -> ignore (walk_case ctx locks c)) cases);
+      locks
+    | Pexp_apply (head, args) -> walk_apply ctx locks e head args
+    | Pexp_match (scrut, cases) ->
+      let guarded_scrut = List.exists case_has_exception_pattern cases in
+      let locks' =
+        walk { ctx with guarded = ctx.guarded || guarded_scrut } locks scrut
+      in
+      join_cases ctx locks' cases
+    | Pexp_try (body, cases) ->
+      let locks' = walk { ctx with guarded = true } locks body in
+      ignore (join_cases ctx locks cases);
+      locks'
+    | Pexp_tuple es -> List.fold_left (walk ctx) locks es
+    | Pexp_construct (_, arg) | Pexp_variant (_, arg) -> (
+      match arg with Some a -> walk ctx locks a | None -> locks)
+    | Pexp_record (fields, base) ->
+      let locks =
+        match base with Some b -> walk ctx locks b | None -> locks
+      in
+      List.fold_left (fun locks (_, v) -> walk ctx locks v) locks fields
+    | Pexp_field (b, _) -> walk ctx locks b
+    | Pexp_setfield (b, _, v) -> walk ctx (walk ctx locks b) v
+    | Pexp_array es -> List.fold_left (walk ctx) locks es
+    | Pexp_ifthenelse (c, t, f) ->
+      let locks0 = walk ctx locks c in
+      let lt = walk ctx locks0 t in
+      let lf = match f with Some f -> walk ctx locks0 f | None -> locks0 in
+      intersect_locks lt lf
+    | Pexp_sequence (a, b) -> walk ctx (walk ctx locks a) b
+    | Pexp_while (c, body) ->
+      ignore (walk ctx locks c);
+      ignore (walk ctx locks body);
+      locks
+    | Pexp_for (pat, lo, hi, _, body) ->
+      let locks = walk ctx (walk ctx locks lo) hi in
+      ignore (walk { ctx with locals = pattern_names pat @ ctx.locals } locks body);
+      locks
+    | Pexp_constraint (b, _) | Pexp_coerce (b, _, _) | Pexp_lazy b
+    | Pexp_poly (b, _) | Pexp_newtype (_, b) | Pexp_assert b
+    | Pexp_setinstvar (_, b) | Pexp_send (b, _) ->
+      (match e.pexp_desc with
+      | Pexp_assert _ -> record_raise ctx e.pexp_loc "assert raises Assert_failure"
+      | _ -> ());
+      walk ctx locks b
+    | Pexp_letmodule (name, me, cont) ->
+      let _ = name and _ = me in
+      walk ctx locks cont
+    | Pexp_letexception (_, cont) -> walk ctx locks cont
+    | Pexp_open (_, cont) -> walk ctx locks cont
+    | Pexp_letop { let_; ands; body; _ } ->
+      let locks =
+        List.fold_left
+          (fun locks (op : binding_op) -> walk ctx locks op.pbop_exp)
+          (walk ctx locks let_.pbop_exp)
+          ands
+      in
+      ignore (walk ctx locks body);
+      locks
+  and walk_case ctx locks (c : case) =
+    let ctx = { ctx with locals = pattern_names c.pc_lhs @ ctx.locals } in
+    let locks =
+      match c.pc_guard with Some g -> walk ctx locks g | None -> locks
+    in
+    walk ctx locks c.pc_rhs
+  and join_cases ctx locks cases =
+    match cases with
+    | [] -> locks
+    | _ ->
+      List.fold_left
+        (fun joined c ->
+          let l = walk_case ctx locks c in
+          match joined with
+          | None -> Some l
+          | Some j -> Some (intersect_locks j l))
+        None cases
+      |> Option.value ~default:locks
+  and walk_apply ctx locks e head args =
+    match Attrs.head_path head with
+    | None ->
+      let locks = walk ctx locks head in
+      List.fold_left (fun locks (_, a) -> walk ctx locks a) locks args
+    | Some path0 -> (
+      let path = expand_alias path0 in
+      let arg n = List.nth_opt args n |> Option.map snd in
+      match () with
+      | _ when Classify.is_mutex_lock path -> (
+        match arg 0 with
+        | Some m ->
+          let name = lock_name ~unit_ m in
+          acc.acquires <-
+            { a_lock = name; a_loc = e.pexp_loc; a_held = locks } :: acc.acquires;
+          locks @ [ name ]
+        | None -> locks)
+      | _ when Classify.is_mutex_unlock path -> (
+        match arg 0 with
+        | Some m -> remove_last_occurrence (lock_name ~unit_ m) locks
+        | None -> locks)
+      | _ when Classify.is_mutex_protect path -> (
+        match (arg 0, arg 1) with
+        | Some m, Some f ->
+          let name = lock_name ~unit_ m in
+          acc.acquires <-
+            { a_lock = name; a_loc = e.pexp_loc; a_held = locks } :: acc.acquires;
+          ignore (walk ctx (locks @ [ name ]) f);
+          locks
+        | _ ->
+          List.fold_left (fun locks (_, a) -> walk ctx locks a) locks args)
+      | _ when Classify.is_condition_wait path ->
+        let wait_on = Option.bind (arg 1) (fun m -> Some (lock_name ~unit_ m)) in
+        record_block ctx locks e.pexp_loc "Condition.wait" wait_on;
+        List.fold_left (fun locks (_, a) -> walk ctx locks a) locks args
+      | _ when Attrs.ends_with ~suffix:[ "Fun"; "protect" ] path ->
+        (* body first, then the ~finally thunk *)
+        let finally, rest =
+          List.partition (fun (l, _) -> l = Labelled "finally") args
+        in
+        let locks' =
+          List.fold_left (fun locks (_, a) -> walk ctx locks a) locks rest
+        in
+        List.fold_left (fun locks (_, a) -> walk ctx locks a) locks' finally
+      | _ ->
+        (match Classify.hard_blocking path with
+        | Some what -> record_block ctx locks e.pexp_loc what None
+        | None -> ());
+        (if is_catcher path then ()
+         else
+           match path with
+           | [ name ] when List.mem name ctx.locals ->
+             (* locally bound: its body's facts are already recorded *)
+             ()
+           | _ -> (
+             match Classify.raiser path0 with
+             | Some what when List.length path0 = 1 || List.length path0 = 2 ->
+               (* a primitive raise site; also record the call so the
+                  alloc pass can resolve [*_exn] internals *)
+               record_raise ctx e.pexp_loc what;
+               record_call ctx locks e.pexp_loc path
+             | _ -> record_call ctx locks e.pexp_loc path));
+        let ctx_args =
+          if is_catcher path then { ctx with guarded = true } else ctx
+        in
+        List.fold_left (fun locks (_, a) -> walk ctx_args locks a) locks args)
+  in
+  let ctx0 =
+    scoped_ctx
+      { guarded = false; sup_exn = false; sup_alloc = false; sup_block = false;
+        locals = [] }
+      attrs0
+  in
+  ignore (walk ctx0 [] body0)
+
+(* A forwarding catcher: a function that applies a known catcher to
+   one of its own parameters ([let guarded f = Result.join (Error.catch
+   f)]).  Call sites that pass a closure to it are guarded the same
+   way a direct [Error.catch (fun () -> ...)] is. *)
+let is_forwarding_catcher (vb : value_binding) =
+  match vb.pvb_expr.pexp_desc with
+  | Pexp_function (params, _, Pfunction_body body) ->
+    let pnames =
+      List.concat_map
+        (fun p ->
+          match p.pparam_desc with
+          | Pparam_val (_, _, pat) -> pattern_names pat
+          | Pparam_newtype _ -> [])
+        params
+    in
+    pnames <> []
+    &&
+    let found = ref false in
+    let it =
+      object
+        inherit Ast_traverse.iter as super
+
+        method! expression e =
+          (match e.pexp_desc with
+          | Pexp_apply (head, args) -> (
+            match Attrs.head_path head with
+            | Some p when Classify.is_catcher p ->
+              if
+                List.exists
+                  (fun (_, a) ->
+                    match a.pexp_desc with
+                    | Pexp_ident { txt = Lident x; _ } -> List.mem x pnames
+                    | _ -> false)
+                  args
+              then found := true
+            | _ -> ())
+          | _ -> ());
+          super#expression e
+      end
+    in
+    it#expression body;
+    !found
+  | _ -> false
+
+let collect_local_catchers (str : structure) =
+  let names = ref [] in
+  let rec go str =
+    List.iter
+      (fun (item : structure_item) ->
+        match item.pstr_desc with
+        | Pstr_value (_, vbs) ->
+          List.iter
+            (fun vb ->
+              match vb.pvb_pat.ppat_desc with
+              | Ppat_var { txt; _ } when is_forwarding_catcher vb ->
+                names := txt :: !names
+              | _ -> ())
+            vbs
+        | Pstr_module
+            { pmb_expr = { pmod_desc = Pmod_structure sub; _ }; _ } ->
+          go sub
+        | _ -> ())
+      str
+  in
+  go str;
+  !names
+
+(* Collect module-level functions, constants, aliases and opens of one
+   parsed unit. *)
+let build_unit ~file (str : structure) ~lock_order_attrs =
+  let unit_ = unit_of_filename file in
+  let info =
+    {
+      u_name = unit_;
+      u_file = file;
+      u_aliases = [];
+      u_opens = [];
+      u_fns = Hashtbl.create 32;
+      u_consts = Hashtbl.create 32;
+    }
+  in
+  let aliases = ref [] in
+  let opens = ref [] in
+  let local_catchers = collect_local_catchers str in
+  let rec items prefix str =
+    List.iter
+      (fun (item : structure_item) ->
+        match item.pstr_desc with
+        | Pstr_module
+            { pmb_name = { txt = Some name; _ }; pmb_expr; pmb_attributes = _; _ }
+          -> (
+          match pmb_expr.pmod_desc with
+          | Pmod_ident { txt; _ } -> (
+            match Attrs.flatten_lid txt with
+            | Some target -> aliases := (name, target) :: !aliases
+            | None -> ())
+          | Pmod_structure sub ->
+            items (prefix @ [ name ]) sub
+          | _ -> ())
+        | Pstr_open { popen_expr = { pmod_desc = Pmod_ident { txt; _ }; _ }; _ }
+          -> (
+          match Attrs.flatten_lid txt with
+          | Some p -> opens := p :: !opens
+          | None -> ())
+        | Pstr_value (_, vbs) ->
+          List.iter
+            (fun vb ->
+              match vb.pvb_pat.ppat_desc with
+              | Ppat_var { txt = name; _ }
+              | Ppat_constraint ({ ppat_desc = Ppat_var { txt = name; _ }; _ }, _)
+                -> (
+                (match Attrs.find Attrs.lock_order vb.pvb_attributes with
+                | Some a -> (
+                  match Attrs.string_payload a with
+                  | Some s -> (
+                    match String.index_opt s '<' with
+                    | Some i when i > 0 && i < String.length s - 1 ->
+                      lock_order_attrs :=
+                        ( String.sub s 0 i,
+                          String.sub s (i + 1) (String.length s - i - 1) )
+                        :: !lock_order_attrs
+                    | _ -> ())
+                  | None -> ())
+                | None -> ());
+                let dotted = String.concat "." (prefix @ [ name ]) in
+                match vb.pvb_expr.pexp_desc with
+                | Pexp_function _ ->
+                  let acc =
+                    { calls = []; raises = []; block_sites = []; acquires = [] }
+                  in
+                  walk_fn ~unit_ ~aliases:!aliases ~local_catchers ~acc
+                    ~attrs0:vb.pvb_attributes vb.pvb_expr;
+                  Hashtbl.replace info.u_fns dotted
+                    {
+                      fn_unit = unit_;
+                      fn_name = dotted;
+                      fn_file = file;
+                      fn_loc = vb.pvb_loc;
+                      fn_attrs = vb.pvb_attributes;
+                      fn_body = vb.pvb_expr;
+                      fn_calls = List.rev acc.calls;
+                      fn_raises = List.rev acc.raises;
+                      fn_block_sites = List.rev acc.block_sites;
+                      fn_acquires = List.rev acc.acquires;
+                    }
+                | _ -> Hashtbl.replace info.u_consts dotted vb.pvb_expr)
+              | _ -> ())
+            vbs
+        | _ -> ())
+      str
+  in
+  items [] str;
+  { info with u_aliases = !aliases; u_opens = !opens }
+
+(* ------------------------------------------------------------------ *)
+(* Resolution *)
+
+let split_path path =
+  let rec go mods = function
+    | m :: rest when is_module_component m -> go (m :: mods) rest
+    | tail -> (List.rev mods, tail)
+  in
+  go [] path
+
+let find_fn t unit_name fn_name =
+  match Hashtbl.find_opt t.units unit_name with
+  | None -> None
+  | Some u -> Hashtbl.find_opt u.u_fns fn_name
+
+let resolve t (from_unit : unit_info) path =
+  let path =
+    match path with
+    | m :: rest when is_module_component m -> (
+      match List.assoc_opt m from_unit.u_aliases with
+      | Some target -> target @ rest
+      | None -> path)
+    | _ -> path
+  in
+  let mods, tail = split_path path in
+  match (mods, tail) with
+  | [], [ v ] -> (
+    match Hashtbl.find_opt from_unit.u_fns v with
+    | Some fn -> Fn fn
+    | None -> (
+      (* via an [open M] *)
+      let via_open =
+        List.find_map
+          (fun op ->
+            let om, _ = split_path op in
+            match List.rev om with
+            | last :: _ -> (
+              match find_fn t last v with Some fn -> Some fn | None -> None)
+            | [] -> None)
+          from_unit.u_opens
+      in
+      match via_open with
+      | Some fn -> Fn fn
+      | None ->
+        if Hashtbl.mem from_unit.u_consts v then Opaque else External))
+  | _ :: _, v_tail -> (
+    let v = String.concat "." v_tail in
+    let last_mod = List.nth mods (List.length mods - 1) in
+    let first_mod = List.hd mods in
+    match find_fn t last_mod v with
+    | Some fn -> Fn fn
+    | None -> (
+      let sub = String.concat "." (List.tl mods @ v_tail) in
+      match if List.length mods > 1 then find_fn t first_mod sub else None with
+      | Some fn -> Fn fn
+      | None ->
+        let known u = Hashtbl.mem t.units u in
+        if v_tail <> [] && (known last_mod || known first_mod) then
+          (* a known unit but no such function: a module-level constant
+             (closure, table) or something we cannot see — the
+             conservative unknown-callee answer *)
+          Opaque
+        else External))
+  | [], _ -> External
+
+(* ------------------------------------------------------------------ *)
+(* Fixpoints *)
+
+let all_fns t f =
+  List.iter
+    (fun key ->
+      let i = String.index key '.' in
+      let unit_name = String.sub key 0 i in
+      let fn_name = String.sub key (i + 1) (String.length key - i - 1) in
+      match find_fn t unit_name fn_name with
+      | Some fn -> f key fn
+      | None -> ())
+    t.fn_keys
+
+let unit_of t fn = Hashtbl.find t.units fn.fn_unit
+
+(* One generic property fixpoint: [seed fn] gives an optional direct
+   witness; a function also has the property if any call matching
+   [eligible] resolves to a function that has it. *)
+let fixpoint t tbl ~seed ~eligible =
+  all_fns t (fun key fn ->
+      match seed fn with
+      | Some w -> Hashtbl.replace tbl key (Site (fst w, snd w))
+      | None -> ());
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    all_fns t (fun key fn ->
+        if not (Hashtbl.mem tbl key) then
+          let u = unit_of t fn in
+          let hit =
+            List.find_map
+              (fun c ->
+                if not (eligible c) then None
+                else
+                  match resolve t u c.c_path with
+                  | Fn g ->
+                    let gk = fn_key g in
+                    if Hashtbl.mem tbl gk then Some (Via (c, gk)) else None
+                  | Opaque | External -> None)
+              fn.fn_calls
+          in
+          match hit with
+          | Some w ->
+            Hashtbl.replace tbl key w;
+            changed := true
+          | None -> ())
+  done
+
+let acq_fixpoint t =
+  all_fns t (fun key fn ->
+      let own = List.map (fun a -> a.a_lock) fn.fn_acquires in
+      Hashtbl.replace t.acq_sets key (List.sort_uniq compare own));
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    all_fns t (fun key fn ->
+        let u = unit_of t fn in
+        let cur = try Hashtbl.find t.acq_sets key with Not_found -> [] in
+        let extra =
+          List.concat_map
+            (fun c ->
+              match resolve t u c.c_path with
+              | Fn g -> (
+                try Hashtbl.find t.acq_sets (fn_key g) with Not_found -> [])
+              | Opaque | External -> [])
+            fn.fn_calls
+        in
+        let merged = List.sort_uniq compare (cur @ extra) in
+        if List.length merged <> List.length cur then begin
+          Hashtbl.replace t.acq_sets key merged;
+          changed := true
+        end)
+  done
+
+let build (sources : (string * structure) list) =
+  let units = Hashtbl.create 64 in
+  let lock_order_attrs = ref [] in
+  List.iter
+    (fun (file, str) ->
+      let u = build_unit ~file str ~lock_order_attrs in
+      (* on a unit-name collision the first parse wins; the repo has
+         none, and resolution stays deterministic either way *)
+      if not (Hashtbl.mem units u.u_name) then Hashtbl.add units u.u_name u)
+    sources;
+  let fn_keys =
+    Hashtbl.fold
+      (fun _ u acc ->
+        Hashtbl.fold (fun _ fn acc -> fn_key fn :: acc) u.u_fns acc)
+      units []
+    |> List.sort_uniq compare
+  in
+  let t =
+    {
+      units;
+      fn_keys;
+      lock_order_attrs = !lock_order_attrs;
+      may_raise = Hashtbl.create 64;
+      blocks = Hashtbl.create 64;
+      hard_blocks = Hashtbl.create 64;
+      acq_sets = Hashtbl.create 64;
+    }
+  in
+  (* may_raise: an unguarded, unsuppressed raise site, or a declared
+     [@lint.can_raise], or an unguarded call to a may_raise function *)
+  fixpoint t t.may_raise
+    ~seed:(fun fn ->
+      if Attrs.has Attrs.can_raise fn.fn_attrs then
+        Some (fn.fn_loc, "declared [@lint.can_raise]")
+      else
+        List.find_map
+          (fun r ->
+            if r.r_guarded || r.r_suppressed then None
+            else Some (r.r_loc, r.r_what))
+          fn.fn_raises)
+    ~eligible:(fun c ->
+      (not (c.c_guarded || c.c_sup_exn))
+      && not
+           (List.exists
+              (fun s -> Attrs.ends_with ~suffix:s c.c_path)
+              Classify.sanctioned_suffixes));
+  (* blocks: any blocking operation, including mutex acquisition —
+     the property a no-alloc kernel must not reach at all *)
+  fixpoint t t.blocks
+    ~seed:(fun fn ->
+      match fn.fn_block_sites with
+      | b :: _ -> Some (b.b_loc, b.b_what)
+      | [] -> (
+        match fn.fn_acquires with
+        | a :: _ -> Some (a.a_loc, "Mutex.lock " ^ a.a_lock)
+        | [] -> None))
+    ~eligible:(fun _ -> true);
+  (* hard_blocks: unbounded I/O-style blocking only (suppressible with
+     [@lint.blocking_ok]) — the property checked under held locks *)
+  fixpoint t t.hard_blocks
+    ~seed:(fun fn ->
+      List.find_map
+        (fun b ->
+          if b.b_suppressed || b.b_wait_on <> None then None
+          else Some (b.b_loc, b.b_what))
+        fn.fn_block_sites)
+    ~eligible:(fun c -> not c.c_sup_block);
+  acq_fixpoint t;
+  t
+
+(* Render the witness chain for a property, e.g.
+   "run -> Budget.check -> Unix.read". *)
+let witness_chain _t tbl key =
+  let rec go key depth =
+    if depth > 6 then [ "..." ]
+    else
+      match Hashtbl.find_opt tbl key with
+      | None -> []
+      | Some (Site (_, what)) -> [ what ]
+      | Some (Via (c, gk)) -> Attrs.path_string c.c_path :: go gk (depth + 1)
+  in
+  go key 0
+
+let witness_loc tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some (Site (loc, _)) -> Some loc
+  | Some (Via (c, _)) -> Some c.c_loc
+  | None -> None

@@ -1,0 +1,100 @@
+(* Shared syntactic classifiers: which application heads raise, which
+   absorb exceptions, which block the calling domain.  Kept in a leaf
+   module so both the per-file rules and the call-graph passes can use
+   them without a dependency cycle.
+
+   All classification is by dotted-path suffix, same as the rest of the
+   analyzer: [Unix.read], [Stdlib.Unix.read] and [U.read] via a module
+   alias all resolve to the same entry once the alias is expanded. *)
+
+(* ------------------------------------------------------------------ *)
+(* Raisers (rule exn-escape) *)
+
+(* catch-style wrappers: every argument subtree is absorbed *)
+let catcher_suffixes = [ [ "Error"; "catch" ] ]
+
+(* the sanctioned structured-error channel: [Error.raise_] throws the
+   one exception every public boundary converts with [Error.catch] *)
+let sanctioned_suffixes = [ [ "Error"; "raise_" ] ]
+
+let is_catcher path =
+  List.exists (fun s -> Attrs.ends_with ~suffix:s path) catcher_suffixes
+
+let raiser path =
+  match path with
+  | [ ("raise" | "raise_notrace" | "failwith" | "invalid_arg" | "exit") ]
+  | [ "Stdlib"; ("raise" | "raise_notrace" | "failwith" | "invalid_arg" | "exit") ]
+    ->
+    Some (Printf.sprintf "%s escapes the result boundary" (Attrs.path_string path))
+  | _ ->
+    if List.exists (fun s -> Attrs.ends_with ~suffix:s path) sanctioned_suffixes
+    then None
+    else if
+      List.exists
+        (fun s -> Attrs.ends_with ~suffix:s path)
+        [ [ "Option"; "get" ]; [ "List"; "hd" ]; [ "List"; "tl" ] ]
+    then
+      Some
+        (Printf.sprintf "partial call %s raises on the empty case"
+           (Attrs.path_string path))
+    else
+      match Attrs.last path with
+      | Some l
+        when String.length l > 4
+             && String.equal (String.sub l (String.length l - 4) 4) "_exn" ->
+        Some
+          (Printf.sprintf "%s is a raising variant" (Attrs.path_string path))
+      | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Blocking primitives (rules blocking / no-alloc reachability) *)
+
+(* Syscalls and channel operations that can park the calling domain.
+   [Mutex.lock] and [Condition.wait] are classified separately: the
+   lock-order rule owns mutex nesting, and a wait is only legitimate on
+   a mutex the caller already holds. *)
+let hard_blocking_unix =
+  [
+    "read"; "write"; "single_write"; "select"; "sleep"; "sleepf"; "connect";
+    "accept"; "recv"; "send"; "sendto"; "recvfrom"; "waitpid"; "system";
+    "getaddrinfo"; "gethostbyname";
+  ]
+
+let hard_blocking_singles =
+  [
+    "open_in"; "open_in_bin"; "open_out"; "open_out_bin"; "open_out_gen";
+    "input_line"; "input"; "really_input"; "really_input_string";
+    "input_char"; "input_byte"; "output_string"; "output_bytes";
+    "output_char"; "output_byte"; "output"; "flush"; "close_in"; "close_out";
+    "print_string"; "print_endline"; "print_newline"; "prerr_string";
+    "prerr_endline"; "read_line";
+  ]
+
+(* [hard_blocking path] classifies an application head as an operation
+   that can block for an unbounded time (I/O, sleeps, joins). *)
+let hard_blocking path =
+  let tail2 m f = Attrs.ends_with ~suffix:[ m; f ] path in
+  match path with
+  | [ s ] | [ "Stdlib"; s ] when List.mem s hard_blocking_singles ->
+    Some (Attrs.path_string path)
+  | _ ->
+    if List.exists (fun f -> tail2 "Unix" f) hard_blocking_unix then
+      Some (Attrs.path_string path)
+    else if tail2 "Domain" "join" || tail2 "Thread" "join" || tail2 "Thread" "delay"
+    then Some (Attrs.path_string path)
+    else if
+      (* channel module APIs *)
+      List.exists
+        (fun m ->
+          match path with
+          | m' :: _ :: _ when String.equal m m' -> true
+          | "Stdlib" :: m' :: _ :: _ when String.equal m m' -> true
+          | _ -> false)
+        [ "In_channel"; "Out_channel" ]
+    then Some (Attrs.path_string path)
+    else None
+
+let is_mutex_lock path = Attrs.ends_with ~suffix:[ "Mutex"; "lock" ] path
+let is_mutex_unlock path = Attrs.ends_with ~suffix:[ "Mutex"; "unlock" ] path
+let is_mutex_protect path = Attrs.ends_with ~suffix:[ "Mutex"; "protect" ] path
+let is_condition_wait path = Attrs.ends_with ~suffix:[ "Condition"; "wait" ] path

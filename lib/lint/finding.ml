@@ -1,20 +1,50 @@
 (* A lint finding: one violated invariant at one source location.
 
-   The four rule families mirror the invariants PRs 1-4 established but
-   the compiler cannot check: exception-free result boundaries,
+   The rule families mirror the invariants the repository established
+   but the compiler cannot check: exception-free result boundaries,
    domain-safe shared state under the worker-domain supervisor,
-   allocation-free digit kernels, and zero-cost-when-disabled
-   telemetry. *)
+   allocation-free digit kernels, zero-cost-when-disabled telemetry,
+   lock discipline in the networked service, and the Q4.112 fixed-point
+   arithmetic staying inside native-int range.
 
-type rule = Domain_safety | Exn_escape | No_alloc | Telemetry_gate
+   [Manifest_stale] is advisory: it flags manifest entries that match
+   no file on disk (a refactor silently disabling a rule) but does not
+   gate the exit code — see [Engine.gating_findings]. *)
 
-let all_rules = [ Domain_safety; Exn_escape; No_alloc; Telemetry_gate ]
+type rule =
+  | Domain_safety
+  | Exn_escape
+  | No_alloc
+  | Telemetry_gate
+  | Blocking
+  | Lock_order
+  | Width
+  | Manifest_stale
+
+let all_rules =
+  [
+    Domain_safety;
+    Exn_escape;
+    No_alloc;
+    Telemetry_gate;
+    Blocking;
+    Lock_order;
+    Width;
+    Manifest_stale;
+  ]
 
 let rule_id = function
   | Domain_safety -> "domain-safety"
   | Exn_escape -> "exn-escape"
   | No_alloc -> "no-alloc"
   | Telemetry_gate -> "telemetry-gate"
+  | Blocking -> "blocking"
+  | Lock_order -> "lock-order"
+  | Width -> "width"
+  | Manifest_stale -> "manifest-stale"
+
+(* Advisory findings report but never gate the exit code. *)
+let gating = function Manifest_stale -> false | _ -> true
 
 type t = { file : string; line : int; col : int; rule : rule; message : string }
 
@@ -28,9 +58,18 @@ let of_loc ~rule ~message (loc : Ppxlib.Location.t) =
     message;
   }
 
+(* Stable report order: (file, line, col, rule) — the rule id breaks
+   ties so JSON diffs are deterministic when two rules fire on the same
+   expression. *)
 let compare_locs a b =
   match String.compare a.file b.file with
-  | 0 -> ( match Int.compare a.line b.line with 0 -> Int.compare a.col b.col | c -> c)
+  | 0 -> (
+    match Int.compare a.line b.line with
+    | 0 -> (
+      match Int.compare a.col b.col with
+      | 0 -> String.compare (rule_id a.rule) (rule_id b.rule)
+      | c -> c)
+    | c -> c)
   | c -> c
 
 (* The CI-greppable rendering: file:line: [rule] message. *)

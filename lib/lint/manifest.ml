@@ -9,11 +9,20 @@
 
      exception-boundary lib/reader/exact.ml
      telemetry-dir lib/dragon
-*)
+     lock-order server:c.m<server:w.wm
 
-type t = { boundaries : string list; telemetry_dirs : string list }
+   A [lock-order a<b] line declares that acquiring [b] while holding
+   [a] is the sanctioned order; the lock-order rule treats declared
+   edges as part of the acquisition graph and reports a cycle only when
+   some edge in it is undeclared. *)
 
-let empty = { boundaries = []; telemetry_dirs = [] }
+type t = {
+  boundaries : string list;
+  telemetry_dirs : string list;
+  lock_orders : (string * string) list;
+}
+
+let empty = { boundaries = []; telemetry_dirs = []; lock_orders = [] }
 
 exception Malformed of string
 
@@ -64,6 +73,17 @@ let parse_line lineno t line =
   | [] -> t
   | [ "exception-boundary"; path ] -> { t with boundaries = path :: t.boundaries }
   | [ "telemetry-dir"; path ] -> { t with telemetry_dirs = path :: t.telemetry_dirs }
+  | [ "lock-order"; pair ] -> (
+    match String.index_opt pair '<' with
+    | Some i when i > 0 && i < String.length pair - 1 ->
+      let a = String.sub pair 0 i in
+      let b = String.sub pair (i + 1) (String.length pair - i - 1) in
+      { t with lock_orders = (a, b) :: t.lock_orders }
+    | _ ->
+      raise
+        (Malformed
+           (Printf.sprintf "line %d: lock-order wants the form a<b, got %S"
+              lineno pair)))
   | directive :: _ ->
     raise
       (Malformed
@@ -75,7 +95,35 @@ let of_string s =
   let t, _ =
     List.fold_left (fun (t, n) line -> (parse_line n t line, n + 1)) (empty, 1) lines
   in
-  { boundaries = List.rev t.boundaries; telemetry_dirs = List.rev t.telemetry_dirs }
+  {
+    boundaries = List.rev t.boundaries;
+    telemetry_dirs = List.rev t.telemetry_dirs;
+    lock_orders = List.rev t.lock_orders;
+  }
+
+(* Manifest validation (rule manifest-stale): every path directive
+   should still match at least one analyzed file; an entry that matches
+   nothing has been orphaned by a refactor and is silently disabling
+   its rule.  Lock-order entries name locks, not paths, so they are
+   exempt. *)
+let stale_entries t ~files =
+  let dir_of f = Filename.dirname f in
+  let stale_boundary pat = not (List.exists (fun f -> suffix_matches ~pat f) files) in
+  let stale_dir pat =
+    not
+      (List.exists
+         (fun f ->
+           in_telemetry_dir { empty with telemetry_dirs = [ pat ] } f
+           || suffix_matches ~pat (dir_of f))
+         files)
+  in
+  List.filter_map
+    (fun pat ->
+      if stale_boundary pat then Some ("exception-boundary " ^ pat) else None)
+    t.boundaries
+  @ List.filter_map
+      (fun pat -> if stale_dir pat then Some ("telemetry-dir " ^ pat) else None)
+      t.telemetry_dirs
 
 let load path =
   let ic = open_in_bin path in

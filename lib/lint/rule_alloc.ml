@@ -205,3 +205,125 @@ let check (sink : Sink.t) str =
     end
   in
   finder#structure str
+
+(* ------------------------------------------------------------------ *)
+(* Interprocedural propagation.
+
+   The per-file pass checks a kernel's own body.  This pass checks what
+   it reaches: every call from a [@lint.no_alloc] kernel must land on a
+   callee that is itself a kernel (checked separately), is marked
+   [@lint.alloc_ok] (counted as a suppression), or can be *proven*
+   allocation-free — its body passes the same scan and all of its own
+   calls resolve to provable callees in turn.  An internal-looking call
+   that cannot be resolved to a visible function is conservatively
+   treated as allocating (the unknown-callee policy).
+
+   Heads the per-site classifier already recognizes (Nat.*, List.*,
+   Printf, ...) are skipped here: the per-file scan reported them. *)
+
+type verdict =
+  | Trusted  (** the callee is itself [@lint.no_alloc] *)
+  | Sanctioned  (** the callee is marked [@lint.alloc_ok] *)
+  | Clean
+  | Dirty of string list  (** call chain ending in an allocation description *)
+
+let check_graph (sink : Sink.t) (g : Callgraph.t) =
+  let memo : (string, verdict) Hashtbl.t = Hashtbl.create 64 in
+  let in_progress : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  (* scan a helper body once, counting its own [@lint.alloc_ok]
+     suppressions globally and collecting the first allocation *)
+  let body_dirt (fn : Callgraph.fn) =
+    let first = ref None in
+    let scan_sink =
+      {
+        Sink.report =
+          (fun _ _ msg -> if !first = None then first := Some msg);
+        suppress = (fun _ -> sink.suppress rule);
+      }
+    in
+    scan_no_alloc_body scan_sink fn.Callgraph.fn_body;
+    !first
+  in
+  let rec prove (fn : Callgraph.fn) : verdict =
+    let key = Callgraph.fn_key fn in
+    if Attrs.has Attrs.no_alloc fn.fn_attrs then Trusted
+    else if Attrs.has Attrs.alloc_ok fn.fn_attrs then Sanctioned
+    else
+      match Hashtbl.find_opt memo key with
+      | Some v -> v
+      | None ->
+        if Hashtbl.mem in_progress key then Clean (* optimistic on recursion *)
+        else begin
+          Hashtbl.add in_progress key ();
+          let v =
+            match body_dirt fn with
+            | Some what -> Dirty [ what ]
+            | None -> (
+              let u = Hashtbl.find g.Callgraph.units fn.fn_unit in
+              let offender =
+                List.find_map
+                  (fun (c : Callgraph.call) ->
+                    if c.c_sup_alloc then None
+                    else if classify_head c.c_path <> None then None
+                      (* the body scan reported it *)
+                    else
+                      match Callgraph.resolve g u c.c_path with
+                      | Callgraph.Fn target -> (
+                        match prove target with
+                        | Trusted | Clean -> None
+                        | Sanctioned ->
+                          sink.suppress rule;
+                          None
+                        | Dirty chain ->
+                          Some (Attrs.path_string c.c_path :: chain))
+                      | Callgraph.Opaque ->
+                        Some
+                          [
+                            Printf.sprintf
+                              "%s is not a visible function (conservative \
+                               unknown-callee policy)"
+                              (Attrs.path_string c.c_path);
+                          ]
+                      | Callgraph.External -> None)
+                  fn.fn_calls
+              in
+              match offender with Some chain -> Dirty chain | None -> Clean)
+          in
+          Hashtbl.remove in_progress key;
+          Hashtbl.replace memo key v;
+          v
+        end
+  in
+  Callgraph.all_fns g (fun _ fn ->
+      if Attrs.has Attrs.no_alloc fn.Callgraph.fn_attrs then
+        let u = Hashtbl.find g.Callgraph.units fn.fn_unit in
+        List.iter
+          (fun (c : Callgraph.call) ->
+            if (not c.c_sup_alloc) && classify_head c.c_path = None then
+              match Callgraph.resolve g u c.c_path with
+              | Callgraph.Fn target -> (
+                match prove target with
+                | Trusted | Clean -> ()
+                | Sanctioned -> sink.suppress rule
+                | Dirty chain ->
+                  sink.report rule c.c_loc
+                    (Printf.sprintf
+                       "[@lint.no_alloc] kernel %s calls %s, which may \
+                        allocate (%s); prove the callee allocation-free or \
+                        mark it [@lint.alloc_ok \"<reason>\"]"
+                       fn.fn_name
+                       (Attrs.path_string c.c_path)
+                       (String.concat " -> "
+                          (Attrs.path_string c.c_path :: chain))))
+              | Callgraph.Opaque ->
+                sink.report rule c.c_loc
+                  (Printf.sprintf
+                     "[@lint.no_alloc] kernel %s calls %s, which cannot be \
+                      resolved to a visible function (conservative \
+                      unknown-callee policy); %s"
+                     fn.fn_name
+                     (Attrs.path_string c.c_path)
+                     advice)
+              | Callgraph.External -> ()
+            else if c.c_sup_alloc then ())
+          fn.fn_calls)

@@ -1,0 +1,82 @@
+(* Rule family: blocking.
+
+   Two contracts, both interprocedural:
+
+   1. A [@lint.no_alloc] kernel must never reach a blocking operation
+      at all — no [Mutex.lock], no [Condition.wait], no [Unix.*] I/O,
+      no [Domain.join] — directly or through any chain of calls.  A
+      digit kernel that can park its domain is not a kernel.  There is
+      no annotation escape hatch for this half: blocking work belongs
+      outside the kernel.
+
+   2. A *hard*-blocking operation (unbounded I/O, sleeps, joins — not
+      mutex acquisition, which the lock-order rule owns, and not
+      [Condition.wait], which is only legal on a held mutex anyway)
+      must not run while a mutex is held, directly or through a call
+      chain, unless the site or callee chain is marked
+      [@lint.blocking_ok "reason"].  Holding a lock across I/O turns
+      every other client of that lock into a hostage of the peer's
+      network behaviour. *)
+
+let rule = Finding.Blocking
+
+let holding locks = String.concat ", " locks
+
+let check_graph (sink : Sink.t) (g : Callgraph.t) =
+  Callgraph.all_fns g (fun key fn ->
+      let u = Hashtbl.find g.Callgraph.units fn.Callgraph.fn_unit in
+      (* 1. kernels reaching any blocking operation *)
+      if Attrs.has Attrs.no_alloc fn.fn_attrs then begin
+        match Hashtbl.find_opt g.blocks key with
+        | None -> ()
+        | Some _ ->
+          let chain = Callgraph.witness_chain g g.blocks key in
+          let loc =
+            match Callgraph.witness_loc g.blocks key with
+            | Some l -> l
+            | None -> fn.fn_loc
+          in
+          sink.report rule loc
+            (Printf.sprintf
+               "[@lint.no_alloc] kernel %s can reach a blocking operation \
+                (%s); a kernel must never park its domain — hoist the \
+                blocking work out of the kernel"
+               fn.fn_name
+               (String.concat " -> " chain))
+      end;
+      (* 2a. primitive hard-blocking sites under a held lock *)
+      List.iter
+        (fun (b : Callgraph.block_site) ->
+          if b.b_wait_on = None && b.b_locks <> [] then
+            if b.b_suppressed then sink.suppress rule
+            else
+              sink.report rule b.b_loc
+                (Printf.sprintf
+                   "%s blocks while holding %s; release the lock around the \
+                    I/O or mark the site [@lint.blocking_ok \"<reason>\"]"
+                   b.b_what (holding b.b_locks)))
+        fn.fn_block_sites;
+      (* 2b. calls under a held lock into hard-blocking functions *)
+      List.iter
+        (fun (c : Callgraph.call) ->
+          if c.c_locks <> [] && Classify.hard_blocking c.c_path = None then
+            match Callgraph.resolve g u c.c_path with
+            | Callgraph.Fn target -> (
+              let tkey = Callgraph.fn_key target in
+              match Hashtbl.find_opt g.hard_blocks tkey with
+              | None -> ()
+              | Some _ ->
+                if c.c_sup_block then sink.suppress rule
+                else
+                  let chain = Callgraph.witness_chain g g.hard_blocks tkey in
+                  sink.report rule c.c_loc
+                    (Printf.sprintf
+                       "call to %s may block (%s) while holding %s; release \
+                        the lock first or mark the call [@lint.blocking_ok \
+                        \"<reason>\"]"
+                       (Attrs.path_string c.c_path)
+                       (String.concat " -> "
+                          (Attrs.path_string c.c_path :: chain))
+                       (holding c.c_locks)))
+            | Callgraph.Opaque | Callgraph.External -> ())
+        fn.fn_calls)

@@ -19,37 +19,8 @@ open Ppxlib
 
 let rule = Finding.Exn_escape
 
-(* catch-style wrappers: every argument subtree is absorbed *)
-let catcher_suffixes = [ [ "Error"; "catch" ] ]
-
-(* the sanctioned structured-error channel *)
-let sanctioned_suffixes = [ [ "Error"; "raise_" ] ]
-
-let raiser path =
-  match path with
-  | [ ("raise" | "raise_notrace" | "failwith" | "invalid_arg" | "exit") ]
-  | [ "Stdlib"; ("raise" | "raise_notrace" | "failwith" | "invalid_arg" | "exit") ]
-    ->
-    Some (Printf.sprintf "%s escapes the result boundary" (Attrs.path_string path))
-  | _ ->
-    if List.exists (fun s -> Attrs.ends_with ~suffix:s path) sanctioned_suffixes
-    then None
-    else if
-      List.exists
-        (fun s -> Attrs.ends_with ~suffix:s path)
-        [ [ "Option"; "get" ]; [ "List"; "hd" ]; [ "List"; "tl" ] ]
-    then
-      Some
-        (Printf.sprintf "partial call %s raises on the empty case"
-           (Attrs.path_string path))
-    else
-      match Attrs.last path with
-      | Some l
-        when String.length l > 4
-             && String.equal (String.sub l (String.length l - 4) 4) "_exn" ->
-        Some
-          (Printf.sprintf "%s is a raising variant" (Attrs.path_string path))
-      | _ -> None
+let catcher_suffixes = Classify.catcher_suffixes
+let raiser = Classify.raiser
 
 let advice =
   "wrap it under Error.catch / try-with, or annotate \
@@ -113,3 +84,59 @@ let check (sink : Sink.t) str =
     end
   in
   visitor#structure str
+
+(* ------------------------------------------------------------------ *)
+(* Interprocedural propagation.
+
+   The per-file pass above owns the primitive raise sites inside a
+   boundary file.  This pass adds the transitive half of the contract:
+   an unguarded call from a boundary function to any function the
+   call-graph fixpoint proved [may_raise] — in whatever module — is a
+   hole in the boundary.  Calls through [Error.raise_] never count
+   (the sanctioned structured-error channel, converted by the
+   boundary's own [Error.catch]), and heads the per-file raiser table
+   already classifies are skipped so nothing is reported twice. *)
+
+let check_graph (sink : Sink.t) ~manifest (g : Callgraph.t) =
+  Hashtbl.iter
+    (fun _ (u : Callgraph.unit_info) ->
+      if Manifest.is_boundary manifest u.u_file then
+        let fns =
+          Hashtbl.fold (fun _ fn acc -> fn :: acc) u.u_fns []
+          |> List.sort (fun a b ->
+                 String.compare a.Callgraph.fn_name b.Callgraph.fn_name)
+        in
+        List.iter
+          (fun (fn : Callgraph.fn) ->
+            List.iter
+              (fun (c : Callgraph.call) ->
+                if
+                  Classify.raiser c.c_path = None
+                  && not
+                       (List.exists
+                          (fun s -> Attrs.ends_with ~suffix:s c.c_path)
+                          Classify.sanctioned_suffixes)
+                then
+                  match Callgraph.resolve g u c.c_path with
+                  | Callgraph.Fn target -> (
+                    let key = Callgraph.fn_key target in
+                    match Hashtbl.find_opt g.may_raise key with
+                    | None -> ()
+                    | Some _ ->
+                      if c.c_guarded then ()
+                      else if c.c_sup_exn then sink.suppress rule
+                      else
+                        let chain =
+                          Callgraph.witness_chain g g.may_raise key
+                        in
+                        sink.report rule c.c_loc
+                          (Printf.sprintf
+                             "call to %s may raise (via %s); %s"
+                             (Attrs.path_string c.c_path)
+                             (String.concat " -> "
+                                (Attrs.path_string c.c_path :: chain))
+                             advice))
+                  | Callgraph.Opaque | Callgraph.External -> ())
+              fn.Callgraph.fn_calls)
+          fns)
+    g.units

@@ -1,0 +1,162 @@
+(* Rule family: lock-order.
+
+   The builder records every mutex acquisition together with the locks
+   already held at that point, and the transitive acquisition set of
+   every function, so nesting through a call ([Mutex.lock a; helper ()]
+   where [helper] locks [b]) contributes the same [a -> b] edge as
+   lexical nesting.  Lock identity is the argument expression as
+   written, prefixed by the unit ([server:c.m]); two names for the same
+   mutex through different bindings are distinct — an under-
+   approximation the STATIC_ANALYSIS doc calls out.
+
+   Findings:
+
+   - a mutex acquired while already held (a self-edge) is an immediate
+     self-deadlock;
+   - a cycle in the acquisition graph ([a] held while taking [b]
+     somewhere, [b] held while taking [a] elsewhere) is a potential
+     deadlock between two domains;
+   - an observed edge whose reverse is declared ([lock-order b<a] in
+     the manifest or [@lint.lock_order "b<a"] on a binding) contradicts
+     the documented discipline even if the cycle's other half is not in
+     this tree.
+
+   A cycle whose every observed edge is declared counts as one
+   suppression: the declaration is the reviewed claim that some other
+   mechanism (trylock, ordering by address, single-domain use) breaks
+   the tie. *)
+
+let rule = Finding.Lock_order
+
+type edge = { e_from : string; e_to : string; e_loc : Ppxlib.Location.t }
+
+let collect_edges (g : Callgraph.t) =
+  let edges = ref [] in
+  Callgraph.all_fns g (fun _ fn ->
+      let u = Hashtbl.find g.Callgraph.units fn.Callgraph.fn_unit in
+      List.iter
+        (fun (a : Callgraph.acquire) ->
+          List.iter
+            (fun h ->
+              edges := { e_from = h; e_to = a.a_lock; e_loc = a.a_loc } :: !edges)
+            a.a_held)
+        fn.fn_acquires;
+      List.iter
+        (fun (c : Callgraph.call) ->
+          if c.c_locks <> [] then
+            match Callgraph.resolve g u c.c_path with
+            | Callgraph.Fn target ->
+              let acq =
+                try Hashtbl.find g.acq_sets (Callgraph.fn_key target)
+                with Not_found -> []
+              in
+              List.iter
+                (fun l ->
+                  List.iter
+                    (fun h ->
+                      edges := { e_from = h; e_to = l; e_loc = c.c_loc } :: !edges)
+                    c.c_locks)
+                acq
+            | Callgraph.Opaque | Callgraph.External -> ())
+        fn.fn_calls);
+  (* dedupe by (from, to), keeping the lexically first location *)
+  let cmp_loc (a : Ppxlib.Location.t) (b : Ppxlib.Location.t) =
+    match String.compare a.loc_start.pos_fname b.loc_start.pos_fname with
+    | 0 -> Int.compare a.loc_start.pos_cnum b.loc_start.pos_cnum
+    | c -> c
+  in
+  List.sort
+    (fun a b ->
+      match String.compare a.e_from b.e_from with
+      | 0 -> (
+        match String.compare a.e_to b.e_to with
+        | 0 -> cmp_loc a.e_loc b.e_loc
+        | c -> c)
+      | c -> c)
+    !edges
+  |> List.fold_left
+       (fun acc e ->
+         match acc with
+         | prev :: _ when prev.e_from = e.e_from && prev.e_to = e.e_to -> acc
+         | _ -> e :: acc)
+       []
+  |> List.rev
+
+(* Tarjan-free SCC via repeated DFS reachability — the lock graphs
+   here have a handful of nodes. *)
+let reaches edges a b =
+  let rec go seen frontier =
+    if List.mem b frontier then true
+    else
+      let next =
+        List.concat_map
+          (fun n ->
+            List.filter_map
+              (fun e -> if e.e_from = n && not (List.mem e.e_to seen) then Some e.e_to else None)
+              edges)
+          frontier
+        |> List.sort_uniq compare
+      in
+      if next = [] then false else go (next @ seen) next
+  in
+  go [ a ] [ a ]
+
+let check_graph (sink : Sink.t) ~(manifest : Manifest.t) (g : Callgraph.t) =
+  let declared = manifest.lock_orders @ g.lock_order_attrs in
+  let is_declared a b = List.mem (a, b) declared in
+  let edges = collect_edges g in
+  let self_edges, edges =
+    List.partition (fun e -> e.e_from = e.e_to) edges
+  in
+  List.iter
+    (fun e ->
+      if is_declared e.e_from e.e_to then sink.suppress rule
+      else
+        sink.report rule e.e_loc
+          (Printf.sprintf
+             "mutex %s is acquired while already held (self-deadlock)"
+             e.e_from))
+    self_edges;
+  (* contradiction of a declared order *)
+  List.iter
+    (fun e ->
+      if is_declared e.e_to e.e_from then
+        sink.report rule e.e_loc
+          (Printf.sprintf
+             "acquiring %s while holding %s contradicts the declared \
+              lock-order %s<%s"
+             e.e_to e.e_from e.e_to e.e_from))
+    edges;
+  (* cycles: an edge that is part of a cycle iff its target reaches its
+     source; report each cycle once via its lexicographically smallest
+     participating edge *)
+  let cyclic = List.filter (fun e -> reaches edges e.e_to e.e_from) edges in
+  let nodes_of es =
+    List.concat_map (fun e -> [ e.e_from; e.e_to ]) es |> List.sort_uniq compare
+  in
+  (* group cyclic edges into strongly connected components by mutual
+     reachability of their endpoints *)
+  let rec components acc = function
+    | [] -> acc
+    | e :: rest ->
+      let same_comp x =
+        reaches edges e.e_from x.e_from && reaches edges x.e_from e.e_from
+      in
+      let comp, others = List.partition same_comp rest in
+      components ((e :: comp) :: acc) others
+  in
+  let comps = components [] cyclic |> List.rev in
+  List.iter
+    (fun comp ->
+      if List.for_all (fun e -> is_declared e.e_from e.e_to) comp then
+        sink.suppress rule
+      else
+        let first = List.hd comp in
+        sink.report rule first.e_loc
+          (Printf.sprintf
+             "potential deadlock: lock acquisition cycle %s (declare the \
+              intended order with lock-order entries in the manifest if a \
+              reviewed mechanism breaks the tie)"
+             (String.concat " -> "
+                (nodes_of comp @ [ List.hd (nodes_of comp) ]))))
+    comps

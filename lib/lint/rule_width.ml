@@ -1,0 +1,1115 @@
+(* Rule family: width — the Q4.112 overflow certifier.
+
+   Functions marked [@@lint.certified_width N] get their int arithmetic
+   abstractly interpreted: every expression is mapped to a conservative
+   interval [lo, hi] with arbitrary-precision bounds (intermediate
+   interval products exceed native range long before the check fires,
+   so bounds are signed Bignum.Nat values).  An operation whose result
+   interval escapes the N-bit two's-complement budget
+   [-2^N, 2^N - 1] is reported; [Int64.*] operations are modelled
+   unsigned with a fixed [0, 2^64 - 1] budget.
+
+   What the interpreter knows:
+
+   - int literals, module-level constants (own unit or through
+     [module T = ...] aliases), and literal int arrays, whose element
+     ranges are computed from the literals themselves — so the 28-bit
+     invariant of the generated power table is *checked*, not assumed;
+   - parameter and let-pattern declarations [@lint.width N] /
+     [@lint.width_signed N]: trusted input facts, re-checked at every
+     internal call site (an argument whose interval may escape the
+     callee's declared width is a finding).  On an array name the
+     declaration bounds the *elements*: reads produce the interval and
+     stores are checked against it;
+   - branch refinement for [x CMP e] conditions (and [&&]/[||]/[not]
+     combinations), so early-exit guards like
+     [if q < T.q_min || q > T.q_max then -1 else ...] narrow [q] in the
+     surviving branch;
+   - local [let]/[let rec] functions: analyzed once against their
+     declared parameter widths, call sites checked against the same.
+
+   Deliberate modular truncation — the windowed-read idiom
+   [(a lsl k) lor b land mask] — is sound for bit-transport operators
+   only: inside the operand of a [land]/[Int64.logand] with a constant
+   mask, [lsl]/[lor]/[lxor] may exceed the budget (the mask cuts the
+   result back), but [+]/[-]/[*] must still fit, because a wrapped
+   product under a mask is garbage, not truncation.  There is no
+   suppression annotation for this rule: if the certifier cannot prove
+   a bound, the code (or a declaration it can check) must change. *)
+
+open Ppxlib
+module Nat = Bignum.Nat
+
+let rule = Finding.Width
+
+(* ------------------------------------------------------------------ *)
+(* Signed arbitrary-precision bounds *)
+
+module Sb = struct
+  type t = int * Nat.t (* sign in {-1,0,1}; sign = 0 iff magnitude = 0 *)
+
+  let norm s m = if Nat.is_zero m then (0, Nat.zero) else (s, m)
+  let zero = (0, Nat.zero)
+  let one = (1, Nat.one)
+
+  let of_int n =
+    if n >= 0 then norm 1 (Nat.of_int n)
+    else norm (-1) (Nat.of_int (-n)) (* literals never reach min_int *)
+
+  let neg (s, m) = (-s, m)
+
+  let compare (sa, ma) (sb, mb) =
+    if sa <> sb then Stdlib.compare sa sb
+    else if sa >= 0 then Nat.compare ma mb
+    else Nat.compare mb ma
+
+  let add (sa, ma) (sb, mb) =
+    if sa = 0 then (sb, mb)
+    else if sb = 0 then (sa, ma)
+    else if sa = sb then (sa, Nat.add ma mb)
+    else
+      let c = Nat.compare ma mb in
+      if c = 0 then zero
+      else if c > 0 then norm sa (Nat.sub ma mb)
+      else norm sb (Nat.sub mb ma)
+
+  let sub a b = add a (neg b)
+  let mul (sa, ma) (sb, mb) = norm (sa * sb) (Nat.mul ma mb)
+  let min a b = if compare a b <= 0 then a else b
+  let max a b = if compare a b >= 0 then a else b
+  let pow2 k = (1, Nat.shift_left Nat.one k)
+  let pred_pow2 k = norm 1 (Nat.sub (Nat.shift_left Nat.one k) Nat.one)
+
+  (* arithmetic shift right with floor semantics *)
+  let shr (s, m) k =
+    if s >= 0 then norm s (Nat.shift_right m k)
+    else
+      let q = Nat.shift_right m k in
+      let exact = Nat.equal (Nat.shift_left q k) m in
+      norm (-1) (if exact then q else Nat.add q Nat.one)
+
+  let div_pos (s, m) c =
+    (* c > 0; floor division *)
+    let q, r = Nat.divmod m c in
+    if s >= 0 then norm s q
+    else norm (-1) (if Nat.is_zero r then q else Nat.add q Nat.one)
+
+  let is_neg (s, _) = s < 0
+  let bits (_, m) = Nat.bit_length m
+  let to_string (s, m) = (if s < 0 then "-" else "") ^ Nat.to_string m
+  let to_int_opt (s, m) = Option.map (fun i -> s * i) (Nat.to_int_opt m)
+end
+
+(* An abstract value: a closed interval, or [top] — "some int we know
+   nothing about beyond the machine representation". *)
+type v = Top | Iv of Sb.t * Sb.t
+
+let exact x = Iv (x, x)
+let native_lo = Sb.neg (Sb.pow2 62)
+let native_hi = Sb.pred_pow2 62
+let native_range = Iv (native_lo, native_hi)
+let i64_lo = Sb.zero
+let i64_hi = Sb.pred_pow2 64
+let i64_range = Iv (i64_lo, i64_hi)
+let bool_v = Iv (Sb.zero, Sb.one)
+
+let concretize ~i64 = function
+  | Top -> if i64 then (i64_lo, i64_hi) else (native_lo, native_hi)
+  | Iv (lo, hi) -> (lo, hi)
+
+let join a b =
+  match (a, b) with
+  | Top, _ | _, Top -> Top
+  | Iv (la, ha), Iv (lb, hb) -> Iv (Sb.min la lb, Sb.max ha hb)
+
+let exact_const = function
+  | Iv (lo, hi) when Sb.compare lo hi = 0 -> Some lo
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Declarations *)
+
+let width_iv n = Iv (Sb.zero, Sb.pred_pow2 n)
+let width_signed_iv n = Iv (Sb.neg (Sb.pow2 (n - 1)), Sb.pred_pow2 (n - 1))
+
+let declared_iv attrs =
+  match Attrs.find_int Attrs.width attrs with
+  | Some n when n > 0 -> Some (width_iv n)
+  | _ -> (
+    match Attrs.find_int Attrs.width_signed attrs with
+    | Some n when n > 0 -> Some (width_signed_iv n)
+    | _ -> None)
+
+let rec pat_info (p : pattern) =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> Some (txt, p.ppat_attributes)
+  | Ppat_constraint (inner, _) -> (
+    match pat_info inner with
+    | Some (n, a) -> Some (n, a @ p.ppat_attributes)
+    | None -> None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Analysis state *)
+
+type lfn = {
+  l_params : (arg_label * string option * v option) list;
+      (** label, name, declared interval *)
+  mutable l_ret : v;
+}
+[@@lint.domain_safe "single-domain analysis state, never shared"]
+
+type env = (string * v) list
+
+type st = {
+  g : Callgraph.t;
+  sink : Sink.t;
+  mutable u : Callgraph.unit_info;
+  mutable cap_bits : int;  (** native budget, from [@@lint.certified_width] *)
+  mutable mute : bool;
+  mutable lfns : (string * lfn) list;
+  consts : (string, v) Hashtbl.t;  (** "Unit.name" -> value (Top if not const) *)
+  const_arrays : (string, v) Hashtbl.t;  (** literal array element ranges *)
+  rets : (string, v) Hashtbl.t;  (** certified fn key -> return interval *)
+  params_memo : (string, (arg_label * string option * v option) list) Hashtbl.t;
+  analyzing : (string, unit) Hashtbl.t;
+}
+[@@lint.domain_safe "single-domain analysis state, never shared"]
+
+let cap_range st = (Sb.neg (Sb.pow2 st.cap_bits), Sb.pred_pow2 st.cap_bits)
+
+let flag st (loc : Location.t) fmt =
+  Printf.ksprintf
+    (fun msg -> if not st.mute then st.sink.report rule loc msg)
+    fmt
+
+let muted st f =
+  let saved = st.mute in
+  st.mute <- true;
+  let r = f () in
+  st.mute <- saved;
+  r
+
+(* check a computed interval against the native budget; returns the
+   clamped value so one overflow doesn't cascade down the whole body *)
+let check_native st loc what v =
+  match v with
+  | Top -> Top
+  | Iv (lo, hi) ->
+    let clo, chi = cap_range st in
+    if Sb.compare hi chi > 0 || Sb.compare lo clo < 0 then begin
+      flag st loc "%s may reach [%s, %s], outside the %d-bit budget" what
+        (Sb.to_string lo) (Sb.to_string hi) st.cap_bits;
+      Iv (Sb.max lo clo, Sb.min hi chi)
+    end
+    else v
+
+let check_i64 st loc what v =
+  match v with
+  | Top -> Top
+  | Iv (lo, hi) ->
+    if Sb.compare hi i64_hi > 0 || Sb.compare lo i64_lo < 0 then begin
+      flag st loc "%s may reach [%s, %s], outside the unsigned 64-bit budget"
+        what (Sb.to_string lo) (Sb.to_string hi);
+      Iv (Sb.max lo i64_lo, Sb.min hi i64_hi)
+    end
+    else v
+
+(* ------------------------------------------------------------------ *)
+(* Literals and module constants *)
+
+let int_literal s =
+  try
+    if String.length s > 0 && s.[0] = '-' then
+      Some
+        (Sb.neg
+           (Sb.norm 1 (Nat.of_string (String.sub s 1 (String.length s - 1)))))
+    else Some (Sb.norm 1 (Nat.of_string s))
+  with _ -> None
+
+let builtin_const path =
+  match path with
+  | [ "max_int" ] | [ "Stdlib"; "max_int" ] -> Some (exact native_hi)
+  | [ "min_int" ] | [ "Stdlib"; "min_int" ] -> Some (exact native_lo)
+  | [ "Int64"; "zero" ] -> Some (exact Sb.zero)
+  | [ "Int64"; "one" ] -> Some (exact Sb.one)
+  | [ "Int64"; "minus_one" ] | [ "Int64"; "max_int" ] -> Some (exact i64_hi)
+  | _ -> None
+
+let expand_alias st path =
+  match path with
+  | m :: rest when String.length m > 0 && m.[0] >= 'A' && m.[0] <= 'Z' -> (
+    match List.assoc_opt m st.u.u_aliases with
+    | Some target -> target @ rest
+    | None -> path)
+  | _ -> path
+
+(* ------------------------------------------------------------------ *)
+(* The interpreter *)
+
+let rec eval st (env : env) ~trunc (e : expression) : v =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_integer (s, _)) -> (
+    match int_literal s with Some x -> exact x | None -> Top)
+  | Pexp_constant _ -> Top
+  | Pexp_ident { txt; _ } -> (
+    match Attrs.flatten_lid txt with
+    | None -> Top
+    | Some [ x ] when List.mem_assoc x env -> List.assoc x env
+    | Some path -> const_value st path)
+  | Pexp_let (rf, vbs, cont) -> eval_let st env ~trunc rf vbs cont
+  | Pexp_sequence (a, b) ->
+    ignore (eval st env ~trunc:false a);
+    eval st env ~trunc b
+  | Pexp_ifthenelse (cond, t, f) -> (
+    ignore (eval st env ~trunc:false cond);
+    let env_t = refine st env cond true in
+    let vt = eval st env_t ~trunc t in
+    match f with
+    | None -> Top
+    | Some f ->
+      let env_f = refine st env cond false in
+      join vt (eval st env_f ~trunc f))
+  | Pexp_match (scrut, cases) ->
+    let sv = eval st env ~trunc:false scrut in
+    eval_cases st env ~trunc ~scrut_v:sv cases
+  | Pexp_try (body, cases) ->
+    let bv = eval st env ~trunc body in
+    join bv (eval_cases st env ~trunc ~scrut_v:Top cases)
+  | Pexp_apply (head, args) -> eval_apply st env ~trunc e head args
+  | Pexp_constraint (b, _) | Pexp_coerce (b, _, _) | Pexp_newtype (_, b)
+  | Pexp_poly (b, _) | Pexp_open (_, b) ->
+    eval st env ~trunc b
+  | Pexp_function (params, _, fb) ->
+    (* a bare closure: analyze its body for internal violations with
+       declared or top parameters; the closure value itself is opaque *)
+    let env' =
+      List.fold_left
+        (fun env p ->
+          match p.pparam_desc with
+          | Pparam_val (_, _, pat) -> (
+            match pat_info pat with
+            | Some (name, attrs) ->
+              (name, Option.value (declared_iv attrs) ~default:Top) :: env
+            | None -> env)
+          | Pparam_newtype _ -> env)
+        env params
+    in
+    (match fb with
+    | Pfunction_body b -> ignore (eval st env' ~trunc:false b)
+    | Pfunction_cases (cases, _, _) ->
+      ignore (eval_cases st env' ~trunc:false ~scrut_v:Top cases));
+    Top
+  | Pexp_tuple es ->
+    List.iter (fun x -> ignore (eval st env ~trunc:false x)) es;
+    Top
+  | Pexp_construct (_, arg) | Pexp_variant (_, arg) ->
+    Option.iter (fun a -> ignore (eval st env ~trunc:false a)) arg;
+    Top
+  | Pexp_record (fields, base) ->
+    Option.iter (fun b -> ignore (eval st env ~trunc:false b)) base;
+    List.iter (fun (_, x) -> ignore (eval st env ~trunc:false x)) fields;
+    Top
+  | Pexp_field (b, _) ->
+    ignore (eval st env ~trunc:false b);
+    Top
+  | Pexp_setfield (b, _, x) ->
+    ignore (eval st env ~trunc:false b);
+    ignore (eval st env ~trunc:false x);
+    Top
+  | Pexp_array es ->
+    List.iter (fun x -> ignore (eval st env ~trunc:false x)) es;
+    Top
+  | Pexp_while (c, body) ->
+    ignore (eval st env ~trunc:false c);
+    ignore (eval st env ~trunc:false body);
+    Top
+  | Pexp_for (pat, lo, hi, _, body) ->
+    let vlo = eval st env ~trunc:false lo in
+    let vhi = eval st env ~trunc:false hi in
+    let env' =
+      match pat_info pat with
+      | Some (name, _) -> (
+        match (vlo, vhi) with
+        | Iv (l, _), Iv (_, h) -> (name, Iv (l, h)) :: env
+        | _ -> (name, native_range) :: env)
+      | None -> env
+    in
+    ignore (eval st env' ~trunc:false body);
+    Top
+  | Pexp_assert b ->
+    ignore (eval st env ~trunc:false b);
+    Top
+  | Pexp_lazy b ->
+    ignore (eval st env ~trunc:false b);
+    Top
+  | _ -> Top
+
+and eval_cases st env ~trunc ~scrut_v cases =
+  List.fold_left
+    (fun acc (c : case) ->
+      let bound =
+        match c.pc_lhs.ppat_desc with
+        | Ppat_var { txt; _ } -> [ (txt, scrut_v) ]
+        | Ppat_alias (_, { txt; _ }) -> [ (txt, scrut_v) ]
+        | _ ->
+          (* any other pattern: bind every name to Top *)
+          let names = ref [] in
+          let it =
+            object
+              inherit Ast_traverse.iter as super
+
+              method! pattern p =
+                (match p.ppat_desc with
+                | Ppat_var { txt; _ } -> names := txt :: !names
+                | _ -> ());
+                super#pattern p
+            end
+          in
+          it#pattern c.pc_lhs;
+          List.map (fun n -> (n, Top)) !names
+      in
+      let env' = bound @ env in
+      Option.iter (fun g -> ignore (eval st env' ~trunc:false g)) c.pc_guard;
+      let v = eval st env' ~trunc c.pc_rhs in
+      match acc with None -> Some v | Some j -> Some (join j v))
+    None cases
+  |> Option.value ~default:Top
+
+and eval_let st env ~trunc rf vbs cont =
+  let env' =
+    List.fold_left
+      (fun env_acc (vb : value_binding) ->
+        match vb.pvb_expr.pexp_desc with
+        | Pexp_function _ -> (
+          match pat_info vb.pvb_pat with
+          | Some (name, _) ->
+            register_local st (if rf = Recursive then env_acc else env) name
+              vb.pvb_expr;
+            env_acc
+          | None -> env_acc)
+        | _ -> (
+          let rhs = eval st env ~trunc:false vb.pvb_expr in
+          match pat_info vb.pvb_pat with
+          | Some (name, attrs) -> (
+            match declared_iv attrs with
+            | Some decl ->
+              (match (rhs, decl) with
+              | Iv (rlo, rhi), Iv (dlo, dhi)
+                when Sb.compare rlo dlo < 0 || Sb.compare rhi dhi > 0 ->
+                flag st vb.pvb_loc
+                  "declared width on %s is narrower than the computed range \
+                   [%s, %s]"
+                  name (Sb.to_string rlo) (Sb.to_string rhi)
+              | _ -> ());
+              (name, decl) :: env_acc
+            | None -> (name, rhs) :: env_acc)
+          | None -> env_acc))
+      env vbs
+  in
+  eval st env' ~trunc cont
+
+and register_local st env name fnexpr =
+  (* collect the parameter chain, then analyze the body against the
+     declared parameter intervals; recursive self-calls see the
+     placeholder (Top return) *)
+  let collect env params (e : expression) =
+    match e.pexp_desc with
+    | Pexp_function (ps, _, fb) ->
+      let env, params =
+        List.fold_left
+          (fun (env, params) p ->
+            match p.pparam_desc with
+            | Pparam_val (label, _, pat) -> (
+              match pat_info pat with
+              | Some (pname, attrs) ->
+                let decl = declared_iv attrs in
+                ( (pname, Option.value decl ~default:Top) :: env,
+                  (label, Some pname, decl) :: params )
+              | None -> (env, (label, None, None) :: params))
+            | Pparam_newtype _ -> (env, params))
+          (env, params) ps
+      in
+      (match fb with
+      | Pfunction_body b -> (env, List.rev params, `Body b)
+      | Pfunction_cases (cases, _, _) -> (env, List.rev params, `Cases cases))
+    | _ -> (env, List.rev params, `Body e)
+  in
+  let env', params, body = collect env [] fnexpr in
+  let l = { l_params = params; l_ret = Top } in
+  st.lfns <- (name, l) :: st.lfns;
+  let ret =
+    match body with
+    | `Body b -> eval st env' ~trunc:false b
+    | `Cases cases -> eval_cases st env' ~trunc:false ~scrut_v:Top cases
+  in
+  l.l_ret <- ret
+
+and const_value st path =
+  match builtin_const path with
+  | Some v -> v
+  | None -> (
+    let path = expand_alias st path in
+    let unit_name, name =
+      match path with
+      | [ x ] -> (st.u.u_name, x)
+      | _ -> (
+        let mods, tail = Callgraph.split_path path in
+        match (List.rev mods, tail) with
+        | last :: _, _ :: _ -> (last, String.concat "." tail)
+        | _ -> ("", ""))
+    in
+    if unit_name = "" then Top
+    else
+      let key = unit_name ^ "." ^ name in
+      match Hashtbl.find_opt st.consts key with
+      | Some v -> v
+      | None ->
+        let v =
+          match Hashtbl.find_opt st.g.Callgraph.units unit_name with
+          | None -> Top
+          | Some u -> (
+            match Hashtbl.find_opt u.u_consts name with
+            | None -> Top
+            | Some expr ->
+              Hashtbl.add st.consts key Top (* cycle guard *);
+              let saved_u = st.u in
+              st.u <- u;
+              let v =
+                muted st (fun () -> eval st [] ~trunc:false expr)
+              in
+              st.u <- saved_u;
+              v)
+        in
+        Hashtbl.replace st.consts key v;
+        v)
+
+and const_array_range st path =
+  let path = expand_alias st path in
+  let unit_name, name =
+    match path with
+    | [ x ] -> (st.u.u_name, x)
+    | _ -> (
+      let mods, tail = Callgraph.split_path path in
+      match (List.rev mods, tail) with
+      | last :: _, _ :: _ -> (last, String.concat "." tail)
+      | _ -> ("", ""))
+  in
+  if unit_name = "" then None
+  else
+    let key = unit_name ^ "." ^ name in
+    match Hashtbl.find_opt st.const_arrays key with
+    | Some v -> Some v
+    | None -> (
+      match Hashtbl.find_opt st.g.Callgraph.units unit_name with
+      | None -> None
+      | Some u -> (
+        match Hashtbl.find_opt u.u_consts name with
+        | Some { pexp_desc = Pexp_array (e0 :: rest); _ } ->
+          let lit e =
+            match e.pexp_desc with
+            | Pexp_constant (Pconst_integer (s, _)) -> int_literal s
+            | Pexp_apply
+                ( { pexp_desc = Pexp_ident { txt = Lident "~-"; _ }; _ },
+                  [ (_, { pexp_desc = Pexp_constant (Pconst_integer (s, _)); _ }) ]
+                ) ->
+              Option.map Sb.neg (int_literal s)
+            | _ -> None
+          in
+          let v =
+            match lit e0 with
+            | None -> Top
+            | Some x0 ->
+              List.fold_left
+                (fun acc e ->
+                  match (acc, lit e) with
+                  | Iv (lo, hi), Some x -> Iv (Sb.min lo x, Sb.max hi x)
+                  | _ -> Top)
+                (exact x0) rest
+          in
+          Hashtbl.replace st.const_arrays key v;
+          Some v
+        | _ -> None))
+
+and refine st env cond pol : env =
+  let comparison l r op =
+    let var e =
+      match e.pexp_desc with
+      | Pexp_ident { txt = Lident x; _ } when List.mem_assoc x env -> Some x
+      | Pexp_ident { txt = Lident x; _ } -> Some x
+      | _ -> None
+    in
+    let bound e = muted st (fun () -> eval st env ~trunc:false e) in
+    let constrain x lo_opt hi_opt =
+      let cur =
+        match List.assoc_opt x env with
+        | Some (Iv (l, h)) -> (l, h)
+        | _ -> (native_lo, native_hi)
+      in
+      let l = match lo_opt with Some l -> Sb.max l (fst cur) | None -> fst cur in
+      let h = match hi_opt with Some h -> Sb.min h (snd cur) | None -> snd cur in
+      let l, h = if Sb.compare l h > 0 then (l, l) (* dead branch *) else (l, h) in
+      (x, Iv (l, h)) :: List.remove_assoc x env
+    in
+    (* normalize to x OP e *)
+    let apply x e op =
+      match bound e with
+      | Top -> env
+      | Iv (elo, ehi) -> (
+        let p1 = Sb.add elo Sb.one and m1 = Sb.sub ehi Sb.one in
+        match (op, pol) with
+        | `Lt, true -> constrain x None (Some m1)
+        | `Lt, false -> constrain x (Some elo) None
+        | `Le, true -> constrain x None (Some ehi)
+        | `Le, false -> constrain x (Some p1) None
+        | `Gt, true -> constrain x (Some p1) None
+        | `Gt, false -> constrain x None (Some ehi)
+        | `Ge, true -> constrain x (Some elo) None
+        | `Ge, false -> constrain x None (Some m1)
+        | `Eq, true -> constrain x (Some elo) (Some ehi)
+        | `Eq, false -> env)
+    in
+    let flip = function `Lt -> `Gt | `Le -> `Ge | `Gt -> `Lt | `Ge -> `Le | `Eq -> `Eq in
+    match (var l, var r) with
+    | Some x, _ when var r = None || not (List.mem_assoc (Option.value (var r) ~default:"") env)
+      -> apply x r op
+    | _, Some y -> apply y l (flip op)
+    | _ -> env
+  in
+  match cond.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt = Lident name; _ }; _ }, args)
+    -> (
+    match (name, args) with
+    | "&&", [ (_, a); (_, b) ] ->
+      if pol then refine st (refine st env a true) b true else env
+    | "||", [ (_, a); (_, b) ] ->
+      if pol then env else refine st (refine st env a false) b false
+    | "not", [ (_, a) ] -> refine st env a (not pol)
+    | "<", [ (_, l); (_, r) ] -> comparison l r `Lt
+    | "<=", [ (_, l); (_, r) ] -> comparison l r `Le
+    | ">", [ (_, l); (_, r) ] -> comparison l r `Gt
+    | ">=", [ (_, l); (_, r) ] -> comparison l r `Ge
+    | "=", [ (_, l); (_, r) ] -> comparison l r `Eq
+    | _ -> env)
+  | _ -> env
+
+and eval_apply st env ~trunc e head args =
+  let loc = e.pexp_loc in
+  let arg n = Option.map snd (List.nth_opt args n) in
+  let ev ?(tr = false) x = eval st env ~trunc:tr x in
+  let ev_all_top () =
+    List.iter (fun (_, a) -> ignore (eval st env ~trunc:false a)) args;
+    Top
+  in
+  match Attrs.head_path head with
+  | None -> ev_all_top ()
+  | Some path0 -> (
+    let path = expand_alias st path0 in
+    let binop () =
+      match (arg 0, arg 1) with
+      | Some a, Some b -> Some (a, b)
+      | _ -> None
+    in
+    let name1 = match path with [ x ] | [ "Stdlib"; x ] -> Some x | _ -> None in
+    match name1 with
+    | Some (("+" | "-" | "*") as op) -> (
+      match binop () with
+      | None -> ev_all_top ()
+      | Some (a, b) -> (
+        match (ev a, ev b) with
+        | (Top as va), vb | va, (Top as vb) ->
+          let alo, ahi = concretize ~i64:false va in
+          let blo, bhi = concretize ~i64:false vb in
+          arith st loc op alo ahi blo bhi
+        | Iv (alo, ahi), Iv (blo, bhi) -> arith st loc op alo ahi blo bhi))
+    | Some "~-" -> (
+      match arg 0 with
+      | Some a -> (
+        match ev a with
+        | Top -> Top
+        | Iv (lo, hi) -> check_native st loc "negation" (Iv (Sb.neg hi, Sb.neg lo)))
+      | None -> ev_all_top ())
+    | Some "land" -> eval_mask st env ~loc args ~i64:false
+    | Some ("lor" | "lxor") -> (
+      match binop () with
+      | None -> ev_all_top ()
+      | Some (a, b) -> bits_or st env ~trunc ~i64:false a b)
+    | Some "lsl" -> eval_shift_left st env ~trunc ~loc ~i64:false args
+    | Some "lsr" -> (
+      match binop () with
+      | None -> ev_all_top ()
+      | Some (a, b) -> shift_right_logical st env ~loc ~i64:false a b)
+    | Some "asr" -> (
+      match binop () with
+      | None -> ev_all_top ()
+      | Some (a, b) -> (
+        let va = ev a and vk = muted st (fun () -> eval st env ~trunc:false b) in
+        match (va, vk) with
+        | Iv (lo, hi), Iv (klo, khi)
+          when (not (Sb.is_neg klo)) && Sb.compare khi (Sb.of_int 62) <= 0 -> (
+          match (Sb.to_int_opt klo, Sb.to_int_opt khi) with
+          | Some kl, Some kh ->
+            let l = if Sb.is_neg lo then Sb.shr lo kl else Sb.shr lo kh in
+            let h = if Sb.is_neg hi then Sb.shr hi kh else Sb.shr hi kl in
+            Iv (l, h)
+          | _ -> Top)
+        | _ -> Top))
+    | Some ("/" | "mod") -> (
+      match binop () with
+      | None -> ev_all_top ()
+      | Some (a, b) -> (
+        let va = ev a and vb = ev b in
+        match (va, vb, exact_const vb) with
+        | Iv (lo, hi), _, Some c when Sb.compare c Sb.zero > 0 -> (
+          match name1 with
+          | Some "/" when not (Sb.is_neg lo) ->
+            Iv (Sb.div_pos lo (snd c), Sb.div_pos hi (snd c))
+          | Some "mod" ->
+            let cm1 = Sb.sub c Sb.one in
+            if Sb.is_neg lo then Iv (Sb.neg cm1, cm1) else Iv (Sb.zero, Sb.min hi cm1)
+          | _ -> Top)
+        | _ -> Top))
+    | Some ("=" | "<" | ">" | "<=" | ">=" | "<>" | "==" | "!=" | "&&" | "||") ->
+      List.iter (fun (_, a) -> ignore (eval st env ~trunc:false a)) args;
+      bool_v
+    | Some "not" ->
+      List.iter (fun (_, a) -> ignore (eval st env ~trunc:false a)) args;
+      bool_v
+    | Some "min" -> (
+      match binop () with
+      | None -> ev_all_top ()
+      | Some (a, b) -> (
+        match (ev a, ev b) with
+        | Iv (la, ha), Iv (lb, hb) -> Iv (Sb.min la lb, Sb.min ha hb)
+        | _ -> Top))
+    | Some "max" -> (
+      match binop () with
+      | None -> ev_all_top ()
+      | Some (a, b) -> (
+        match (ev a, ev b) with
+        | Iv (la, ha), Iv (lb, hb) -> Iv (Sb.max la lb, Sb.max ha hb)
+        | _ -> Top))
+    | Some "abs" -> (
+      match arg 0 with
+      | Some a -> (
+        match ev a with
+        | Iv (lo, hi) ->
+          let m = Sb.max (Sb.neg lo) hi in
+          Iv (Sb.zero, m)
+        | Top -> Top)
+      | None -> ev_all_top ())
+    | Some "succ" -> (
+      match arg 0 with
+      | Some a -> (
+        match ev a with
+        | Iv (lo, hi) ->
+          check_native st loc "succ"
+            (Iv (Sb.add lo Sb.one, Sb.add hi Sb.one))
+        | Top -> Top)
+      | None -> ev_all_top ())
+    | Some "pred" -> (
+      match arg 0 with
+      | Some a -> (
+        match ev a with
+        | Iv (lo, hi) ->
+          check_native st loc "pred"
+            (Iv (Sb.sub lo Sb.one, Sb.sub hi Sb.one))
+        | Top -> Top)
+      | None -> ev_all_top ())
+    | Some "ignore" -> ev_all_top ()
+    | _ -> (
+      match path with
+      | [ "Int64"; op ] | [ "Stdlib"; "Int64"; op ] ->
+        eval_int64 st env ~trunc ~loc op args
+      | [ "Array"; ("unsafe_get" | "get") ] | [ "Stdlib"; "Array"; ("unsafe_get" | "get") ]
+        -> (
+        (match arg 1 with
+        | Some i -> ignore (eval st env ~trunc:false i)
+        | None -> ());
+        match arg 0 with
+        | Some { pexp_desc = Pexp_ident { txt; _ }; _ } -> (
+          match Attrs.flatten_lid txt with
+          | Some [ x ] when List.mem_assoc x env -> List.assoc x env
+          | Some p -> (
+            match const_array_range st p with Some v -> v | None -> Top)
+          | None -> Top)
+        | _ -> Top)
+      | [ "Array"; ("unsafe_set" | "set") ] | [ "Stdlib"; "Array"; ("unsafe_set" | "set") ]
+        -> (
+        (match arg 1 with
+        | Some i -> ignore (eval st env ~trunc:false i)
+        | None -> ());
+        let stored = Option.map (fun x -> eval st env ~trunc:false x) (arg 2) in
+        (match (arg 0, stored) with
+        | Some { pexp_desc = Pexp_ident { txt = Lident x; _ }; _ }, Some sv -> (
+          match List.assoc_opt x env with
+          | Some (Iv (dlo, dhi)) -> (
+            match sv with
+            | Iv (slo, shi)
+              when Sb.compare slo dlo >= 0 && Sb.compare shi dhi <= 0 ->
+              ()
+            | Iv (slo, shi) ->
+              flag st loc
+                "store into %s may be [%s, %s], outside its declared element \
+                 range [%s, %s]"
+                x (Sb.to_string slo) (Sb.to_string shi) (Sb.to_string dlo)
+                (Sb.to_string dhi)
+            | Top ->
+              flag st loc
+                "store into %s is not provably within its declared element \
+                 range"
+                x)
+          | _ -> ())
+        | _ -> ());
+        Top)
+      | [ "Array"; "length" ] | [ "Stdlib"; "Array"; "length" ] ->
+        ignore (ev_all_top ());
+        Iv (Sb.zero, native_hi)
+      | _ -> (
+        (* local functions, then module-level internal calls *)
+        match path with
+        | [ f ] when List.mem_assoc f st.lfns ->
+          let l = List.assoc f st.lfns in
+          check_args st env loc args l.l_params;
+          l.l_ret
+        | _ -> (
+          match Callgraph.resolve st.g st.u path with
+          | Callgraph.Fn target
+            when Attrs.has Attrs.certified_width target.fn_attrs
+                 || Attrs.find_int Attrs.certified_width target.fn_attrs <> None
+            ->
+            let params = fn_params st target in
+            check_args st env loc args params;
+            List.iter (fun (_, a) -> ignore (eval st env ~trunc:false a)) args;
+            fn_return st target
+          | _ -> ev_all_top ()))))
+
+and arith st loc op alo ahi blo bhi =
+  let what = Printf.sprintf "( %s )" op in
+  match op with
+  | "+" -> check_native st loc what (Iv (Sb.add alo blo, Sb.add ahi bhi))
+  | "-" -> check_native st loc what (Iv (Sb.sub alo bhi, Sb.sub ahi blo))
+  | "*" ->
+    let products =
+      [ Sb.mul alo blo; Sb.mul alo bhi; Sb.mul ahi blo; Sb.mul ahi bhi ]
+    in
+    let lo = List.fold_left Sb.min (List.hd products) products in
+    let hi = List.fold_left Sb.max (List.hd products) products in
+    check_native st loc what (Iv (lo, hi))
+  | _ -> Top
+
+and eval_mask st env ~loc args ~i64 =
+  let _ = loc in
+  let name = if i64 then "Int64.logand" else "land" in
+  match args with
+  | [ (_, a); (_, b) ] -> (
+    let ca = muted st (fun () -> eval st env ~trunc:false a) in
+    let cb = muted st (fun () -> eval st env ~trunc:false b) in
+    match (exact_const ca, exact_const cb) with
+    | _, Some c when not (Sb.is_neg c) ->
+      (* the mask forgives bit-transport overflow in the operand *)
+      let va = eval st env ~trunc:true a in
+      ignore (eval st env ~trunc:false b);
+      let hi =
+        match va with
+        | Iv (lo, h) when not (Sb.is_neg lo) -> Sb.min h c
+        | _ -> c
+      in
+      Iv (Sb.zero, hi)
+    | Some c, _ when not (Sb.is_neg c) ->
+      ignore (eval st env ~trunc:false a);
+      let vb = eval st env ~trunc:true b in
+      let hi =
+        match vb with
+        | Iv (lo, h) when not (Sb.is_neg lo) -> Sb.min h c
+        | _ -> c
+      in
+      Iv (Sb.zero, hi)
+    | _ -> (
+      let va = eval st env ~trunc:false a in
+      let vb = eval st env ~trunc:false b in
+      match (va, vb) with
+      | Iv (la, ha), Iv (lb, hb)
+        when (not (Sb.is_neg la)) && not (Sb.is_neg lb) ->
+        Iv (Sb.zero, Sb.min ha hb)
+      | _ ->
+        ignore name;
+        if i64 then i64_range else native_range))
+  | _ ->
+    List.iter (fun (_, x) -> ignore (eval st env ~trunc:false x)) args;
+    Top
+
+and bits_or st env ~trunc ~i64 a b =
+  let va = eval st env ~trunc a in
+  let vb = eval st env ~trunc b in
+  match (va, vb) with
+  | Iv (la, ha), Iv (lb, hb) when (not (Sb.is_neg la)) && not (Sb.is_neg lb) ->
+    let bits = Stdlib.max (Sb.bits ha) (Sb.bits hb) in
+    Iv (Sb.zero, Sb.pred_pow2 bits)
+  | _ -> if i64 then i64_range else native_range
+
+and eval_shift_left st env ~trunc ~loc ~i64 args =
+  match args with
+  | [ (_, a); (_, k) ] -> (
+    let vk = muted st (fun () -> eval st env ~trunc:false k) in
+    ignore (eval st env ~trunc:false k);
+    let va = eval st env ~trunc a in
+    match (va, vk) with
+    | Iv (lo, hi), Iv (klo, khi)
+      when (not (Sb.is_neg klo)) && Sb.compare khi (Sb.of_int 64) <= 0 -> (
+      match (Sb.to_int_opt klo, Sb.to_int_opt khi) with
+      | Some kl, Some kh ->
+        if Sb.is_neg lo then begin
+          if not trunc then
+            flag st loc "lsl of a possibly-negative value is not certifiable";
+          if i64 then i64_range else native_range
+        end
+        else
+          let h = Sb.mul hi (Sb.pow2 kh) in
+          let l = Sb.mul lo (Sb.pow2 kl) in
+          let v = Iv (l, h) in
+          if trunc then v (* a constant mask downstream truncates *)
+          else if i64 then check_i64 st loc "Int64.shift_left" v
+          else check_native st loc "( lsl )" v
+      | _ -> if i64 then i64_range else native_range)
+    | _ -> if i64 then i64_range else native_range)
+  | _ ->
+    List.iter (fun (_, x) -> ignore (eval st env ~trunc:false x)) args;
+    Top
+
+and shift_right_logical st env ~loc ~i64 a b =
+  let _ = loc in
+  let va = eval st env ~trunc:false a in
+  let vk = muted st (fun () -> eval st env ~trunc:false b) in
+  ignore (eval st env ~trunc:false b);
+  let width = if i64 then 64 else 63 in
+  let lo, hi =
+    match va with
+    | Iv (lo, hi) when not (Sb.is_neg lo) -> (lo, hi)
+    | _ -> (Sb.zero, Sb.pred_pow2 width)
+  in
+  match vk with
+  | Iv (klo, khi) when (not (Sb.is_neg klo)) && Sb.compare khi (Sb.of_int width) <= 0
+    -> (
+    match (Sb.to_int_opt klo, Sb.to_int_opt khi) with
+    | Some kl, Some kh -> Iv (Sb.shr lo kh, Sb.shr hi kl)
+    | _ -> Iv (Sb.zero, Sb.pred_pow2 width))
+  | _ -> Iv (Sb.zero, Sb.pred_pow2 width)
+
+and eval_int64 st env ~trunc ~loc op args =
+  let binop () =
+    match args with [ (_, a); (_, b) ] -> Some (a, b) | _ -> None
+  in
+  let unop () = match args with [ (_, a) ] -> Some a | _ -> None in
+  let ev x = eval st env ~trunc:false x in
+  let fallthrough () =
+    List.iter (fun (_, x) -> ignore (eval st env ~trunc:false x)) args;
+    i64_range
+  in
+  match op with
+  | "add" | "sub" | "mul" -> (
+    match binop () with
+    | None -> fallthrough ()
+    | Some (a, b) -> (
+      let sym = match op with "add" -> "+" | "sub" -> "-" | _ -> "*" in
+      match (ev a, ev b) with
+      | Iv (alo, ahi), Iv (blo, bhi) -> (
+        let v =
+          match op with
+          | "add" -> Iv (Sb.add alo blo, Sb.add ahi bhi)
+          | "sub" -> Iv (Sb.sub alo bhi, Sb.sub ahi blo)
+          | _ ->
+            let ps =
+              [ Sb.mul alo blo; Sb.mul alo bhi; Sb.mul ahi blo; Sb.mul ahi bhi ]
+            in
+            Iv
+              ( List.fold_left Sb.min (List.hd ps) ps,
+                List.fold_left Sb.max (List.hd ps) ps )
+        in
+        ignore sym;
+        check_i64 st loc (Printf.sprintf "Int64.%s" op) v)
+      | _ -> i64_range))
+  | "logand" -> eval_mask st env ~loc args ~i64:true
+  | "logor" | "logxor" -> (
+    match binop () with
+    | None -> fallthrough ()
+    | Some (a, b) -> bits_or st env ~trunc ~i64:true a b)
+  | "shift_left" -> eval_shift_left st env ~trunc ~loc ~i64:true args
+  | "shift_right_logical" -> (
+    match binop () with
+    | None -> fallthrough ()
+    | Some (a, b) -> shift_right_logical st env ~loc ~i64:true a b)
+  | "shift_right" -> fallthrough ()
+  | "of_int" -> (
+    match unop () with
+    | None -> fallthrough ()
+    | Some a -> ev a)
+  | "to_int" -> (
+    match unop () with
+    | None -> fallthrough ()
+    | Some a -> (
+      match ev a with
+      | Iv (lo, hi) -> check_native st loc "Int64.to_int" (Iv (lo, hi))
+      | Top -> Top))
+  | "of_int32" | "to_int32" | "of_nativeint" | "to_nativeint" | "of_float"
+  | "to_float" | "of_string" ->
+    fallthrough ()
+  | "compare" | "equal" ->
+    List.iter (fun (_, x) -> ignore (eval st env ~trunc:false x)) args;
+    bool_v
+  | _ -> fallthrough ()
+
+and fn_params st (fn : Callgraph.fn) =
+  let key = Callgraph.fn_key fn in
+  match Hashtbl.find_opt st.params_memo key with
+  | Some ps -> ps
+  | None ->
+    (* only the outermost parameter chain matters; stop at the body *)
+    let rec outer acc (e : expression) =
+      match e.pexp_desc with
+      | Pexp_function (ps, _, fb) -> (
+        let acc =
+          List.fold_left
+            (fun acc p ->
+              match p.pparam_desc with
+              | Pparam_val (label, _, pat) -> (
+                match pat_info pat with
+                | Some (name, attrs) ->
+                  (label, Some name, declared_iv attrs) :: acc
+                | None -> (label, None, None) :: acc)
+              | Pparam_newtype _ -> acc)
+            acc ps
+        in
+        match fb with
+        | Pfunction_body ({ pexp_desc = Pexp_function _; _ } as b) -> outer acc b
+        | _ -> acc)
+      | _ -> acc
+    in
+    let ps = List.rev (outer [] fn.fn_body) in
+    Hashtbl.replace st.params_memo key ps;
+    ps
+
+and check_args st env loc args params =
+  (* match labelled args by label, unlabelled positionally *)
+  let unl_params =
+    List.filter (fun (l, _, _) -> l = Nolabel) params
+  in
+  let pos = ref 0 in
+  List.iter
+    (fun (label, a) ->
+      let param =
+        match label with
+        | Nolabel ->
+          let p = List.nth_opt unl_params !pos in
+          incr pos;
+          p
+        | Labelled l | Optional l ->
+          List.find_opt
+            (fun (pl, _, _) ->
+              match pl with
+              | Labelled l' | Optional l' -> String.equal l l'
+              | Nolabel -> false)
+            params
+      in
+      match param with
+      | Some (_, pname, Some (Iv (dlo, dhi))) -> (
+        let v = muted st (fun () -> eval st env ~trunc:false a) in
+        match v with
+        | Iv (alo, ahi)
+          when Sb.compare alo dlo >= 0 && Sb.compare ahi dhi <= 0 ->
+          ()
+        | Iv (alo, ahi) ->
+          flag st loc
+            "argument%s may be [%s, %s], outside the declared range [%s, %s]"
+            (match pname with Some n -> " for " ^ n | None -> "")
+            (Sb.to_string alo) (Sb.to_string ahi) (Sb.to_string dlo)
+            (Sb.to_string dhi)
+        | Top ->
+          flag st loc
+            "argument%s is not provably within the declared range [%s, %s]"
+            (match pname with Some n -> " for " ^ n | None -> "")
+            (Sb.to_string dlo) (Sb.to_string dhi))
+      | _ -> ())
+    args
+
+and fn_return st (fn : Callgraph.fn) =
+  let key = Callgraph.fn_key fn in
+  match Hashtbl.find_opt st.rets key with
+  | Some v -> v
+  | None ->
+    if Hashtbl.mem st.analyzing key then Top
+    else begin
+      analyze_fn st fn;
+      match Hashtbl.find_opt st.rets key with Some v -> v | None -> Top
+    end
+
+and analyze_fn st (fn : Callgraph.fn) =
+  let key = Callgraph.fn_key fn in
+  if (not (Hashtbl.mem st.rets key)) && not (Hashtbl.mem st.analyzing key) then begin
+    Hashtbl.add st.analyzing key ();
+    let saved_u = st.u and saved_cap = st.cap_bits and saved_lfns = st.lfns in
+    st.u <- Hashtbl.find st.g.Callgraph.units fn.fn_unit;
+    st.cap_bits <-
+      (match Attrs.find_int Attrs.certified_width fn.fn_attrs with
+      | Some n when n >= 8 && n <= 64 -> n
+      | _ -> 62);
+    st.lfns <- [];
+    (* bind declared parameters, walk down to the body *)
+    let rec descend env (e : expression) =
+      match e.pexp_desc with
+      | Pexp_function (ps, _, fb) -> (
+        let env =
+          List.fold_left
+            (fun env p ->
+              match p.pparam_desc with
+              | Pparam_val (_, _, pat) -> (
+                match pat_info pat with
+                | Some (name, attrs) ->
+                  (name, Option.value (declared_iv attrs) ~default:Top) :: env
+                | None -> env)
+              | Pparam_newtype _ -> env)
+            env ps
+        in
+        match fb with
+        | Pfunction_body b -> descend env b
+        | Pfunction_cases (cases, _, _) ->
+          eval_cases st env ~trunc:false ~scrut_v:Top cases)
+      | _ -> eval st env ~trunc:false e
+    in
+    let ret = descend [] fn.fn_body in
+    Hashtbl.replace st.rets key ret;
+    Hashtbl.remove st.analyzing key;
+    st.u <- saved_u;
+    st.cap_bits <- saved_cap;
+    st.lfns <- saved_lfns
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let check_graph (sink : Sink.t) (g : Callgraph.t) =
+  let st =
+    {
+      g;
+      sink;
+      u =
+        (match Hashtbl.fold (fun _ u acc -> u :: acc) g.units [] with
+        | u :: _ -> u
+        | [] -> raise Exit);
+      cap_bits = 62;
+      mute = false;
+      lfns = [];
+      consts = Hashtbl.create 64;
+      const_arrays = Hashtbl.create 8;
+      rets = Hashtbl.create 16;
+      params_memo = Hashtbl.create 16;
+      analyzing = Hashtbl.create 4;
+    }
+  in
+  Callgraph.all_fns g (fun _ fn ->
+      if Attrs.find_int Attrs.certified_width fn.Callgraph.fn_attrs <> None then
+        analyze_fn st fn)
+
+let check_graph sink g =
+  (* an empty tree has nothing to certify *)
+  if Hashtbl.length g.Callgraph.units > 0 then
+    try check_graph sink g with Exit -> ()

@@ -100,7 +100,10 @@ let parse_body s =
               (Number
                  {
                    neg;
-                   digits = Nat.of_string ("0" ^ Buffer.contents digits);
+                   digits =
+                     ((Nat.of_string ("0" ^ Buffer.contents digits))
+                      [@lint.can_raise
+                        Invalid_argument] (* buffer holds only '0'..'9' *));
                    exp10 = exp - !frac_len;
                  })
       end
@@ -141,6 +144,10 @@ let decide_extreme ?mode (fmt : Format_spec.t) ~neg ~base ~bits ~scale =
       (Fp.Softfloat.round_fraction ?mode fmt ~neg Nat.one
          (Nat.shift_left Nat.one k))
   else None
+[@@lint.can_raise
+  Assert_failure
+  (* raising internal: round_fraction asserts its invariants and the
+     budget checks raise Error.E; every caller sits under [guarded] *)]
 
 (* ------------------------------------------------------------------ *)
 (* Correctly rounded conversion *)
@@ -158,6 +165,10 @@ let read_ratio ?(mode = Rounding.To_nearest_even) fmt r =
       ((Bigint.to_nat_exn (Ratio.den abs))
        [@lint.can_raise Invalid_argument] (* Ratio invariant: den > 0 *))
   end
+[@@lint.can_raise
+  Assert_failure
+  (* deliberate raising API: feeds round_fraction directly; callers that
+     sit on a boundary wrap it (oracle, tests run it bare) *)]
 
 let read_decimal ?(mode = Rounding.To_nearest_even) fmt (d : decimal) =
   if Nat.is_zero d.digits then Value.Zero d.neg
@@ -177,6 +188,10 @@ let read_decimal ?(mode = Rounding.To_nearest_even) fmt (d : decimal) =
       in
       Fp.Softfloat.round_fraction ~mode fmt ~neg:d.neg u v
   end
+[@@lint.can_raise
+  Assert_failure
+  (* deliberate raising API: budget checks raise Error.E and the bignum
+     kernels assert invariants; [read] guards it, other callers must *)]
 
 let read_in_base_body ?mode ~base fmt s =
   if base < 2 || base > 36 then
@@ -297,6 +312,10 @@ let read_in_base_body ?mode ~base fmt s =
         end
     end
   end
+[@@lint.can_raise
+  Assert_failure
+  (* raising internal: same contract as [read_decimal]; the public
+     [read_in_base] wraps it under [guarded] *)]
 
 let read_in_base ?mode ~base fmt s =
   guarded (fun () -> read_in_base_body ?mode ~base fmt s)
@@ -309,7 +328,11 @@ let read ?mode fmt s =
       | Ok Not_a_number -> Ok Value.Nan
       | Ok (Number d) -> Ok (read_decimal ?mode fmt d))
 
+(* [compose] runs outside [read]'s guard, so it gets its own: a bit
+   pattern that trips an internal invariant must surface as a structured
+   error here too, not as an escaping exception. *)
 let read_float ?mode s =
-  match read ?mode Format_spec.binary64 s with
-  | Error _ as e -> e
-  | Ok v -> Ok (Fp.Ieee.compose v)
+  guarded (fun () ->
+      match read ?mode Format_spec.binary64 s with
+      | Error _ as e -> e
+      | Ok v -> Ok (Fp.Ieee.compose v))

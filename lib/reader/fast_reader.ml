@@ -12,6 +12,10 @@ let tier_counter tier =
     ~help:"Reader conversions by tier: hardware-exact fast path, \
            extended-precision certified, or exact bignum fallback."
     "bdprint_reader_tier_total"
+[@@lint.can_raise
+  Invalid_argument
+  (* registry rejects malformed metric names at module init — a bad name
+     here is a programming error that should abort startup loudly *)]
 
 let n_exact = tier_counter "exact"
 let n_extended = tier_counter "extended"
@@ -36,6 +40,10 @@ let fallback (d : Exact.decimal) =
   (Telemetry.Metrics.incr n_fallback)
   [@lint.always_on "tier counters back the always-available stats contract"];
   Fp.Ieee.compose (Exact.read_decimal Fp.Format_spec.binary64 d)
+[@@lint.can_raise
+  Assert_failure
+  (* raising internal: inherits [Exact.read_decimal]'s contract; the
+     public [read] wraps every tier under [catch] *)]
 
 (* Tier 2: extended-precision scaling with certification.  [m] is the
    leading (up to 18) decimal digits as an int, [scale] the power of ten
@@ -67,6 +75,10 @@ let extended_tier (d : Exact.decimal) m scale truncated =
       end
     end
   end
+[@@lint.can_raise
+  Assert_failure
+  (* raising internal: [Ext64] preconditions and the bignum fallback;
+     the public [read] wraps every tier under [catch] *)]
 
 let read_decimal (d : Exact.decimal) =
   if Nat.is_zero d.Exact.digits then if d.Exact.neg then -0. else 0.
@@ -109,6 +121,10 @@ let read_decimal (d : Exact.decimal) =
         extended_tier d !m (d.Exact.exp10 + len - 18) truncated
       end
   end
+[@@lint.can_raise
+  Assert_failure
+  (* deliberate raising API: tier dispatch over raising internals; the
+     public [read] guards it, bare callers (benches) accept aborts *)]
 
 let read s =
   Result.join

@@ -111,10 +111,18 @@ let read_body ?mode fmt s =
         end
     end
   end
+[@@lint.can_raise
+  Assert_failure
+  (* raising internal: budget checks raise Error.E, the bignum kernels
+     assert invariants; the public [read] wraps it under [catch] *)]
 
 let read ?mode fmt s = Result.join (Error.catch (fun () -> read_body ?mode fmt s))
 
+(* [compose] needs its own guard: it runs on [read]'s result, outside
+   [read]'s catch region. *)
 let read_float ?mode s =
-  match read ?mode Fp.Format_spec.binary64 s with
-  | Error _ as e -> e
-  | Ok v -> Ok (Fp.Ieee.compose v)
+  Result.join
+    (Error.catch (fun () ->
+         match read ?mode Fp.Format_spec.binary64 s with
+         | Error _ as e -> e
+         | Ok v -> Ok (Fp.Ieee.compose v)))

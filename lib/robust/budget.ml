@@ -58,6 +58,8 @@ let deadline_error d =
     max 1 (int_of_float (ceil ((now () -. d.started_at) *. 1000.)))
   in
   Error.budget ~what:deadline_what ~limit:d.grant_ms ~got:elapsed_ms
+[@@lint.alloc_ok
+  "cold path: runs once, to build the structured error it raises with"]
 
 let check_deadline () =
   match (Domain.DLS.get slot).deadline with

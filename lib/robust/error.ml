@@ -13,9 +13,17 @@ let truncate_input s =
 let syntax ?(pos = -1) ~input reason =
   Syntax { input = truncate_input input; reason; pos }
 
+(* The constructors below allocate by design — they build the value a
+   failure path is about to raise with, so they never run on a hot
+   success path. *)
 let range ~what detail = Range { what; detail }
+  [@@lint.alloc_ok "failure-path error construction"]
+
 let budget ~what ~limit ~got = Budget { what; limit; got }
+  [@@lint.alloc_ok "failure-path error construction"]
+
 let internal ~where reason = Internal { where; reason }
+  [@@lint.alloc_ok "failure-path error construction"]
 
 let raise_ e = raise (E e)
   [@@lint.can_raise E] (* the one exception every boundary converts via [catch] *)

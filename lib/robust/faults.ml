@@ -203,6 +203,9 @@ let draw name =
       match List.assoc_opt name call_counters with
       | Some c -> 1 + Atomic.fetch_and_add c 1 = k
       | None -> false)
+[@@lint.alloc_ok
+  "the armed_count = 0 early exit is allocation-free; the closure and \
+   random draw below it only run when fault points are armed (chaos runs)"]
 
 let count_trip name =
   (match List.assoc_opt name counters with
@@ -210,6 +213,7 @@ let count_trip name =
   | None -> ());
   if Telemetry.Flight.enabled () then
     Telemetry.Flight.record ~kind:"fault-trip" name
+[@@lint.alloc_ok "runs only when an armed fault point actually fires"]
 
 (* Only fire under a boundary guard: the instrumented kernels also run
    during module initialisation of dependent libraries (precomputed

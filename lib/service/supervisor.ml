@@ -90,9 +90,13 @@ let m_wedges =
     "bdprint_service_worker_wedges_total"
 
 let worker_counter name help i =
-  Telemetry.Metrics.counter
-    ~labels:[ ("worker", string_of_int i) ]
-    ~help name
+  (Telemetry.Metrics.counter
+     ~labels:[ ("worker", string_of_int i) ]
+     ~help name)
+  [@lint.can_raise
+    Invalid_argument
+    (* registry name validation: the names are static literals, so a
+       failure is a programming error that should abort startup *)]
 
 type worker_metrics = {
   mw_processed : Telemetry.Metrics.counter;
@@ -305,7 +309,9 @@ let deliver_locked t ~worker (job : job) reply =
     t.retries_n <- t.retries_n + (reply.attempts - 1);
     t.w_retried.(worker) <- t.w_retried.(worker) + 1;
     Telemetry.Metrics.incr wm.mw_retried;
-    Telemetry.Metrics.add m_retries (reply.attempts - 1)
+    (Telemetry.Metrics.add m_retries (reply.attempts - 1))
+    [@lint.can_raise
+      Invalid_argument (* attempts > 1 on this branch: the delta is positive *)]
   end;
   Condition.broadcast t.c_result
 
@@ -536,9 +542,15 @@ let start ?(jobs = 2) ?(queue_capacity = 64) ?(retry = default_retry)
       convert;
       fallback = Option.value fallback ~default:default_fallback;
       retry;
-      breaker = Breaker.create ~policy:breaker ();
+      breaker =
+        ((Breaker.create ~policy:breaker ())
+         [@lint.can_raise
+           Invalid_argument (* startup policy validation: abort loudly *)]);
       emit;
-      queue = Bqueue.create ~capacity:queue_capacity;
+      queue =
+        ((Bqueue.create ~capacity:queue_capacity)
+         [@lint.can_raise
+           Invalid_argument (* startup capacity validation: abort loudly *)]);
       slots = Semaphore.Counting.make queue_capacity;
       budget = Budget.get ();
       m = Mutex.create ();

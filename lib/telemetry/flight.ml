@@ -164,5 +164,8 @@ let dump ~reason =
               output_string oc (to_jsonl ~reason ());
               Atomic.incr dumps_written))
   end
+[@@lint.blocking_ok
+  "crash-dump writes hold dump_lock deliberately: the process is dying and \
+   the lock serialises the one append so records interleave whole"]
 
 let dump_count () = Atomic.get dumps_written

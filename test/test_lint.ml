@@ -224,6 +224,289 @@ let test_telemetry () =
     (run ~filename:"fixtures/hot/loop.ml" spans_good)
 
 (* ------------------------------------------------------------------ *)
+(* call-graph propagation: exn-escape and no-alloc across units *)
+
+let graph_helper =
+  {|
+let boom () = failwith "kernel invariant"
+let fine () = 42
+|}
+
+let graph_exn_bad = {|
+let entry () = Helper.boom ()
+|}
+
+let graph_exn_sup =
+  {|
+let entry () = Helper.boom ()
+  [@@lint.can_raise Failure (* deliberate raising API; callers guard *)]
+|}
+
+let graph_exn_good = {|
+let entry () = Error.catch (fun () -> Helper.boom ())
+|}
+
+let run2 ?(filename = "fixtures/boundary.ml") src =
+  Lint.Engine.analyze_sources ~manifest
+    [ ("fixtures/helper.ml", graph_helper); (filename, src) ]
+
+let test_graph_exn () =
+  check_rules "cross-unit raise reaches the boundary" [ "exn-escape" ]
+    (run2 graph_exn_bad);
+  let sup = run2 graph_exn_sup in
+  check_rules "annotated boundary entry" [] sup;
+  Alcotest.(check bool) "annotation counted as suppression" true
+    (suppressed_total sup >= 1);
+  check_rules "catcher absorbs the cross-unit raise" [] (run2 graph_exn_good);
+  (* the same call outside any boundary file is nobody's business *)
+  check_rules "non-boundary caller exempt" []
+    (run2 ~filename:"fixtures/plain.ml" graph_exn_bad)
+
+let alloc_graph_bad =
+  {|
+let helper x = Array.make x 0
+
+let kernel x = Array.length (helper x)
+  [@@lint.no_alloc]
+|}
+
+let alloc_graph_good =
+  {|
+let helper x = x land 0xff
+
+let kernel x = helper x + 1
+  [@@lint.no_alloc]
+
+let table_slot x = Array.make x 0
+  [@@lint.alloc_ok "init-time table fill, not on the digit path"]
+
+let kernel2 x = Array.length (table_slot x)
+  [@@lint.no_alloc]
+|}
+
+let test_graph_alloc () =
+  check_rules "transitive allocation behind a call" [ "no-alloc" ]
+    (run alloc_graph_bad);
+  let good = run alloc_graph_good in
+  check_rules "clean and sanctioned callees" [] good;
+  Alcotest.(check bool) "alloc_ok callee counted as suppression" true
+    (suppressed_total good >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* blocking *)
+
+let blocking_kernel_bad =
+  {|
+let park () = Unix.sleep 1
+
+let kernel x = park (); x + 1
+  [@@lint.no_alloc]
+|}
+
+let blocking_lock_bad =
+  {|
+let m = Mutex.create ()
+
+let io () = Unix.sleep 1
+
+let direct () =
+  Mutex.lock m;
+  Unix.sleep 1;
+  Mutex.unlock m
+
+let transitive () =
+  Mutex.lock m;
+  io ();
+  Mutex.unlock m
+|}
+
+let blocking_good =
+  {|
+let m = Mutex.create ()
+
+let release_first d =
+  Mutex.lock m;
+  let v = d + 1 in
+  Mutex.unlock m;
+  Unix.sleep v
+
+let sanctioned () =
+  Mutex.lock m;
+  (Unix.sleep 1 [@lint.blocking_ok "bounded 1s backoff, reviewed"]);
+  Mutex.unlock m
+|}
+
+let test_blocking () =
+  check_rules "kernel reaching a blocking op" [ "blocking" ]
+    (run blocking_kernel_bad);
+  check_rules "I/O under a held lock, direct and via a call"
+    [ "blocking"; "blocking" ]
+    (run blocking_lock_bad);
+  let good = run blocking_good in
+  check_rules "lock released around I/O; annotated site" [] good;
+  Alcotest.(check bool) "blocking_ok counted as suppression" true
+    (suppressed_total good >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* lock-order *)
+
+let lockorder_cycle =
+  {|
+let a = Mutex.create ()
+let b = Mutex.create ()
+
+let ab () =
+  Mutex.lock a;
+  Mutex.lock b;
+  Mutex.unlock b;
+  Mutex.unlock a
+
+let ba () =
+  Mutex.lock b;
+  Mutex.lock a;
+  Mutex.unlock a;
+  Mutex.unlock b
+|}
+
+let lockorder_transitive =
+  {|
+let a = Mutex.create ()
+let b = Mutex.create ()
+
+let helper () = Mutex.lock b; Mutex.unlock b
+let outer () = Mutex.lock a; helper (); Mutex.unlock a
+let other () = Mutex.lock b; Mutex.lock a; Mutex.unlock a; Mutex.unlock b
+|}
+
+let lockorder_self = {|
+let a = Mutex.create ()
+let twice () =
+  Mutex.lock a;
+  Mutex.lock a
+|}
+
+let lockorder_clean =
+  {|
+let a = Mutex.create ()
+let b = Mutex.create ()
+
+let one () =
+  Mutex.lock a;
+  Mutex.lock b;
+  Mutex.unlock b;
+  Mutex.unlock a
+
+let two () =
+  Mutex.lock a;
+  Mutex.lock b;
+  Mutex.unlock b;
+  Mutex.unlock a
+|}
+
+let lockorder_contradicts =
+  {|
+let a = Mutex.create ()
+let b = Mutex.create ()
+
+let ab () =
+  Mutex.lock a;
+  Mutex.lock b;
+  Mutex.unlock b;
+  Mutex.unlock a
+  [@@lint.lock_order "plain:b<plain:a"]
+|}
+
+let lockorder_suppressed =
+  {|
+let a = Mutex.create ()
+let twice () =
+  Mutex.lock a;
+  Mutex.lock a
+  [@@lint.lock_order "plain:a<plain:a" (* re-entrant by construction *)]
+|}
+
+let test_lockorder () =
+  check_rules "two-lock cycle" [ "lock-order" ] (run lockorder_cycle);
+  check_rules "cycle through a call" [ "lock-order" ] (run lockorder_transitive);
+  check_rules "self-deadlock" [ "lock-order" ] (run lockorder_self);
+  check_rules "consistent order" [] (run lockorder_clean);
+  check_rules "contradicts declared order" [ "lock-order" ]
+    (run lockorder_contradicts);
+  let sup = run lockorder_suppressed in
+  check_rules "declared self-edge" [] sup;
+  Alcotest.(check bool) "declaration counted as suppression" true
+    (suppressed_total sup >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* width certification *)
+
+let width_bad =
+  {|
+let mul_over (x [@lint.width 40]) (y [@lint.width 40]) = x * y
+  [@@lint.certified_width 62]
+
+let shift_over (m [@lint.width 64]) = Int64.shift_left m 1
+  [@@lint.certified_width 64]
+
+let take (n [@lint.width 8]) = n + 1
+  [@@lint.certified_width 62]
+
+let caller (x [@lint.width 40]) = take x
+  [@@lint.certified_width 62]
+|}
+
+let width_good =
+  {|
+let mul_ok (x [@lint.width 20]) (y [@lint.width 20]) = x * y
+  [@@lint.certified_width 62]
+
+let masked (x [@lint.width 62]) (y [@lint.width 62]) =
+  (x land 0xFFFFF) * (y land 0xFFFFF)
+  [@@lint.certified_width 62]
+
+let shift_ok (m [@lint.width 64]) =
+  Int64.shift_left (Int64.logand m 0x7FFFFFFFFFFFFFFFL) 1
+  [@@lint.certified_width 64]
+
+let take (n [@lint.width 8]) = n + 1
+  [@@lint.certified_width 62]
+
+let caller (x [@lint.width 40]) = take (x land 0xFF)
+  [@@lint.certified_width 62]
+
+let uncertified x y = x * y
+|}
+
+let test_width () =
+  check_rules "overflow, 64-bit overflow, and an out-of-range argument"
+    [ "width"; "width"; "width" ]
+    (run width_bad);
+  check_rules "interval analysis accepts the masked forms" []
+    (run width_good)
+
+(* ------------------------------------------------------------------ *)
+(* stale manifest entries (non-gating) *)
+
+let test_stale () =
+  let stale = Lint.Manifest.of_string "exception-boundary fixtures/gone.ml" in
+  let o =
+    Lint.Engine.analyze_sources ~manifest:stale ~stale_check:true
+      [ ("fixtures/plain.ml", "let x = 1\n") ]
+  in
+  check_rules "stale entry reported" [ "manifest-stale" ] o;
+  Alcotest.(check int) "manifest-stale is non-gating" 0
+    (List.length (Lint.Engine.gating_findings o));
+  (* a matching entry is not stale; the check is opt-in *)
+  check_rules "matching entry" []
+    (Lint.Engine.analyze_sources ~manifest ~stale_check:true
+       [ ("fixtures/boundary.ml", "let x = 1\n");
+         ("fixtures/hot/loop.ml", "let y = 2\n") ]);
+  check_rules "stale check off by default"
+    []
+    (Lint.Engine.analyze_sources ~manifest:stale
+       [ ("fixtures/plain.ml", "let x = 1\n") ])
+
+(* ------------------------------------------------------------------ *)
 (* engine plumbing *)
 
 let test_engine () =
@@ -319,6 +602,47 @@ let test_cli () =
   let status, _ = run_cli "--manifest does-not-exist.manifest lib" in
   Alcotest.(check int) "usage error exit 2" 2 status
 
+(* The CI ratchet: counts at the committed baseline pass, any count
+   above it fails, and the diff artifact names the rising counter. *)
+let test_cli_ratchet () =
+  let source =
+    "let grows = Hashtbl.create 16\n\
+    \  [@@lint.domain_safe \"test fixture: single-writer\"]\n"
+  in
+  in_temp_fixture ~source (fun dir ->
+      let base = Filename.temp_file "bdlint" ".baseline.json" in
+      let diff = Filename.temp_file "bdlint" ".diff.json" in
+      Fun.protect
+        ~finally:(fun () ->
+          Sys.remove base;
+          Sys.remove diff)
+        (fun () ->
+          let status, _ =
+            run_cli
+              (Printf.sprintf "--quiet --write-baseline %s %s" base dir)
+          in
+          Alcotest.(check int) "suppressed fixture exit 0" 0 status;
+          let status, _ =
+            run_cli (Printf.sprintf "--quiet --baseline %s %s" base dir)
+          in
+          Alcotest.(check int) "at the baseline exit 0" 0 status;
+          (* tighten the baseline to zero: the ratchet fires even though
+             there is no finding, and the diff names the counter *)
+          let oc = open_out base in
+          output_string oc "{\n  \"findings\": {},\n  \"suppressions\": {}\n}\n";
+          close_out oc;
+          let status, _ =
+            run_cli
+              (Printf.sprintf "--quiet --baseline %s --baseline-diff %s %s"
+                 base diff dir)
+          in
+          Alcotest.(check int) "above the baseline exit 1" 1 status;
+          let ic = open_in_bin diff in
+          let d = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          Alcotest.(check bool) "diff names the rising counter" true
+            (contains d "suppressions/domain-safety")))
+
 let () =
   Alcotest.run "lint"
     [
@@ -328,11 +652,24 @@ let () =
           Alcotest.test_case "exn-escape" `Quick test_exn;
           Alcotest.test_case "no-alloc" `Quick test_alloc;
           Alcotest.test_case "telemetry-gate" `Quick test_telemetry;
+          Alcotest.test_case "blocking" `Quick test_blocking;
+          Alcotest.test_case "lock-order" `Quick test_lockorder;
+          Alcotest.test_case "width" `Quick test_width;
+        ] );
+      ( "callgraph",
+        [
+          Alcotest.test_case "exn-escape propagation" `Quick test_graph_exn;
+          Alcotest.test_case "no-alloc propagation" `Quick test_graph_alloc;
+          Alcotest.test_case "stale manifest entries" `Quick test_stale;
         ] );
       ( "engine",
         [
           Alcotest.test_case "outcomes and renderings" `Quick test_engine;
           Alcotest.test_case "manifest" `Quick test_manifest;
         ] );
-      ("cli", [ Alcotest.test_case "exit codes" `Quick test_cli ]);
+      ( "cli",
+        [
+          Alcotest.test_case "exit codes" `Quick test_cli;
+          Alcotest.test_case "baseline ratchet" `Quick test_cli_ratchet;
+        ] );
     ]
